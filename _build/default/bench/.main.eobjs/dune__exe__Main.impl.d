@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Api Array Bechamel Benchmark Builder Cubicle Hashtbl Httpd Hw Int64 Libos List Measure Minidb Mm Monitor Printf Staged Stats String Sys Test Time Toolkit Types Ukernel Unix

@@ -1,0 +1,1 @@
+bench/probe.ml: Cubicle Hw List Minidb Monitor Printf Stats Ukernel

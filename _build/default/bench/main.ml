@@ -1,0 +1,503 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§6). Results are simulated cycles from the machine's
+   cost model, reported in the paper's units. Run with no arguments for
+   everything, or with a subset of: table2 fig5 fig6 fig7 fig8 fig10a
+   fig10b ablation micro. EXPERIMENTS.md records paper-vs-measured numbers. *)
+
+open Cubicle
+
+let fprintf = Printf.printf
+
+let heading title =
+  fprintf "\n=======================================================================\n";
+  fprintf "%s\n" title;
+  fprintf "=======================================================================\n"
+
+(* --- Table 2: component sizes -------------------------------------------- *)
+
+let paper_sloc =
+  [
+    ("Monitor (asm)", "110", "cross-cubicle calls");
+    ("Monitor (C)", "3000", "all components");
+    ("Builder (Python)", "640", "trampoline generation");
+    ("Unikraft windows", "600", "windows");
+    ("SQLite port", "620", "windows");
+    ("NGINX port", "390", "windows");
+  ]
+
+let table2 () =
+  heading "Table 2: Sizes of CubicleOS components";
+  fprintf "Paper (SLOC):\n";
+  List.iter (fun (c, n, d) -> fprintf "  %-24s %6s  %s\n" c n d) paper_sloc;
+  fprintf "\nThis reproduction (loaded component inventory, NGINX deployment):\n";
+  let app = Httpd.Server.component () in
+  let sys = Libos.Boot.net_stack ~extra:[ (app, Types.Isolated) ] () in
+  let mon = sys.Libos.Boot.mon in
+  fprintf "  %-10s %-9s %-4s %8s %9s  exports\n" "component" "kind" "key" "exports"
+    "heap(KiB)";
+  for cid = 0 to Monitor.ncubicles mon - 1 do
+    let exports = Monitor.exports_of mon cid in
+    fprintf "  %-10s %-9s %-4d %8d %9d  %s\n" (Monitor.cubicle_name mon cid)
+      (Types.kind_to_string (Monitor.cubicle_kind mon cid))
+      (Monitor.cubicle_key mon cid) (List.length exports)
+      (Monitor.cubicle_heap_bytes mon cid / 1024)
+      (String.concat "," (List.filteri (fun i _ -> i < 4) exports)
+      ^ if List.length exports > 4 then ",…" else "")
+  done
+
+(* --- Figures 5 and 8: cubicle call-count graphs ---------------------------- *)
+
+let print_edges mon edges =
+  List.iter
+    (fun ((caller, callee), n) ->
+      fprintf "  %-10s -> %-10s %9d\n"
+        (Monitor.cubicle_name mon caller)
+        (Monitor.cubicle_name mon callee)
+        n)
+    edges
+
+let fig5 () =
+  heading "Figure 5: NGINX cubicle graph (cross-cubicle calls during measurement)";
+  let app = Httpd.Server.component () in
+  let sys = Libos.Boot.net_stack ~extra:[ (app, Types.Isolated) ] () in
+  let mon = sys.Libos.Boot.mon in
+  (* docroot of random static files, as served to siege *)
+  let sizes = [ 1024; 4096; 16384; 65536 ] in
+  Libos.Boot.populate sys ~as_app:"NGINX"
+    (List.map (fun s -> (Printf.sprintf "/f%d.bin" s, String.make s 'x')) sizes);
+  let server = Httpd.Server.start sys in
+  let siege = Httpd.Siege.make sys server in
+  (* warm up, then measure *)
+  ignore (Httpd.Siege.fetch siege "/f1024.bin");
+  let before = Stats.snapshot (Monitor.stats mon) in
+  let seed = ref 7 in
+  for _ = 1 to 40 do
+    seed := ((!seed * 1103515245) + 12345) land 0x3FFFFFFF;
+    let size = List.nth sizes (!seed mod List.length sizes) in
+    ignore (Httpd.Siege.fetch siege (Printf.sprintf "/f%d.bin" size))
+  done;
+  fprintf "40 siege requests over random static files (1-64 KiB):\n";
+  print_edges mon (Stats.diff_edges (Monitor.stats mon) ~since:before);
+  fprintf "  (plus %d calls into shared cubicles: newlibc-style memcpy etc.)\n"
+    (Stats.shared_calls (Monitor.stats mon))
+
+let fig8 () =
+  heading "Figure 8: SQLite cubicle graph (call counts include boot)";
+  let inst = Ukernel.Compose.make Ukernel.Compose.Cubicle4 in
+  ignore
+    (Minidb.Speedtest.run_all inst.Ukernel.Compose.os ~path:"/speed.db" ~n:100
+       ~measure:(fun f -> f ()));
+  fprintf "speedtest1 (n=100), Fig. 8 topology (VFSCORE and RAMFS separate):\n";
+  print_edges inst.Ukernel.Compose.mon
+    (Stats.edges (Monitor.stats inst.Ukernel.Compose.mon));
+  fprintf "  shared-cubicle calls: %d\n"
+    (Stats.shared_calls (Monitor.stats inst.Ukernel.Compose.mon))
+
+(* --- Figure 6: per-query execution times under the 4 configs --------------- *)
+
+let speedtest_for_protection protection ~n =
+  let app = Builder.component ~heap_pages:512 ~stack_pages:4 "APP" in
+  let sys =
+    Libos.Boot.fs_stack ~protection ~mem_bytes:(192 * 1024 * 1024)
+      ~extra:[ (app, Types.Isolated) ]
+      ()
+  in
+  let os = Minidb.Os_iface.cubicleos (Libos.Fileio.make (Libos.Boot.app_ctx sys "APP")) in
+  let cost = Monitor.cost sys.Libos.Boot.mon in
+  Minidb.Speedtest.run_all os ~path:"/speed.db" ~n ~measure:(fun f ->
+      let c0 = Hw.Cost.cycles cost in
+      f ();
+      Hw.Cost.cycles cost - c0)
+
+let fig6 ?(n = 150) () =
+  heading "Figure 6: SQLite speedtest1 query execution times (simulated ms)";
+  let configs =
+    [
+      ("Unikraft", Types.None_);
+      ("w/o MPK", Types.Trampolines);
+      ("w/o ACLs", Types.Mpk);
+      ("CubicleOS", Types.Full);
+    ]
+  in
+  let runs = List.map (fun (name, p) -> (name, speedtest_for_protection p ~n)) configs in
+  let base = List.assoc "Unikraft" runs in
+  let full = List.assoc "CubicleOS" runs in
+  fprintf "%-5s %-5s " "query" "group";
+  List.iter (fun (name, _) -> fprintf "%10s " name) runs;
+  fprintf "%9s\n" "slowdown";
+  List.iteri
+    (fun i ((q : Minidb.Speedtest.query), base_cycles) ->
+      fprintf "%-5d %-5s " q.id
+        (match q.group with Minidb.Speedtest.Light -> "L" | Heavy -> "H");
+      List.iter
+        (fun (_, results) ->
+          let _, c = List.nth results i in
+          fprintf "%10.2f " (Hw.Cost.to_ms c))
+        runs;
+      let _, full_cycles = List.nth full i in
+      fprintf "%8.2fx\n" (float_of_int full_cycles /. float_of_int (max 1 base_cycles)))
+    base;
+  (* the paper's §6.4 decomposition *)
+  let group_avg group =
+    List.map
+      (fun (name, results) ->
+        let xs =
+          List.filter_map
+            (fun ((q : Minidb.Speedtest.query), c) ->
+              if q.group = group then Some c else None)
+            results
+        in
+        (name, List.fold_left ( + ) 0 xs / List.length xs))
+      runs
+  in
+  let print_group label group =
+    let avgs = group_avg group in
+    let base = float_of_int (List.assoc "Unikraft" avgs) in
+    fprintf "%s:\n" label;
+    List.iter
+      (fun (name, c) ->
+        fprintf "  %-10s %10.2f ms  (%.2fx)\n" name (Hw.Cost.to_ms c)
+          (float_of_int c /. base))
+      avgs
+  in
+  fprintf "\nGroup averages (paper: light group ~1.8x, heavy group ~8x):\n";
+  print_group "light queries" Minidb.Speedtest.Light;
+  print_group "heavy queries" Minidb.Speedtest.Heavy
+
+(* --- Figure 7: NGINX download latency vs transfer size ---------------------- *)
+
+let fig7 ?(repeats = 3) () =
+  heading "Figure 7: NGINX download latency vs transfer size (simulated ms)";
+  let sizes = List.init 14 (fun i -> 1024 lsl i) (* 1 KiB .. 8 MiB *) in
+  let run protection =
+    let app = Httpd.Server.component () in
+    let sys =
+      Libos.Boot.net_stack ~protection ~mem_bytes:(512 * 1024 * 1024)
+        ~extra:[ (app, Types.Isolated) ]
+        ()
+    in
+    let server = Httpd.Server.start sys in
+    let siege = Httpd.Siege.make sys server in
+    let fio = Libos.Fileio.make (Libos.Boot.app_ctx sys "NGINX") in
+    Httpd.Siege.latency_for_sizes siege ~sizes ~repeats
+      ~populate:(fun size ->
+        let path = Printf.sprintf "/f%d.bin" size in
+        if not (Libos.Fileio.exists fio path) then
+          Libos.Fileio.write_file fio path (String.make size 'd');
+        path)
+      ()
+  in
+  let base = run Types.None_ in
+  let cubicle = run Types.Full in
+  fprintf "%12s %14s %14s %9s\n" "size(B)" "baseline(ms)" "CubicleOS(ms)" "overhead";
+  List.iter2
+    (fun (size, b, _) (_, c, _) -> fprintf "%12d %14.2f %14.2f %8.2fx\n" size b c (c /. b))
+    base cubicle
+
+(* --- Figures 9/10: partitioning comparison ----------------------------------- *)
+
+let fig10a ?(n = 120) () =
+  heading "Figure 10a: slowdown vs Linux (speedtest1 average)";
+  fprintf "(Figure 9: '3 components' merges the fs driver into the VFS;\n";
+  fprintf " '4 components' separates RAMFS into its own compartment)\n\n";
+  let open Ukernel.Compose in
+  let configs =
+    [
+      Linux;
+      Unikraft;
+      Genode3 Ukernel.Kernel.linux;
+      Genode4 Ukernel.Kernel.linux;
+      Cubicle3;
+      Cubicle4;
+    ]
+  in
+  let totals = List.map (fun c -> (config_name c, speedtest_total_cycles ~n c)) configs in
+  let linux_total = float_of_int (List.assoc "Linux" totals) in
+  fprintf "%-16s %16s %9s   (paper)\n" "config" "cycles" "slowdown";
+  let paper = [ "1.0x"; "2.8x"; "1.4x"; "29x"; "4.1x"; "5.4x" ] in
+  List.iteri
+    (fun i (name, total) ->
+      fprintf "%-16s %16d %8.1fx   (%s)\n" name total
+        (float_of_int total /. linux_total)
+        (List.nth paper i))
+    totals
+
+let fig10b ?(n = 120) () =
+  heading "Figure 10b: slowdown of 4 components vs 3 components";
+  let open Ukernel.Compose in
+  let ratio three four =
+    float_of_int (speedtest_total_cycles ~n four)
+    /. float_of_int (speedtest_total_cycles ~n three)
+  in
+  let paper =
+    [
+      ("SeL4", "7.5x");
+      ("Fiasco.OC", "4.5x");
+      ("NOVA", "4.7x");
+      ("Linux", "~20x");
+      ("CubicleOS", "1.4x");
+    ]
+  in
+  let results =
+    List.map
+      (fun k -> (k.Ukernel.Kernel.name, ratio (Genode3 k) (Genode4 k)))
+      [ Ukernel.Kernel.sel4; Ukernel.Kernel.fiasco_oc; Ukernel.Kernel.nova; Ukernel.Kernel.linux ]
+    @ [ ("CubicleOS", ratio Cubicle3 Cubicle4) ]
+  in
+  fprintf "%-12s %9s   (paper)\n" "kernel" "slowdown";
+  List.iter
+    (fun (name, r) -> fprintf "%-12s %8.1fx   (%s)\n" name r (List.assoc name paper))
+    results
+
+(* --- Ablations: the design-space choices of §5.6/§8 --------------------------- *)
+
+let ablation () =
+  heading "Ablation: window mapping/revocation policies and window-specific tags";
+  fprintf
+    "The Figure-2 write path (1000 x 4 KiB pwrite through APP->VFSCORE->RAMFS),\n\
+     full protection, with CubicleOS's mechanisms swapped for the alternatives\n\
+     the paper discusses (§5.6) and the hybrid it suggests (§8):\n\n";
+  let run ~policy ~dedicated =
+    let sys =
+      Libos.Boot.fs_stack ~protection:Types.Full ~policy
+        ~extra:[ (Builder.component ~heap_pages:64 ~stack_pages:4 "APP", Types.Isolated) ]
+        ()
+    in
+    let mon = sys.Libos.Boot.mon in
+    let ctx = Libos.Boot.app_ctx sys "APP" in
+    let fio = Libos.Fileio.make ctx in
+    let fd =
+      Monitor.run_as mon (Api.self ctx) (fun () ->
+          Libos.Fileio.open_file fio "/abl.bin" ~create:true)
+    in
+    let buf = Api.malloc_page_aligned ctx 4096 in
+    let c0 = Hw.Cost.cycles (Monitor.cost mon) in
+    let f0 = Hw.Cpu.fault_count (Monitor.cpu mon) in
+    let r0 = Monitor.retag_count mon in
+    Monitor.run_as mon (Api.self ctx) (fun () ->
+        if dedicated then begin
+          (* hybrid: one standing window with its own tag *)
+          let wid = Api.window_init ctx ~klass:Mm.Page_meta.Heap in
+          Api.window_add ctx wid ~ptr:buf ~size:4096;
+          Api.window_open_dedicated ctx wid (Api.cid_of ctx "VFSCORE");
+          Api.window_open_dedicated ctx wid (Api.call ctx "vfs_backend_cid" [||]);
+          for i = 0 to 999 do
+            Api.write_u32 ctx buf i;
+            ignore (Api.call ctx "vfs_pwrite" [| fd; buf; 4096; i * 4096 |])
+          done
+        end
+        else
+          for i = 0 to 999 do
+            Api.write_u32 ctx buf i;
+            ignore (Libos.Fileio.pwrite fio ~fd ~buf ~len:4096 ~off:(i * 4096))
+          done);
+    ( Hw.Cost.cycles (Monitor.cost mon) - c0,
+      Hw.Cpu.fault_count (Monitor.cpu mon) - f0,
+      Monitor.retag_count mon - r0 )
+  in
+  let configs =
+    [
+      ("trap-and-map + causal (CubicleOS)", Monitor.default_policy, false);
+      ("eager map on open", { Monitor.mapping = `Eager_on_open; revocation = `Causal }, false);
+      ("eager revoke on close", { Monitor.mapping = `Lazy_trap; revocation = `Eager_revoke }, false);
+      ( "eager map + eager revoke",
+        { Monitor.mapping = `Eager_on_open; revocation = `Eager_revoke },
+        false );
+      ("window-specific tag (hybrid, §8)", Monitor.default_policy, true);
+    ]
+  in
+  fprintf "%-36s %14s %8s %8s\n" "configuration" "cycles" "faults" "retags";
+  List.iter
+    (fun (name, policy, dedicated) ->
+      let cycles, faults, retags = run ~policy ~dedicated in
+      fprintf "%-36s %14d %8d %8d\n" name cycles faults retags)
+    configs;
+  (* Scenario B: the conservative-port pattern the lazy design targets —
+     a wide window (16 pages) of which the callee touches only one. *)
+  fprintf
+    "\nScenario B: 500 calls, 16-page window opened each time, 1 page touched\n\
+     (conservatively sized grants, where lazy trap-and-map shines):\n\n";
+  let run_wide ~policy =
+    let mon = Monitor.create ~policy ~protection:Types.Full () in
+    let foo = Monitor.create_cubicle mon ~name:"FOO" ~kind:Types.Isolated ~heap_pages:32 ~stack_pages:2 in
+    let bar = Monitor.create_cubicle mon ~name:"BAR" ~kind:Types.Isolated ~heap_pages:8 ~stack_pages:2 in
+    Monitor.register_exports mon bar
+      [
+        {
+          Monitor.sym = "bar_peek";
+          fn = (fun c a -> Api.read_u8 c a.(0));
+          stack_bytes = 0;
+        };
+      ];
+    let ctx = Monitor.ctx_for mon foo in
+    let buf = Api.malloc_page_aligned ctx (16 * 4096) in
+    let wid = Api.window_init ctx ~klass:Mm.Page_meta.Heap in
+    Api.window_add ctx wid ~ptr:buf ~size:(16 * 4096);
+    let c0 = Hw.Cost.cycles (Monitor.cost mon) in
+    for _ = 1 to 500 do
+      Api.window_open ctx wid bar;
+      ignore (Monitor.call mon ~caller:foo "bar_peek" [| buf |]);
+      Api.window_close ctx wid bar
+    done;
+    ( Hw.Cost.cycles (Monitor.cost mon) - c0,
+      Hw.Cpu.fault_count (Monitor.cpu mon),
+      Monitor.retag_count mon )
+  in
+  fprintf "%-36s %14s %8s %8s\n" "configuration" "cycles" "faults" "retags";
+  List.iter
+    (fun (name, policy, dedicated) ->
+      if not dedicated then begin
+        let cycles, faults, retags = run_wide ~policy in
+        fprintf "%-36s %14d %8d %8d\n" name cycles faults retags
+      end)
+    configs;
+  (* Scenario C: tag virtualisation (libmpk, paper §8) — cost of
+     running more isolated cubicles than the 16 hardware keys. *)
+  fprintf
+    "\nScenario C: round-robin calls across N isolated cubicles\n\
+     (tag virtualisation on; hardware has 14 usable keys):\n\n";
+  fprintf "%-10s %14s %10s %10s\n" "cubicles" "cycles" "evictions" "cyc/call";
+  List.iter
+    (fun n ->
+      let mon = Monitor.create ~virtualise:true ~protection:Types.Full () in
+      let cids =
+        List.init n (fun i ->
+            let cid =
+              Monitor.create_cubicle mon ~name:(Printf.sprintf "N%02d" i)
+                ~kind:Types.Isolated ~heap_pages:4 ~stack_pages:1
+            in
+            Monitor.register_exports mon cid
+              [
+                {
+                  Monitor.sym = Printf.sprintf "n%02d_work" i;
+                  fn = (fun ctx a -> Api.write_u8 ctx a.(0) 1; 0);
+                  stack_bytes = 0;
+                };
+              ];
+            cid)
+      in
+      let bufs = List.map (fun cid -> Monitor.malloc mon cid 64) cids in
+      let calls = 50 * n in
+      let c0 = Hw.Cost.cycles (Monitor.cost mon) in
+      for r = 0 to calls - 1 do
+        let i = r mod n in
+        ignore
+          (Monitor.call mon ~caller:Monitor.monitor_cid
+             (Printf.sprintf "n%02d_work" i)
+             [| List.nth bufs i |])
+      done;
+      let cycles = Hw.Cost.cycles (Monitor.cost mon) - c0 in
+      fprintf "%-10d %14d %10d %10d\n" n cycles (Monitor.tag_evictions mon)
+        (cycles / calls))
+    [ 4; 8; 12; 14; 16; 20; 28 ];
+  (* Scenario D: journal modes — rollback journal vs write-ahead log
+     for per-row transaction workloads (the heavy group's pattern). *)
+  fprintf
+    "\nScenario D: 200 single-row transactions, rollback journal vs WAL\n\
+     (full protection; WAL batches its writes into the log):\n\n";
+  fprintf "%-20s %14s %12s %10s\n" "journal mode" "cycles" "page writes" "vfs syncs";
+  List.iter
+    (fun (name, mode) ->
+      let app = Builder.component ~heap_pages:256 ~stack_pages:4 "APP" in
+      let sys =
+        Libos.Boot.fs_stack ~protection:Types.Full ~mem_bytes:(128 * 1024 * 1024)
+          ~extra:[ (app, Types.Isolated) ] ()
+      in
+      let ctx = Libos.Boot.app_ctx sys "APP" in
+      let os = Minidb.Os_iface.cubicleos (Libos.Fileio.make ctx) in
+      let mon = sys.Libos.Boot.mon in
+      Monitor.run_as mon (Api.self ctx) (fun () ->
+          let db = Minidb.Db.open_db ~journal_mode:mode os ~path:"/jm.db" in
+          let t = Minidb.Db.create_table db "t" in
+          Minidb.Db.with_txn db (fun () ->
+              for i = 1 to 200 do
+                ignore (Minidb.Db.insert db t [ Minidb.Record.int i ])
+              done);
+          let c0 = Hw.Cost.cycles (Monitor.cost mon) in
+          let w0 = (Minidb.Pager.stats (Minidb.Db.pager db)).page_writes in
+          for i = 1 to 200 do
+            Minidb.Db.with_txn db (fun () ->
+                ignore
+                  (Minidb.Db.update db t (Int64.of_int i) [ Minidb.Record.int (-i) ]))
+          done;
+          let cycles = Hw.Cost.cycles (Monitor.cost mon) - c0 in
+          let writes = (Minidb.Pager.stats (Minidb.Db.pager db)).page_writes - w0 in
+          fprintf "%-20s %14d %12d %10d\n" name cycles writes
+            (Stats.calls_to_sym (Monitor.stats mon) "vfs_fsync");
+          Minidb.Db.close db))
+    [ ("rollback journal", Minidb.Pager.Rollback); ("write-ahead log", Minidb.Pager.Wal) ]
+
+(* --- Bechamel microbenchmarks -------------------------------------------------- *)
+
+let micro () =
+  heading "Microbenchmarks (Bechamel; wall-clock of the simulator itself)";
+  let open Bechamel in
+  let mon = Monitor.create ~protection:Types.Full () in
+  let foo = Monitor.create_cubicle mon ~name:"FOO" ~kind:Types.Isolated ~heap_pages:8 ~stack_pages:2 in
+  let bar = Monitor.create_cubicle mon ~name:"BAR" ~kind:Types.Isolated ~heap_pages:8 ~stack_pages:2 in
+  Monitor.register_exports mon bar
+    [
+      {
+        Monitor.sym = "bar_fn";
+        fn = (fun ctx a -> Api.write_u8 ctx a.(0) 1; 0);
+        stack_bytes = 0;
+      };
+    ];
+  let ctx = Monitor.ctx_for mon foo in
+  let buf = Api.malloc_page_aligned ctx 4096 in
+  let wid = Api.window_init ctx ~klass:Mm.Page_meta.Heap in
+  Api.window_add ctx wid ~ptr:buf ~size:4096;
+  Api.window_open ctx wid bar;
+  let cpu = Monitor.cpu mon in
+  let tests =
+    Test.make_grouped ~name:"cubicleos"
+      [
+        Test.make ~name:"wrpkru"
+          (Staged.stage (fun () -> Hw.Cpu.wrpkru cpu Hw.Pkru.all_allow));
+        Test.make ~name:"window-open-close"
+          (Staged.stage (fun () ->
+               Api.window_close ctx wid bar;
+               Api.window_open ctx wid bar));
+        Test.make ~name:"cross-cubicle-call-warm"
+          (Staged.stage (fun () -> ignore (Monitor.call mon ~caller:foo "bar_fn" [| buf |])));
+        Test.make ~name:"trap-and-map-fault"
+          (Staged.stage (fun () ->
+               Hw.Cpu.set_page_key cpu (Hw.Addr.page_of buf) (Monitor.cubicle_key mon foo);
+               ignore (Monitor.call mon ~caller:foo "bar_fn" [| buf |])));
+        Test.make ~name:"memcpy-2KiB-simulated"
+          (Staged.stage (fun () -> Hw.Cpu.memcpy cpu ~dst:(buf + 2048) ~src:buf ~len:2048));
+      ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> fprintf "  %-40s %12.1f ns/op\n" name est
+      | _ -> fprintf "  %-40s (no estimate)\n" name)
+    (List.sort compare rows)
+
+(* --- driver ---------------------------------------------------------------------- *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let all = args = [] || args = [ "all" ] in
+  let want name = all || List.mem name args in
+  let t0 = Unix.gettimeofday () in
+  if want "table2" then table2 ();
+  if want "fig5" then fig5 ();
+  if want "fig6" then fig6 ();
+  if want "fig7" then fig7 ();
+  if want "fig8" then fig8 ();
+  if want "fig10a" then fig10a ();
+  if want "fig10b" then fig10b ();
+  if want "ablation" then ablation ();
+  if want "micro" then micro ();
+  fprintf "\n[bench completed in %.1f s wall clock]\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,22 @@
+(* Calibration probe (development tool): per-configuration cycle totals
+   and operation counts for the speedtest workload. Used to derive the
+   cost-model constants documented in EXPERIMENTS.md; not part of the
+   benchmark harness proper. Run: dune exec bench/probe.exe *)
+open Cubicle
+
+let vfs_syms = ["vfs_open";"vfs_close";"vfs_pread";"vfs_pwrite";"vfs_size";"vfs_truncate";"vfs_fsync";"vfs_unlink";"vfs_exists";"vfs_rename"]
+
+let () =
+  let n = 120 in
+  List.iter (fun config ->
+    let inst = Ukernel.Compose.make config in
+    let cost = Monitor.cost inst.Ukernel.Compose.mon in
+    let stats = Monitor.stats inst.Ukernel.Compose.mon in
+    let c0 = Hw.Cost.cycles cost in
+    ignore (Minidb.Speedtest.run_all inst.Ukernel.Compose.os ~path:"/speed.db" ~n ~measure:(fun f -> f ()));
+    let total = Hw.Cost.cycles cost - c0 in
+    let vfs_ops = List.fold_left (fun acc s -> acc + Stats.calls_to_sym stats s) 0 vfs_syms in
+    Printf.printf "%-16s total=%12d vfs_ops=%7d faults=%7d retags=%7d calls=%8d shared=%8d\n"
+      (Ukernel.Compose.config_name config) total vfs_ops
+      (Stats.faults stats) (Stats.retags stats) (Stats.total_calls stats) (Stats.shared_calls stats))
+    Ukernel.Compose.[ Linux; Unikraft; Cubicle3; Cubicle4 ]

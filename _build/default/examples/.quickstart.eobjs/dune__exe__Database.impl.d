@@ -1,0 +1,1 @@
+examples/database.ml: Api Builder Cubicle Hw Int64 Libos List Minidb Monitor Printf Types

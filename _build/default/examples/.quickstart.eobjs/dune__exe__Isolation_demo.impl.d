@@ -1,0 +1,1 @@
+examples/isolation_demo.ml: Api Array Builder Bytes Cubicle Hw Libos List Loader Mm Monitor Printf Stats Trampoline Types

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Api Array Cubicle Format Hw Mm Monitor Printf Stats Types

@@ -1,0 +1,1 @@
+examples/sql_demo.ml: Api Builder Cubicle Format Libos List Minidb Monitor Printf String Types

@@ -1,0 +1,1 @@
+examples/threads.ml: Api Builder Cubicle Libos List Mm Monitor Printf Stats String Types

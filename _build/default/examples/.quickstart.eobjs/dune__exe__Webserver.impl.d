@@ -1,0 +1,1 @@
+examples/webserver.ml: Cubicle Httpd Hw Libos List Monitor Printf Stats String Types

@@ -1,0 +1,1 @@
+lib/core/builder.ml: List Loader Monitor Trampoline Types

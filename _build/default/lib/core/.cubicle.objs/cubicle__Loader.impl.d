@@ -1,0 +1,1 @@
+lib/core/loader.ml: Bytes Hw Mm Monitor Types

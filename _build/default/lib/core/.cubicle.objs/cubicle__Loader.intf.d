@@ -1,0 +1,1 @@
+lib/core/loader.mli: Hw Monitor Types

@@ -1,0 +1,1 @@
+lib/core/monitor.ml: Array Bitset Bytes Fun Hashtbl Hw List Logs Mm Stats Types Window

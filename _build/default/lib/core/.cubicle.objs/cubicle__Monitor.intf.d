@@ -1,0 +1,1 @@
+lib/core/monitor.mli: Hw Mm Stats Types Window

@@ -1,0 +1,1 @@
+lib/core/trampoline.ml: Bytes Fun Hashtbl Hw List Mm Monitor Types

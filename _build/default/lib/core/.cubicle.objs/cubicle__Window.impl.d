@@ -1,0 +1,1 @@
+lib/core/window.ml: Bitset List Mm Types

@@ -1,0 +1,38 @@
+type ctx = Monitor.ctx
+
+let window_init (c : ctx) ~klass = Monitor.window_init c.mon c.self ~klass
+let window_table_extend (c : ctx) ~klass = Monitor.window_table_extend c.mon c.self ~klass
+let window_add (c : ctx) wid ~ptr ~size = Monitor.window_add c.mon c.self wid ~ptr ~size
+let window_remove (c : ctx) wid ~ptr = Monitor.window_remove c.mon c.self wid ~ptr
+let window_open (c : ctx) wid other = Monitor.window_open c.mon c.self wid other
+let window_close (c : ctx) wid other = Monitor.window_close c.mon c.self wid other
+let window_close_all (c : ctx) wid = Monitor.window_close_all c.mon c.self wid
+let window_destroy (c : ctx) wid = Monitor.window_destroy c.mon c.self wid
+let call (c : ctx) sym args = Monitor.call c.mon ~caller:c.self sym args
+let cid_of (c : ctx) name = Monitor.lookup_cubicle c.mon name
+let self (c : ctx) = c.self
+let malloc (c : ctx) ?align size = Monitor.malloc c.mon c.self ?align size
+let free (c : ctx) addr = Monitor.free c.mon c.self addr
+let alloc_pages (c : ctx) n ~kind = Monitor.alloc_pages c.mon c.self n ~kind
+let free_pages (c : ctx) base = Monitor.free_pages c.mon c.self base
+let malloc_page_aligned (c : ctx) size = malloc c ~align:Hw.Addr.page_size size
+
+let read_string (c : ctx) addr len = Bytes.to_string (Hw.Cpu.read_bytes c.cpu addr len)
+let write_string (c : ctx) addr s = Hw.Cpu.write_string c.cpu addr s
+let read_bytes (c : ctx) addr len = Hw.Cpu.read_bytes c.cpu addr len
+let write_bytes (c : ctx) addr b = Hw.Cpu.write_bytes c.cpu addr b
+let read_u8 (c : ctx) addr = Hw.Cpu.read_u8 c.cpu addr
+let write_u8 (c : ctx) addr v = Hw.Cpu.write_u8 c.cpu addr v
+let read_u16 (c : ctx) addr = Hw.Cpu.read_u16 c.cpu addr
+let write_u16 (c : ctx) addr v = Hw.Cpu.write_u16 c.cpu addr v
+let read_u32 (c : ctx) addr = Hw.Cpu.read_u32 c.cpu addr
+let write_u32 (c : ctx) addr v = Hw.Cpu.write_u32 c.cpu addr v
+let read_i64 (c : ctx) addr = Hw.Cpu.read_i64 c.cpu addr
+let write_i64 (c : ctx) addr v = Hw.Cpu.write_i64 c.cpu addr v
+let memcpy (c : ctx) ~dst ~src ~len = Hw.Cpu.memcpy c.cpu ~dst ~src ~len
+let memset (c : ctx) addr len ch = Hw.Cpu.memset c.cpu addr len ch
+let window_open_dedicated (c : ctx) wid other =
+  Monitor.window_open_dedicated c.mon c.self wid other
+
+let window_close_dedicated (c : ctx) wid other =
+  Monitor.window_close_dedicated c.mon c.self wid other

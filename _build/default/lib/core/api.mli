@@ -1,0 +1,62 @@
+(** The CubicleOS API available to untrusted component code (Table 1),
+    plus the allocation primitives and checked memory helpers.
+
+    Everything takes the component's {!Monitor.ctx}; ownership and
+    isolation policies are enforced by the monitor. *)
+
+type ctx = Monitor.ctx
+
+(** {1 Table 1: window management} *)
+
+val window_init : ctx -> klass:Mm.Page_meta.kind -> Types.wid
+val window_table_extend : ctx -> klass:Mm.Page_meta.kind -> unit
+val window_add : ctx -> Types.wid -> ptr:int -> size:int -> unit
+val window_remove : ctx -> Types.wid -> ptr:int -> unit
+val window_open : ctx -> Types.wid -> Types.cid -> unit
+val window_close : ctx -> Types.wid -> Types.cid -> unit
+val window_close_all : ctx -> Types.wid -> unit
+val window_destroy : ctx -> Types.wid -> unit
+
+(** {1 Cross-cubicle calls} *)
+
+val call : ctx -> string -> int array -> int
+(** Call an exported symbol through its trampoline. *)
+
+val cid_of : ctx -> string -> Types.cid
+(** Cubicle id of a component, for [window_open]. Cubicle ids are fixed
+    at link time (paper §5.3). *)
+
+val self : ctx -> Types.cid
+
+(** {1 Allocation (trusted primitives)} *)
+
+val malloc : ctx -> ?align:int -> int -> int
+val free : ctx -> int -> unit
+val alloc_pages : ctx -> int -> kind:Mm.Page_meta.kind -> int
+val free_pages : ctx -> int -> unit
+
+val malloc_page_aligned : ctx -> int -> int
+(** Page-aligned heap block: used by components that share buffers via
+    windows, to avoid unintended sharing of co-located data (§5.3). *)
+
+(** {1 Checked memory access helpers} *)
+
+val read_string : ctx -> int -> int -> string
+val write_string : ctx -> int -> string -> unit
+val read_bytes : ctx -> int -> int -> bytes
+val write_bytes : ctx -> int -> bytes -> unit
+val read_u8 : ctx -> int -> int
+val write_u8 : ctx -> int -> int -> unit
+val read_u16 : ctx -> int -> int
+val write_u16 : ctx -> int -> int -> unit
+val read_u32 : ctx -> int -> int
+val write_u32 : ctx -> int -> int -> unit
+val read_i64 : ctx -> int -> int64
+val write_i64 : ctx -> int -> int64 -> unit
+val memcpy : ctx -> dst:int -> src:int -> len:int -> unit
+val memset : ctx -> int -> int -> char -> unit
+
+(** {1 Window-specific tags (ablation)} *)
+
+val window_open_dedicated : ctx -> Types.wid -> Types.cid -> unit
+val window_close_dedicated : ctx -> Types.wid -> Types.cid -> unit

@@ -1,0 +1,37 @@
+type t = { mutable bits : int; universe : int }
+
+let empty n =
+  if n < 0 || n > 62 then invalid_arg "Bitset.empty: universe must be 0..62";
+  { bits = 0; universe = n }
+
+let check t i =
+  if i < 0 || i >= t.universe then
+    invalid_arg (Printf.sprintf "Bitset: element %d outside universe %d" i t.universe)
+
+let add t i =
+  check t i;
+  t.bits <- t.bits lor (1 lsl i)
+
+let remove t i =
+  check t i;
+  t.bits <- t.bits land lnot (1 lsl i)
+
+let mem t i =
+  check t i;
+  t.bits land (1 lsl i) <> 0
+
+let clear t = t.bits <- 0
+let is_empty t = t.bits = 0
+
+let cardinal t =
+  let rec count b acc = if b = 0 then acc else count (b lsr 1) (acc + (b land 1)) in
+  count t.bits 0
+
+let elements t =
+  let acc = ref [] in
+  for i = t.universe - 1 downto 0 do
+    if t.bits land (1 lsl i) <> 0 then acc := i :: !acc
+  done;
+  !acc
+
+let universe t = t.universe

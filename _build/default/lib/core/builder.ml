@@ -1,0 +1,87 @@
+type component = {
+  name : string;
+  exportsyms : string list;
+  code_ops : int;
+  data_bytes : int;
+  heap_pages : int;
+  stack_pages : int;
+  exports : Monitor.export_spec list;
+  init : Monitor.ctx -> unit;
+}
+
+let component ?exportsyms ?(code_ops = 256) ?(data_bytes = 256) ?(heap_pages = 16)
+    ?(stack_pages = 4) ?(init = fun _ -> ()) ?(exports = []) name =
+  let exportsyms =
+    match exportsyms with
+    | Some syms -> syms
+    | None -> List.map (fun (e : Monitor.export_spec) -> e.sym) exports
+  in
+  { name; exportsyms; code_ops; data_bytes; heap_pages; stack_pages; exports; init }
+
+let merge name comps =
+  {
+    name;
+    exportsyms = List.concat_map (fun c -> c.exportsyms) comps;
+    code_ops = List.fold_left (fun acc c -> acc + c.code_ops) 0 comps;
+    data_bytes = List.fold_left (fun acc c -> acc + c.data_bytes) 0 comps;
+    heap_pages = List.fold_left (fun acc c -> acc + c.heap_pages) 0 comps;
+    stack_pages = List.fold_left (fun acc c -> max acc c.stack_pages) 1 comps;
+    exports = List.concat_map (fun c -> c.exports) comps;
+    init = (fun ctx -> List.iter (fun c -> c.init ctx) comps);
+  }
+
+type built = {
+  mon : Monitor.t;
+  cids : (string * Types.cid) list;
+  trampolines : Trampoline.t;
+}
+
+exception Undeclared_export of string * string
+
+let check_exports c =
+  List.iter
+    (fun (e : Monitor.export_spec) ->
+      if not (List.mem e.sym c.exportsyms) then raise (Undeclared_export (c.name, e.sym)))
+    c.exports
+
+let build mon comps =
+  List.iter (fun (c, _) -> check_exports c) comps;
+  let cids =
+    List.map
+      (fun (c, kind) ->
+        let img =
+          Loader.image_of_ops ~name:c.name ~data_bytes:c.data_bytes ~ops:c.code_ops ()
+        in
+        let loaded =
+          Loader.load mon img ~kind ~heap_pages:c.heap_pages ~stack_pages:c.stack_pages
+            ~exports:c.exports
+        in
+        (c.name, loaded.Loader.cid))
+      comps
+  in
+  (* Trampolines cover every public symbol of isolated and trusted
+     cubicles; shared-cubicle calls do not transit the monitor. *)
+  let syms =
+    List.concat_map
+      (fun (c, kind) ->
+        match kind with
+        | Types.Isolated | Types.Trusted ->
+            List.map (fun (e : Monitor.export_spec) -> e.sym) c.exports
+        | Types.Shared -> [])
+      comps
+  in
+  let trampolines = Trampoline.install mon ~syms in
+  (* Initialisers run in declaration order, each entered as its own
+     cubicle (the loader jumps to the component's init through a
+     trampoline) — this is where callback tables get filled in. *)
+  List.iter
+    (fun (c, _) ->
+      let cid = List.assoc c.name cids in
+      Monitor.run_as mon cid (fun () -> c.init (Monitor.ctx_for mon cid)))
+    comps;
+  { mon; cids; trampolines }
+
+let cid built name =
+  match List.assoc_opt name built.cids with
+  | Some c -> c
+  | None -> Types.error "builder: unknown component %s" name

@@ -1,0 +1,55 @@
+(** The trusted component builder (paper §5.2).
+
+    Mirrors how CubicleOS piggy-backs on Unikraft's build: each
+    component declares its exported symbols (the [exportsyms.uk] list);
+    the builder compiles each component into a separate image, lets the
+    deployer choose isolated vs shared per component, loads everything
+    through the loader, generates the cross-cubicle trampolines for
+    every exported symbol, and finally runs component initialisers (in
+    declaration order) so callback tables are wired through dynamic
+    symbols — i.e. through trampolines. *)
+
+type component = {
+  name : string;
+  exportsyms : string list;
+      (** public symbols; exports not listed here are rejected *)
+  code_ops : int;  (** size of the synthesized code image, in instructions *)
+  data_bytes : int;
+  heap_pages : int;
+  stack_pages : int;
+  exports : Monitor.export_spec list;
+  init : Monitor.ctx -> unit;
+}
+
+val component :
+  ?exportsyms:string list ->
+  ?code_ops:int ->
+  ?data_bytes:int ->
+  ?heap_pages:int ->
+  ?stack_pages:int ->
+  ?init:(Monitor.ctx -> unit) ->
+  ?exports:Monitor.export_spec list ->
+  string ->
+  component
+(** [component name] with defaults; [exportsyms] defaults to the export
+    list's symbols. *)
+
+val merge : string -> component list -> component
+(** [merge name comps] links several components into a single cubicle
+    (the paper's Figure 9a deployments, e.g. CORE+RAMFS). Their exports
+    keep their symbols; calls between them become ordinary intra-cubicle
+    calls with no trampoline cost. *)
+
+type built = {
+  mon : Monitor.t;
+  cids : (string * Types.cid) list;
+  trampolines : Trampoline.t;
+}
+
+exception Undeclared_export of string * string
+(** (component, symbol): an export not listed in exportsyms. *)
+
+val build : Monitor.t -> (component * Types.kind) list -> built
+(** Load all components, install trampolines, run initialisers. *)
+
+val cid : built -> string -> Types.cid

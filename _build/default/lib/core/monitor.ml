@@ -1,0 +1,745 @@
+let monitor_cid = 0
+let shared_key = 15
+let monitor_key = 0
+
+let log_src = Logs.Src.create "cubicle.monitor" ~doc:"CubicleOS monitor events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type cubicle = {
+  cid : Types.cid;
+  name : string;
+  kind : Types.kind;
+  key : int;
+  stack_base : int;
+  stack_pages : int;
+  mutable heaps : Mm.Suballoc.t list;
+  windows : Window.table;
+  mutable exports : string list;
+  heap_grow_pages : int;
+  mutable extra_keys : int list;  (* dedicated window tags this cubicle may use *)
+}
+
+type policy = {
+  mapping : [ `Lazy_trap | `Eager_on_open ];
+      (* Lazy_trap is CubicleOS's trap-and-map; Eager_on_open retags a
+         window's pages to the grantee when it is opened (no faults,
+         but key writes whether or not the grantee ever touches them). *)
+  revocation : [ `Causal | `Eager_revoke ];
+      (* Causal is CubicleOS's lazy revocation (§5.6); Eager_revoke
+         retags pages back to their owner on window_close. *)
+}
+
+let default_policy = { mapping = `Lazy_trap; revocation = `Causal }
+
+type t = {
+  m_cpu : Hw.Cpu.t;
+  palloc : Mm.Page_alloc.t;
+  meta : Mm.Page_meta.t;
+  protection : Types.protection;
+  policy : policy;
+  stats : Stats.t;
+  mutable cubicles : cubicle list;  (* newest first; small *)
+  symbols : (string, export) Hashtbl.t;
+  mutable next_key : int;
+  mutable free_keys : int list;  (* returned dedicated window tags *)
+  virtualise : bool;  (* libmpk-style tag virtualisation (paper §8) *)
+  mutable next_vkey : int;  (* virtual keys are >= 16 *)
+  vphys : (int, int) Hashtbl.t;  (* virtual key -> physical key *)
+  phys_owner : int array;  (* physical key -> virtual key or -1 *)
+  phys_used : int array;  (* physical key -> lru tick *)
+  mutable vtick : int;
+  mutable tag_evictions : int;
+  mutable cur : Types.cid;
+  mutable page_allocs : (int * int) list;  (* (base page, npages) per cubicle-page alloc *)
+  cubicle_runs : (Types.cid, (int * int) list ref) Hashtbl.t;  (* every page run per cubicle *)
+  max_cubicles : int;
+}
+
+and ctx = { mon : t; self : Types.cid; caller : Types.cid; cpu : Hw.Cpu.t }
+and fn = ctx -> int array -> int
+and export = { e_sym : string; e_owner : Types.cid; e_fn : fn; e_stack_bytes : int }
+
+type export_spec = { sym : string; fn : fn; stack_bytes : int }
+
+let cpu t = t.m_cpu
+let cost t = Hw.Cpu.cost t.m_cpu
+let stats t = t.stats
+let protection t = t.protection
+let meta t = t.meta
+let current t = t.cur
+
+let get t cid =
+  match List.find_opt (fun c -> c.cid = cid) t.cubicles with
+  | Some c -> c
+  | None -> Types.error "no cubicle with id %d" cid
+
+let mpk_on t = match t.protection with Types.Mpk | Types.Full -> true | _ -> false
+
+(* libmpk-style tag virtualisation: a cubicle's key may be virtual
+   (>= 16); it is mapped on demand to one of the 14 physical keys,
+   evicting the least recently used virtual key when none is free.
+   Eviction scrubs the evicted cubicle's pages back to the monitor key
+   (each a charged pkey write) so a reassigned physical key can never
+   leak access — this scrubbing is the virtualisation cost the paper
+   alludes to when it points at libmpk. *)
+let rec phys_of t (c : cubicle) =
+  if c.key < Hw.Pkru.nkeys then begin
+    (* a real (non-virtual) key *)
+    if c.key >= 1 && c.key < shared_key then begin
+      t.vtick <- t.vtick + 1;
+      t.phys_used.(c.key) <- t.vtick
+    end;
+    c.key
+  end
+  else
+    match Hashtbl.find_opt t.vphys c.key with
+    | Some phys ->
+        t.vtick <- t.vtick + 1;
+        t.phys_used.(phys) <- t.vtick;
+        phys
+    | None ->
+        let phys =
+          (* a free slot, or evict the least recently used *)
+          let free = ref (-1) in
+          for k = shared_key - 1 downto 1 do
+            if t.phys_owner.(k) = -1 && not (Hashtbl.fold (fun _ p acc -> acc || p = k) t.vphys false)
+               && k >= t.next_key
+            then free := k
+          done;
+          if !free >= 0 then !free
+          else begin
+            let victim = ref (-1) in
+            for k = 1 to shared_key - 1 do
+              if t.phys_owner.(k) >= 0
+                 && (!victim < 0 || t.phys_used.(k) < t.phys_used.(!victim))
+              then victim := k
+            done;
+            if !victim < 0 then Types.error "tag virtualisation: no evictable physical key";
+            let evicted_vkey = t.phys_owner.(!victim) in
+            Hashtbl.remove t.vphys evicted_vkey;
+            t.tag_evictions <- t.tag_evictions + 1;
+            (* scrub the evicted cubicle's pages *)
+            (match List.find_opt (fun c' -> c'.key = evicted_vkey) t.cubicles with
+            | Some evicted ->
+                List.iter
+                  (fun page ->
+                    if Hw.Cpu.page_key t.m_cpu page = !victim then
+                      Hw.Cpu.set_page_key t.m_cpu page monitor_key)
+                  (Mm.Page_meta.owned_by t.meta evicted.cid)
+            | None -> ());
+            !victim
+          end
+        in
+        Hashtbl.replace t.vphys c.key phys;
+        t.phys_owner.(phys) <- c.key;
+        t.vtick <- t.vtick + 1;
+        t.phys_used.(phys) <- t.vtick;
+        phys
+
+and cub_key t cid = phys_of t (get t cid)
+
+(* PKRU for an executing cubicle: its own tag, the shared tag, and any
+   dedicated window tags it has been granted. Ordinary windowed pages
+   are reached by retagging, not by widening PKRU. *)
+let pkru_for t cid =
+  let c = get t cid in
+  match c.kind with
+  | Types.Trusted -> Hw.Pkru.all_allow
+  | Types.Isolated | Types.Shared ->
+      Hw.Pkru.of_keys (phys_of t c :: shared_key :: c.extra_keys)
+
+(* --- trap-and-map fault handler (paper Fig. 4) ------------------------- *)
+
+let retag t page ~to_key =
+  Log.debug (fun m -> m "retag page %d -> key %d" page to_key);
+  Hw.Cpu.set_page_key t.m_cpu page to_key;
+  Stats.count_retag t.stats
+
+let handle_fault t (fault : Hw.Fault.t) =
+  Log.debug (fun m -> m "fault: %a (cubicle %d)" Hw.Fault.pp fault t.cur);
+  Stats.count_fault t.stats;
+  match fault.reason with
+  | Hw.Fault.Not_present | Hw.Fault.Page_perm ->
+      (* Retagging cannot fix a page-level denial. *)
+      false
+  | Hw.Fault.Key_perm -> (
+      if
+        fault.access = Hw.Fault.Exec
+        && not
+             (t.virtualise
+             && Mm.Page_meta.owner t.meta (Hw.Addr.page_of fault.addr) = Some t.cur)
+      then
+        (* CFI: a cross-cubicle instruction fetch is never resolved by
+           trap-and-map; only trampolines switch execution. A cubicle
+           refetching its own scrubbed code pages (tag virtualisation)
+           is the one exception. *)
+        false
+      else
+        let page = Hw.Addr.page_of fault.addr in
+        match Mm.Page_meta.owner t.meta page with
+        | None -> false
+        | Some owner_cid -> (
+            let cur = t.cur in
+            if List.mem fault.key (get t cur).extra_keys then begin
+              (* the page carries a dedicated window tag this cubicle is
+                 entitled to, but the active PKRU predates the grant:
+                 refresh it instead of retagging *)
+              Hw.Cpu.wrpkru t.m_cpu (pkru_for t cur);
+              true
+            end
+            else
+            let cur_key = phys_of t (get t cur) in
+            if owner_cid = cur then begin
+              (* The cubicle touches its own page, currently tagged for a
+                 peer because of a past window access (causal tag
+                 consistency): map it back. *)
+              retag t page ~to_key:cur_key;
+              true
+            end
+            else
+              match t.protection with
+              | Types.Mpk ->
+                  (* "w/o ACLs": every window is open for any access. *)
+                  retag t page ~to_key:cur_key;
+                  true
+              | Types.Full -> (
+                  Hw.Cost.charge (Hw.Cpu.cost t.m_cpu) (Hw.Cpu.cost t.m_cpu).model.acl_check;
+                  let owner = get t owner_cid in
+                  match Mm.Page_meta.kind t.meta page with
+                  | None -> false
+                  | Some klass -> (
+                      match Window.search owner.windows ~klass ~addr:fault.addr with
+                      | None ->
+                          Stats.count_rejected t.stats;
+                          false
+                      | Some (w, inspected) ->
+                          (* Linear ACL search cost; descriptor arrays are
+                             short in practice (§5.3 step ❸). *)
+                          Hw.Cost.charge (Hw.Cpu.cost t.m_cpu) (2 * inspected);
+                          if Window.is_open_for w cur then begin
+                            retag t page ~to_key:cur_key;
+                            true
+                          end
+                          else begin
+                            Stats.count_rejected t.stats;
+                            false
+                          end))
+              | Types.None_ | Types.Trampolines -> false))
+
+(* --- construction ------------------------------------------------------ *)
+
+let monitor_reserved_pages = 16
+
+let create ?(mem_bytes = 64 * 1024 * 1024) ?model ?(policy = default_policy)
+    ?(virtualise = false) ~protection () =
+  let cpu = Hw.Cpu.create ~mem_bytes ?model () in
+  let npages = Hw.Cpu.npages cpu in
+  let palloc =
+    Mm.Page_alloc.create ~first_page:monitor_reserved_pages
+      ~npages:(npages - monitor_reserved_pages)
+  in
+  let t =
+    {
+      m_cpu = cpu;
+      palloc;
+      meta = Mm.Page_meta.create npages;
+      protection;
+      policy;
+      stats = Stats.create ();
+      cubicles = [];
+      symbols = Hashtbl.create 256;
+      next_key = 1;
+      free_keys = [];
+      virtualise;
+      next_vkey = 16;
+      vphys = Hashtbl.create 16;
+      phys_owner = Array.make 16 (-1);
+      phys_used = Array.make 16 0;
+      vtick = 0;
+      tag_evictions = 0;
+      cur = monitor_cid;
+      page_allocs = [];
+      cubicle_runs = Hashtbl.create 32;
+      max_cubicles = 62;
+    }
+  in
+  (* Monitor's own pages: present, trusted key. *)
+  for p = 0 to monitor_reserved_pages - 1 do
+    Hw.Cpu.map_page cpu p Hw.Page_table.perm_rw ~key:monitor_key
+  done;
+  let mon_cubicle =
+    {
+      cid = monitor_cid;
+      name = "MONITOR";
+      kind = Types.Trusted;
+      key = monitor_key;
+      stack_base = 0;
+      stack_pages = 2;
+      heaps = [];
+      windows = Window.create_table ~owner:monitor_cid ~ncubicles:t.max_cubicles;
+      exports = [];
+      heap_grow_pages = 4;
+      extra_keys = [];
+    }
+  in
+  t.cubicles <- [ mon_cubicle ];
+  if mpk_on t then begin
+    Hw.Cpu.set_mpk_enabled cpu true;
+    Hw.Cpu.set_exec_follows_access cpu true;
+    Hw.Cpu.set_handler cpu (Some (fun _cpu fault -> handle_fault t fault))
+  end;
+  t
+
+let alloc_owned_pages t cid n ~kind ~perm =
+  let c = get t cid in
+  let key = if mpk_on t then phys_of t c else c.key land 0xF in
+  let page = Mm.Page_alloc.alloc t.palloc n in
+  for p = page to page + n - 1 do
+    Hw.Cpu.map_page t.m_cpu p perm ~key;
+    Mm.Page_meta.assign t.meta ~page:p ~owner:cid ~kind
+  done;
+  (match Hashtbl.find_opt t.cubicle_runs cid with
+  | Some runs -> runs := (page, n) :: !runs
+  | None -> Hashtbl.replace t.cubicle_runs cid (ref [ (page, n) ]));
+  Hw.Addr.base_of_page page
+
+let create_cubicle t ~name ~kind ~heap_pages ~stack_pages =
+  if List.exists (fun c -> c.name = name) t.cubicles then
+    Types.error "cubicle %s already exists" name;
+  let cid = List.length t.cubicles in
+  if cid >= t.max_cubicles then Types.error "too many cubicles";
+  let key =
+    match kind with
+    | Types.Trusted -> monitor_key
+    | Types.Shared -> shared_key
+    | Types.Isolated ->
+        if t.virtualise then begin
+          (* virtual key: mapped to a physical key on demand *)
+          let vk = t.next_vkey in
+          t.next_vkey <- t.next_vkey + 1;
+          vk
+        end
+        else begin
+          match t.free_keys with
+          | k :: rest ->
+              t.free_keys <- rest;
+              k
+          | [] ->
+              if t.next_key >= shared_key then
+                Types.error
+                  "out of MPK protection keys (15 in use); enable tag virtualisation \
+                   (libmpk-style) to run more isolated cubicles"
+              else begin
+                let k = t.next_key in
+                t.next_key <- t.next_key + 1;
+                k
+              end
+        end
+  in
+  let cub =
+    {
+      cid;
+      name;
+      kind;
+      key;
+      stack_base = 0;
+      stack_pages;
+      heaps = [];
+      windows = Window.create_table ~owner:cid ~ncubicles:t.max_cubicles;
+      exports = [];
+      heap_grow_pages = max 4 heap_pages;
+      extra_keys = [];
+    }
+  in
+  t.cubicles <- cub :: t.cubicles;
+  let stack_base =
+    if stack_pages > 0 then alloc_owned_pages t cid stack_pages ~kind:Mm.Page_meta.Stack ~perm:Hw.Page_table.perm_rw
+    else 0
+  in
+  let cub = { cub with stack_base } in
+  t.cubicles <- cub :: List.filter (fun c -> c.cid <> cid) t.cubicles;
+  if heap_pages > 0 then begin
+    let base = alloc_owned_pages t cid heap_pages ~kind:Mm.Page_meta.Heap ~perm:Hw.Page_table.perm_rw in
+    cub.heaps <- [ Mm.Suballoc.create ~base ~size:(heap_pages * Hw.Addr.page_size) ]
+  end;
+  cid
+
+let ncubicles t = List.length t.cubicles
+let cubicle_name t cid = (get t cid).name
+let cubicle_kind t cid = (get t cid).kind
+let cubicle_key t cid = cub_key t cid
+
+let cubicle_heap_bytes t cid =
+  List.fold_left (fun acc h -> acc + Mm.Suballoc.size h) 0 (get t cid).heaps
+
+let stack_base t cid = (get t cid).stack_base
+
+let lookup_cubicle t name =
+  match List.find_opt (fun c -> c.name = name) t.cubicles with
+  | Some c -> c.cid
+  | None -> Types.error "no cubicle named %s" name
+
+let cubicle_exists t name = List.exists (fun c -> c.name = name) t.cubicles
+let windows_of t cid = (get t cid).windows
+let ctx_for t cid = { mon = t; self = cid; caller = cid; cpu = t.m_cpu }
+let ctx_call t cid caller = { mon = t; self = cid; caller; cpu = t.m_cpu }
+
+let register_exports t cid specs =
+  let c = get t cid in
+  List.iter
+    (fun { sym; fn; stack_bytes } ->
+      if Hashtbl.mem t.symbols sym then Types.error "duplicate export symbol %s" sym;
+      Hashtbl.replace t.symbols sym
+        { e_sym = sym; e_owner = cid; e_fn = fn; e_stack_bytes = stack_bytes };
+      c.exports <- sym :: c.exports)
+    specs
+
+let exports_of t cid = List.rev (get t cid).exports
+let has_export t sym = Hashtbl.mem t.symbols sym
+
+(* --- the cross-cubicle call path (trampolines, §5.5) ------------------- *)
+
+let invoke_switched t exp ~caller args =
+  let callee = exp.e_owner in
+  let saved_cur = t.cur in
+  t.cur <- callee;
+  Fun.protect
+    ~finally:(fun () -> t.cur <- saved_cur)
+    (fun () -> exp.e_fn (ctx_call t callee caller) args)
+
+let call t ~caller sym args =
+  let exp =
+    match Hashtbl.find_opt t.symbols sym with
+    | Some e -> e
+    | None ->
+        Stats.count_rejected t.stats;
+        Log.warn (fun m -> m "CFI: call to unresolved symbol %s from cubicle %d" sym caller);
+        Types.error "cross-cubicle call to unresolved symbol %s (CFI)" sym
+  in
+  Log.debug (fun m -> m "call %s: cubicle %d -> %d" sym caller exp.e_owner);
+  let callee_cub = get t exp.e_owner in
+  let model = (Hw.Cpu.cost t.m_cpu).model in
+  match callee_cub.kind with
+  | Types.Shared ->
+      (* Shared cubicles execute with the caller's privileges, stack and
+         heap; the monitor is not involved (§3 step ❹). *)
+      Stats.count_shared_call t.stats ~caller ~sym;
+      Hw.Cost.charge (cost t) model.call_direct;
+      exp.e_fn (ctx_call t caller caller) args
+  | Types.Trusted | Types.Isolated when exp.e_owner = caller && t.cur = caller ->
+      (* Intra-cubicle call (e.g. components merged into one cubicle,
+         Fig. 9a): the target is in the cubicle that is already
+         executing — an ordinary function call, no trampoline. *)
+      Hw.Cost.charge (cost t) model.call_direct;
+      exp.e_fn (ctx_call t exp.e_owner caller) args
+  | Types.Trusted | Types.Isolated -> (
+      Stats.count_call t.stats ~caller ~callee:exp.e_owner ~sym;
+      match t.protection with
+      | Types.None_ ->
+          Hw.Cost.charge (cost t) model.call_direct;
+          invoke_switched t exp ~caller args
+      | Types.Trampolines | Types.Mpk | Types.Full ->
+          Hw.Cost.charge (cost t) (model.tramp_fixed + model.stack_switch);
+          (* Copy by-stack arguments across per-cubicle stacks. *)
+          let caller_cub = get t caller in
+          if exp.e_stack_bytes > 0 && caller_cub.stack_base > 0 && callee_cub.stack_base > 0
+          then
+            Hw.Cpu.priv_blit t.m_cpu ~src:caller_cub.stack_base ~dst:callee_cub.stack_base
+              ~len:(min exp.e_stack_bytes (callee_cub.stack_pages * Hw.Addr.page_size));
+          if mpk_on t then begin
+            let saved_pkru = Hw.Cpu.pkru t.m_cpu in
+            Hw.Cpu.wrpkru t.m_cpu (pkru_for t exp.e_owner);
+            Fun.protect
+              ~finally:(fun () -> Hw.Cpu.wrpkru t.m_cpu saved_pkru)
+              (fun () -> invoke_switched t exp ~caller args)
+          end
+          else invoke_switched t exp ~caller args)
+
+let run_as t cid f =
+  let saved_cur = t.cur in
+  t.cur <- cid;
+  if mpk_on t then begin
+    let saved_pkru = Hw.Cpu.pkru t.m_cpu in
+    Hw.Cpu.wrpkru t.m_cpu (pkru_for t cid);
+    Fun.protect
+      ~finally:(fun () ->
+        t.cur <- saved_cur;
+        Hw.Cpu.wrpkru t.m_cpu saved_pkru)
+      f
+  end
+  else Fun.protect ~finally:(fun () -> t.cur <- saved_cur) f
+
+(* --- memory services ---------------------------------------------------- *)
+
+let charge_service t =
+  let model = (cost t).model in
+  match t.protection with
+  | Types.None_ -> Hw.Cost.charge (cost t) model.call_direct
+  | _ -> Hw.Cost.charge (cost t) model.tramp_fixed
+
+let malloc t cid ?(align = 8) size =
+  charge_service t;
+  let c = get t cid in
+  let rec try_heaps = function
+    | [] ->
+        let pages = max c.heap_grow_pages (Hw.Addr.pages_for (size + align)) in
+        let base = alloc_owned_pages t cid pages ~kind:Mm.Page_meta.Heap ~perm:Hw.Page_table.perm_rw in
+        let h = Mm.Suballoc.create ~base ~size:(pages * Hw.Addr.page_size) in
+        c.heaps <- h :: c.heaps;
+        Mm.Suballoc.alloc ~align h size
+    | h :: rest -> ( try Mm.Suballoc.alloc ~align h size with Mm.Suballoc.Out_of_heap -> try_heaps rest)
+  in
+  try_heaps c.heaps
+
+let free t cid addr =
+  charge_service t;
+  let c = get t cid in
+  let rec find = function
+    | [] -> Types.error "cubicle %s: free of foreign pointer 0x%x" c.name addr
+    | h :: rest -> (
+        match Mm.Suballoc.block_size h addr with
+        | Some _ -> Mm.Suballoc.free h addr
+        | None -> find rest)
+  in
+  find c.heaps
+
+let alloc_pages t cid n ~kind =
+  charge_service t;
+  (* Runtime page allocation assigns MPK keys via the expensive
+     pkey_mprotect path (load-time assignment in [alloc_owned_pages]
+     happens before the system runs and is not charged). *)
+  if mpk_on t then Hw.Cost.charge (cost t) (n * (cost t).model.pkey_set);
+  let base = alloc_owned_pages t cid n ~kind ~perm:Hw.Page_table.perm_rw in
+  t.page_allocs <- (Hw.Addr.page_of base, n) :: t.page_allocs;
+  base
+
+let free_pages t cid base =
+  charge_service t;
+  (* returning pages strictly reassigns their owner (L4Sec-style), so
+     the key write is paid on free as well *)
+  let page = Hw.Addr.page_of base in
+  match List.assoc_opt page t.page_allocs with
+  | None -> Types.error "free_pages: 0x%x is not an allocation base" base
+  | Some n ->
+      (match Mm.Page_meta.owner t.meta page with
+      | Some owner when owner = cid -> ()
+      | _ -> Types.error "free_pages: cubicle %d does not own 0x%x" cid base);
+      t.page_allocs <- List.filter (fun (p, _) -> p <> page) t.page_allocs;
+      (match Hashtbl.find_opt t.cubicle_runs cid with
+      | Some runs -> runs := List.filter (fun (p, _) -> p <> page) !runs
+      | None -> ());
+      if mpk_on t then Hw.Cost.charge (cost t) (n * (cost t).model.pkey_set);
+      for p = page to page + n - 1 do
+        Mm.Page_meta.release t.meta ~page:p;
+        Hw.Cpu.unmap_page t.m_cpu p
+      done;
+      Mm.Page_alloc.free t.palloc page
+
+(* --- window management (Table 1) ---------------------------------------- *)
+
+let charge_window_op t =
+  match t.protection with
+  | Types.None_ -> ()
+  | _ ->
+      Stats.count_window_op t.stats;
+      Hw.Cost.charge (cost t) (cost t).model.window_op
+
+let window_init t cid ~klass =
+  charge_window_op t;
+  (Window.init (get t cid).windows ~klass).wid
+
+(* Extending a descriptor array is a monitor service: it reallocates
+   the array in monitor-managed memory (charged as an allocation-sized
+   operation). *)
+let window_table_extend t cid ~klass =
+  charge_window_op t;
+  Hw.Cost.charge (cost t) (cost t).model.pkey_set;
+  Window.extend (get t cid).windows klass
+
+let find_window t cid wid = Window.find (get t cid).windows wid
+
+let window_add t cid wid ~ptr ~size =
+  charge_window_op t;
+  let w = find_window t cid wid in
+  (* Windows may only carry memory the caller owns, of the window's
+     data class. *)
+  let first = Hw.Addr.page_of ptr and last = Hw.Addr.page_of (ptr + size - 1) in
+  for p = first to last do
+    (match Mm.Page_meta.owner t.meta p with
+    | Some o when o = cid -> ()
+    | Some o -> Types.error "window_add: page %d belongs to cubicle %d, not %d" p o cid
+    | None -> Types.error "window_add: page %d is unowned" p);
+    match Mm.Page_meta.kind t.meta p with
+    | Some k when k = w.Window.klass -> ()
+    | Some k ->
+        Types.error "window_add: page %d is %s data but window %d holds %s data" p
+          (Mm.Page_meta.kind_to_string k) wid
+          (Mm.Page_meta.kind_to_string w.Window.klass)
+    | None -> Types.error "window_add: page %d has no class" p
+  done;
+  Window.add_range w ~ptr ~size
+
+let window_remove t cid wid ~ptr =
+  charge_window_op t;
+  Window.remove_range (find_window t cid wid) ~ptr
+
+let retag_window_pages t w ~to_key =
+  List.iter
+    (fun (r : Window.range) ->
+      let first = Hw.Addr.page_of r.ptr and last = Hw.Addr.page_of (r.ptr + r.size - 1) in
+      for p = first to last do
+        if Hw.Cpu.page_key t.m_cpu p <> to_key then retag t p ~to_key
+      done)
+    w.Window.ranges
+
+let window_open t cid wid other =
+  charge_window_op t;
+  if other = cid then Types.error "window_open: cannot open a window to oneself";
+  ignore (get t other);
+  let w = find_window t cid wid in
+  Window.open_for w other;
+  if mpk_on t && t.policy.mapping = `Eager_on_open then
+    retag_window_pages t w ~to_key:(phys_of t (get t other))
+
+let window_close t cid wid other =
+  charge_window_op t;
+  let w = find_window t cid wid in
+  Window.close_for w other;
+  (* Under causal tag consistency (the default, §5.6) nothing else
+     happens: pages migrate back lazily when their owner (or another
+     authorised cubicle) next touches them. *)
+  if mpk_on t && t.policy.revocation = `Eager_revoke then
+    retag_window_pages t w ~to_key:(phys_of t (get t cid))
+
+let window_close_all t cid wid =
+  charge_window_op t;
+  let w = find_window t cid wid in
+  Window.close_all w;
+  if mpk_on t && t.policy.revocation = `Eager_revoke then
+    retag_window_pages t w ~to_key:(phys_of t (get t cid))
+
+let window_destroy t cid wid =
+  charge_window_op t;
+  let c = get t cid in
+  Window.destroy c.windows (find_window t cid wid)
+
+let alloc_dedicated_key t =
+  if t.virtualise then
+    Types.error "window-specific tags are not supported with tag virtualisation";
+  match t.free_keys with
+  | k :: rest ->
+      t.free_keys <- rest;
+      k
+  | [] ->
+      if t.next_key >= shared_key then
+        Types.error
+          "out of MPK protection keys: window-specific tags consume one tag per \
+           shared buffer and exhaust the 16 keys quickly (paper §5.6)"
+      else begin
+        let k = t.next_key in
+        t.next_key <- t.next_key + 1;
+        k
+      end
+
+(* ERIM/Hodor-style window-specific tags (contrasted in §5.6, suggested
+   as a hybrid in §8): the window's pages get a tag of their own, which
+   both the owner and the grantee enable in PKRU. Accesses to a hot
+   window then never fault — at the price of one of the 16 keys per
+   window. *)
+let window_open_dedicated t cid wid other =
+  charge_window_op t;
+  if other = cid then Types.error "window_open_dedicated: cannot open to oneself";
+  let w = find_window t cid wid in
+  Window.open_for w other;
+  let key =
+    match w.Window.dedicated_key with
+    | Some k -> k
+    | None ->
+        let k = alloc_dedicated_key t in
+        Window.set_dedicated_key w (Some k);
+        let owner = get t cid in
+        owner.extra_keys <- k :: owner.extra_keys;
+        if mpk_on t then retag_window_pages t w ~to_key:k;
+        k
+  in
+  let grantee = get t other in
+  if not (List.mem key grantee.extra_keys) then
+    grantee.extra_keys <- key :: grantee.extra_keys;
+  (* refresh the active PKRU if the affected cubicle is executing *)
+  if mpk_on t && (t.cur = cid || t.cur = other) then
+    Hw.Cpu.wrpkru t.m_cpu (pkru_for t t.cur)
+
+let window_close_dedicated t cid wid other =
+  charge_window_op t;
+  let w = find_window t cid wid in
+  Window.close_for w other;
+  match w.Window.dedicated_key with
+  | None -> ()
+  | Some key ->
+      let grantee = get t other in
+      grantee.extra_keys <- List.filter (fun k -> k <> key) grantee.extra_keys;
+      (* last grantee gone: return the tag and the pages to the owner *)
+      if Bitset.is_empty w.Window.opened then begin
+        let owner = get t cid in
+        owner.extra_keys <- List.filter (fun k -> k <> key) owner.extra_keys;
+        Window.set_dedicated_key w None;
+        if mpk_on t then retag_window_pages t w ~to_key:owner.key;
+        t.free_keys <- key :: t.free_keys
+      end;
+      if mpk_on t && (t.cur = cid || t.cur = other) then
+        Hw.Cpu.wrpkru t.m_cpu (pkru_for t t.cur)
+
+let dedicated_keys_in_use t =
+  List.fold_left
+    (fun acc c ->
+      acc
+      + List.length
+          (List.filter
+             (fun w -> w.Window.dedicated_key <> None)
+             (Window.live_windows c.windows)))
+    0 t.cubicles
+
+
+(* Unload a cubicle (the loader's dlclose counterpart): its exports
+   vanish from the symbol table (later calls are CFI errors), all its
+   pages are scrubbed, unmapped and returned to the system allocator,
+   and its MPK key goes back to the pool for reuse. *)
+let destroy_cubicle t cid =
+  if cid = monitor_cid then Types.error "cannot destroy the monitor";
+  if t.cur = cid then Types.error "cannot destroy the executing cubicle";
+  let c = get t cid in
+  (* remove its exports *)
+  let doomed =
+    Hashtbl.fold (fun sym e acc -> if e.e_owner = cid then sym :: acc else acc) t.symbols []
+  in
+  List.iter (Hashtbl.remove t.symbols) doomed;
+  (* scrub and release every page run *)
+  (match Hashtbl.find_opt t.cubicle_runs cid with
+  | Some runs ->
+      List.iter
+        (fun (page, n) ->
+          for p = page to page + n - 1 do
+            (* scrub contents so the next owner cannot read stale data *)
+            Hw.Cpu.priv_write_bytes t.m_cpu (Hw.Addr.base_of_page p)
+              (Bytes.make Hw.Addr.page_size '\000');
+            Mm.Page_meta.release t.meta ~page:p;
+            Hw.Cpu.unmap_page t.m_cpu p
+          done;
+          t.page_allocs <- List.filter (fun (p, _) -> p <> page) t.page_allocs;
+          Mm.Page_alloc.free t.palloc page)
+        !runs;
+      Hashtbl.remove t.cubicle_runs cid
+  | None -> ());
+  (* recycle the key *)
+  (match c.kind with
+  | Types.Isolated ->
+      if c.key < Hw.Pkru.nkeys then t.free_keys <- c.key :: t.free_keys
+      else Hashtbl.remove t.vphys c.key
+  | Types.Shared | Types.Trusted -> ());
+  c.heaps <- [];
+  t.cubicles <- List.filter (fun c' -> c'.cid <> cid) t.cubicles
+
+let tag_evictions t = t.tag_evictions
+let page_owner t page = Mm.Page_meta.owner t.meta page
+let retag_count t = Stats.retags t.stats

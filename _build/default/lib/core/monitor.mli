@@ -1,0 +1,173 @@
+(** The CubicleOS memory monitor: the trusted cubicle that bootstraps
+    the system, owns all MPK tags, authorises memory accesses across
+    cubicles (lazy trap-and-map, §5.3) and implements the cross-cubicle
+    call path used by the trampolines (§5.5).
+
+    The monitor is cubicle 0. Shared cubicles' pages carry a single
+    dedicated key that every thread's PKRU allows, so calls into them
+    never transit the monitor. *)
+
+type t
+
+type ctx = { mon : t; self : Types.cid; caller : Types.cid; cpu : Hw.Cpu.t }
+(** The capability handed to component code: its own identity, the
+    identity of the cubicle that called into it (trusted information
+    recorded by the trampoline — used e.g. by ALLOC to assign pages to
+    its caller), and the machine for (checked) memory access. All
+    CubicleOS services are reached through {!Api} functions taking a
+    [ctx]. *)
+
+type fn = ctx -> int array -> int
+(** Component function: arguments and result model machine registers
+    (addresses and scalars in simulated memory). *)
+
+type export_spec = { sym : string; fn : fn; stack_bytes : int }
+(** [stack_bytes] is the size of by-stack arguments the trampoline must
+    copy across per-cubicle stacks (from the signature parsed by the
+    builder). *)
+
+val monitor_cid : Types.cid
+val shared_key : int
+
+type policy = {
+  mapping : [ `Lazy_trap | `Eager_on_open ];
+  revocation : [ `Causal | `Eager_revoke ];
+}
+(** Design-space knobs from the paper's §5.6 discussion, for ablation:
+    CubicleOS proper is lazy trap-and-map with causal (lazy)
+    revocation. [`Eager_on_open] retags every page of a window when it
+    opens; [`Eager_revoke] retags pages back to the owner on close. *)
+
+val default_policy : policy
+(** Trap-and-map + causal consistency (the paper's design). *)
+
+val create :
+  ?mem_bytes:int ->
+  ?model:Hw.Cost.model ->
+  ?policy:policy ->
+  ?virtualise:bool ->
+  protection:Types.protection ->
+  unit ->
+  t
+(** Builds the machine, reserves monitor memory, installs the fault
+    handler, and enables MPK (and the tag-wide no-execute hardware
+    modification) when [protection >= Mpk]. *)
+
+val cpu : t -> Hw.Cpu.t
+val cost : t -> Hw.Cost.t
+val stats : t -> Stats.t
+val protection : t -> Types.protection
+val meta : t -> Mm.Page_meta.t
+val current : t -> Types.cid
+
+(** {1 Cubicle management (loader/TCB only)} *)
+
+val create_cubicle :
+  t -> name:string -> kind:Types.kind -> heap_pages:int -> stack_pages:int -> Types.cid
+(** Allocates a cubicle id, an MPK key, a stack and an initial heap.
+    Raises {!Types.Error} when the 15 hardware tags are exhausted,
+    unless the monitor was created with [~virtualise:true] (libmpk-style
+    tag virtualisation, the paper's §8 suggestion), in which case
+    cubicles receive virtual keys mapped to physical ones on demand. *)
+
+val ncubicles : t -> int
+val cubicle_name : t -> Types.cid -> string
+val cubicle_kind : t -> Types.cid -> Types.kind
+val cubicle_key : t -> Types.cid -> int
+(** The cubicle's {e physical} MPK key (with [virtualise], resolving a
+    virtual key to a physical one on demand, possibly evicting). *)
+
+val cubicle_heap_bytes : t -> Types.cid -> int
+val stack_base : t -> Types.cid -> int
+val lookup_cubicle : t -> string -> Types.cid
+(** By name; raises {!Types.Error} if unknown. *)
+
+val cubicle_exists : t -> string -> bool
+val windows_of : t -> Types.cid -> Window.table
+val ctx_for : t -> Types.cid -> ctx
+
+val alloc_owned_pages :
+  t -> Types.cid -> int -> kind:Mm.Page_meta.kind -> perm:Hw.Page_table.perm -> int
+(** Loader/monitor primitive: map [n] fresh pages owned by the cubicle,
+    tagged with its key. Returns the base address. *)
+
+val register_exports : t -> Types.cid -> export_spec list -> unit
+(** Raises {!Types.Error} on duplicate symbols (the system has one flat
+    symbol namespace, as with Unikraft's exportsyms). *)
+
+val exports_of : t -> Types.cid -> string list
+val has_export : t -> string -> bool
+
+(** {1 The cross-cubicle call path} *)
+
+val call : t -> caller:Types.cid -> string -> int array -> int
+(** Resolve [sym] and transfer control:
+    - unknown symbol → {!Types.Error} (CFI: only registered public entry
+      points can be reached);
+    - shared cubicle → direct call with the caller's privileges;
+    - isolated/trusted → trampoline: fixed cost, per-cubicle stack
+      switch (+ copying [stack_bytes] of stack arguments), two PKRU
+      writes when MPK is on, shadow-stack discipline for returns. *)
+
+val run_as : t -> Types.cid -> (unit -> 'a) -> 'a
+(** Enter a cubicle from the trusted boot path: set the current cubicle
+    and narrow PKRU to its tags for the duration of [f] — how
+    application main loops execute (every memory access inside [f] is
+    checked against the cubicle's permissions). Nested cross-cubicle
+    calls restore correctly. *)
+
+(** {1 Memory services (reached via trampolines into ALLOC/monitor)} *)
+
+val malloc : t -> Types.cid -> ?align:int -> int -> int
+(** From the calling cubicle's own sub-allocator; the heap is grown
+    with fresh pages from the system allocator on exhaustion. *)
+
+val free : t -> Types.cid -> int -> unit
+val alloc_pages : t -> Types.cid -> int -> kind:Mm.Page_meta.kind -> int
+val free_pages : t -> Types.cid -> int -> unit
+
+(** {1 Window management (Table 1; ownership enforced)} *)
+
+val window_init : t -> Types.cid -> klass:Mm.Page_meta.kind -> Types.wid
+(** Raises {!Types.Error} when the descriptor array for [klass] is full
+    — call {!window_table_extend} first (paper §5.3). *)
+
+val window_table_extend : t -> Types.cid -> klass:Mm.Page_meta.kind -> unit
+val window_add : t -> Types.cid -> Types.wid -> ptr:int -> size:int -> unit
+(** Checks that every page the range touches is owned by the caller and
+    matches the window's data class. *)
+
+val window_remove : t -> Types.cid -> Types.wid -> ptr:int -> unit
+val window_open : t -> Types.cid -> Types.wid -> Types.cid -> unit
+val window_close : t -> Types.cid -> Types.wid -> Types.cid -> unit
+val window_close_all : t -> Types.cid -> Types.wid -> unit
+val window_destroy : t -> Types.cid -> Types.wid -> unit
+
+(** {1 Introspection for tests and benchmarks} *)
+
+val page_owner : t -> int -> Types.cid option
+val retag_count : t -> int
+
+val tag_evictions : t -> int
+(** Physical-key evictions performed by tag virtualisation. *)
+
+val destroy_cubicle : t -> Types.cid -> unit
+(** Unload a cubicle (the loader's [dlclose] counterpart): removes its
+    exports from the symbol table, scrubs and releases all its pages,
+    and returns its MPK key to the pool. Raises {!Types.Error} for the
+    monitor or the currently executing cubicle. *)
+
+(** {1 Window-specific tags (ablation; §5.6/§8)} *)
+
+val window_open_dedicated : t -> Types.cid -> Types.wid -> Types.cid -> unit
+(** Grant access through a dedicated MPK tag instead of trap-and-map:
+    the window's pages are retagged once to a tag of their own, which
+    both owner and grantee enable in PKRU — no faults on access, but
+    one of the 16 keys is consumed per window ({!Types.Error} on
+    exhaustion). *)
+
+val window_close_dedicated : t -> Types.cid -> Types.wid -> Types.cid -> unit
+(** Revoke a dedicated grant; when the last grantee goes, the tag is
+    returned to the pool and the pages to their owner. *)
+
+val dedicated_keys_in_use : t -> int

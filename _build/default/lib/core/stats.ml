@@ -1,0 +1,72 @@
+type t = {
+  mutable faults : int;
+  mutable retags : int;
+  mutable window_ops : int;
+  mutable rejected : int;
+  mutable shared : int;
+  edges : (Types.cid * Types.cid, int) Hashtbl.t;
+  syms : (string, int) Hashtbl.t;
+}
+
+type snapshot = (Types.cid * Types.cid, int) Hashtbl.t
+
+let create () =
+  {
+    faults = 0;
+    retags = 0;
+    window_ops = 0;
+    rejected = 0;
+    shared = 0;
+    edges = Hashtbl.create 64;
+    syms = Hashtbl.create 64;
+  }
+
+let reset t =
+  t.faults <- 0;
+  t.retags <- 0;
+  t.window_ops <- 0;
+  t.rejected <- 0;
+  t.shared <- 0;
+  Hashtbl.reset t.edges;
+  Hashtbl.reset t.syms
+
+let bump tbl key = Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let count_call t ~caller ~callee ~sym =
+  bump t.edges (caller, callee);
+  bump t.syms sym
+
+let count_shared_call t ~caller:_ ~sym =
+  t.shared <- t.shared + 1;
+  bump t.syms sym
+
+let count_fault t = t.faults <- t.faults + 1
+let count_retag t = t.retags <- t.retags + 1
+let count_window_op t = t.window_ops <- t.window_ops + 1
+let count_rejected t = t.rejected <- t.rejected + 1
+
+let calls_between t ~caller ~callee =
+  Option.value ~default:0 (Hashtbl.find_opt t.edges (caller, callee))
+
+let calls_into t callee =
+  Hashtbl.fold (fun (_, ce) n acc -> if ce = callee then acc + n else acc) t.edges 0
+
+let calls_to_sym t sym = Option.value ~default:0 (Hashtbl.find_opt t.syms sym)
+let total_calls t = Hashtbl.fold (fun _ n acc -> acc + n) t.edges 0
+let shared_calls t = t.shared
+let faults t = t.faults
+let retags t = t.retags
+let window_ops t = t.window_ops
+let rejected t = t.rejected
+
+let edges t =
+  Hashtbl.fold (fun e n acc -> (e, n) :: acc) t.edges []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let snapshot t = Hashtbl.copy t.edges
+
+let diff_edges t ~since =
+  edges t
+  |> List.filter_map (fun (e, n) ->
+         let before = Option.value ~default:0 (Hashtbl.find_opt since e) in
+         if n - before > 0 then Some (e, n - before) else None)

@@ -1,0 +1,37 @@
+(** Runtime counters used by the evaluation: cross-cubicle call counts
+    per edge (Figures 5 and 8), trap-and-map activity, window
+    operations. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+val count_call : t -> caller:Types.cid -> callee:Types.cid -> sym:string -> unit
+val count_shared_call : t -> caller:Types.cid -> sym:string -> unit
+val count_fault : t -> unit
+val count_retag : t -> unit
+val count_window_op : t -> unit
+val count_rejected : t -> unit
+(** CFI / isolation violations that were caught. *)
+
+val calls_between : t -> caller:Types.cid -> callee:Types.cid -> int
+val calls_into : t -> Types.cid -> int
+val calls_to_sym : t -> string -> int
+val total_calls : t -> int
+val shared_calls : t -> int
+val faults : t -> int
+val retags : t -> int
+val window_ops : t -> int
+val rejected : t -> int
+
+val edges : t -> ((Types.cid * Types.cid) * int) list
+(** All (caller, callee) edges with their call counts, sorted by count
+    descending — the annotations on the paper's Figures 5 and 8. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+val diff_edges : t -> since:snapshot -> ((Types.cid * Types.cid) * int) list
+(** Edge counts accumulated since the snapshot (the paper counts calls
+    "during benchmark measurement time" for Fig. 5). *)

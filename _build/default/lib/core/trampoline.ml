@@ -1,0 +1,100 @@
+type t = {
+  mon : Monitor.t;
+  thunks : (string, int) Hashtbl.t;  (* sym -> thunk address *)
+  guards : (Types.cid * string, int) Hashtbl.t;
+}
+
+(* One thunk: permission switch, the call into the callee's entry point
+   (displacement is symbolic here), the switch back, return. *)
+let thunk_code = Hw.Instr.assemble [ Wrpkru; Call 0; Wrpkru; Ret ]
+let thunk_size = Bytes.length thunk_code
+
+(* One guard entry: enable the monitor tag, jump to the thunk, then
+   no-op padding so a misaligned entry runs into the trap. *)
+let guard_entry_size = 16
+
+let guard_entry ~thunk_off =
+  let body = Hw.Instr.assemble [ Wrpkru; Jmp thunk_off; Halt ] in
+  let padded = Bytes.make guard_entry_size '\xF4' (* halt *) in
+  Bytes.blit body 0 padded 0 (Bytes.length body);
+  padded
+
+let install mon ~syms =
+  let nsyms = List.length syms in
+  let thunk_bytes = Bytes.create (max 1 (nsyms * thunk_size)) in
+  List.iteri
+    (fun i _ -> Bytes.blit thunk_code 0 thunk_bytes (i * thunk_size) thunk_size)
+    syms;
+  (* Thunk pages: signed by the trusted builder, owned by the monitor's
+     cubicle, execute-only. *)
+  let cpu = Monitor.cpu mon in
+  let npages = Hw.Addr.pages_for (Bytes.length thunk_bytes) in
+  let thunk_base =
+    Monitor.alloc_owned_pages mon Monitor.monitor_cid npages ~kind:Mm.Page_meta.Code
+      ~perm:Hw.Page_table.perm_rw
+  in
+  Hw.Cpu.priv_write_bytes cpu thunk_base thunk_bytes;
+  let first = Hw.Addr.page_of thunk_base in
+  for p = first to first + npages - 1 do
+    Hw.Page_table.set_perm (Hw.Cpu.page_table cpu) p Hw.Page_table.perm_x
+  done;
+  let thunks = Hashtbl.create 16 in
+  List.iteri (fun i sym -> Hashtbl.replace thunks sym (thunk_base + (i * thunk_size))) syms;
+  (* Guard pages: one per isolated cubicle, in that cubicle's own pages
+     so it can fetch them. *)
+  let guards = Hashtbl.create 16 in
+  for cid = 0 to Monitor.ncubicles mon - 1 do
+    if Monitor.cubicle_kind mon cid = Types.Isolated then begin
+      let gpages = Hw.Addr.pages_for (max 1 (nsyms * guard_entry_size)) in
+      let gbase =
+        Monitor.alloc_owned_pages mon cid gpages ~kind:Mm.Page_meta.Code
+          ~perm:Hw.Page_table.perm_rw
+      in
+      List.iteri
+        (fun i sym ->
+          let thunk = Hashtbl.find thunks sym in
+          let entry_addr = gbase + (i * guard_entry_size) in
+          let entry = guard_entry ~thunk_off:(thunk - entry_addr) in
+          Hw.Cpu.priv_write_bytes cpu entry_addr entry;
+          Hashtbl.replace guards (cid, sym) entry_addr)
+        syms;
+      let gfirst = Hw.Addr.page_of gbase in
+      for p = gfirst to gfirst + gpages - 1 do
+        Hw.Page_table.set_perm (Hw.Cpu.page_table cpu) p Hw.Page_table.perm_x
+      done
+    end
+  done;
+  { mon; thunks; guards }
+
+let thunk_addr t sym =
+  match Hashtbl.find_opt t.thunks sym with
+  | Some a -> a
+  | None -> Types.error "no trampoline thunk for symbol %s" sym
+
+let guard_addr t cid sym =
+  match Hashtbl.find_opt t.guards (cid, sym) with
+  | Some a -> a
+  | None -> Types.error "no guard entry for cubicle %d, symbol %s" cid sym
+
+let thunk_cid _ = Monitor.monitor_cid
+
+(* Run [f] with the machine configured as if [cid] were executing:
+   PKRU narrowed to the cubicle's own tags. *)
+let as_cubicle mon cid f =
+  let cpu = Monitor.cpu mon in
+  if Hw.Cpu.mpk_enabled cpu then begin
+    let saved = Hw.Cpu.pkru cpu in
+    let key = Monitor.cubicle_key mon cid in
+    Hw.Cpu.wrpkru cpu (Hw.Pkru.of_keys [ key; Monitor.shared_key ]);
+    Fun.protect ~finally:(fun () -> Hw.Cpu.wrpkru cpu saved) f
+  end
+  else f ()
+
+let enter_via_guard t ~caller sym =
+  let addr = guard_addr t caller sym in
+  (* The guard entry lives in the caller's pages: fetching it is legal.
+     Its wrpkru then authorises the jump into the monitor-owned thunk. *)
+  as_cubicle t.mon caller (fun () -> Hw.Cpu.fetch (Monitor.cpu t.mon) addr 4)
+
+let rogue_fetch mon ~as_cubicle:cid ~addr =
+  as_cubicle mon cid (fun () -> Hw.Cpu.fetch (Monitor.cpu mon) addr 4)

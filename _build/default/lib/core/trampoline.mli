@@ -1,0 +1,44 @@
+(** Cross-cubicle call trampolines as memory objects.
+
+    The call {e semantics} (permission switch, stack switch, shadow
+    stack) live in {!Monitor.call}; this module materialises the
+    trampoline {e code pages} so the CFI properties of §5.5 can be
+    demonstrated and tested:
+
+    - thunk pages live in the monitor's cubicle (key 0) and legitimately
+      contain [wrpkru] — they are generated and signed by the trusted
+      builder, so the loader accepts them;
+    - guard pages are placed in caller cubicles; each guard entry is a
+      [wrpkru; jmp thunk] pair followed by no-op padding so entering a
+      guard page anywhere but at an entry's first instruction faults or
+      falls through to a trap;
+    - with the paper's MPK hardware modification (access-disable implies
+      execute-disable), an isolated cubicle cannot fetch thunk bytes
+      directly — it must enter through its guard page. *)
+
+type t
+
+val install : Monitor.t -> syms:string list -> t
+(** Generate and load the (signed) thunk page(s) for the given exported
+    symbols, plus one guard page per existing isolated cubicle. *)
+
+val thunk_addr : t -> string -> int
+(** Address of the thunk for a symbol. Raises {!Types.Error} if the
+    symbol has no thunk. *)
+
+val guard_addr : t -> Types.cid -> string -> int
+(** Address of the guard entry for (cubicle, symbol). *)
+
+val thunk_cid : t -> Types.cid
+(** The cubicle owning the thunk pages (the monitor). *)
+
+val enter_via_guard : t -> caller:Types.cid -> string -> unit
+(** Model a well-behaved call entry: fetch the guard entry (in the
+    caller's own pages, allowed), which executes [wrpkru] and jumps to
+    the thunk. Succeeds silently. *)
+
+val rogue_fetch : Monitor.t -> as_cubicle:Types.cid -> addr:int -> unit
+(** Model a rogue jump: attempt an instruction fetch at [addr] while
+    executing as [as_cubicle]. Raises {!Hw.Fault.Violation} when CFI
+    holds (e.g. jumping straight into a thunk body or into another
+    cubicle's code). *)

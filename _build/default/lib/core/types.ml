@@ -1,0 +1,19 @@
+type cid = int
+type wid = int
+type kind = Isolated | Shared | Trusted
+type protection = None_ | Trampolines | Mpk | Full
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let kind_to_string = function
+  | Isolated -> "isolated"
+  | Shared -> "shared"
+  | Trusted -> "trusted"
+
+let protection_to_string = function
+  | None_ -> "baseline"
+  | Trampolines -> "w/o MPK"
+  | Mpk -> "w/o ACLs"
+  | Full -> "full"

@@ -1,0 +1,28 @@
+(** Shared identifiers and enumerations of the CubicleOS core. *)
+
+type cid = int
+(** Cubicle identifier; assigned densely at load time, known at link
+    time (paper §5.3: O(1) bitmask indexing relies on this). *)
+
+type wid = int
+(** Window identifier, unique within its owning cubicle. *)
+
+type kind =
+  | Isolated  (** own MPK tag, entered only via trampolines *)
+  | Shared
+      (** e.g. LIBC: static data shared with everyone; calls execute
+          with the caller's privileges, stack and heap *)
+  | Trusted  (** monitor and other TCB cubicles: access to all tags *)
+
+type protection =
+  | None_  (** baseline Unikraft: plain calls, no isolation *)
+  | Trampolines  (** "CubicleOS w/o MPK": calls + stack switches only *)
+  | Mpk  (** "CubicleOS w/o ACLs": MPK on, all windows open *)
+  | Full  (** complete CubicleOS *)
+
+exception Error of string
+(** Misuse of the CubicleOS API (not a memory fault). *)
+
+val error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val kind_to_string : kind -> string
+val protection_to_string : protection -> string

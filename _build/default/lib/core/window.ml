@@ -1,0 +1,157 @@
+type range = { ptr : int; size : int }
+
+type t = {
+  wid : Types.wid;
+  owner : Types.cid;
+  klass : Mm.Page_meta.kind;
+  mutable ranges : range list;
+  mutable opened : Bitset.t;
+  mutable alive : bool;
+  mutable dedicated_key : int option;
+}
+
+type table = {
+  tbl_owner : Types.cid;
+  ncubicles : int;
+  mutable next_wid : int;
+  (* One descriptor array per data class, as in the paper; each has a
+     fixed capacity that the monitor extends on request (§5.3: "if a
+     window descriptor array runs out of free entries, the user code
+     asks the monitor to extend it"). *)
+  mutable global_arr : t list;
+  mutable stack_arr : t list;
+  mutable heap_arr : t list;
+  mutable code_arr : t list;  (* unused in practice; completeness *)
+  mutable global_cap : int;
+  mutable stack_cap : int;
+  mutable heap_cap : int;
+  mutable code_cap : int;
+}
+
+let initial_capacity = 8
+
+let create_table ~owner ~ncubicles =
+  {
+    tbl_owner = owner;
+    ncubicles;
+    next_wid = 1;
+    global_arr = [];
+    stack_arr = [];
+    heap_arr = [];
+    code_arr = [];
+    global_cap = initial_capacity;
+    stack_cap = initial_capacity;
+    heap_cap = initial_capacity;
+    code_cap = initial_capacity;
+  }
+
+let owner t = t.tbl_owner
+
+let arr_of table (klass : Mm.Page_meta.kind) =
+  match klass with
+  | Mm.Page_meta.Global -> table.global_arr
+  | Mm.Page_meta.Stack -> table.stack_arr
+  | Mm.Page_meta.Heap -> table.heap_arr
+  | Mm.Page_meta.Code -> table.code_arr
+
+let set_arr table (klass : Mm.Page_meta.kind) v =
+  match klass with
+  | Mm.Page_meta.Global -> table.global_arr <- v
+  | Mm.Page_meta.Stack -> table.stack_arr <- v
+  | Mm.Page_meta.Heap -> table.heap_arr <- v
+  | Mm.Page_meta.Code -> table.code_arr <- v
+
+let capacity table (klass : Mm.Page_meta.kind) =
+  match klass with
+  | Mm.Page_meta.Global -> table.global_cap
+  | Mm.Page_meta.Stack -> table.stack_cap
+  | Mm.Page_meta.Heap -> table.heap_cap
+  | Mm.Page_meta.Code -> table.code_cap
+
+let extend table (klass : Mm.Page_meta.kind) =
+  match klass with
+  | Mm.Page_meta.Global -> table.global_cap <- 2 * table.global_cap
+  | Mm.Page_meta.Stack -> table.stack_cap <- 2 * table.stack_cap
+  | Mm.Page_meta.Heap -> table.heap_cap <- 2 * table.heap_cap
+  | Mm.Page_meta.Code -> table.code_cap <- 2 * table.code_cap
+
+let init table ~klass =
+  if List.length (arr_of table klass) >= capacity table klass then
+    Types.error
+      "cubicle %d: %s window descriptor array is full (%d entries); extend it first"
+      table.tbl_owner
+      (Mm.Page_meta.kind_to_string klass)
+      (capacity table klass);
+  let w =
+    {
+      wid = table.next_wid;
+      owner = table.tbl_owner;
+      klass;
+      ranges = [];
+      opened = Bitset.empty table.ncubicles;
+      alive = true;
+      dedicated_key = None;
+    }
+  in
+  table.next_wid <- table.next_wid + 1;
+  set_arr table klass (w :: arr_of table klass);
+  w
+
+let all table = table.global_arr @ table.stack_arr @ table.heap_arr @ table.code_arr
+
+let find table wid =
+  match List.find_opt (fun w -> w.wid = wid && w.alive) (all table) with
+  | Some w -> w
+  | None -> Types.error "window %d not found in cubicle %d" wid table.tbl_owner
+
+let check_alive w = if not w.alive then Types.error "window %d was destroyed" w.wid
+
+let add_range w ~ptr ~size =
+  check_alive w;
+  if size <= 0 then Types.error "window %d: non-positive range size %d" w.wid size;
+  w.ranges <- { ptr; size } :: w.ranges
+
+let remove_range w ~ptr =
+  check_alive w;
+  let found = List.exists (fun r -> r.ptr = ptr) w.ranges in
+  if not found then Types.error "window %d: no range starts at 0x%x" w.wid ptr;
+  w.ranges <- List.filter (fun r -> r.ptr <> ptr) w.ranges
+
+let open_for w cid =
+  check_alive w;
+  Bitset.add w.opened cid
+
+let close_for w cid =
+  check_alive w;
+  Bitset.remove w.opened cid
+
+let close_all w =
+  check_alive w;
+  Bitset.clear w.opened
+
+let destroy table w =
+  check_alive w;
+  w.alive <- false;
+  w.ranges <- [];
+  Bitset.clear w.opened;
+  set_arr table w.klass (List.filter (fun w' -> w'.wid <> w.wid) (arr_of table w.klass))
+
+let is_open_for w cid = w.alive && Bitset.mem w.opened cid
+
+let contains w addr =
+  w.alive && List.exists (fun r -> addr >= r.ptr && addr < r.ptr + r.size) w.ranges
+
+let search table ~klass ~addr =
+  let rec scan inspected = function
+    | [] -> None
+    | w :: rest ->
+        if contains w addr then Some (w, inspected + 1) else scan (inspected + 1) rest
+  in
+  scan 0 (arr_of table klass)
+
+let set_dedicated_key w k =
+  check_alive w;
+  w.dedicated_key <- k
+
+let live_windows table = List.filter (fun w -> w.alive) (all table)
+let count table = List.length (live_windows table)

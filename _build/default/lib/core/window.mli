@@ -1,0 +1,71 @@
+(** Window descriptors: user-managed, discretionary ACLs for memory.
+
+    Each cubicle has three window descriptor arrays — for global, stack
+    and heap data (paper §5.3). A descriptor holds a set of memory
+    ranges owned by the cubicle and a bitmask of cubicles the window is
+    currently open for. Window 0 is implicit (a cubicle always accesses
+    its own memory) and is not represented here.
+
+    The monitor's trap-and-map handler performs a linear search through
+    the descriptor array for the faulting page's class — cheap because
+    cubicles hold few windows at a time (all but one cubicle in the
+    paper's evaluation have fewer than ten). *)
+
+type range = { ptr : int; size : int }
+
+type t = private {
+  wid : Types.wid;
+  owner : Types.cid;
+  klass : Mm.Page_meta.kind;  (** which descriptor array it lives in *)
+  mutable ranges : range list;
+  mutable opened : Bitset.t;
+  mutable alive : bool;
+  mutable dedicated_key : int option;
+      (** the window's own MPK tag, when the deployment opted into
+          ERIM/Hodor-style window-specific tags (paper §5.6/§8) *)
+}
+
+type table
+(** The three per-cubicle descriptor arrays plus wid allocation. *)
+
+val create_table : owner:Types.cid -> ncubicles:int -> table
+val owner : table -> Types.cid
+
+val init : table -> klass:Mm.Page_meta.kind -> t
+(** [cubicle_window_init]: fresh empty window in the array for
+    [klass]. Raises {!Types.Error} when that descriptor array is full
+    (fixed capacity, extended on request via {!extend} — paper §5.3). *)
+
+val capacity : table -> Mm.Page_meta.kind -> int
+
+val extend : table -> Mm.Page_meta.kind -> unit
+(** Double the capacity of one descriptor array. *)
+
+val find : table -> Types.wid -> t
+(** Raises {!Types.Error} for an unknown or destroyed wid. *)
+
+val add_range : t -> ptr:int -> size:int -> unit
+val remove_range : t -> ptr:int -> unit
+(** Raises {!Types.Error} if no range starts at [ptr]. *)
+
+val open_for : t -> Types.cid -> unit
+val close_for : t -> Types.cid -> unit
+val close_all : t -> unit
+val destroy : table -> t -> unit
+
+val is_open_for : t -> Types.cid -> bool
+val contains : t -> int -> bool
+(** Whether any range of the window contains the address. Window checks
+    operate at byte granularity here; the {e enforcement} is per page
+    (the monitor retags whole pages), which is why the paper tells
+    developers to align shared structures. *)
+
+val search : table -> klass:Mm.Page_meta.kind -> addr:int -> (t * int) option
+(** Linear search of one descriptor array for a live window containing
+    [addr]; also returns the number of descriptors inspected so the
+    monitor can charge search cost. *)
+
+val set_dedicated_key : t -> int option -> unit
+
+val live_windows : table -> t list
+val count : table -> int

@@ -1,0 +1,1 @@
+lib/httpd/server.ml: Api Buffer Builder Cubicle Fun Http Libos List Mm Monitor String Types

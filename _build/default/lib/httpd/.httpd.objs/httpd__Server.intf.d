@@ -1,0 +1,1 @@
+lib/httpd/server.mli: Cubicle Libos

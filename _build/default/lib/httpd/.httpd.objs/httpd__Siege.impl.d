@@ -1,0 +1,1 @@
+lib/httpd/siege.ml: Buffer Cubicle Hw Libos List Monitor Option Printf Server String Types

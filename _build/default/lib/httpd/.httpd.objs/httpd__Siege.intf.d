@@ -1,0 +1,1 @@
+lib/httpd/siege.mli: Libos Server

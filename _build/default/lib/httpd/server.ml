@@ -1,0 +1,143 @@
+open Cubicle
+
+let chunk_size = 32 * 1024
+
+type conn = { id : int; mutable req : Buffer.t }
+
+type t = {
+  ctx : Monitor.ctx;
+  fio : Libos.Fileio.t;
+  lwip_cid : Types.cid;
+  req_buf : int;  (* page for request bytes *)
+  file_buf : int;  (* chunk buffer for file data and response headers *)
+  mutable conns : conn list;
+  mutable served : int;
+}
+
+let component () = Builder.component ~code_ops:2048 ~heap_pages:32 ~stack_pages:4 "NGINX"
+
+let start sys =
+  let ctx = Libos.Boot.app_ctx sys "NGINX" in
+  let fio = Libos.Fileio.make ctx in
+  let lwip_cid = Api.cid_of ctx "LWIP" in
+  let req_buf = Api.malloc_page_aligned ctx 4096 in
+  let file_buf = Api.malloc_page_aligned ctx chunk_size in
+  let r = Api.call ctx "lwip_listen" [| 80 |] in
+  if r <> 0 then Types.error "nginx: listen failed (%d)" r;
+  { ctx; fio; lwip_cid; req_buf; file_buf; conns = []; served = 0 }
+
+let with_lwip_window t ~ptr ~size f =
+  let wid = Api.window_init t.ctx ~klass:Mm.Page_meta.Heap in
+  Api.window_add t.ctx wid ~ptr ~size;
+  Api.window_open t.ctx wid t.lwip_cid;
+  Fun.protect ~finally:(fun () -> Api.window_destroy t.ctx wid) f
+
+let send t conn_id ~ptr ~len =
+  with_lwip_window t ~ptr ~size:len (fun () ->
+      Api.call t.ctx "lwip_send" [| conn_id; ptr; len |])
+
+let send_string t conn_id s =
+  Api.write_string t.ctx t.file_buf s;
+  ignore (send t conn_id ~ptr:t.file_buf ~len:(String.length s))
+
+(* returns [keep] — whether the connection stays open *)
+let respond_error t conn_id status =
+  send_string t conn_id (Http.response_header ~status ~content_length:0 ());
+  ignore (Api.call t.ctx "lwip_close" [| conn_id |]);
+  t.served <- t.served + 1;
+  false
+
+let serve_file t conn_id ~meth ~keep_alive path =
+  let fd = Libos.Fileio.open_file t.fio path ~create:false in
+  if fd < 0 then respond_error t conn_id 404
+  else begin
+    let size = Libos.Fileio.file_size t.fio fd in
+    send_string t conn_id
+      (Http.response_header ~content_type:(Http.mime_type path) ~keep_alive ~status:200
+         ~content_length:size ());
+    if meth <> "HEAD" then begin
+      let rec stream off =
+        if off < size then begin
+          let want = min chunk_size (size - off) in
+          let n = Libos.Fileio.pread t.fio ~fd ~buf:t.file_buf ~len:want ~off in
+          if n <= 0 then Types.error "nginx: pread returned %d" n;
+          let sent = send t conn_id ~ptr:t.file_buf ~len:n in
+          if sent <> n then Types.error "nginx: short send (%d/%d)" sent n;
+          stream (off + n)
+        end
+      in
+      stream 0
+    end;
+    ignore (Libos.Fileio.close_file t.fio fd);
+    if not keep_alive then ignore (Api.call t.ctx "lwip_close" [| conn_id |]);
+    t.served <- t.served + 1;
+    keep_alive
+  end
+
+let handle_request t conn raw =
+  (* per-request connection state page (as NGINX pools per-request
+     memory from the system allocator) and an access-log timestamp *)
+  let state_page = Api.call t.ctx "uk_palloc" [| 1 |] in
+  ignore (Api.call t.ctx "uk_time_ns" [||]);
+  let keep =
+    match Http.parse_request raw with
+    | None -> respond_error t conn.id 400
+    | Some { Http.meth; path; keep_alive } -> serve_file t conn.id ~meth ~keep_alive path
+  in
+  ignore (Api.call t.ctx "uk_pfree" [| state_page |]);
+  keep
+
+let poll_inner t =
+  let served_before = t.served in
+  (* accept any pending connections *)
+  let rec accept_loop () =
+    let c = Api.call t.ctx "lwip_accept" [||] in
+    if c >= 0 then begin
+      t.conns <- { id = c; req = Buffer.create 128 } :: t.conns;
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  (* pull request bytes for each connection; serve complete requests *)
+  let still_open = ref [] in
+  List.iter
+    (fun conn ->
+      let rec drain () =
+        let n =
+          with_lwip_window t ~ptr:t.req_buf ~size:4096 (fun () ->
+              Api.call t.ctx "lwip_recv" [| conn.id; t.req_buf; 4096 |])
+        in
+        if n > 0 then begin
+          Buffer.add_string conn.req (Api.read_string t.ctx t.req_buf n);
+          drain ()
+        end
+      in
+      (match drain () with () -> () | exception Types.Error _ -> ());
+      let raw = Buffer.contents conn.req in
+      let header_end =
+        let rec find i =
+          if i + 4 > String.length raw then None
+          else if String.sub raw i 4 = "\r\n\r\n" then Some (i + 4)
+          else find (i + 1)
+        in
+        find 0
+      in
+      match header_end with
+      | None -> still_open := conn :: !still_open
+      | Some hdr_end ->
+          let keep = handle_request t conn (String.sub raw 0 hdr_end) in
+          if keep then begin
+            (* keep-alive: retain any pipelined bytes after the request *)
+            let leftover = String.sub raw hdr_end (String.length raw - hdr_end) in
+            Buffer.clear conn.req;
+            Buffer.add_string conn.req leftover;
+            still_open := conn :: !still_open
+          end)
+    t.conns;
+  t.conns <- !still_open;
+  t.served - served_before
+
+(* The server main loop runs inside the NGINX cubicle. *)
+let poll t = Monitor.run_as t.ctx.Monitor.mon t.ctx.Monitor.self (fun () -> poll_inner t)
+
+let requests_served t = t.served

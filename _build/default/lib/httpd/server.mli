@@ -1,0 +1,26 @@
+(** The NGINX-like web server component: serves static files from the
+    VFS over LWIP connections.
+
+    The request path per connection is the paper's Figure 5 topology:
+    NGINX ↔ LWIP ↔ NETDEV for the byte stream, NGINX ↔ VFSCORE ↔ RAMFS
+    for file data, with ALLOC and TIME on the side. File data is read
+    in 32 KiB chunks into a server-owned buffer that is windowed to
+    VFSCORE/RAMFS for the read and to LWIP for the send. *)
+
+type t
+
+val component : unit -> Cubicle.Builder.component
+(** The NGINX cubicle (named "NGINX"); load it with the net stack. *)
+
+val start : Libos.Boot.system -> t
+(** Resolve cids, allocate buffers, open the listening socket. Must run
+    after boot. *)
+
+val poll : t -> int
+(** Accept pending connections and serve every complete request
+    currently buffered; returns the number of responses sent. Drive
+    this in a loop from the host (it stands in for the server's main
+    loop). *)
+
+val requests_served : t -> int
+val chunk_size : int

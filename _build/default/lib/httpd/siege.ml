@@ -1,0 +1,192 @@
+open Cubicle
+
+type fetch_result = { status : int; body : string; cycles : int; latency_ms : float }
+
+type t = {
+  sys : Libos.Boot.system;
+  server : Server.t;
+  netdev : Libos.Netdev.state;
+  mutable next_conn : int;
+}
+
+let make sys server =
+  match sys.Libos.Boot.netdev with
+  | None -> Types.error "siege: system has no network device"
+  | Some netdev -> { sys; server; netdev; next_conn = 1 }
+
+let find_substring haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = if i + n > h then None else if String.sub haystack i n = needle then Some i else go (i + 1) in
+  go 0
+
+(* [None] while the first response in [raw] is still incomplete; raises
+   on malformed input. Returns the status, body and bytes consumed, so
+   pipelined responses can be parsed in sequence. *)
+let parse_one_response raw =
+  if String.length raw < 12 then None
+  else begin
+    let status =
+      try int_of_string (String.sub raw 9 3)
+      with _ -> Types.error "siege: bad status line %S" (String.sub raw 0 12)
+    in
+    match find_substring raw "\r\n\r\n" with
+    | None -> None
+    | Some hdr_end -> (
+        let body_start = hdr_end + 4 in
+        let headers = String.lowercase_ascii (String.sub raw 0 body_start) in
+        match find_substring headers "content-length:" with
+        | None -> Types.error "siege: no content-length header"
+        | Some ki ->
+            let vstart = ki + String.length "content-length:" in
+            let vend =
+              match String.index_from_opt raw vstart '\r' with
+              | Some e -> e
+              | None -> String.length raw
+            in
+            let len = int_of_string (String.trim (String.sub raw vstart (vend - vstart))) in
+            let have = String.length raw - body_start in
+            if have >= len then
+              Some (status, String.sub raw body_start len, body_start + len)
+            else None)
+  end
+
+let parse_response raw =
+  Option.map (fun (status, body, _) -> (status, body)) (parse_one_response raw)
+
+let fetch t path =
+  let conn = t.next_conn in
+  t.next_conn <- conn + 1;
+  let cost = Monitor.cost t.sys.Libos.Boot.mon in
+  let c0 = Hw.Cost.cycles cost in
+  Libos.Netdev.host_inject t.netdev (Libos.Lwip.Frame.encode ~conn ~kind:Syn ~payload:"" ());
+  Libos.Netdev.host_inject t.netdev
+    (Libos.Lwip.Frame.encode ~conn ~kind:Data
+       ~payload:(Printf.sprintf "GET %s HTTP/1.0\r\nHost: sim\r\n\r\n" path)
+       ());
+  let reasm = Libos.Lwip.Reassembly.create () in
+  let response = Buffer.create 1024 in
+  let finished = ref None in
+  let stalled = ref 0 in
+  while !finished = None do
+    let served = Server.poll t.server in
+    let frames = Libos.Netdev.host_collect t.netdev in
+    List.iter
+      (fun f ->
+        let c, kind, seq, payload = Libos.Lwip.Frame.decode f in
+        if c = conn && kind = Libos.Lwip.Frame.Data then
+          Libos.Lwip.Reassembly.push reasm ~seq payload)
+      frames;
+    Buffer.add_string response (Libos.Lwip.Reassembly.pop_ready reasm);
+    (match parse_response (Buffer.contents response) with
+    | Some (status, body) -> finished := Some (status, body)
+    | None -> ());
+    if served = 0 && frames = [] then begin
+      incr stalled;
+      if !stalled > 3 then
+        Types.error "siege: server stalled fetching %s (%d bytes so far)" path
+          (Buffer.length response)
+    end
+    else stalled := 0
+  done;
+  let status, body = Option.get !finished in
+  let cycles = Hw.Cost.cycles cost - c0 in
+  {
+    status;
+    body;
+    cycles;
+    latency_ms = Hw.Cost.to_ms (cycles + Libos.Sysdefs.request_overhead_cycles);
+  }
+
+(* Send several requests over one keep-alive connection and collect the
+   responses in order. *)
+let fetch_pipelined t paths =
+  let conn = t.next_conn in
+  t.next_conn <- conn + 1;
+  Libos.Netdev.host_inject t.netdev (Libos.Lwip.Frame.encode ~conn ~kind:Syn ~payload:"" ());
+  List.iteri
+    (fun i path ->
+      let last = i = List.length paths - 1 in
+      let connection = if last then "close" else "keep-alive" in
+      Libos.Netdev.host_inject t.netdev
+        (Libos.Lwip.Frame.encode ~seq:i ~conn ~kind:Data
+           ~payload:
+             (Printf.sprintf "GET %s HTTP/1.0\r\nHost: sim\r\nConnection: %s\r\n\r\n"
+                path connection)
+           ()))
+    paths;
+  let reasm = Libos.Lwip.Reassembly.create () in
+  let response = Buffer.create 1024 in
+  let results = ref [] in
+  let pending = ref (List.length paths) in
+  let stalled = ref 0 in
+  while !pending > 0 do
+    let served = Server.poll t.server in
+    let frames = Libos.Netdev.host_collect t.netdev in
+    List.iter
+      (fun f ->
+        let c, kind, seq, payload = Libos.Lwip.Frame.decode f in
+        if c = conn && kind = Libos.Lwip.Frame.Data then
+          Libos.Lwip.Reassembly.push reasm ~seq payload)
+      frames;
+    Buffer.add_string response (Libos.Lwip.Reassembly.pop_ready reasm);
+    let rec consume () =
+      match parse_one_response (Buffer.contents response) with
+      | Some (status, body, consumed) ->
+          results := (status, body) :: !results;
+          decr pending;
+          let rest = Buffer.contents response in
+          Buffer.clear response;
+          Buffer.add_string response (String.sub rest consumed (String.length rest - consumed));
+          if !pending > 0 then consume ()
+      | None -> ()
+    in
+    consume ();
+    if served = 0 && frames = [] && !pending > 0 then begin
+      incr stalled;
+      if !stalled > 3 then Types.error "siege: pipelined fetch stalled (%d pending)" !pending
+    end
+    else stalled := 0
+  done;
+  List.rev !results
+
+let fetch_head t path =
+  let conn = t.next_conn in
+  t.next_conn <- conn + 1;
+  Libos.Netdev.host_inject t.netdev (Libos.Lwip.Frame.encode ~conn ~kind:Syn ~payload:"" ());
+  Libos.Netdev.host_inject t.netdev
+    (Libos.Lwip.Frame.encode ~conn ~kind:Data
+       ~payload:(Printf.sprintf "HEAD %s HTTP/1.0\r\nHost: sim\r\n\r\n" path)
+       ());
+  let response = Buffer.create 256 in
+  let finished = ref None in
+  let stalled = ref 0 in
+  while !finished = None do
+    let served = Server.poll t.server in
+    let frames = Libos.Netdev.host_collect t.netdev in
+    List.iter
+      (fun f ->
+        let c, kind, _seq, payload = Libos.Lwip.Frame.decode f in
+        if c = conn && kind = Libos.Lwip.Frame.Data then Buffer.add_string response payload)
+      frames;
+    (* a HEAD response is just the header block *)
+    (match find_substring (Buffer.contents response) "\r\n\r\n" with
+    | Some _ -> finished := Some (Buffer.contents response)
+    | None -> ());
+    if served = 0 && frames = [] && !finished = None then begin
+      incr stalled;
+      if !stalled > 3 then Types.error "siege: HEAD stalled"
+    end
+    else stalled := 0
+  done;
+  Option.get !finished
+
+let latency_for_sizes t ~sizes ?(repeats = 3) ~populate () =
+  List.map
+    (fun size ->
+      let path = populate size in
+      let samples = List.init repeats (fun _ -> (fetch t path).latency_ms) in
+      let sorted = List.sort compare samples in
+      let median = List.nth sorted (repeats / 2) in
+      let mean = List.fold_left ( +. ) 0. samples /. float_of_int repeats in
+      (size, median, mean))
+    sizes

@@ -1,0 +1,36 @@
+(** A siege-like HTTP load generator (host side).
+
+    Speaks the LWIP-lite frame protocol directly against the NETDEV
+    host bridge, requests files, reassembles responses and reports
+    download latency in simulated milliseconds — the measurement of the
+    paper's Figure 7. Latency includes the fixed per-request client
+    overhead {!Libos.Sysdefs.request_overhead_cycles} (connection setup
+    and client think time, the ~5 ms floor of the figure). *)
+
+type fetch_result = {
+  status : int;
+  body : string;
+  cycles : int;  (** simulated cycles spent serving the request *)
+  latency_ms : float;
+}
+
+type t
+
+val make : Libos.Boot.system -> Server.t -> t
+
+val fetch : t -> string -> fetch_result
+(** Request one path; raises {!Cubicle.Types.Error} if the server stops
+    making progress before the response completes. *)
+
+val fetch_pipelined : t -> string list -> (int * string) list
+(** Several requests over one keep-alive connection; (status, body) in
+    request order. *)
+
+val fetch_head : t -> string -> string
+(** A HEAD request; returns the raw response header block. *)
+
+val latency_for_sizes :
+  t -> sizes:int list -> ?repeats:int -> populate:(int -> string) -> unit -> (int * float * float) list
+(** For each size: create a file of that size (path from [populate]),
+    fetch it [repeats] times, and return
+    (size, baseline-comparable median latency ms, mean ms). *)

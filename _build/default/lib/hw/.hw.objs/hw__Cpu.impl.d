@@ -1,0 +1,1 @@
+lib/hw/cpu.ml: Addr Bytes Cost Fault Page_table Phys_mem Pkru String

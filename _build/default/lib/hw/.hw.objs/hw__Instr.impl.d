@@ -1,0 +1,1 @@
+lib/hw/instr.ml: Bytes Char Hashtbl Int32 List Option Printf String

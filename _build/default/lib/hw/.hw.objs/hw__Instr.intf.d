@@ -1,0 +1,1 @@
+lib/hw/instr.mli:

@@ -1,0 +1,9 @@
+let page_shift = 12
+let page_size = 1 lsl page_shift
+let page_of addr = addr lsr page_shift
+let base_of_page p = p lsl page_shift
+let offset addr = addr land (page_size - 1)
+let align_up n = (n + page_size - 1) land lnot (page_size - 1)
+let align_down n = n land lnot (page_size - 1)
+let pages_for bytes = if bytes <= 0 then 0 else (bytes + page_size - 1) lsr page_shift
+let is_aligned addr = addr land (page_size - 1) = 0

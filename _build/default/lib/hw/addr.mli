@@ -1,0 +1,33 @@
+(** Address arithmetic for the simulated machine.
+
+    The simulated machine is byte-addressable with 4 KiB pages. Addresses
+    are plain non-negative [int]s into a single flat physical/virtual
+    space (the simulation does not model translation; MPK operates on the
+    flat page array, as CubicleOS runs in a single address space). *)
+
+val page_size : int
+(** Bytes per page (4096). *)
+
+val page_shift : int
+(** log2 of [page_size]. *)
+
+val page_of : int -> int
+(** [page_of addr] is the page number containing [addr]. *)
+
+val base_of_page : int -> int
+(** [base_of_page p] is the first address of page [p]. *)
+
+val offset : int -> int
+(** [offset addr] is the offset of [addr] within its page. *)
+
+val align_up : int -> int
+(** [align_up n] rounds [n] up to a multiple of [page_size]. *)
+
+val align_down : int -> int
+(** [align_down n] rounds [n] down to a multiple of [page_size]. *)
+
+val pages_for : int -> int
+(** [pages_for bytes] is the number of pages needed to hold [bytes]. *)
+
+val is_aligned : int -> bool
+(** [is_aligned addr] is true when [addr] is page-aligned. *)

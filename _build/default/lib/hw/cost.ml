@@ -1,0 +1,51 @@
+type model = {
+  mem_word : int;
+  mem_op : int;
+  wrpkru : int;
+  rdpkru : int;
+  pkey_set : int;
+  fault_trap : int;
+  acl_check : int;
+  tramp_fixed : int;
+  call_direct : int;
+  stack_switch : int;
+  window_op : int;
+  syscall : int;
+  unikraft_op : int;
+}
+
+let default_model =
+  {
+    mem_word = 1;
+    mem_op = 2;
+    wrpkru = 20;
+    rdpkru = 1;
+    pkey_set = 1100;
+    fault_trap = 800;
+    acl_check = 600;
+    tramp_fixed = 40;
+    call_direct = 5;
+    stack_switch = 30;
+    window_op = 30;
+    syscall = 700;
+    unikraft_op = 6000;
+  }
+
+type t = { mutable cycles : int; mutable mem_bytes : int; model : model }
+
+let create ?(model = default_model) () = { cycles = 0; mem_bytes = 0; model }
+
+let reset t =
+  t.cycles <- 0;
+  t.mem_bytes <- 0
+
+let charge t n = t.cycles <- t.cycles + n
+
+let charge_mem t len =
+  t.mem_bytes <- t.mem_bytes + len;
+  t.cycles <- t.cycles + t.model.mem_op + (((len + 7) lsr 3) * t.model.mem_word)
+
+let cycles t = t.cycles
+let cycles_per_ms = 2.2e6
+let to_ms c = float_of_int c /. cycles_per_ms
+let to_us c = float_of_int c /. (cycles_per_ms /. 1000.)

@@ -1,0 +1,55 @@
+(** Cycle cost model for the simulated machine.
+
+    All performance results in the benchmark harness are simulated cycle
+    counts accumulated here. The constants are calibrated against the
+    figures the paper itself cites (libmpk numbers for [wrpkru] and key
+    assignment; see EXPERIMENTS.md for the calibration of the IPC costs
+    used by the microkernel baselines). *)
+
+type model = {
+  mem_word : int;  (** per 8 bytes moved by a load/store/blit *)
+  mem_op : int;  (** fixed cost per memory operation *)
+  wrpkru : int;  (** writing the PKRU register (paper: ~20 cycles) *)
+  rdpkru : int;  (** reading the PKRU register *)
+  pkey_set : int;  (** assigning an MPK key to a page (paper: >1100 cycles) *)
+  fault_trap : int;  (** delivering a protection fault to a user handler *)
+  acl_check : int;
+      (** walking the owner's window descriptor arrays and checking the
+          cubicle bitmask during trap-and-map (full CubicleOS only; the
+          "w/o ACLs" configuration maps without checking) *)
+  tramp_fixed : int;  (** fixed cost of a cross-cubicle call trampoline *)
+  call_direct : int;  (** a plain function call (shared cubicle / baseline) *)
+  stack_switch : int;  (** switching per-cubicle stacks in a trampoline *)
+  window_op : int;  (** one window ACL operation (add/open/close) *)
+  syscall : int;  (** a host-OS (Linux) system call round trip *)
+  unikraft_op : int;
+      (** extra per-OS-operation platform inefficiency of the library OS
+          running in user mode (linuxu platform), relative to native Linux *)
+}
+
+val default_model : model
+
+type t = {
+  mutable cycles : int;
+  mutable mem_bytes : int;  (** total bytes moved, for reporting *)
+  model : model;
+}
+
+val create : ?model:model -> unit -> t
+
+val reset : t -> unit
+
+val charge : t -> int -> unit
+(** [charge t cycles] adds raw cycles. *)
+
+val charge_mem : t -> int -> unit
+(** [charge_mem t len] charges for moving [len] bytes. *)
+
+val cycles : t -> int
+
+val cycles_per_ms : float
+(** Conversion used when reporting latencies: the paper's testbed is a
+    2.2 GHz Xeon, so 2.2e6 cycles per millisecond. *)
+
+val to_ms : int -> float
+val to_us : int -> float

@@ -1,0 +1,98 @@
+(** The simulated machine: memory, page table, PKRU, fault delivery and
+    cycle accounting.
+
+    Every load/store performed by library OS components and applications
+    goes through the checked accessors here, so MPK protection faults
+    (and CubicleOS's trap-and-map resolution) are actually exercised.
+    The machine models a single hardware thread, matching Unikraft's
+    model of user-level threads multiplexed onto one host thread
+    (paper §8).
+
+    A registered {e fault handler} (CubicleOS's monitor) is invoked on a
+    protection violation; if it returns [true] the faulting access is
+    retried once, otherwise {!Fault.Violation} is raised. *)
+
+type t
+
+type handler = t -> Fault.t -> bool
+
+val create : ?mem_bytes:int -> ?model:Cost.model -> unit -> t
+(** [create ()] builds a machine with (default) 64 MiB of memory, every
+    page absent, PKRU fully permissive, MPK checking off. *)
+
+val mem : t -> Phys_mem.t
+val page_table : t -> Page_table.t
+val cost : t -> Cost.t
+val npages : t -> int
+
+val set_handler : t -> handler option -> unit
+
+val mpk_enabled : t -> bool
+val set_mpk_enabled : t -> bool -> unit
+
+val exec_follows_access : t -> bool
+
+val set_exec_follows_access : t -> bool -> unit
+(** The paper's proposed hardware modification: when on, instruction
+    fetch from a page whose key has access-disable set faults even if
+    the page-table X bit is set (tag-wide no-execute; §5.5). *)
+
+val pkru : t -> Pkru.t
+
+val wrpkru : t -> Pkru.t -> unit
+(** Privileged from the simulation's point of view: only trusted
+    CubicleOS code (trampolines, monitor) may call this; the loader's
+    binary scan is what prevents untrusted components from reaching it.
+    Charges the wrpkru cycle cost and counts invocations. *)
+
+val wrpkru_count : t -> int
+val fault_count : t -> int
+
+(** {1 Checked accessors} — used by untrusted component code. *)
+
+val read_u8 : t -> int -> int
+val write_u8 : t -> int -> int -> unit
+val read_u16 : t -> int -> int
+val write_u16 : t -> int -> int -> unit
+val read_u32 : t -> int -> int
+val write_u32 : t -> int -> int -> unit
+val read_i64 : t -> int -> int64
+val write_i64 : t -> int -> int64 -> unit
+
+val read_bytes : t -> int -> int -> bytes
+val write_bytes : t -> int -> bytes -> unit
+val write_string : t -> int -> string -> unit
+
+val memcpy : t -> dst:int -> src:int -> len:int -> unit
+(** Checked copy within simulated memory. *)
+
+val memset : t -> int -> int -> char -> unit
+val fetch : t -> int -> int -> unit
+(** [fetch t addr len] models instruction fetch (Exec access). *)
+
+val check_range : t -> int -> int -> Fault.access -> unit
+(** Check without transferring data (used to model DMA setup etc.). *)
+
+(** {1 Privileged accessors} — monitor/loader/host-bridge only: bypass
+    page-level and key checks but still charge memory cycles. *)
+
+val priv_read_bytes : t -> int -> int -> bytes
+val priv_write_bytes : t -> int -> bytes -> unit
+val priv_write_string : t -> int -> string -> unit
+val priv_blit : t -> dst:int -> src:int -> len:int -> unit
+val priv_read_u32 : t -> int -> int
+val priv_write_u32 : t -> int -> int -> unit
+
+(** {1 Page-table management} — loader/monitor only. *)
+
+val map_page : t -> int -> Page_table.perm -> key:int -> unit
+(** Make page present with given permission and key (no pkey cost; used
+    at load time). *)
+
+val unmap_page : t -> int -> unit
+
+val set_page_key : t -> int -> int -> unit
+(** Runtime key reassignment: charges the pkey-set cost (the expensive
+    [pkey_mprotect] path, ~1100 cycles). *)
+
+val page_key : t -> int -> int

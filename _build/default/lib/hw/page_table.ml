@@ -1,0 +1,48 @@
+type perm = { r : bool; w : bool; x : bool }
+
+let perm_none = { r = false; w = false; x = false }
+let perm_r = { r = true; w = false; x = false }
+let perm_rw = { r = true; w = true; x = false }
+let perm_x = { r = false; w = false; x = true }
+let perm_rx = { r = true; w = false; x = true }
+
+(* Entries are packed into an int array: bit 0 present, bits 1-3 R/W/X,
+   bits 4-7 the MPK key. *)
+type t = int array
+
+let create npages = Array.make npages 0
+let npages t = Array.length t
+
+let check t p =
+  if p < 0 || p >= Array.length t then
+    invalid_arg (Printf.sprintf "Page_table: page %d out of range" p)
+
+let present t p =
+  check t p;
+  t.(p) land 1 = 1
+
+let set_present t p b =
+  check t p;
+  t.(p) <- (if b then t.(p) lor 1 else t.(p) land lnot 1)
+
+let perm t p =
+  check t p;
+  let e = t.(p) in
+  { r = e land 2 <> 0; w = e land 4 <> 0; x = e land 8 <> 0 }
+
+let set_perm t p { r; w; x } =
+  check t p;
+  let bits = (if r then 2 else 0) lor (if w then 4 else 0) lor if x then 8 else 0 in
+  t.(p) <- t.(p) land lnot 0b1110 lor bits
+
+let key t p =
+  check t p;
+  (t.(p) lsr 4) land 0xF
+
+let set_key t p k =
+  check t p;
+  if k < 0 || k >= Pkru.nkeys then invalid_arg "Page_table.set_key: bad key";
+  t.(p) <- t.(p) land lnot 0xF0 lor (k lsl 4)
+
+let allows p (a : Fault.access) =
+  match a with Fault.Read -> p.r | Fault.Write -> p.w | Fault.Exec -> p.x

@@ -1,0 +1,34 @@
+(** Per-page metadata of the simulated MMU: presence, page-level R/W/X
+    permissions, and the 4-bit MPK protection key.
+
+    Page-level permissions model the page-table bits that only the
+    CubicleOS loader may set (execute-only code pages, read-only data),
+    while the key models the MPK tag that the monitor reassigns during
+    trap-and-map. *)
+
+type perm = { r : bool; w : bool; x : bool }
+
+val perm_none : perm
+val perm_r : perm
+val perm_rw : perm
+val perm_x : perm
+(** Execute-only, as CubicleOS sets on code pages. *)
+
+val perm_rx : perm
+
+type t
+
+val create : int -> t
+(** [create npages] creates a table with every page absent, key 0. *)
+
+val npages : t -> int
+val present : t -> int -> bool
+val set_present : t -> int -> bool -> unit
+val perm : t -> int -> perm
+val set_perm : t -> int -> perm -> unit
+val key : t -> int -> int
+val set_key : t -> int -> int -> unit
+
+val allows : perm -> Fault.access -> bool
+(** [allows p a] is whether page-level permission [p] admits access
+    kind [a]. *)

@@ -1,0 +1,32 @@
+(** Raw simulated physical memory: a flat byte array with unchecked
+    accessors. All permission checking lives in {!Cpu}; only trusted
+    code (monitor, loader, host bridge) touches this module directly. *)
+
+type t
+
+val create : int -> t
+(** [create bytes] allocates [bytes] of zeroed memory, rounded up to a
+    whole number of pages. *)
+
+val size : t -> int
+val npages : t -> int
+
+val get_u8 : t -> int -> int
+val set_u8 : t -> int -> int -> unit
+val get_u16 : t -> int -> int
+val set_u16 : t -> int -> int -> unit
+val get_u32 : t -> int -> int
+val set_u32 : t -> int -> int -> unit
+val get_i64 : t -> int -> int64
+val set_i64 : t -> int -> int64 -> unit
+
+val read_bytes : t -> int -> int -> bytes
+(** [read_bytes t addr len] copies [len] bytes out of simulated memory. *)
+
+val write_bytes : t -> int -> bytes -> unit
+val write_string : t -> int -> string -> unit
+
+val blit : t -> src:int -> dst:int -> len:int -> unit
+(** Copy within simulated memory (handles overlap like [memmove]). *)
+
+val fill : t -> int -> int -> char -> unit

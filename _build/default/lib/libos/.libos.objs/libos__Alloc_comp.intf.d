@@ -1,0 +1,1 @@
+lib/libos/alloc_comp.mli: Cubicle

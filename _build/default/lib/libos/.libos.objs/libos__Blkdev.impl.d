@@ -1,0 +1,1 @@
+lib/libos/blkdev.ml: Api Array Builder Bytes Cubicle Hw Mm Monitor Sysdefs

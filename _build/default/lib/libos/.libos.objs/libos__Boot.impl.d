@@ -1,0 +1,1 @@
+lib/libos/boot.ml: Alloc_comp Blkdev Builder Cubicle Fatfs Fileio Libc List Lwip Monitor Netdev Plat Ramfs Time_comp Types Vfscore

@@ -1,0 +1,1 @@
+lib/libos/boot.mli: Blkdev Cubicle Fatfs Lwip Netdev Plat Ramfs

@@ -1,0 +1,1 @@
+lib/libos/fatfs.ml: Api Array Blkdev Builder Cubicle Hw Int64 Mm Monitor String Sysdefs Types

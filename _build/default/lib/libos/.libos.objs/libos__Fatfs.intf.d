@@ -1,0 +1,1 @@
+lib/libos/fatfs.mli: Cubicle

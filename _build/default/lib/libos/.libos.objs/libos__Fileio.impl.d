@@ -1,0 +1,1 @@
+lib/libos/fileio.ml: Api Cubicle Fun Mm Monitor String Types

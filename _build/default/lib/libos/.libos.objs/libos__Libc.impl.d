@@ -1,0 +1,1 @@
+lib/libos/libc.ml: Api Array Builder Char Cubicle Monitor

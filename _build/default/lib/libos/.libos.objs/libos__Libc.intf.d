@@ -1,0 +1,1 @@
+lib/libos/libc.mli: Cubicle

@@ -1,0 +1,1 @@
+lib/libos/lwip.ml: Api Array Buffer Builder Bytes Cubicle Hashtbl Hw Int32 Mm Monitor Printf Queue String Sysdefs Types

@@ -1,0 +1,1 @@
+lib/libos/lwip.mli: Cubicle

@@ -1,0 +1,1 @@
+lib/libos/netdev.ml: Api Array Builder Bytes Cubicle Hw List Mm Monitor Queue Sysdefs

@@ -1,0 +1,1 @@
+lib/libos/netdev.mli: Cubicle

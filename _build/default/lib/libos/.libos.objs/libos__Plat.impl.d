@@ -1,0 +1,1 @@
+lib/libos/plat.ml: Array Buffer Builder Char Cubicle Monitor

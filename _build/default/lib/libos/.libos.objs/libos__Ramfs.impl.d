@@ -1,0 +1,1 @@
+lib/libos/ramfs.ml: Api Array Builder Cubicle Hashtbl Hw Int64 Monitor Sysdefs

@@ -1,0 +1,1 @@
+lib/libos/ramfs.mli: Cubicle

@@ -1,0 +1,1 @@
+lib/libos/sched.ml: Cubicle Effect Fun Monitor Queue Types

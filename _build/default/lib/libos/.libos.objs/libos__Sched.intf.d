@@ -1,0 +1,1 @@
+lib/libos/sched.mli: Cubicle

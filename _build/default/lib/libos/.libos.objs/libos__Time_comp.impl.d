@@ -1,0 +1,1 @@
+lib/libos/time_comp.ml: Builder Cubicle Hw Monitor

@@ -1,0 +1,1 @@
+lib/libos/vfscore.ml: Api Array Builder Cubicle Hashtbl Hw Int64 Mm Monitor Sysdefs Types

@@ -1,0 +1,1 @@
+lib/libos/vfscore.mli: Cubicle

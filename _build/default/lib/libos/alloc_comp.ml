@@ -1,0 +1,16 @@
+open Cubicle
+
+let palloc_fn (ctx : Monitor.ctx) (args : int array) =
+  Monitor.alloc_pages ctx.mon ctx.caller args.(0) ~kind:Mm.Page_meta.Heap
+
+let pfree_fn (ctx : Monitor.ctx) (args : int array) =
+  Monitor.free_pages ctx.mon ctx.caller args.(0);
+  0
+
+let component () =
+  Builder.component "ALLOC" ~code_ops:384 ~heap_pages:2 ~stack_pages:2
+    ~exports:
+      [
+        { Monitor.sym = "uk_palloc"; fn = palloc_fn; stack_bytes = 0 };
+        { Monitor.sym = "uk_pfree"; fn = pfree_fn; stack_bytes = 0 };
+      ]

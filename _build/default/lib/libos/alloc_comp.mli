@@ -1,0 +1,8 @@
+(** The ALLOC component: the system-wide, coarse-grained (page
+    granular) memory allocator. Pages are assigned to the {e calling}
+    cubicle — ownership information the trampoline records — so the
+    caller can window them out afterwards. *)
+
+val component : unit -> Cubicle.Builder.component
+(** Exports: [uk_palloc(npages)] → base address owned by the caller,
+    [uk_pfree(base)]. *)

@@ -1,0 +1,110 @@
+open Cubicle
+
+type system = {
+  mon : Monitor.t;
+  built : Builder.built;
+  plat : Plat.state;
+  ramfs : Ramfs.state;
+  netdev : Netdev.state option;
+  lwip : Lwip.state option;
+  blkdev : Blkdev.state option;
+  fatfs : Fatfs.state option;
+}
+
+let base_components ~merge_fs =
+  let plat_state, plat = Plat.make () in
+  let ramfs_state, ramfs = Ramfs.make () in
+  let vfs = Vfscore.component () in
+  let fs_comps =
+    if merge_fs then
+      (* Figure 9a: the virtual file system module with the built-in
+         RAMFS driver — one cubicle. The merged cubicle keeps the name
+         VFSCORE so applications resolve it unchanged. *)
+      [ (Builder.merge "VFSCORE" [ vfs; ramfs ], Types.Isolated) ]
+    else [ (vfs, Types.Isolated); (ramfs, Types.Isolated) ]
+  in
+  let comps =
+    [
+      (Libc.component (), Types.Shared);
+      (plat, Types.Isolated);
+      (Time_comp.component (), Types.Isolated);
+      (Alloc_comp.component (), Types.Isolated);
+    ]
+    @ fs_comps
+  in
+  (plat_state, ramfs_state, comps)
+
+let fs_stack ?(protection = Types.Full) ?policy ?virtualise ?(merge_fs = false)
+    ?(mem_bytes = 64 * 1024 * 1024) ?(extra = []) () =
+  let mon = Monitor.create ~mem_bytes ?policy ?virtualise ~protection () in
+  let plat_state, ramfs_state, comps = base_components ~merge_fs in
+  let built = Builder.build mon (comps @ extra) in
+  {
+    mon;
+    built;
+    plat = plat_state;
+    ramfs = ramfs_state;
+    netdev = None;
+    lwip = None;
+    blkdev = None;
+    fatfs = None;
+  }
+
+let net_stack ?(protection = Types.Full) ?policy ?virtualise
+    ?(mem_bytes = 128 * 1024 * 1024) ?(extra = []) () =
+  let mon = Monitor.create ~mem_bytes ?policy ?virtualise ~protection () in
+  let plat_state, ramfs_state, comps = base_components ~merge_fs:false in
+  let netdev_state, netdev = Netdev.make () in
+  let lwip_state, lwip = Lwip.make () in
+  let built =
+    Builder.build mon (comps @ [ (netdev, Types.Isolated); (lwip, Types.Isolated) ] @ extra)
+  in
+  {
+    mon;
+    built;
+    plat = plat_state;
+    ramfs = ramfs_state;
+    netdev = Some netdev_state;
+    lwip = Some lwip_state;
+    blkdev = None;
+    fatfs = None;
+  }
+
+(* A persistent-disk deployment: UKFAT over BLKDEV replaces RAMFS as
+   the VFS backend (backend tag 2). Re-attaching the same disk to a new
+   system finds the files again. *)
+let fat_stack ?(protection = Types.Full) ?policy ?(mem_bytes = 64 * 1024 * 1024)
+    ?(extra = []) ~disk () =
+  let mon = Monitor.create ~mem_bytes ?policy ~protection () in
+  let plat_state, plat = Plat.make () in
+  let ramfs_state, _unused_ramfs = Ramfs.make () in
+  let blk_state, blk = Blkdev.make disk in
+  let fat_state, fat = Fatfs.make () in
+  let comps =
+    [
+      (Libc.component (), Types.Shared);
+      (plat, Types.Isolated);
+      (Time_comp.component (), Types.Isolated);
+      (Alloc_comp.component (), Types.Isolated);
+      (Vfscore.component (), Types.Isolated);
+      (blk, Types.Isolated);
+      (fat, Types.Isolated);
+    ]
+  in
+  let built = Builder.build mon (comps @ extra) in
+  {
+    mon;
+    built;
+    plat = plat_state;
+    ramfs = ramfs_state;
+    netdev = None;
+    lwip = None;
+    blkdev = Some blk_state;
+    fatfs = Some fat_state;
+  }
+
+let app_ctx sys name = Monitor.ctx_for sys.mon (Builder.cid sys.built name)
+
+let populate sys ~as_app files =
+  let fio = Fileio.make (app_ctx sys as_app) in
+  List.iter (fun (name, contents) -> Fileio.write_file fio name contents) files

@@ -1,0 +1,63 @@
+(** System assembly: boots CubicleOS deployments of the library OS.
+
+    The deployment mirrors the paper's evaluation configurations:
+    - the file system stack used by SQLite (Fig. 8): PLAT, TIME, ALLOC,
+      VFSCORE, RAMFS as isolated cubicles, LIBC shared;
+    - the network stack used by NGINX (Fig. 5) adds NETDEV and LWIP;
+    - Fig. 9's 3-component deployment merges VFSCORE and RAMFS into one
+      cubicle ([merge_fs]). *)
+
+type system = {
+  mon : Cubicle.Monitor.t;
+  built : Cubicle.Builder.built;
+  plat : Plat.state;
+  ramfs : Ramfs.state;
+  netdev : Netdev.state option;
+  lwip : Lwip.state option;
+  blkdev : Blkdev.state option;
+  fatfs : Fatfs.state option;
+}
+
+val fs_stack :
+  ?protection:Cubicle.Types.protection ->
+  ?policy:Cubicle.Monitor.policy ->
+  ?virtualise:bool ->
+  ?merge_fs:bool ->
+  ?mem_bytes:int ->
+  ?extra:(Cubicle.Builder.component * Cubicle.Types.kind) list ->
+  unit ->
+  system
+(** File system stack (no network). [extra] appends application
+    components (loaded last). [merge_fs] links VFSCORE+RAMFS into a
+    single cubicle (Figure 9a). Default protection: [Full]. *)
+
+val net_stack :
+  ?protection:Cubicle.Types.protection ->
+  ?policy:Cubicle.Monitor.policy ->
+  ?virtualise:bool ->
+  ?mem_bytes:int ->
+  ?extra:(Cubicle.Builder.component * Cubicle.Types.kind) list ->
+  unit ->
+  system
+(** Full network stack: the NGINX deployment of Figure 5 (8 isolated
+    cubicles once the application is added). *)
+
+val fat_stack :
+  ?protection:Cubicle.Types.protection ->
+  ?policy:Cubicle.Monitor.policy ->
+  ?mem_bytes:int ->
+  ?extra:(Cubicle.Builder.component * Cubicle.Types.kind) list ->
+  disk:Blkdev.disk ->
+  unit ->
+  system
+(** Persistent-disk deployment: VFSCORE backed by the UKFAT file system
+    over BLKDEV (the [ramfs] field is an unused placeholder here).
+    Re-attaching the same {!Blkdev.disk} to a freshly booted system
+    mounts the existing contents. *)
+
+val app_ctx : system -> string -> Cubicle.Monitor.ctx
+(** Context of a named component, for driving applications. *)
+
+val populate : system -> as_app:string -> (string * string) list -> unit
+(** Create files (name, contents) through the VFS from the given
+    application component — e.g. an NGINX docroot. *)

@@ -1,0 +1,29 @@
+open Cubicle
+
+let memcpy_fn ctx (args : int array) =
+  Api.memcpy ctx ~dst:args.(0) ~src:args.(1) ~len:args.(2);
+  args.(0)
+
+let memset_fn ctx (args : int array) =
+  Api.memset ctx args.(0) args.(1) (Char.chr (args.(2) land 0xFF));
+  args.(0)
+
+let memcmp_fn ctx (args : int array) =
+  let a = Api.read_bytes ctx args.(0) args.(2) in
+  let b = Api.read_bytes ctx args.(1) args.(2) in
+  compare a b
+
+let strnlen_fn ctx (args : int array) =
+  let p = args.(0) and maxlen = args.(1) in
+  let rec scan i = if i >= maxlen || Api.read_u8 ctx (p + i) = 0 then i else scan (i + 1) in
+  scan 0
+
+let component () =
+  Builder.component "LIBC" ~code_ops:512 ~heap_pages:2 ~stack_pages:0
+    ~exports:
+      [
+        { Monitor.sym = "memcpy"; fn = memcpy_fn; stack_bytes = 0 };
+        { Monitor.sym = "memset"; fn = memset_fn; stack_bytes = 0 };
+        { Monitor.sym = "memcmp"; fn = memcmp_fn; stack_bytes = 0 };
+        { Monitor.sym = "strnlen"; fn = strnlen_fn; stack_bytes = 0 };
+      ]

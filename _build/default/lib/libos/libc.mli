@@ -1,0 +1,11 @@
+(** The LIBC shared cubicle.
+
+    Little state, used by everyone: deployed as a {e shared} cubicle,
+    so its routines execute with the privileges, stack and heap of the
+    calling cubicle and never transit the monitor (paper §3 step ❹).
+    [memcpy] here is the function that performs the actual data
+    movement in the Figure 2 write path. *)
+
+val component : unit -> Cubicle.Builder.component
+(** Exports: [memcpy(dst,src,len)] (returns [dst]), [memset(p,len,c)],
+    [memcmp(a,b,len)], [strnlen(p,max)]. *)

@@ -1,0 +1,268 @@
+open Cubicle
+
+module Frame = struct
+  type kind = Syn | Data | Fin
+
+  let kind_to_int = function Syn -> 0 | Data -> 1 | Fin -> 2
+  let kind_of_int = function
+    | 0 -> Syn
+    | 1 -> Data
+    | 2 -> Fin
+    | n -> invalid_arg (Printf.sprintf "Lwip.Frame: bad kind %d" n)
+
+  let encode ?(seq = 0) ~conn ~kind ~payload () =
+    let n = String.length payload in
+    if n > Sysdefs.mss then invalid_arg "Lwip.Frame.encode: payload exceeds MSS";
+    let b = Bytes.create (Sysdefs.frame_header + n) in
+    Bytes.set_int32_le b 0 (Int32.of_int conn);
+    Bytes.set_uint8 b 4 (kind_to_int kind);
+    Bytes.set_int32_le b 5 (Int32.of_int seq);
+    Bytes.set_uint16_le b 9 n;
+    Bytes.blit_string payload 0 b Sysdefs.frame_header n;
+    b
+
+  let decode b =
+    if Bytes.length b < Sysdefs.frame_header then invalid_arg "Lwip.Frame: short frame";
+    let conn = Int32.to_int (Bytes.get_int32_le b 0) in
+    let kind = kind_of_int (Bytes.get_uint8 b 4) in
+    let seq = Int32.to_int (Bytes.get_int32_le b 5) in
+    let len = Bytes.get_uint16_le b 9 in
+    if Bytes.length b <> Sysdefs.frame_header + len then
+      invalid_arg "Lwip.Frame: length mismatch";
+    (conn, kind, seq, Bytes.sub_string b Sysdefs.frame_header len)
+end
+
+(* Host-side in-order reassembly of sequenced data frames. *)
+module Reassembly = struct
+  type t = { parked : (int, string) Hashtbl.t; mutable next_seq : int; ready : Buffer.t }
+
+  let create () = { parked = Hashtbl.create 8; next_seq = 0; ready = Buffer.create 256 }
+
+  let push t ~seq payload =
+    if seq >= t.next_seq then Hashtbl.replace t.parked seq payload;
+    let rec drain () =
+      match Hashtbl.find_opt t.parked t.next_seq with
+      | Some p ->
+          Buffer.add_string t.ready p;
+          Hashtbl.remove t.parked t.next_seq;
+          t.next_seq <- t.next_seq + 1;
+          drain ()
+      | None -> ()
+    in
+    drain ()
+
+  let pop_ready t =
+    let s = Buffer.contents t.ready in
+    Buffer.clear t.ready;
+    s
+
+  let pending t = Hashtbl.length t.parked
+end
+
+(* A received segment held in an LWIP-owned pbuf page. *)
+type segment = { pbuf : int; mutable off : int; mutable len : int }
+
+type conn = {
+  id : int;
+  mutable rx : segment Queue.t;
+  parked : (int, segment) Hashtbl.t;  (* out-of-order segments by seq *)
+  mutable next_rx_seq : int;
+  mutable next_tx_seq : int;
+  mutable fin_seen : bool;
+  mutable closed : bool;
+  mutable unacked : int;  (* bytes sent since the last modelled ack *)
+}
+
+type state = {
+  mutable listening : bool;
+  conns : (int, conn) Hashtbl.t;
+  pending_accept : int Queue.t;
+  mutable netdev_cid : Types.cid;
+  mutable rx_staging : int;  (* page for incoming frames, windowed to NETDEV *)
+  mutable staging_wid : Types.wid;
+}
+
+(* Pull every pending frame out of NETDEV into per-connection segment
+   queues. Runs inside accept/recv/send, like lwIP's input pump. *)
+let pump state ctx =
+  let rec loop () =
+    let n = Api.call ctx "netdev_rx" [| state.rx_staging; Sysdefs.mtu |] in
+    if n > 0 then begin
+      let conn_id = Api.read_u32 ctx state.rx_staging in
+      let kind = Api.read_u8 ctx (state.rx_staging + 4) in
+      let seq = Api.read_u32 ctx (state.rx_staging + 5) in
+      let len = Api.read_u16 ctx (state.rx_staging + 9) in
+      (match kind with
+      | 0 (* syn *) ->
+          if state.listening && not (Hashtbl.mem state.conns conn_id) then begin
+            Hashtbl.replace state.conns conn_id
+              {
+                id = conn_id;
+                rx = Queue.create ();
+                parked = Hashtbl.create 8;
+                next_rx_seq = 0;
+                next_tx_seq = 0;
+                fin_seen = false;
+                closed = false;
+                unacked = 0;
+              };
+            Queue.push conn_id state.pending_accept
+          end
+      | 1 (* data *) -> (
+          match Hashtbl.find_opt state.conns conn_id with
+          | None -> ()
+          | Some c ->
+              (* copy payload into a fresh pbuf from ALLOC; deliver
+                 segments to the stream strictly in sequence order,
+                 parking anything that arrived early *)
+              if seq >= c.next_rx_seq && not (Hashtbl.mem c.parked seq) then begin
+                let pbuf = Api.call ctx "uk_palloc" [| 1 |] in
+                ignore
+                  (Api.call ctx "memcpy"
+                     [| pbuf; state.rx_staging + Sysdefs.frame_header; len |]);
+                Hashtbl.replace c.parked seq { pbuf; off = 0; len };
+                let rec deliver () =
+                  match Hashtbl.find_opt c.parked c.next_rx_seq with
+                  | Some seg ->
+                      Hashtbl.remove c.parked c.next_rx_seq;
+                      c.next_rx_seq <- c.next_rx_seq + 1;
+                      Queue.push seg c.rx;
+                      deliver ()
+                  | None -> ()
+                in
+                deliver ()
+              end)
+      | 2 (* fin *) -> (
+          match Hashtbl.find_opt state.conns conn_id with
+          | None -> ()
+          | Some c -> c.fin_seen <- true)
+      | _ -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let listen_fn state _ctx (_args : int array) =
+  state.listening <- true;
+  Sysdefs.ok
+
+let accept_fn state ctx (_args : int array) =
+  pump state ctx;
+  if Queue.is_empty state.pending_accept then Sysdefs.eagain
+  else Queue.pop state.pending_accept
+
+let recv_fn state ctx (args : int array) =
+  let conn_id = args.(0) and buf = args.(1) and maxlen = args.(2) in
+  pump state ctx;
+  match Hashtbl.find_opt state.conns conn_id with
+  | None -> Sysdefs.ebadf
+  | Some c ->
+      if Queue.is_empty c.rx then if c.fin_seen then Sysdefs.ebadf else 0
+      else begin
+        let seg = Queue.peek c.rx in
+        let n = min maxlen seg.len in
+        ignore (Api.call ctx "memcpy" [| buf; seg.pbuf + seg.off; n |]);
+        seg.off <- seg.off + n;
+        seg.len <- seg.len - n;
+        if seg.len = 0 then begin
+          ignore (Queue.pop c.rx);
+          ignore (Api.call ctx "uk_pfree" [| seg.pbuf |])
+        end;
+        n
+      end
+
+(* Send one segment: pbuf from ALLOC, header + payload copy, window it
+   to NETDEV, transmit, tear the window down, free the pbuf. *)
+let send_segment state ctx ~conn_id ~seq ~src ~len =
+  let pbuf = Api.call ctx "uk_palloc" [| 1 |] in
+  Api.write_u32 ctx pbuf conn_id;
+  Api.write_u8 ctx (pbuf + 4) 1;
+  Api.write_u32 ctx (pbuf + 5) seq;
+  Api.write_u16 ctx (pbuf + 9) len;
+  ignore (Api.call ctx "memcpy" [| pbuf + Sysdefs.frame_header; src; len |]);
+  let wid = Api.window_init ctx ~klass:Mm.Page_meta.Heap in
+  Api.window_add ctx wid ~ptr:pbuf ~size:Hw.Addr.page_size;
+  Api.window_open ctx wid state.netdev_cid;
+  let r = Api.call ctx "netdev_tx" [| pbuf; Sysdefs.frame_header + len |] in
+  Api.window_destroy ctx wid;
+  ignore (Api.call ctx "uk_pfree" [| pbuf |]);
+  r
+
+let send_fn state ctx (args : int array) =
+  let conn_id = args.(0) and buf = args.(1) and len = args.(2) in
+  pump state ctx;
+  match Hashtbl.find_opt state.conns conn_id with
+  | None -> Sysdefs.ebadf
+  | Some c ->
+      if c.closed then Sysdefs.ebadf
+      else begin
+        let rec loop sent =
+          if sent >= len then sent
+          else begin
+            let n = min Sysdefs.mss (len - sent) in
+            let seq = c.next_tx_seq in
+            c.next_tx_seq <- seq + 1;
+            (match send_segment state ctx ~conn_id ~seq ~src:(buf + sent) ~len:n with
+            | r when r < 0 -> Types.error "lwip: netdev_tx failed (%d)" r
+            | _ -> ());
+            c.unacked <- c.unacked + n;
+            if c.unacked >= Sysdefs.send_buffer then begin
+              (* send buffer full: stall for the ack round trip *)
+              Hw.Cost.charge (Monitor.cost ctx.Monitor.mon) Sysdefs.rtt_stall_cycles;
+              c.unacked <- 0
+            end;
+            loop (sent + n)
+          end
+        in
+        loop 0
+      end
+
+let close_fn state ctx (args : int array) =
+  match Hashtbl.find_opt state.conns args.(0) with
+  | None -> Sysdefs.ebadf
+  | Some c ->
+      c.closed <- true;
+      (* fin frame, via the staging buffer *)
+      Api.write_u32 ctx state.rx_staging args.(0);
+      Api.write_u8 ctx (state.rx_staging + 4) 2;
+      Api.write_u32 ctx (state.rx_staging + 5) c.next_tx_seq;
+      Api.write_u16 ctx (state.rx_staging + 9) 0;
+      ignore (Api.call ctx "netdev_tx" [| state.rx_staging; Sysdefs.frame_header |]);
+      Hashtbl.remove state.conns args.(0);
+      Sysdefs.ok
+
+let init state ctx =
+  state.netdev_cid <- Api.cid_of ctx "NETDEV";
+  state.rx_staging <- Api.alloc_pages ctx 1 ~kind:Mm.Page_meta.Heap;
+  (* standing window: NETDEV fills the staging page on netdev_rx and
+     reads fin frames from it on netdev_tx *)
+  state.staging_wid <- Api.window_init ctx ~klass:Mm.Page_meta.Heap;
+  Api.window_add ctx state.staging_wid ~ptr:state.rx_staging ~size:Hw.Addr.page_size;
+  Api.window_open ctx state.staging_wid state.netdev_cid
+
+let make () =
+  let state =
+    {
+      listening = false;
+      conns = Hashtbl.create 16;
+      pending_accept = Queue.create ();
+      netdev_cid = -1;
+      rx_staging = 0;
+      staging_wid = 0;
+    }
+  in
+  let comp =
+    Builder.component "LWIP" ~code_ops:2048 ~heap_pages:32 ~stack_pages:4
+      ~init:(init state)
+      ~exports:
+        [
+          { Monitor.sym = "lwip_listen"; fn = listen_fn state; stack_bytes = 0 };
+          { Monitor.sym = "lwip_accept"; fn = accept_fn state; stack_bytes = 0 };
+          { Monitor.sym = "lwip_recv"; fn = recv_fn state; stack_bytes = 0 };
+          { Monitor.sym = "lwip_send"; fn = send_fn state; stack_bytes = 0 };
+          { Monitor.sym = "lwip_close"; fn = close_fn state; stack_bytes = 0 };
+        ]
+  in
+  (state, comp)
+
+let connections state = Hashtbl.length state.conns

@@ -1,0 +1,52 @@
+(** The LWIP component: a TCP-lite stream stack over NETDEV.
+
+    Connections carry ordered byte streams segmented into MSS-sized
+    frames. Per-segment buffers (pbufs) are allocated page-granular
+    from the system-wide ALLOC (the paper's Figure 5 shows LWIP as the
+    heaviest ALLOC client), windowed to NETDEV for the device copy, and
+    freed after use — so in full-protection deployments every segment
+    pays allocation, window management and trap-and-map costs, which is
+    where NGINX's 2x large-transfer overhead comes from.
+
+    Transfers beyond the 64 KiB send buffer charge an ack round trip
+    ({!Sysdefs.rtt_stall_cycles}), bending the latency curve after
+    64 kB exactly as the paper's Figure 7 describes. *)
+
+type state
+
+val make : unit -> state * Cubicle.Builder.component
+(** Exports: [lwip_listen(port)], [lwip_accept()] → conn id or -EAGAIN,
+    [lwip_recv(conn,buf,maxlen)] → n (0 = nothing pending, -EBADF on
+    closed+drained), [lwip_send(conn,buf,len)] → n,
+    [lwip_close(conn)]. *)
+
+(** {1 Host-side frame protocol (used by test clients / siege)} *)
+
+module Frame : sig
+  type kind = Syn | Data | Fin
+
+  val encode : ?seq:int -> conn:int -> kind:kind -> payload:string -> unit -> bytes
+  (** Data frames carry a per-connection sequence number; the stack
+      delivers segments to the stream strictly in order, parking
+      out-of-order arrivals. *)
+
+  val decode : bytes -> int * kind * int * string
+  (** (connection, kind, sequence, payload); raises [Invalid_argument]
+      on malformed frames. *)
+end
+
+(** Host-side in-order reassembly of sequenced data frames (used by
+    test clients and siege). *)
+module Reassembly : sig
+  type t
+
+  val create : unit -> t
+  val push : t -> seq:int -> string -> unit
+  val pop_ready : t -> string
+  (** The consecutive bytes accumulated so far (consumed). *)
+
+  val pending : t -> int
+  (** Frames parked waiting for a gap to fill. *)
+end
+
+val connections : state -> int

@@ -1,0 +1,78 @@
+open Cubicle
+
+type state = {
+  host_to_dev : bytes Queue.t;
+  dev_to_host : bytes Queue.t;
+  mutable ring_base : int;  (* one page used as the DMA staging slot *)
+  mutable tx_frames : int;
+  mutable rx_frames : int;
+}
+
+let charge_frame ctx =
+  Hw.Cost.charge (Monitor.cost ctx.Monitor.mon) Sysdefs.nic_frame_cycles
+
+let tx_fn state ctx (args : int array) =
+  let buf = args.(0) and len = args.(1) in
+  if len <= 0 || len > Sysdefs.mtu then Sysdefs.einval
+  else begin
+    (* caller buffer -> ring slot (checked: needs the caller's window),
+       then the "DMA engine" moves the slot out to the wire. *)
+    Api.memcpy ctx ~dst:state.ring_base ~src:buf ~len;
+    let frame = Hw.Cpu.priv_read_bytes ctx.Monitor.cpu state.ring_base len in
+    Queue.push frame state.dev_to_host;
+    charge_frame ctx;
+    state.tx_frames <- state.tx_frames + 1;
+    Sysdefs.ok
+  end
+
+let rx_fn state ctx (args : int array) =
+  let buf = args.(0) and maxlen = args.(1) in
+  if Queue.is_empty state.host_to_dev then 0
+  else begin
+    let frame = Queue.pop state.host_to_dev in
+    let len = Bytes.length frame in
+    if len > maxlen then Sysdefs.einval
+    else begin
+      (* wire -> ring slot (DMA), then ring slot -> caller buffer *)
+      Hw.Cpu.priv_write_bytes ctx.Monitor.cpu state.ring_base frame;
+      Api.memcpy ctx ~dst:buf ~src:state.ring_base ~len;
+      charge_frame ctx;
+      state.rx_frames <- state.rx_frames + 1;
+      len
+    end
+  end
+
+let init state ctx = state.ring_base <- Api.alloc_pages ctx 1 ~kind:Mm.Page_meta.Heap
+
+let make () =
+  let state =
+    {
+      host_to_dev = Queue.create ();
+      dev_to_host = Queue.create ();
+      ring_base = 0;
+      tx_frames = 0;
+      rx_frames = 0;
+    }
+  in
+  let comp =
+    Builder.component "NETDEV" ~code_ops:640 ~heap_pages:4 ~stack_pages:2
+      ~init:(init state)
+      ~exports:
+        [
+          { Monitor.sym = "netdev_tx"; fn = tx_fn state; stack_bytes = 0 };
+          { Monitor.sym = "netdev_rx"; fn = rx_fn state; stack_bytes = 0 };
+        ]
+  in
+  (state, comp)
+
+let host_inject state frame = Queue.push frame state.host_to_dev
+
+let host_collect state =
+  let acc = ref [] in
+  while not (Queue.is_empty state.dev_to_host) do
+    acc := Queue.pop state.dev_to_host :: !acc
+  done;
+  List.rev !acc
+
+let tx_frames state = state.tx_frames
+let rx_frames state = state.rx_frames

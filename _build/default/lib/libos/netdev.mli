@@ -1,0 +1,25 @@
+(** The NETDEV component: a ring-buffer network device.
+
+    Device-side, frames pass through ring slots owned by the NETDEV
+    cubicle; callers exchange frame payloads with NETDEV through
+    checked copies (so the caller must window its frame buffers to
+    NETDEV). Host-side, a bridge injects and collects raw frames with
+    DMA-like privileged access, standing in for the wire. Each frame
+    movement charges {!Sysdefs.nic_frame_cycles}. *)
+
+type state
+
+val make : unit -> state * Cubicle.Builder.component
+(** Exports: [netdev_tx(buf,len)] → 0, [netdev_rx(buf,maxlen)] →
+    received length or 0 when no frame is pending. *)
+
+(** {1 Host bridge (the wire; trusted, outside the cubicle system)} *)
+
+val host_inject : state -> bytes -> unit
+(** Queue a frame for the device to receive. *)
+
+val host_collect : state -> bytes list
+(** Drain all frames the device has transmitted (oldest first). *)
+
+val tx_frames : state -> int
+val rx_frames : state -> int

@@ -1,0 +1,44 @@
+open Cubicle
+
+type state = {
+  console : Buffer.t;
+  echo : bool;
+  mutable rand_state : int;
+  mutable halted : bool;
+}
+
+let putc_fn state _ctx (args : int array) =
+  let c = Char.chr (args.(0) land 0xFF) in
+  Buffer.add_char state.console c;
+  if state.echo then print_char c;
+  0
+
+let rand_fn state _ctx _ =
+  (* xorshift: deterministic so benchmark runs are reproducible *)
+  let x = state.rand_state in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  state.rand_state <- x land max_int;
+  state.rand_state land 0x3FFFFFFF
+
+let halt_fn state _ctx _ =
+  state.halted <- true;
+  0
+
+let make ?(echo = false) () =
+  let state = { console = Buffer.create 256; echo; rand_state = 0x2545F491; halted = false } in
+  let comp =
+    Builder.component "PLAT" ~code_ops:512 ~heap_pages:2 ~stack_pages:2
+      ~exports:
+        [
+          { Monitor.sym = "plat_putc"; fn = putc_fn state; stack_bytes = 0 };
+          { Monitor.sym = "plat_rand"; fn = rand_fn state; stack_bytes = 0 };
+          { Monitor.sym = "plat_halt"; fn = halt_fn state; stack_bytes = 0 };
+        ]
+  in
+  (state, comp)
+
+let console_contents state = Buffer.contents state.console
+let clear_console state = Buffer.clear state.console
+let halted state = state.halted

@@ -1,0 +1,182 @@
+open Cubicle
+
+let chunk_size = Hw.Addr.page_size
+
+type file = {
+  ino : int;
+  mutable name : string;
+  mutable size : int;
+  mutable chunks : int array;  (* page addresses; 0 = not yet allocated *)
+}
+
+type state = {
+  by_name : (string, file) Hashtbl.t;
+  by_ino : (int, file) Hashtbl.t;
+  mutable next_ino : int;
+}
+
+let read_path ctx ptr len = Api.read_string ctx ptr len
+
+let ensure_chunks state ctx file n =
+  ignore state;
+  if Array.length file.chunks < n then begin
+    let chunks = Array.make n 0 in
+    Array.blit file.chunks 0 chunks 0 (Array.length file.chunks);
+    file.chunks <- chunks
+  end;
+  for i = 0 to n - 1 do
+    if file.chunks.(i) = 0 then
+      file.chunks.(i) <- Api.call ctx "uk_palloc" [| 1 |]
+  done
+
+let lookup_fn state ctx (args : int array) =
+  let path = read_path ctx args.(0) args.(1) in
+  match Hashtbl.find_opt state.by_name path with
+  | Some f -> f.ino
+  | None -> Sysdefs.enoent
+
+let create_fn state ctx (args : int array) =
+  let path = read_path ctx args.(0) args.(1) in
+  match Hashtbl.find_opt state.by_name path with
+  | Some _ -> Sysdefs.eexist
+  | None ->
+      let ino = state.next_ino in
+      state.next_ino <- ino + 1;
+      let f = { ino; name = path; size = 0; chunks = [||] } in
+      Hashtbl.replace state.by_name path f;
+      Hashtbl.replace state.by_ino ino f;
+      ino
+
+let with_ino state ino f =
+  match Hashtbl.find_opt state.by_ino ino with None -> Sysdefs.ebadf | Some file -> f file
+
+(* Copy [len] bytes between a caller buffer and file chunks, one chunk
+   piece at a time, through the shared-cubicle memcpy. *)
+let chunk_io state ctx file ~buf ~len ~off ~write =
+  if write then ensure_chunks state ctx file ((off + len + chunk_size - 1) / chunk_size);
+  let rec step done_ =
+    if done_ >= len then done_
+    else begin
+      let pos = off + done_ in
+      let ci = pos / chunk_size and coff = pos mod chunk_size in
+      let n = min (len - done_) (chunk_size - coff) in
+      if write then
+        ignore (Api.call ctx "memcpy" [| file.chunks.(ci) + coff; buf + done_; n |])
+      else if ci < Array.length file.chunks && file.chunks.(ci) <> 0 then
+        ignore (Api.call ctx "memcpy" [| buf + done_; file.chunks.(ci) + coff; n |])
+      else
+        (* sparse hole: read as zeroes *)
+        ignore (Api.call ctx "memset" [| buf + done_; n; 0 |]);
+      step (done_ + n)
+    end
+  in
+  step 0
+
+(* pread/pwrite receive an io descriptor (in the VFS's staging window)
+   plus the data buffer pointer (in the application's window). *)
+let read_iodesc ctx desc =
+  let ino = Api.read_u32 ctx desc in
+  let len = Api.read_u32 ctx (desc + 4) in
+  let off = Int64.to_int (Api.read_i64 ctx (desc + 8)) in
+  (ino, len, off)
+
+let pread_fn state ctx (args : int array) =
+  let ino, len, off = read_iodesc ctx args.(0) in
+  with_ino state ino (fun file ->
+      let buf = args.(1) in
+      if off >= file.size then 0
+      else
+        let len = min len (file.size - off) in
+        chunk_io state ctx file ~buf ~len ~off ~write:false)
+
+let pwrite_fn state ctx (args : int array) =
+  let ino, len, off = read_iodesc ctx args.(0) in
+  with_ino state ino (fun file ->
+      let buf = args.(1) in
+      let n = chunk_io state ctx file ~buf ~len ~off ~write:true in
+      file.size <- max file.size (off + n);
+      n)
+
+let size_fn state _ctx (args : int array) = with_ino state args.(0) (fun f -> f.size)
+
+let truncate_fn state ctx (args : int array) =
+  with_ino state args.(0) (fun file ->
+      let new_size = args.(1) in
+      if new_size < file.size then begin
+        (* free now-unused whole chunks *)
+        let keep = (new_size + chunk_size - 1) / chunk_size in
+        Array.iteri
+          (fun i addr ->
+            if i >= keep && addr <> 0 then begin
+              ignore (Api.call ctx "uk_pfree" [| addr |]);
+              file.chunks.(i) <- 0
+            end)
+          file.chunks;
+        (* zero the tail of the boundary chunk so a later extension
+           reads zeroes, not stale bytes (POSIX truncate semantics) *)
+        let coff = new_size mod chunk_size in
+        if coff > 0 && keep >= 1 && file.chunks.(keep - 1) <> 0 then
+          ignore
+            (Api.call ctx "memset" [| file.chunks.(keep - 1) + coff; chunk_size - coff; 0 |])
+      end;
+      file.size <- new_size;
+      Sysdefs.ok)
+
+let fsync_fn _state ctx (_args : int array) =
+  Hw.Cost.charge (Monitor.cost ctx.Monitor.mon) Sysdefs.fsync_cycles;
+  Sysdefs.ok
+
+let unlink_fn state ctx (args : int array) =
+  let path = read_path ctx args.(0) args.(1) in
+  match Hashtbl.find_opt state.by_name path with
+  | None -> Sysdefs.enoent
+  | Some file ->
+      Array.iter (fun addr -> if addr <> 0 then ignore (Api.call ctx "uk_pfree" [| addr |])) file.chunks;
+      Hashtbl.remove state.by_name path;
+      Hashtbl.remove state.by_ino file.ino;
+      Sysdefs.ok
+
+let rename_fn state ctx (args : int array) =
+  let old_path = read_path ctx args.(0) args.(1) in
+  let new_path = read_path ctx args.(2) args.(3) in
+  match Hashtbl.find_opt state.by_name old_path with
+  | None -> Sysdefs.enoent
+  | Some file ->
+      (match Hashtbl.find_opt state.by_name new_path with
+      | Some target when target.ino <> file.ino ->
+          (* rename over an existing file replaces it *)
+          Array.iter
+            (fun addr -> if addr <> 0 then ignore (Api.call ctx "uk_pfree" [| addr |]))
+            target.chunks;
+          Hashtbl.remove state.by_ino target.ino
+      | _ -> ());
+      Hashtbl.remove state.by_name old_path;
+      file.name <- new_path;
+      Hashtbl.replace state.by_name new_path file;
+      Sysdefs.ok
+
+let init _state ctx =
+  (* fill in VFSCORE's callback table, interposed through trampolines *)
+  ignore (Api.call ctx "vfs_register_backend" [| 1 |])
+
+let make () =
+  let state = { by_name = Hashtbl.create 64; by_ino = Hashtbl.create 64; next_ino = 1 } in
+  let comp =
+    Builder.component "RAMFS" ~code_ops:768 ~heap_pages:8 ~stack_pages:4 ~init:(init state)
+      ~exports:
+        [
+          { Monitor.sym = "ramfs_lookup"; fn = lookup_fn state; stack_bytes = 0 };
+          { Monitor.sym = "ramfs_create"; fn = create_fn state; stack_bytes = 0 };
+          { Monitor.sym = "ramfs_pread"; fn = pread_fn state; stack_bytes = 0 };
+          { Monitor.sym = "ramfs_pwrite"; fn = pwrite_fn state; stack_bytes = 0 };
+          { Monitor.sym = "ramfs_size"; fn = size_fn state; stack_bytes = 0 };
+          { Monitor.sym = "ramfs_truncate"; fn = truncate_fn state; stack_bytes = 0 };
+          { Monitor.sym = "ramfs_fsync"; fn = fsync_fn state; stack_bytes = 0 };
+          { Monitor.sym = "ramfs_unlink"; fn = unlink_fn state; stack_bytes = 0 };
+          { Monitor.sym = "ramfs_rename"; fn = rename_fn state; stack_bytes = 16 };
+        ]
+  in
+  (state, comp)
+
+let file_count state = Hashtbl.length state.by_name
+let total_bytes state = Hashtbl.fold (fun _ f acc -> acc + f.size) state.by_ino 0

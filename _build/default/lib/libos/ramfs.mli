@@ -1,0 +1,20 @@
+(** The RAMFS component: an in-memory file system backend.
+
+    File contents live in page-sized chunks owned by the RAMFS cubicle
+    (allocated through the system-wide ALLOC component — coarse-grained
+    allocations, as in the paper's SQLite deployment). Data moves
+    between caller buffers and chunks via the shared-cubicle [memcpy],
+    which executes with RAMFS's privileges, so reads/writes of caller
+    buffers are authorised by the caller's open windows, and first
+    touches of each page go through trap-and-map. *)
+
+type state
+
+val make : unit -> state * Cubicle.Builder.component
+(** Exports (the fs_ops callback table registered with VFSCORE):
+    [ramfs_lookup], [ramfs_create], [ramfs_pread], [ramfs_pwrite],
+    [ramfs_size], [ramfs_truncate], [ramfs_fsync], [ramfs_unlink],
+    [ramfs_rename]. *)
+
+val file_count : state -> int
+val total_bytes : state -> int

@@ -1,0 +1,79 @@
+open Cubicle
+
+type _ Effect.t += Yield : unit Effect.t
+
+type tid = int
+
+type thread = {
+  tid : tid;
+  cid : Types.cid;
+  body : unit -> unit;  (* used only for the first slice *)
+}
+
+type runnable =
+  | Fresh of thread
+  | Resumed of thread * (unit, unit) Effect.Deep.continuation
+
+type t = {
+  mon : Monitor.t;
+  queue : runnable Queue.t;
+  mutable next_tid : int;
+  mutable switches : int;
+  mutable running : bool;
+}
+
+let create mon =
+  { mon; queue = Queue.create (); next_tid = 1; switches = 0; running = false }
+
+let spawn t cid body =
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  Queue.push (Fresh { tid; cid; body }) t.queue;
+  tid
+
+let current_scheduler : t option ref = ref None
+
+let yield () =
+  match !current_scheduler with
+  | Some _ -> Effect.perform Yield
+  | None -> invalid_arg "Sched.yield: not inside a scheduler thread"
+
+(* Run one slice of a thread under its cubicle's PKRU; a Yield effect
+   parks the continuation back on the queue. *)
+let slice t runnable =
+  let thread = match runnable with Fresh th | Resumed (th, _) -> th in
+  t.switches <- t.switches + 1;
+  Monitor.run_as t.mon thread.cid (fun () ->
+      match runnable with
+      | Fresh th ->
+          Effect.Deep.match_with th.body ()
+            {
+              retc = (fun () -> ());
+              exnc = raise;
+              effc =
+                (fun (type a) (eff : a Effect.t) ->
+                  match eff with
+                  | Yield ->
+                      Some
+                        (fun (k : (a, unit) Effect.Deep.continuation) ->
+                          Queue.push (Resumed (th, k)) t.queue)
+                  | _ -> None);
+            }
+      | Resumed (_, k) -> Effect.Deep.continue k ())
+
+let run t =
+  if t.running then invalid_arg "Sched.run: scheduler is already running";
+  t.running <- true;
+  let saved = !current_scheduler in
+  current_scheduler := Some t;
+  Fun.protect
+    ~finally:(fun () ->
+      current_scheduler := saved;
+      t.running <- false)
+    (fun () ->
+      while not (Queue.is_empty t.queue) do
+        slice t (Queue.pop t.queue)
+      done)
+
+let alive t = Queue.length t.queue
+let context_switches t = t.switches

@@ -1,0 +1,33 @@
+(** UKSCHED: a cooperative scheduler multiplexing user-level threads
+    onto the single hardware thread — Unikraft's threading model, which
+    the paper inherits (§8: "user-level threads are multiplexed onto a
+    single host thread").
+
+    Every thread belongs to a cubicle; the scheduler enters the
+    thread's cubicle ({!Cubicle.Monitor.run_as}) around every slice, so
+    each user-level thread runs under its own PKRU view — the
+    per-thread access permissions MPK provides (§2.2). Yielding
+    suspends the thread via an OCaml effect and re-enqueues it
+    round-robin. *)
+
+type t
+type tid = int
+
+val create : Cubicle.Monitor.t -> t
+
+val spawn : t -> Cubicle.Types.cid -> (unit -> unit) -> tid
+(** Queue a thread that will run inside the given cubicle. *)
+
+val yield : unit -> unit
+(** Inside a thread: give up the processor (round-robin). Calling it
+    outside a scheduler thread raises [Invalid_argument]. *)
+
+val run : t -> unit
+(** Run until every thread has finished. A thread that raises stops the
+    scheduler with its exception after the remaining threads are
+    parked back in the queue. *)
+
+val alive : t -> int
+(** Threads not yet finished. *)
+
+val context_switches : t -> int

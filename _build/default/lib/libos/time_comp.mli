@@ -1,0 +1,6 @@
+(** The TIME component: monotonic clock derived from the simulated
+    cycle counter (2.2 GHz, matching the paper's testbed). *)
+
+val component : unit -> Cubicle.Builder.component
+(** Exports: [uk_time_ns()] → monotonic nanoseconds,
+    [uk_time_cycles()] → raw cycle count. *)

@@ -1,0 +1,157 @@
+open Cubicle
+
+type backend = { prefix : string; cid : Types.cid }
+
+type open_file = { ino : int }
+
+type state = {
+  mutable backend : backend option;
+  fds : (int, open_file) Hashtbl.t;
+  mutable next_fd : int;
+  mutable path_buf : int;  (* two half-page staging slots *)
+  mutable path_wid : Types.wid;
+}
+
+let backend_exn state =
+  match state.backend with
+  | Some b -> b
+  | None -> Types.error "vfscore: no file system backend registered"
+
+(* Copy a path from the caller's memory into one of VFSCORE's staging
+   slots (slot 0 or 1), returning its address. The staging page is
+   permanently windowed to the backend. *)
+let stage_path state ctx ~slot ~ptr ~len =
+  if len <= 0 || len > 2040 then Types.error "vfscore: bad path length %d" len;
+  let dst = state.path_buf + (slot * 2048) in
+  Api.memcpy ctx ~dst ~src:ptr ~len;
+  dst
+
+let bsym state suffix = (backend_exn state).prefix ^ "_" ^ suffix
+
+(* The linuxu-platform inefficiency of the library OS (paper Fig. 10a:
+   Unikraft alone is ~2.8x slower than native Linux): every VFS
+   operation crosses the user-level platform layer. Applies to all
+   Unikraft-based configurations, including CubicleOS. *)
+let charge_platform (ctx : Monitor.ctx) =
+  Hw.Cost.charge (Monitor.cost ctx.mon) (Monitor.cost ctx.mon).model.unikraft_op
+
+let wrap fn state ctx args =
+  charge_platform ctx;
+  fn state ctx args
+
+let register_backend_fn state ctx (args : int array) =
+  let prefix =
+    match args.(0) with
+    | 1 -> "ramfs"
+    | 2 -> "fatfs"
+    | tag -> Types.error "vfscore: unknown backend tag %d" tag
+  in
+  state.backend <- Some { prefix; cid = ctx.Monitor.caller };
+  (* Grant the backend standing access to the path staging buffer —
+     unless it lives in this very cubicle (merged deployments). *)
+  if ctx.Monitor.caller <> ctx.Monitor.self then
+    Api.window_open ctx state.path_wid ctx.Monitor.caller;
+  Sysdefs.ok
+
+let backend_cid_fn state _ctx _ = (backend_exn state).cid
+
+let lookup state ctx ~ptr ~len =
+  let path = stage_path state ctx ~slot:0 ~ptr ~len in
+  Api.call ctx (bsym state "lookup") [| path; len |]
+
+let open_fn state ctx (args : int array) =
+  let ptr = args.(0) and len = args.(1) and flags = args.(2) in
+  let ino = lookup state ctx ~ptr ~len in
+  let ino =
+    if ino >= 0 then ino
+    else if flags land 1 = 1 then
+      let path = stage_path state ctx ~slot:0 ~ptr ~len in
+      Api.call ctx (bsym state "create") [| path; len |]
+    else Sysdefs.enoent
+  in
+  if ino < 0 then ino
+  else begin
+    let fd = state.next_fd in
+    state.next_fd <- state.next_fd + 1;
+    Hashtbl.replace state.fds fd { ino };
+    fd
+  end
+
+let with_fd state fd f =
+  match Hashtbl.find_opt state.fds fd with None -> Sysdefs.ebadf | Some o -> f o
+
+let close_fn state _ctx (args : int array) =
+  if Hashtbl.mem state.fds args.(0) then begin
+    Hashtbl.remove state.fds args.(0);
+    Sysdefs.ok
+  end
+  else Sysdefs.ebadf
+
+(* Data operations hand the backend an io descriptor (struct uio style,
+   as Unikraft's vfscore does) through the staging window; the data
+   buffer itself is passed through zero-copy. *)
+let stage_iodesc state ctx ~ino ~len ~off =
+  let desc = state.path_buf + 1024 in
+  Api.write_u32 ctx desc ino;
+  Api.write_u32 ctx (desc + 4) len;
+  Api.write_i64 ctx (desc + 8) (Int64.of_int off);
+  desc
+
+let pread_fn state ctx (args : int array) =
+  with_fd state args.(0) (fun o ->
+      let desc = stage_iodesc state ctx ~ino:o.ino ~len:args.(2) ~off:args.(3) in
+      Api.call ctx (bsym state "pread") [| desc; args.(1) |])
+
+let pwrite_fn state ctx (args : int array) =
+  with_fd state args.(0) (fun o ->
+      let desc = stage_iodesc state ctx ~ino:o.ino ~len:args.(2) ~off:args.(3) in
+      Api.call ctx (bsym state "pwrite") [| desc; args.(1) |])
+
+let size_fn state ctx (args : int array) =
+  with_fd state args.(0) (fun o -> Api.call ctx (bsym state "size") [| o.ino |])
+
+let truncate_fn state ctx (args : int array) =
+  with_fd state args.(0) (fun o ->
+      Api.call ctx (bsym state "truncate") [| o.ino; args.(1) |])
+
+let fsync_fn state ctx (args : int array) =
+  with_fd state args.(0) (fun o -> Api.call ctx (bsym state "fsync") [| o.ino |])
+
+let unlink_fn state ctx (args : int array) =
+  let path = stage_path state ctx ~slot:0 ~ptr:args.(0) ~len:args.(1) in
+  Api.call ctx (bsym state "unlink") [| path; args.(1) |]
+
+let exists_fn state ctx (args : int array) =
+  if lookup state ctx ~ptr:args.(0) ~len:args.(1) >= 0 then 1 else 0
+
+let rename_fn state ctx (args : int array) =
+  let old_path = stage_path state ctx ~slot:0 ~ptr:args.(0) ~len:args.(1) in
+  let new_path = stage_path state ctx ~slot:1 ~ptr:args.(2) ~len:args.(3) in
+  Api.call ctx (bsym state "rename") [| old_path; args.(1); new_path; args.(3) |]
+
+let init state ctx =
+  state.path_buf <- Api.malloc_page_aligned ctx 4096;
+  state.path_wid <- Api.window_init ctx ~klass:Mm.Page_meta.Heap;
+  Api.window_add ctx state.path_wid ~ptr:state.path_buf ~size:4096
+
+let component () =
+  let state =
+    { backend = None; fds = Hashtbl.create 32; next_fd = 3; path_buf = 0; path_wid = 0 }
+  in
+  Builder.component "VFSCORE" ~code_ops:1024 ~heap_pages:8 ~stack_pages:4
+    ~init:(init state)
+    ~exports:
+      [
+        { Monitor.sym = "vfs_register_backend"; fn = register_backend_fn state; stack_bytes = 0 };
+        { Monitor.sym = "vfs_backend_cid"; fn = backend_cid_fn state; stack_bytes = 0 };
+        { Monitor.sym = "vfs_open"; fn = wrap open_fn state; stack_bytes = 0 };
+        { Monitor.sym = "vfs_close"; fn = wrap close_fn state; stack_bytes = 0 };
+        { Monitor.sym = "vfs_pread"; fn = wrap pread_fn state; stack_bytes = 0 };
+        { Monitor.sym = "vfs_pwrite"; fn = wrap pwrite_fn state; stack_bytes = 0 };
+        { Monitor.sym = "vfs_size"; fn = wrap size_fn state; stack_bytes = 0 };
+        { Monitor.sym = "vfs_truncate"; fn = wrap truncate_fn state; stack_bytes = 0 };
+        { Monitor.sym = "vfs_fsync"; fn = wrap fsync_fn state; stack_bytes = 0 };
+        { Monitor.sym = "vfs_unlink"; fn = wrap unlink_fn state; stack_bytes = 0 };
+        { Monitor.sym = "vfs_exists"; fn = wrap exists_fn state; stack_bytes = 0 };
+        { Monitor.sym = "vfs_rename"; fn = wrap rename_fn state; stack_bytes = 16 };
+      ]

@@ -1,0 +1,30 @@
+(** The VFSCORE component: virtual file system layer.
+
+    Holds the file-descriptor table and dispatches to a file system
+    backend through a callback table filled in at initialisation time —
+    resolved as dynamic symbols so that every backend call transits a
+    cross-cubicle trampoline, exactly the interposition trick CubicleOS
+    plays on Unikraft (paper §5.2 item 2).
+
+    Path strings arrive in the {e caller's} memory (the caller must
+    have windowed them to VFSCORE); VFSCORE copies each path into its
+    own page-aligned staging buffer, which it keeps permanently
+    windowed to the backend — its only long-lived window. Data buffers
+    are passed through to the backend {e zero-copy}: VFSCORE never
+    touches their bytes, and the calling application must have opened
+    its buffer window for both VFSCORE's and the backend's cubicles
+    ahead of the call (the paper's rule for nested calls, §5.6). *)
+
+val component : unit -> Cubicle.Builder.component
+(** Exports:
+    - [vfs_register_backend(tag)] — backend self-registration
+      (tag 1 = "ramfs" symbol prefix); the caller's cubicle id is
+      recorded from the trampoline;
+    - [vfs_backend_cid()] — for applications to open data windows;
+    - [vfs_open(path,len,flags)] → fd (flags bit0 = create),
+      [vfs_close(fd)],
+      [vfs_pread(fd,buf,len,off)] / [vfs_pwrite(fd,buf,len,off)] → n,
+      [vfs_size(fd)], [vfs_truncate(fd,size)], [vfs_fsync(fd)],
+      [vfs_unlink(path,len)], [vfs_exists(path,len)],
+      [vfs_rename(old,olen,new,nlen)].
+    Errors are negative errno values from {!Sysdefs}. *)

@@ -1,0 +1,1 @@
+lib/minidb/btree.ml: Api Array Buffer Bytes Char Cubicle Int32 Int64 Pager String Types

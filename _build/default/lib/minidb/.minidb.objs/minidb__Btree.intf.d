@@ -1,0 +1,1 @@
+lib/minidb/btree.mli: Pager

@@ -1,0 +1,1 @@
+lib/minidb/db.ml: Api Btree Buffer Bytes Char Cubicle Format Int32 Int64 List Option Pager Record String Types

@@ -1,0 +1,1 @@
+lib/minidb/db.mli: Os_iface Pager Record

@@ -1,0 +1,1 @@
+lib/minidb/os_iface.ml: Bytes Cubicle Hashtbl Hw Libos Monitor

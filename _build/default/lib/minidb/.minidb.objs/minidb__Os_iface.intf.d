@@ -1,0 +1,1 @@
+lib/minidb/os_iface.mli: Cubicle Libos

@@ -1,0 +1,1 @@
+lib/minidb/pager.ml: Api Cubicle Fun Hashtbl List Os_iface Types

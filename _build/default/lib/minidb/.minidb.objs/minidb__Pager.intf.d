@@ -1,0 +1,1 @@
+lib/minidb/pager.mli: Cubicle Os_iface

@@ -1,0 +1,1 @@
+lib/minidb/record.ml: Buffer Char Format Int32 Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/minidb/speedtest.ml: Api Char Cubicle Db Hashtbl Int64 List Monitor Option Pager Printf Record String Types

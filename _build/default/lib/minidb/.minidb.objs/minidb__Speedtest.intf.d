@@ -1,0 +1,1 @@
+lib/minidb/speedtest.mli: Os_iface

@@ -1,0 +1,1 @@
+lib/minidb/sql.ml: Buffer Cubicle Db Format Hashtbl Int64 List Printf Record String Types

@@ -1,0 +1,29 @@
+(** The OS interface the database engine runs on.
+
+    The engine is written against this record so the same code runs on
+    every deployment the paper evaluates:
+    - {!cubicleos}: through {!Libos.Fileio} (windows + trampolines into
+      VFSCORE/RAMFS) — all four protection levels;
+    - {!linux}: a host-Linux model — an OCaml-side file table, with a
+      syscall charge and the same checked data movement into the
+      caller's buffers (the Figure 10a baseline);
+    - the microkernel/Genode RPC variants live in [lib/ukernel]. *)
+
+type t = {
+  ctx : Cubicle.Monitor.ctx;  (** the application cubicle's context *)
+  open_file : string -> create:bool -> int;
+  close_file : int -> int;
+  pread : fd:int -> buf:int -> len:int -> off:int -> int;
+  pwrite : fd:int -> buf:int -> len:int -> off:int -> int;
+  file_size : int -> int;
+  truncate : fd:int -> size:int -> int;
+  fsync : int -> int;
+  unlink : string -> int;
+  exists : string -> bool;
+  rename : old_name:string -> new_name:string -> int;
+}
+
+val cubicleos : Libos.Fileio.t -> t
+
+val linux : Cubicle.Monitor.ctx -> t
+(** Fresh private file namespace per call. *)

@@ -1,0 +1,391 @@
+open Cubicle
+
+let page_size = 4096
+
+type journal_mode = Rollback | Wal
+
+let wal_record = 4 + page_size  (* [pageno u32][page data] *)
+let wal_autocheckpoint = 1000  (* records *)
+
+type frame = {
+  addr : int;
+  mutable pageno : int;
+  mutable dirty : bool;
+  mutable last_used : int;
+  mutable pins : int;
+}
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable page_reads : int;
+  mutable page_writes : int;
+  mutable commits : int;
+  mutable rollbacks : int;
+}
+
+type t = {
+  os : Os_iface.t;
+  path : string;
+  journal_path : string;
+  mode : journal_mode;
+  mutable wal_fd : int;
+  wal_path : string;
+  wal_index : (int, int) Hashtbl.t;  (* pageno -> offset of newest wal copy *)
+  mutable wal_off : int;  (* append cursor *)
+  mutable txn_wal_start : int;
+  fd : int;
+  cache_pages : int;
+  frames : (int, frame) Hashtbl.t;  (* pageno -> frame *)
+  mutable free_frames : int list;  (* spare buffers *)
+  mutable allocated_frames : int;
+  mutable tick : int;
+  mutable npages : int;
+  mutable txn : bool;
+  journaled : (int, unit) Hashtbl.t;
+  mutable jfd : int;
+  mutable joff : int;
+  mutable txn_orig_npages : int;
+  scratch : int;  (* small buffer for journal record headers *)
+  st : stats;
+}
+
+let stats t = t.st
+let page_count t = t.npages
+let in_txn t = t.txn
+let ctx t = t.os.Os_iface.ctx
+let journal_mode t = t.mode
+let wal_pages t = t.wal_off / wal_record
+
+let open_db ?(cache_pages = 64) ?(journal_mode = Rollback) (os : Os_iface.t) ~path =
+  let fd = os.open_file path ~create:true in
+  if fd < 0 then Types.error "pager: cannot open %s (%d)" path fd;
+  let size = os.file_size fd in
+  let scratch = Api.malloc_page_aligned os.ctx 64 in
+  let wal_path = path ^ "-wal" in
+  let wal_fd, wal_off, wal_index, wal_max_page =
+    match journal_mode with
+    | Rollback -> (-1, 0, Hashtbl.create 1, -1)
+    | Wal ->
+        let wfd = os.open_file wal_path ~create:true in
+        if wfd < 0 then Types.error "pager: cannot open WAL (%d)" wfd;
+        (* recover: rebuild the index from any records left behind *)
+        let index = Hashtbl.create 64 in
+        let wsize = os.file_size wfd in
+        let max_page = ref (-1) in
+        let off = ref 0 in
+        while !off + wal_record <= wsize do
+          let n = os.pread ~fd:wfd ~buf:scratch ~len:4 ~off:!off in
+          if n <> 4 then Types.error "pager: corrupt WAL header";
+          let pageno = Api.read_u32 os.ctx scratch in
+          Hashtbl.replace index pageno !off;
+          if pageno > !max_page then max_page := pageno;
+          off := !off + wal_record
+        done;
+        (wfd, !off, index, !max_page)
+  in
+  {
+    os;
+    path;
+    journal_path = path ^ "-journal";
+    mode = journal_mode;
+    wal_fd;
+    wal_path;
+    wal_index;
+    wal_off;
+    txn_wal_start = 0;
+    fd;
+    cache_pages = max 4 cache_pages;
+    frames = Hashtbl.create 128;
+    free_frames = [];
+    allocated_frames = 0;
+    tick = 0;
+    npages = max ((size + page_size - 1) / page_size) (wal_max_page + 1);
+    txn = false;
+    journaled = Hashtbl.create 64;
+    jfd = -1;
+    joff = 0;
+    txn_orig_npages = 0;
+    scratch;
+    st =
+      {
+        hits = 0;
+        misses = 0;
+        evictions = 0;
+        page_reads = 0;
+        page_writes = 0;
+        commits = 0;
+        rollbacks = 0;
+      };
+  }
+
+let check_pageno t pageno =
+  if pageno < 0 || pageno >= t.npages then
+    Types.error "pager: page %d out of range (file has %d)" pageno t.npages
+
+let writeback t frame =
+  t.st.page_writes <- t.st.page_writes + 1;
+  (match t.mode with
+  | Rollback ->
+      let n =
+        t.os.pwrite ~fd:t.fd ~buf:frame.addr ~len:page_size ~off:(frame.pageno * page_size)
+      in
+      if n <> page_size then Types.error "pager: short page write (%d)" n
+  | Wal ->
+      (* append-only: [pageno][data] at the log cursor *)
+      Api.write_u32 (ctx t) t.scratch frame.pageno;
+      let n = t.os.pwrite ~fd:t.wal_fd ~buf:t.scratch ~len:4 ~off:t.wal_off in
+      if n <> 4 then Types.error "pager: WAL header write failed";
+      let n =
+        t.os.pwrite ~fd:t.wal_fd ~buf:frame.addr ~len:page_size ~off:(t.wal_off + 4)
+      in
+      if n <> page_size then Types.error "pager: WAL data write failed";
+      Hashtbl.replace t.wal_index frame.pageno t.wal_off;
+      t.wal_off <- t.wal_off + wal_record);
+  frame.dirty <- false
+
+(* Find a buffer for a new frame: reuse a spare, allocate a fresh one
+   while under capacity, or evict the least recently used unpinned
+   frame (spilling it if dirty). *)
+let acquire_buffer t =
+  match t.free_frames with
+  | addr :: rest ->
+      t.free_frames <- rest;
+      addr
+  | [] ->
+      if t.allocated_frames < t.cache_pages then begin
+        t.allocated_frames <- t.allocated_frames + 1;
+        Api.malloc_page_aligned t.os.ctx page_size
+      end
+      else begin
+        let victim =
+          Hashtbl.fold
+            (fun _ f best ->
+              if f.pins > 0 then best
+              else
+                match best with
+                | Some b when b.last_used <= f.last_used -> best
+                | _ -> Some f)
+            t.frames None
+        in
+        match victim with
+        | None -> Types.error "pager: all %d cache frames pinned" t.cache_pages
+        | Some f ->
+            if f.dirty then writeback t f;
+            Hashtbl.remove t.frames f.pageno;
+            t.st.evictions <- t.st.evictions + 1;
+            f.addr
+      end
+
+let load_frame t pageno =
+  match Hashtbl.find_opt t.frames pageno with
+  | Some f ->
+      t.st.hits <- t.st.hits + 1;
+      t.tick <- t.tick + 1;
+      f.last_used <- t.tick;
+      f
+  | None ->
+      t.st.misses <- t.st.misses + 1;
+      let addr = acquire_buffer t in
+      t.st.page_reads <- t.st.page_reads + 1;
+      let n =
+        match
+          if t.mode = Wal then Hashtbl.find_opt t.wal_index pageno else None
+        with
+        | Some woff -> t.os.pread ~fd:t.wal_fd ~buf:addr ~len:page_size ~off:(woff + 4)
+        | None -> t.os.pread ~fd:t.fd ~buf:addr ~len:page_size ~off:(pageno * page_size)
+      in
+      (* a fresh page at EOF reads short: zero-fill the tail *)
+      if n < page_size then Api.memset t.os.ctx (addr + n) (page_size - n) '\000';
+      t.tick <- t.tick + 1;
+      let f = { addr; pageno; dirty = false; last_used = t.tick; pins = 0 } in
+      Hashtbl.replace t.frames pageno f;
+      f
+
+let with_pinned t pageno f =
+  check_pageno t pageno;
+  let frame = load_frame t pageno in
+  frame.pins <- frame.pins + 1;
+  Fun.protect ~finally:(fun () -> frame.pins <- frame.pins - 1) (fun () -> f frame)
+
+let read_page t pageno f = with_pinned t pageno (fun frame -> f frame.addr)
+
+(* Append the current (pre-modification) content of a page to the
+   rollback journal: a [pageno] header then the 4 KiB of data. *)
+let journal_page t frame =
+  if t.mode = Rollback && t.txn && not (Hashtbl.mem t.journaled frame.pageno) then begin
+    Api.write_u32 t.os.ctx t.scratch frame.pageno;
+    let n = t.os.pwrite ~fd:t.jfd ~buf:t.scratch ~len:4 ~off:t.joff in
+    if n <> 4 then Types.error "pager: journal header write failed";
+    let n = t.os.pwrite ~fd:t.jfd ~buf:frame.addr ~len:page_size ~off:(t.joff + 4) in
+    if n <> page_size then Types.error "pager: journal data write failed";
+    t.joff <- t.joff + 4 + page_size;
+    Hashtbl.replace t.journaled frame.pageno ()
+  end
+
+let write_page t pageno f =
+  with_pinned t pageno (fun frame ->
+      journal_page t frame;
+      frame.dirty <- true;
+      f frame.addr)
+
+let allocate_page t =
+  let pageno = t.npages in
+  t.npages <- t.npages + 1;
+  (* materialise a zeroed cached frame; the file grows on writeback *)
+  let addr = acquire_buffer t in
+  Api.memset t.os.ctx addr page_size '\000';
+  t.tick <- t.tick + 1;
+  let f = { addr; pageno; dirty = true; last_used = t.tick; pins = 0 } in
+  Hashtbl.replace t.frames pageno f;
+  (if t.txn then Hashtbl.replace t.journaled pageno ());
+  pageno
+
+let begin_txn t =
+  if t.txn then Types.error "pager: nested transaction";
+  (match t.mode with
+  | Rollback ->
+      let jfd = t.os.open_file t.journal_path ~create:true in
+      if jfd < 0 then Types.error "pager: cannot create journal (%d)" jfd;
+      t.jfd <- jfd;
+      t.joff <- 0
+  | Wal -> t.txn_wal_start <- t.wal_off);
+  t.txn <- true;
+  t.txn_orig_npages <- t.npages;
+  Hashtbl.reset t.journaled
+
+let flush t =
+  Hashtbl.iter (fun _ f -> if f.dirty then writeback t f) t.frames
+
+let end_txn t =
+  (match t.mode with
+  | Rollback ->
+      ignore (t.os.close_file t.jfd);
+      ignore (t.os.unlink t.journal_path);
+      t.jfd <- -1
+  | Wal -> ());
+  t.txn <- false;
+  Hashtbl.reset t.journaled
+
+(* Fold the newest copy of every logged page back into the database
+   file and truncate the log. *)
+let checkpoint t =
+  if t.txn then Types.error "pager: checkpoint inside transaction";
+  if t.mode = Wal && Hashtbl.length t.wal_index > 0 then begin
+    let buf = Api.malloc_page_aligned (ctx t) page_size in
+    Hashtbl.iter
+      (fun pageno woff ->
+        let n = t.os.pread ~fd:t.wal_fd ~buf ~len:page_size ~off:(woff + 4) in
+        if n <> page_size then Types.error "pager: WAL read during checkpoint failed";
+        let w = t.os.pwrite ~fd:t.fd ~buf ~len:page_size ~off:(pageno * page_size) in
+        if w <> page_size then Types.error "pager: checkpoint write failed")
+      t.wal_index;
+    Api.free (ctx t) buf;
+    ignore (t.os.fsync t.fd);
+    ignore (t.os.truncate ~fd:t.wal_fd ~size:0);
+    ignore (t.os.fsync t.wal_fd);
+    t.wal_off <- 0;
+    Hashtbl.reset t.wal_index
+  end
+
+let commit t =
+  if not t.txn then Types.error "pager: commit outside transaction";
+  (match t.mode with
+  | Rollback ->
+      ignore (t.os.fsync t.jfd);
+      flush t;
+      ignore (t.os.fsync t.fd)
+  | Wal ->
+      flush t;
+      ignore (t.os.fsync t.wal_fd));
+  t.st.commits <- t.st.commits + 1;
+  end_txn t;
+  if t.mode = Wal && t.wal_off / wal_record > wal_autocheckpoint then checkpoint t
+
+let rebuild_wal_index t upto =
+  Hashtbl.reset t.wal_index;
+  let off = ref 0 in
+  while !off + wal_record <= upto do
+    let n = t.os.pread ~fd:t.wal_fd ~buf:t.scratch ~len:4 ~off:!off in
+    if n <> 4 then Types.error "pager: corrupt WAL during rollback";
+    Hashtbl.replace t.wal_index (Api.read_u32 (ctx t) t.scratch) !off;
+    off := !off + wal_record
+  done
+
+let rollback_wal t =
+  (* drop dirty frames; discard any records this transaction spilled *)
+  let dropped =
+    Hashtbl.fold (fun p f acc -> if f.dirty then (p, f) :: acc else acc) t.frames []
+  in
+  List.iter
+    (fun (p, f) ->
+      Hashtbl.remove t.frames p;
+      t.free_frames <- f.addr :: t.free_frames)
+    dropped;
+  if t.wal_off > t.txn_wal_start then begin
+    ignore (t.os.truncate ~fd:t.wal_fd ~size:t.txn_wal_start);
+    t.wal_off <- t.txn_wal_start;
+    rebuild_wal_index t t.txn_wal_start;
+    (* clean frames may cache data from discarded records *)
+    let stale =
+      Hashtbl.fold (fun p f acc -> if f.pins = 0 then (p, f) :: acc else acc) t.frames []
+    in
+    List.iter
+      (fun (p, f) ->
+        Hashtbl.remove t.frames p;
+        t.free_frames <- f.addr :: t.free_frames)
+      stale
+  end;
+  t.npages <- t.txn_orig_npages;
+  t.st.rollbacks <- t.st.rollbacks + 1;
+  end_txn t
+
+let rollback t =
+  if not t.txn then Types.error "pager: rollback outside transaction";
+  if t.mode = Wal then rollback_wal t
+  else begin
+  (* drop every dirty frame, then replay the journal into the file and
+     cache *)
+  let dropped = Hashtbl.fold (fun p f acc -> if f.dirty then (p, f) :: acc else acc) t.frames [] in
+  List.iter
+    (fun (p, f) ->
+      Hashtbl.remove t.frames p;
+      t.free_frames <- f.addr :: t.free_frames)
+    dropped;
+  let jsize = t.joff in
+  let buf = Api.malloc_page_aligned t.os.ctx page_size in
+  let rec replay off =
+    if off < jsize then begin
+      let n = t.os.pread ~fd:t.jfd ~buf:t.scratch ~len:4 ~off in
+      if n <> 4 then Types.error "pager: corrupt journal";
+      let pageno = Api.read_u32 t.os.ctx t.scratch in
+      let n = t.os.pread ~fd:t.jfd ~buf ~len:page_size ~off:(off + 4) in
+      if n <> page_size then Types.error "pager: corrupt journal data";
+      let w = t.os.pwrite ~fd:t.fd ~buf ~len:page_size ~off:(pageno * page_size) in
+      if w <> page_size then Types.error "pager: journal replay write failed";
+      (match Hashtbl.find_opt t.frames pageno with
+      | Some f ->
+          Hashtbl.remove t.frames pageno;
+          t.free_frames <- f.addr :: t.free_frames
+      | None -> ());
+      replay (off + 4 + page_size)
+    end
+  in
+  replay 0;
+  Api.free t.os.ctx buf;
+  t.npages <- t.txn_orig_npages;
+  ignore (t.os.truncate ~fd:t.fd ~size:(t.npages * page_size));
+  t.st.rollbacks <- t.st.rollbacks + 1;
+  end_txn t
+  end
+
+let close t =
+  if t.txn then Types.error "pager: close inside transaction";
+  flush t;
+  if t.mode = Wal then begin
+    checkpoint t;
+    ignore (t.os.close_file t.wal_fd);
+    ignore (t.os.unlink t.wal_path)
+  end;
+  ignore (t.os.close_file t.fd)

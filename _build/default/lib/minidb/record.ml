@@ -1,0 +1,93 @@
+type value = Null | Int of int64 | Text of string
+
+let int n = Int (Int64.of_int n)
+
+let to_int = function
+  | Int i -> Int64.to_int i
+  | Null -> invalid_arg "Record.to_int: NULL"
+  | Text _ -> invalid_arg "Record.to_int: text value"
+
+let to_text = function
+  | Text s -> s
+  | Int i -> Int64.to_string i
+  | Null -> invalid_arg "Record.to_text: NULL"
+
+let encoded_size values =
+  1
+  + List.fold_left
+      (fun acc v ->
+        acc + 1 + match v with Null -> 0 | Int _ -> 8 | Text s -> 4 + String.length s)
+      0 values
+
+let encode values =
+  let n = List.length values in
+  if n > 255 then invalid_arg "Record.encode: too many columns";
+  let b = Buffer.create (encoded_size values) in
+  Buffer.add_uint8 b n;
+  List.iter
+    (fun v ->
+      match v with
+      | Null -> Buffer.add_uint8 b 0
+      | Int i ->
+          Buffer.add_uint8 b 1;
+          Buffer.add_int64_le b i
+      | Text s ->
+          Buffer.add_uint8 b 2;
+          Buffer.add_int32_le b (Int32.of_int (String.length s));
+          Buffer.add_string b s)
+    values;
+  Buffer.contents b
+
+let decode s =
+  if String.length s < 1 then invalid_arg "Record.decode: empty";
+  let n = Char.code s.[0] in
+  let pos = ref 1 in
+  let need k =
+    if !pos + k > String.length s then invalid_arg "Record.decode: truncated"
+  in
+  let rec cols i acc =
+    if i = n then List.rev acc
+    else begin
+      need 1;
+      let tag = Char.code s.[!pos] in
+      incr pos;
+      let v =
+        match tag with
+        | 0 -> Null
+        | 1 ->
+            need 8;
+            let i64 = String.get_int64_le s !pos in
+            pos := !pos + 8;
+            Int i64
+        | 2 ->
+            need 4;
+            let len = Int32.to_int (String.get_int32_le s !pos) in
+            pos := !pos + 4;
+            if len < 0 then invalid_arg "Record.decode: negative length";
+            need len;
+            let txt = String.sub s !pos len in
+            pos := !pos + len;
+            Text txt
+        | t -> invalid_arg (Printf.sprintf "Record.decode: bad tag %d" t)
+      in
+      cols (i + 1) (v :: acc)
+    end
+  in
+  let result = cols 0 [] in
+  if !pos <> String.length s then invalid_arg "Record.decode: trailing bytes";
+  result
+
+let compare_value a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Null, _ -> -1
+  | _, Null -> 1
+  | Int x, Int y -> Int64.compare x y
+  | Int _, Text _ -> -1
+  | Text _, Int _ -> 1
+  | Text x, Text y -> String.compare x y
+
+let pp fmt = function
+  | Null -> Format.pp_print_string fmt "NULL"
+  | Int i -> Format.fprintf fmt "%Ld" i
+  | Text s -> Format.fprintf fmt "%S" s

@@ -1,0 +1,39 @@
+(** The speedtest1-shaped workload (paper §6.4, Figure 6).
+
+    Thirty-one queries with the ids the paper plots. The two groups the
+    paper identifies are reproduced structurally:
+    - the {e light} group works on small, page-cache-resident tables or
+      batches its writes into large transactions, so it reaches the OS
+      interface rarely;
+    - the {e heavy} group works on a table several times larger than
+      the page cache, uses per-row transactions (journal + fsync per
+      operation), or rebuilds indexes — it reaches the OS interface on
+      nearly every step.
+
+    The [n] parameter scales row counts (the benchmark's [--stat]
+    analogue). All randomness is a deterministic LCG so runs are
+    reproducible across configurations. *)
+
+type group = Light | Heavy
+
+type query = { id : int; name : string; group : group }
+
+val queries : query list
+(** In the order of the paper's Figure 6 x-axis. *)
+
+type state
+
+val prepare : Os_iface.t -> path:string -> n:int -> state
+(** Open the database and run the schema/population queries' common
+    setup (creates empty tables; queries 100/110 do the population). *)
+
+val run : state -> query -> unit
+(** Execute one query. Queries must run in list order the first time
+    (later queries read data earlier ones created). *)
+
+val finish : state -> unit
+
+val run_all :
+  Os_iface.t -> path:string -> n:int -> measure:(( unit -> unit) -> 'a) -> (query * 'a) list
+(** Run the whole suite, applying [measure] around each query (e.g. to
+    capture simulated cycles). *)

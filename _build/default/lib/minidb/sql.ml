@@ -1,0 +1,616 @@
+open Cubicle
+
+exception Parse_error of string
+
+let parse_error fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* --- lexer -------------------------------------------------------------- *)
+
+type token =
+  | Ident of string
+  | Int_lit of int64
+  | Str_lit of string
+  | Punct of string  (* ( ) , ; * = <> < <= > >= *)
+  | Eof
+
+let keywords =
+  [
+    "create"; "table"; "index"; "on"; "insert"; "into"; "values"; "select"; "from";
+    "where"; "order"; "by"; "desc"; "asc"; "limit"; "update"; "set"; "delete"; "begin";
+    "commit"; "rollback"; "and"; "or"; "not"; "null";
+  ]
+
+let lex input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let emit t = tokens := t :: !tokens in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  in
+  while !pos < n do
+    match input.[!pos] with
+    | ' ' | '\t' | '\n' | '\r' -> incr pos
+    | '(' | ')' | ',' | ';' | '*' | '=' ->
+        emit (Punct (String.make 1 input.[!pos]));
+        incr pos
+    | '<' ->
+        if !pos + 1 < n && input.[!pos + 1] = '=' then (emit (Punct "<="); pos := !pos + 2)
+        else if !pos + 1 < n && input.[!pos + 1] = '>' then (emit (Punct "<>"); pos := !pos + 2)
+        else (emit (Punct "<"); incr pos)
+    | '>' ->
+        if !pos + 1 < n && input.[!pos + 1] = '=' then (emit (Punct ">="); pos := !pos + 2)
+        else (emit (Punct ">"); incr pos)
+    | '\'' ->
+        (* string literal, '' escapes a quote *)
+        let b = Buffer.create 16 in
+        incr pos;
+        let rec go () =
+          if !pos >= n then parse_error "unterminated string literal"
+          else if input.[!pos] = '\'' then
+            if !pos + 1 < n && input.[!pos + 1] = '\'' then begin
+              Buffer.add_char b '\'';
+              pos := !pos + 2;
+              go ()
+            end
+            else incr pos
+          else begin
+            Buffer.add_char b input.[!pos];
+            incr pos;
+            go ()
+          end
+        in
+        go ();
+        emit (Str_lit (Buffer.contents b))
+    | '-' when !pos + 1 < n && input.[!pos + 1] >= '0' && input.[!pos + 1] <= '9' ->
+        let start = !pos in
+        incr pos;
+        while (match peek () with Some c when c >= '0' && c <= '9' -> true | _ -> false) do
+          incr pos
+        done;
+        emit (Int_lit (Int64.of_string (String.sub input start (!pos - start))))
+    | c when c >= '0' && c <= '9' ->
+        let start = !pos in
+        while (match peek () with Some c when c >= '0' && c <= '9' -> true | _ -> false) do
+          incr pos
+        done;
+        emit (Int_lit (Int64.of_string (String.sub input start (!pos - start))))
+    | c when is_ident_char c ->
+        let start = !pos in
+        while (match peek () with Some c when is_ident_char c -> true | _ -> false) do
+          incr pos
+        done;
+        emit (Ident (String.lowercase_ascii (String.sub input start (!pos - start))))
+    | c -> parse_error "unexpected character %C" c
+  done;
+  List.rev (Eof :: !tokens)
+
+(* --- AST ----------------------------------------------------------------- *)
+
+type expr =
+  | Lit of Record.value
+  | Col of string
+  | Cmp of string * expr * expr  (* = <> < <= > >= *)
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+
+type stmt =
+  | Create_table of string * string list
+  | Create_index of string * string * string  (* index, table, column *)
+  | Insert of string * expr list list
+  | Select of {
+      cols : string list option;  (* None = * *)
+      aggregates : (string * string) list;  (* (fn, col); col "*" for a bare COUNT *)
+      table : string;
+      where : expr option;
+      order_by : (string * bool) option;  (* column, descending *)
+      limit : int option;
+    }
+  | Update of string * (string * expr) list * expr option
+  | Delete of string * expr option
+  | Begin_txn
+  | Commit
+  | Rollback
+
+(* --- parser ---------------------------------------------------------------- *)
+
+type parser_state = { mutable toks : token list }
+
+let peek_tok p = match p.toks with t :: _ -> t | [] -> Eof
+
+let advance p = match p.toks with _ :: rest -> p.toks <- rest | [] -> ()
+
+let tok_to_string = function
+  | Ident s -> s
+  | Int_lit i -> Int64.to_string i
+  | Str_lit s -> Printf.sprintf "'%s'" s
+  | Punct s -> s
+  | Eof -> "<end>"
+
+let expect_punct p s =
+  match peek_tok p with
+  | Punct x when x = s -> advance p
+  | t -> parse_error "expected %S, found %s" s (tok_to_string t)
+
+let expect_kw p kw =
+  match peek_tok p with
+  | Ident x when x = kw -> advance p
+  | t -> parse_error "expected %s, found %s" (String.uppercase_ascii kw) (tok_to_string t)
+
+let accept_kw p kw =
+  match peek_tok p with Ident x when x = kw -> advance p; true | _ -> false
+
+let ident p =
+  match peek_tok p with
+  | Ident x when not (List.mem x keywords) -> advance p; x
+  | t -> parse_error "expected an identifier, found %s" (tok_to_string t)
+
+let rec parse_expr p = parse_or p
+
+and parse_or p =
+  let left = parse_and p in
+  if accept_kw p "or" then Or (left, parse_or p) else left
+
+and parse_and p =
+  let left = parse_not p in
+  if accept_kw p "and" then And (left, parse_and p) else left
+
+and parse_not p = if accept_kw p "not" then Not (parse_not p) else parse_cmp p
+
+and parse_cmp p =
+  let left = parse_atom p in
+  match peek_tok p with
+  | Punct (("=" | "<>" | "<" | "<=" | ">" | ">=") as op) ->
+      advance p;
+      Cmp (op, left, parse_atom p)
+  | _ -> left
+
+and parse_atom p =
+  match peek_tok p with
+  | Int_lit i -> advance p; Lit (Record.Int i)
+  | Str_lit s -> advance p; Lit (Record.Text s)
+  | Ident "null" -> advance p; Lit Record.Null
+  | Ident x when not (List.mem x keywords) -> advance p; Col x
+  | Punct "(" ->
+      advance p;
+      let e = parse_expr p in
+      expect_punct p ")";
+      e
+  | t -> parse_error "expected an expression, found %s" (tok_to_string t)
+
+let parse_ident_list p =
+  expect_punct p "(";
+  let rec go acc =
+    let x = ident p in
+    match peek_tok p with
+    | Punct "," -> advance p; go (x :: acc)
+    | _ ->
+        expect_punct p ")";
+        List.rev (x :: acc)
+  in
+  go []
+
+let parse_value_tuple p =
+  expect_punct p "(";
+  let rec go acc =
+    let e = parse_expr p in
+    match peek_tok p with
+    | Punct "," -> advance p; go (e :: acc)
+    | _ ->
+        expect_punct p ")";
+        List.rev (e :: acc)
+  in
+  go []
+
+let parse_stmt p =
+  match peek_tok p with
+  | Ident "create" -> (
+      advance p;
+      match peek_tok p with
+      | Ident "table" ->
+          advance p;
+          let name = ident p in
+          Create_table (name, parse_ident_list p)
+      | Ident "index" ->
+          advance p;
+          let idx = ident p in
+          expect_kw p "on";
+          let table = ident p in
+          expect_punct p "(";
+          let col = ident p in
+          expect_punct p ")";
+          Create_index (idx, table, col)
+      | t -> parse_error "expected TABLE or INDEX, found %s" (tok_to_string t))
+  | Ident "insert" ->
+      advance p;
+      expect_kw p "into";
+      let table = ident p in
+      expect_kw p "values";
+      let rec tuples acc =
+        let t = parse_value_tuple p in
+        if (match peek_tok p with Punct "," -> true | _ -> false) then begin
+          advance p;
+          tuples (t :: acc)
+        end
+        else List.rev (t :: acc)
+      in
+      Insert (table, tuples [])
+  | Ident "select" ->
+      advance p;
+      let aggregate_fns = [ "count"; "sum"; "min"; "max"; "avg" ] in
+      let is_aggregate () =
+        match p.toks with
+        | Ident f :: Punct "(" :: _ when List.mem f aggregate_fns -> true
+        | _ -> false
+      in
+      let parse_aggregate () =
+        let f = match peek_tok p with Ident f -> advance p; f | _ -> assert false in
+        expect_punct p "(";
+        let col =
+          match peek_tok p with
+          | Punct "*" when f = "count" -> advance p; "*"
+          | _ -> ident p
+        in
+        expect_punct p ")";
+        (f, col)
+      in
+      let cols, aggregates =
+        match peek_tok p with
+        | Punct "*" -> advance p; (None, [])
+        | _ when is_aggregate () ->
+            let rec go acc =
+              let a = parse_aggregate () in
+              match peek_tok p with
+              | Punct "," -> advance p; go (a :: acc)
+              | _ -> List.rev (a :: acc)
+            in
+            (Some [], go [])
+        | _ ->
+            let rec go acc =
+              let c = ident p in
+              match peek_tok p with
+              | Punct "," -> advance p; go (c :: acc)
+              | _ -> List.rev (c :: acc)
+            in
+            (Some (go []), [])
+      in
+      expect_kw p "from";
+      let table = ident p in
+      let where = if accept_kw p "where" then Some (parse_expr p) else None in
+      let order_by =
+        if accept_kw p "order" then begin
+          expect_kw p "by";
+          let c = ident p in
+          let desc = if accept_kw p "desc" then true else (ignore (accept_kw p "asc"); false) in
+          Some (c, desc)
+        end
+        else None
+      in
+      let limit =
+        if accept_kw p "limit" then
+          match peek_tok p with
+          | Int_lit i -> advance p; Some (Int64.to_int i)
+          | t -> parse_error "expected a number after LIMIT, found %s" (tok_to_string t)
+        else None
+      in
+      Select { cols; aggregates; table; where; order_by; limit }
+  | Ident "update" ->
+      advance p;
+      let table = ident p in
+      expect_kw p "set";
+      let rec assignments acc =
+        let c = ident p in
+        expect_punct p "=";
+        let e = parse_expr p in
+        match peek_tok p with
+        | Punct "," -> advance p; assignments ((c, e) :: acc)
+        | _ -> List.rev ((c, e) :: acc)
+      in
+      let sets = assignments [] in
+      let where = if accept_kw p "where" then Some (parse_expr p) else None in
+      Update (table, sets, where)
+  | Ident "delete" ->
+      advance p;
+      expect_kw p "from";
+      let table = ident p in
+      let where = if accept_kw p "where" then Some (parse_expr p) else None in
+      Delete (table, where)
+  | Ident "begin" -> advance p; Begin_txn
+  | Ident "commit" -> advance p; Commit
+  | Ident "rollback" -> advance p; Rollback
+  | t -> parse_error "expected a statement, found %s" (tok_to_string t)
+
+let parse input =
+  let p = { toks = lex input } in
+  let stmt = parse_stmt p in
+  (match peek_tok p with
+  | Eof -> ()
+  | Punct ";" -> (
+      advance p;
+      match peek_tok p with
+      | Eof -> ()
+      | t -> parse_error "trailing input: %s" (tok_to_string t))
+  | t -> parse_error "trailing input: %s" (tok_to_string t));
+  stmt
+
+(* --- schema persistence ---------------------------------------------------- *)
+
+type result = Rows of string list * Record.value list list | Affected of int | Done
+
+type t = {
+  db : Db.t;
+  schema : (string, string list) Hashtbl.t;  (* table -> columns *)
+  indexes : (string, string * int) Hashtbl.t;  (* index -> (table, col position) *)
+}
+
+let schema_table = "__schema"
+
+let load_schema t =
+  match Db.find_table t.db schema_table with
+  | exception Types.Error _ -> ()
+  | meta ->
+      Db.scan meta (fun _ row ->
+          match row with
+          | [ Record.Text "table"; Record.Text name; Record.Text cols ] ->
+              Hashtbl.replace t.schema name (String.split_on_char ',' cols)
+          | [ Record.Text "index"; Record.Text name; Record.Text spec ] -> (
+              match String.split_on_char ',' spec with
+              | [ tbl; pos ] -> Hashtbl.replace t.indexes name (tbl, int_of_string pos)
+              | _ -> ())
+          | _ -> ())
+
+let save_schema_entry t kind name payload =
+  let meta =
+    match Db.find_table t.db schema_table with
+    | m -> m
+    | exception Types.Error _ -> Db.create_table t.db schema_table
+  in
+  ignore (Db.insert t.db meta [ Record.Text kind; Record.Text name; Record.Text payload ])
+
+let attach db =
+  let t = { db; schema = Hashtbl.create 8; indexes = Hashtbl.create 8 } in
+  load_schema t;
+  t
+
+let db t = t.db
+
+let columns_of t table =
+  match Hashtbl.find_opt t.schema table with
+  | Some cols -> cols
+  | None -> Types.error "sql: unknown table %s" table
+
+let col_pos t table col =
+  let cols = columns_of t table in
+  let rec go i = function
+    | [] -> Types.error "sql: table %s has no column %s" table col
+    | c :: _ when c = col -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 cols
+
+(* --- evaluation ---------------------------------------------------------------- *)
+
+let rec eval t table row rowid = function
+  | Lit v -> v
+  | Col "rowid" -> Record.Int rowid
+  | Col c -> List.nth row (col_pos t table c)
+  | Cmp (op, a, b) -> (
+      let va = eval t table row rowid a and vb = eval t table row rowid b in
+      match (va, vb) with
+      | Record.Null, _ | _, Record.Null -> Record.Null  (* SQL three-valued-ish *)
+      | _ ->
+          let c = Record.compare_value va vb in
+          let r =
+            match op with
+            | "=" -> c = 0
+            | "<>" -> c <> 0
+            | "<" -> c < 0
+            | "<=" -> c <= 0
+            | ">" -> c > 0
+            | ">=" -> c >= 0
+            | _ -> assert false
+          in
+          Record.Int (if r then 1L else 0L))
+  | And (a, b) -> (
+      match (eval t table row rowid a, eval t table row rowid b) with
+      | Record.Int x, Record.Int y -> Record.Int (if x <> 0L && y <> 0L then 1L else 0L)
+      | _ -> Record.Null)
+  | Or (a, b) -> (
+      match (eval t table row rowid a, eval t table row rowid b) with
+      | Record.Int x, Record.Int y -> Record.Int (if x <> 0L || y <> 0L then 1L else 0L)
+      | _ -> Record.Null)
+  | Not a -> (
+      match eval t table row rowid a with
+      | Record.Int x -> Record.Int (if x = 0L then 1L else 0L)
+      | _ -> Record.Null)
+
+let truthy = function Record.Int x -> x <> 0L | _ -> false
+
+let matches t table where rowid row =
+  match where with None -> true | Some e -> truthy (eval t table row rowid e)
+
+(* Planner: find an index usable for the WHERE clause. Returns the scan
+   as a fold over (rowid, row). *)
+let plan t table_name where f =
+  let tbl = Db.find_table t.db table_name in
+  let indexed_col pos =
+    Hashtbl.fold
+      (fun idx (tbl', p) acc -> if tbl' = table_name && p = pos then Some idx else acc)
+      t.indexes None
+  in
+  let try_index =
+    match where with
+    | Some (Cmp ("=", Col c, Lit (Record.Int v)))
+    | Some (Cmp ("=", Lit (Record.Int v), Col c))
+      when c <> "rowid" -> (
+        match indexed_col (col_pos t table_name c) with
+        | Some idx -> Some (idx, Int64.to_int v, Int64.to_int v)
+        | None -> None)
+    | Some (And (Cmp (">=", Col c, Lit (Record.Int lo)), Cmp ("<=", Col c', Lit (Record.Int hi))))
+      when c = c' && c <> "rowid" -> (
+        match indexed_col (col_pos t table_name c) with
+        | Some idx -> Some (idx, Int64.to_int lo, Int64.to_int hi)
+        | None -> None)
+    | Some (Cmp ("=", Col "rowid", Lit (Record.Int v)))
+    | Some (Cmp ("=", Lit (Record.Int v), Col "rowid")) ->
+        (* rowid point lookup, no index object needed *)
+        (match Db.get tbl v with Some row -> f v row | None -> ());
+        raise Exit
+    | _ -> None
+  in
+  match try_index with
+  | Some (idx_name, lo, hi) ->
+      Db.index_range (Db.find_index t.db idx_name) tbl ~lo ~hi (fun rowid row -> f rowid row)
+  | None -> Db.scan tbl f
+
+let scan_matching t table_name where f =
+  try plan t table_name where (fun rowid row -> if matches t table_name where rowid row then f rowid row)
+  with Exit -> ()
+
+(* --- executor --------------------------------------------------------------------- *)
+
+let exec t input =
+  match parse input with
+  | Create_table (name, cols) ->
+      if Hashtbl.mem t.schema name then Types.error "sql: table %s exists" name;
+      ignore (Db.create_table t.db name);
+      Hashtbl.replace t.schema name cols;
+      save_schema_entry t "table" name (String.concat "," cols);
+      Done
+  | Create_index (idx, table, col) ->
+      let pos = col_pos t table col in
+      ignore (Db.create_index t.db (Db.find_table t.db table) ~col:pos ~name:idx);
+      Hashtbl.replace t.indexes idx (table, pos);
+      save_schema_entry t "index" idx (Printf.sprintf "%s,%d" table pos);
+      Done
+  | Insert (table, tuples) ->
+      let tbl = Db.find_table t.db table in
+      let ncols = List.length (columns_of t table) in
+      List.iter
+        (fun tuple ->
+          if List.length tuple <> ncols then
+            Types.error "sql: %s expects %d values" table ncols;
+          let row = List.map (fun e -> eval t table [] 0L e) tuple in
+          ignore (Db.insert t.db tbl row))
+        tuples;
+      Affected (List.length tuples)
+  | Select { cols; aggregates; table; where; order_by; limit } when aggregates <> [] ->
+      ignore cols;
+      ignore order_by;
+      ignore limit;
+      (* aggregate query: one result row *)
+      let count = ref 0 in
+      let accs =
+        List.map (fun (f, col) -> (f, col, ref None)) aggregates
+      in
+      scan_matching t table where (fun rowid row ->
+          incr count;
+          List.iter
+            (fun (f, col, acc) ->
+              if not (f = "count") then begin
+                let v =
+                  if col = "rowid" then Record.Int rowid
+                  else List.nth row (col_pos t table col)
+                in
+                match (v, !acc) with
+                | Record.Null, _ -> ()
+                | v, None -> acc := Some (v, 1)
+                | Record.Int x, Some (Record.Int y, n) -> (
+                    match f with
+                    | "sum" | "avg" -> acc := Some (Record.Int (Int64.add x y), n + 1)
+                    | "min" -> if Int64.compare x y < 0 then acc := Some (Record.Int x, n + 1) else acc := Some (Record.Int y, n + 1)
+                    | "max" -> if Int64.compare x y > 0 then acc := Some (Record.Int x, n + 1) else acc := Some (Record.Int y, n + 1)
+                    | _ -> ())
+                | v, Some (prev, n) -> (
+                    match f with
+                    | "min" -> if Record.compare_value v prev < 0 then acc := Some (v, n + 1) else acc := Some (prev, n + 1)
+                    | "max" -> if Record.compare_value v prev > 0 then acc := Some (v, n + 1) else acc := Some (prev, n + 1)
+                    | _ -> Types.error "sql: %s over non-integer column %s" f col)
+              end)
+            accs);
+      let headers = List.map (fun (f, col) -> Printf.sprintf "%s(%s)" f col) aggregates in
+      let row =
+        List.map
+          (fun (f, _col, acc) ->
+            match f with
+            | "count" -> Record.Int (Int64.of_int !count)
+            | "avg" -> (
+                match !acc with
+                | Some (Record.Int total, n) when n > 0 ->
+                    Record.Int (Int64.div total (Int64.of_int n))
+                | _ -> Record.Null)
+            | _ -> ( match !acc with Some (v, _) -> v | None -> Record.Null))
+          accs
+      in
+      Rows (headers, [ row ])
+  | Select { cols; aggregates = _; table; where; order_by; limit } ->
+      let all_cols = columns_of t table in
+      let rows = ref [] in
+      scan_matching t table where (fun rowid row -> rows := (rowid, row) :: !rows);
+      let rows = List.rev !rows in
+      let rows =
+        match order_by with
+        | None -> rows
+        | Some (col, desc) ->
+            let key (rowid, row) =
+              if col = "rowid" then Record.Int rowid else List.nth row (col_pos t table col)
+            in
+            let cmp a b = Record.compare_value (key a) (key b) in
+            let sorted = List.stable_sort cmp rows in
+            if desc then List.rev sorted else sorted
+      in
+      let rows =
+        match limit with
+        | None -> rows
+        | Some k -> List.filteri (fun i _ -> i < k) rows
+      in
+      let headers, project =
+        match cols with
+        | None -> (all_cols, fun (_, row) -> row)
+        | Some cs ->
+            ( cs,
+              fun (rowid, row) ->
+                List.map
+                  (fun c ->
+                    if c = "rowid" then Record.Int rowid else List.nth row (col_pos t table c))
+                  cs )
+      in
+      Rows (headers, List.map project rows)
+  | Update (table, sets, where) ->
+      let tbl = Db.find_table t.db table in
+      let targets = ref [] in
+      scan_matching t table where (fun rowid row -> targets := (rowid, row) :: !targets);
+      List.iter
+        (fun (rowid, row) ->
+          let row' =
+            List.mapi
+              (fun i v ->
+                match List.assoc_opt (List.nth (columns_of t table) i) sets with
+                | Some e -> eval t table row rowid e
+                | None -> v)
+              row
+          in
+          ignore (Db.update t.db tbl rowid row'))
+        !targets;
+      Affected (List.length !targets)
+  | Delete (table, where) ->
+      let tbl = Db.find_table t.db table in
+      let targets = ref [] in
+      scan_matching t table where (fun rowid _ -> targets := rowid :: !targets);
+      List.iter (fun rowid -> ignore (Db.delete t.db tbl rowid)) !targets;
+      Affected (List.length !targets)
+  | Begin_txn ->
+      Db.begin_txn t.db;
+      Done
+  | Commit ->
+      Db.commit t.db;
+      Done
+  | Rollback ->
+      Db.rollback t.db;
+      Done
+
+let exec_script t script =
+  String.split_on_char ';' script
+  |> List.filter_map (fun s -> if String.trim s = "" then None else Some (exec t s))

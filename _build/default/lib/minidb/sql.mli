@@ -1,0 +1,46 @@
+(** A small SQL front-end over {!Db}: hand-written lexer, recursive
+    descent parser, and an executor with rudimentary planning (an
+    equality or range predicate on an indexed column uses the index;
+    everything else scans).
+
+    Supported statements:
+    - [CREATE TABLE t (col, ...)] — columns are dynamically typed;
+    - [CREATE INDEX idx ON t (col)];
+    - [INSERT INTO t VALUES (e, ...), (e, ...), ...];
+    - [SELECT * | col, ... FROM t [WHERE expr] [ORDER BY col [DESC]]
+      [LIMIT n]];
+    - [UPDATE t SET col = e, ... [WHERE expr]];
+    - [DELETE FROM t [WHERE expr]];
+    - [BEGIN] / [COMMIT] / [ROLLBACK].
+
+    Expressions: integer and 'string' literals, NULL, column names, the
+    [rowid] pseudo-column, comparisons (=, <>, <, <=, >, >=), AND, OR,
+    NOT, parentheses.
+
+    Column names are persisted in a reserved [__schema] table so they
+    survive close/reopen. *)
+
+exception Parse_error of string
+
+type result =
+  | Rows of string list * Record.value list list
+      (** column headers and row values, for SELECT *)
+  | Affected of int  (** rows touched, for INSERT/UPDATE/DELETE *)
+  | Done  (** DDL and transaction control *)
+
+type t
+
+val attach : Db.t -> t
+(** Wrap an open database (loads any persisted schema). *)
+
+val db : t -> Db.t
+
+val exec : t -> string -> result
+(** Execute one statement. Raises {!Parse_error} on syntax errors and
+    {!Cubicle.Types.Error} on semantic ones (unknown table/column). *)
+
+val exec_script : t -> string -> result list
+(** Execute a [;]-separated script. *)
+
+val columns_of : t -> string -> string list
+(** Declared column names of a table. *)

@@ -1,0 +1,1 @@
+lib/mm/page_meta.mli:

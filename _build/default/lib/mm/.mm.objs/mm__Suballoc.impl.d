@@ -1,0 +1,1 @@
+lib/mm/suballoc.ml: Hashtbl List Printf

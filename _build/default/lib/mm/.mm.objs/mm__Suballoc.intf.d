@@ -1,0 +1,1 @@
+lib/mm/suballoc.mli:

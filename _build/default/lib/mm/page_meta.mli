@@ -1,0 +1,26 @@
+(** Per-page ownership and type metadata.
+
+    CubicleOS keeps a page metadata map that lets the monitor locate,
+    in O(1), the owning cubicle and the page class (code, global data,
+    stack or heap) of any faulting address (paper §5.3, step ❷). Pages
+    are strictly assigned an owner and type at allocation time. *)
+
+type kind = Code | Global | Stack | Heap
+
+type t
+
+val create : int -> t
+(** [create npages]: all pages initially unowned. *)
+
+val assign : t -> page:int -> owner:int -> kind:kind -> unit
+(** Raises [Invalid_argument] if the page already has an owner —
+    ownership is set once at allocation time (safety property from
+    L4Sec cited in §5.3). *)
+
+val release : t -> page:int -> unit
+val owner : t -> int -> int option
+val kind : t -> int -> kind option
+val owned_by : t -> int -> int list
+(** All pages owned by a cubicle (for teardown); O(npages). *)
+
+val kind_to_string : kind -> string

@@ -1,0 +1,1 @@
+lib/ukernel/compose.ml: Builder Bytes Cubicle Hashtbl Hw Kernel Libos List Minidb Monitor Rpc Types

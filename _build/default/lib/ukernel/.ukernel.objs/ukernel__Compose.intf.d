@@ -1,0 +1,1 @@
+lib/ukernel/compose.mli: Cubicle Kernel Minidb

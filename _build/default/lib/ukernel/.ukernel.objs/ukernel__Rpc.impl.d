@@ -1,0 +1,1 @@
+lib/ukernel/rpc.ml: Api Bytes Cubicle Hw Kernel Monitor

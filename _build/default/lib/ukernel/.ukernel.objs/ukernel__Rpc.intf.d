@@ -1,0 +1,1 @@
+lib/ukernel/rpc.mli: Cubicle Kernel

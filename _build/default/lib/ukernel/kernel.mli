@@ -1,0 +1,22 @@
+(** Cost models of the kernels the paper compares against (§6.5).
+
+    Genode RPC on a given kernel costs: two kernel transitions for the
+    call, two for the reply, plus Genode's session dispatch. The
+    per-kernel constants are calibrated so that the Figure 10b
+    slowdowns (the cost of separating RAMFS into its own component)
+    land where the paper measured them: ~7.5x for SeL4, ~4.5x for
+    Fiasco.OC, ~4.7x for NOVA, and far worse for Genode hosted on
+    Linux, where each session crossing rides on SCs/sockets. The exact
+    values and the calibration method are recorded in EXPERIMENTS.md. *)
+
+type t = {
+  name : string;
+  rpc_cycles : int;  (** one full Genode RPC round trip *)
+  signal_cycles : int;  (** one asynchronous signal delivery *)
+}
+
+val sel4 : t
+val fiasco_oc : t
+val nova : t
+val linux : t
+val all : t list

@@ -1,0 +1,44 @@
+open Cubicle
+
+type t = {
+  ctx : Monitor.ctx;
+  kern : Kernel.t;
+  buf : int;  (* one-page message buffer *)
+  mutable rpcs : int;
+}
+
+let msg_buf_size = Hw.Addr.page_size
+
+let create ctx kern =
+  { ctx; kern; buf = Api.malloc_page_aligned ctx msg_buf_size; rpcs = 0 }
+
+let kernel t = t.kern
+let buffer_addr t = t.buf
+let rpc_count t = t.rpcs
+
+let cost t = Monitor.cost t.ctx.Monitor.mon
+
+let charge_copy t len =
+  (* payload larger than the message buffer is sent in bursts *)
+  Hw.Cost.charge_mem (cost t) (max 0 len)
+
+let call t ~payload f =
+  t.rpcs <- t.rpcs + 1;
+  charge_copy t payload;
+  Hw.Cost.charge (cost t) t.kern.Kernel.rpc_cycles;
+  let r = f () in
+  charge_copy t payload;
+  r
+
+let signal t = Hw.Cost.charge (cost t) t.kern.Kernel.signal_cycles
+
+let copy_in t data =
+  let len = min (Bytes.length data) msg_buf_size in
+  Hw.Cpu.priv_write_bytes t.ctx.Monitor.cpu t.buf (Bytes.sub data 0 len);
+  if Bytes.length data > len then charge_copy t (Bytes.length data - len)
+
+let copy_out t len =
+  let n = min len msg_buf_size in
+  let b = Hw.Cpu.priv_read_bytes t.ctx.Monitor.cpu t.buf n in
+  if len > n then charge_copy t (len - n);
+  b

@@ -1,0 +1,1 @@
+test/test_ablation.ml: Alcotest Api Array Cubicle Hw Mm Monitor Types

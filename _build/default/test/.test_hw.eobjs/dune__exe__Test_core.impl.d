@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Api Array Bitset Builder Bytes Char Cubicle Format Fun Hw List Loader Logs Mm Monitor Printf QCheck QCheck_alcotest Stats String Trampoline Types Window

@@ -1,0 +1,1 @@
+test/test_fatfs.ml: Alcotest Api Builder Char Cubicle Hw Libos Minidb Mm Monitor Option String Types

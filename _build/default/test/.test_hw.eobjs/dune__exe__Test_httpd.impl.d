@@ -1,0 +1,1 @@
+test/test_httpd.ml: Alcotest Builder Char Cubicle Httpd Libos List Monitor Printf Stats String Types

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Api Builder Cubicle Hashtbl Httpd Hw Libos List Minidb Mm Monitor Option Printf QCheck QCheck_alcotest String Types

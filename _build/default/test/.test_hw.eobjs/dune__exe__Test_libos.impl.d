@@ -1,0 +1,1 @@
+test/test_libos.ml: Alcotest Api Buffer Builder Char Cubicle Fun Hw Libos List Mm Monitor Option Printf QCheck QCheck_alcotest Stats String Types

@@ -1,0 +1,1 @@
+test/test_minidb.ml: Alcotest Api Builder Cubicle Hashtbl Int64 Libos List Minidb Monitor Printf QCheck QCheck_alcotest Stats String Types

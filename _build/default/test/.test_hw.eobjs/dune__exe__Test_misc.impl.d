@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Api Cubicle Format Httpd Hw Libos List Mm Monitor Stats String Types Ukernel Window

@@ -1,0 +1,1 @@
+test/test_mm.ml: Alcotest List Mm QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Api Array Cubicle Hw List Mm Monitor Printf QCheck QCheck_alcotest Types

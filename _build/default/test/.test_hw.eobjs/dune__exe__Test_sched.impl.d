@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Api Buffer Builder Cubicle Hw Libos Mm Monitor Types

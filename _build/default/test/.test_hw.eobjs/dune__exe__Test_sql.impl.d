@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Api Builder Cubicle Int64 Libos List Minidb Monitor Printf QCheck QCheck_alcotest Types

@@ -1,0 +1,1 @@
+test/test_ukernel.ml: Alcotest Bytes Cubicle Hw List Minidb Monitor Types Ukernel

@@ -1,0 +1,1 @@
+test/test_virtualise.ml: Alcotest Api Array Builder Cubicle Hw Libos List Mm Monitor Printf Types

@@ -1,0 +1,772 @@
+(* Tests for the CubicleOS core: cubicles, windows, trap-and-map,
+   cross-cubicle calls, loader scanning, builder, CFI. *)
+
+open Cubicle
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let is_violation f = match f () with
+  | _ -> false
+  | exception Hw.Fault.Violation _ -> true
+
+let is_error f = match f () with
+  | _ -> false
+  | exception Types.Error _ -> true
+
+(* A tiny two-cubicle system: FOO and BAR (the paper's Figure 1c),
+   built directly through the monitor (no builder). *)
+let mk_system ?(protection = Types.Full) () =
+  let mon = Monitor.create ~protection () in
+  let foo = Monitor.create_cubicle mon ~name:"FOO" ~kind:Types.Isolated ~heap_pages:8 ~stack_pages:2 in
+  let bar = Monitor.create_cubicle mon ~name:"BAR" ~kind:Types.Isolated ~heap_pages:8 ~stack_pages:2 in
+  (mon, foo, bar)
+
+(* BAR's exported function: bar(ptr, a) writes 0xAA at ptr[a]. *)
+let register_bar mon _bar =
+  Monitor.register_exports mon (Monitor.lookup_cubicle mon "BAR")
+    [
+      {
+        Monitor.sym = "bar";
+        fn = (fun ctx args -> Api.write_u8 ctx (args.(0) + args.(1)) 0xAA; 0);
+        stack_bytes = 0;
+      };
+    ]
+
+(* --- bitset ---------------------------------------------------------------- *)
+
+let test_bitset () =
+  let b = Bitset.empty 10 in
+  check_bool "empty" true (Bitset.is_empty b);
+  Bitset.add b 3;
+  Bitset.add b 7;
+  check_bool "mem 3" true (Bitset.mem b 3);
+  check_bool "not mem 4" false (Bitset.mem b 4);
+  check_int "cardinal" 2 (Bitset.cardinal b);
+  Alcotest.(check (list int)) "elements" [ 3; 7 ] (Bitset.elements b);
+  Bitset.remove b 3;
+  check_bool "removed" false (Bitset.mem b 3);
+  Bitset.clear b;
+  check_bool "cleared" true (Bitset.is_empty b);
+  Alcotest.check_raises "oob" (Invalid_argument "Bitset: element 10 outside universe 10")
+    (fun () -> Bitset.add b 10)
+
+(* --- windows (unit) -------------------------------------------------------- *)
+
+let test_window_table () =
+  let tbl = Window.create_table ~owner:1 ~ncubicles:8 in
+  let w = Window.init tbl ~klass:Mm.Page_meta.Heap in
+  Window.add_range w ~ptr:0x1000 ~size:64;
+  check_bool "contains" true (Window.contains w 0x1020);
+  check_bool "not contains" false (Window.contains w 0x1040);
+  Window.open_for w 3;
+  check_bool "open for 3" true (Window.is_open_for w 3);
+  check_bool "closed for 2" false (Window.is_open_for w 2);
+  Window.close_for w 3;
+  check_bool "closed again" false (Window.is_open_for w 3);
+  (* search only inspects the right class array *)
+  check_bool "search heap" true
+    (Window.search tbl ~klass:Mm.Page_meta.Heap ~addr:0x1010 <> None);
+  check_bool "search stack" true
+    (Window.search tbl ~klass:Mm.Page_meta.Stack ~addr:0x1010 = None)
+
+let test_window_destroy () =
+  let tbl = Window.create_table ~owner:1 ~ncubicles:8 in
+  let w = Window.init tbl ~klass:Mm.Page_meta.Heap in
+  let wid = w.Window.wid in
+  Window.destroy tbl w;
+  check_bool "find fails" true (is_error (fun () -> Window.find tbl wid));
+  check_int "no live windows" 0 (Window.count tbl)
+
+let test_window_remove_range () =
+  let tbl = Window.create_table ~owner:1 ~ncubicles:8 in
+  let w = Window.init tbl ~klass:Mm.Page_meta.Heap in
+  Window.add_range w ~ptr:0x1000 ~size:64;
+  Window.add_range w ~ptr:0x2000 ~size:64;
+  Window.remove_range w ~ptr:0x1000;
+  check_bool "first gone" false (Window.contains w 0x1000);
+  check_bool "second stays" true (Window.contains w 0x2000);
+  check_bool "remove unknown errors" true
+    (is_error (fun () -> Window.remove_range w ~ptr:0x9999))
+
+(* --- spatial isolation ------------------------------------------------------ *)
+
+let test_spatial_isolation () =
+  let mon, foo, bar = mk_system () in
+  let foo_buf = Monitor.malloc mon foo 64 in
+  Hw.Cpu.wrpkru (Monitor.cpu mon) Hw.Pkru.all_allow;
+  Hw.Cpu.write_u8 (Monitor.cpu mon) foo_buf 42;
+  (* run as BAR: FOO's heap must be unreachable *)
+  register_bar mon bar;
+  check_bool "BAR cannot write FOO heap" true
+    (is_violation (fun () -> Monitor.call mon ~caller:foo "bar" [| foo_buf; 0 |]))
+
+let test_window_grants_access () =
+  (* The Figure 1c flow: FOO opens a window to its array for BAR, calls
+     bar(array, 5), BAR writes through the pointer. *)
+  let mon, foo, bar = mk_system () in
+  register_bar mon bar;
+  let ctx = Monitor.ctx_for mon foo in
+  let array = Api.malloc_page_aligned ctx 10 in
+  let wid = Api.window_init ctx ~klass:Mm.Page_meta.Heap in
+  Api.window_add ctx wid ~ptr:array ~size:10;
+  Api.window_open ctx wid bar;
+  check_int "bar returns" 0 (Monitor.call mon ~caller:foo "bar" [| array; 5 |]);
+  Api.window_close ctx wid bar;
+  (* FOO sees the write (zero-copy sharing) *)
+  Hw.Cpu.wrpkru (Monitor.cpu mon) Hw.Pkru.all_allow;
+  check_int "0xAA written" 0xAA (Hw.Cpu.read_u8 (Monitor.cpu mon) (array + 5))
+
+let test_window_close_blocks_third_party () =
+  let mon, foo, bar = mk_system () in
+  let baz = Monitor.create_cubicle mon ~name:"BAZ" ~kind:Types.Isolated ~heap_pages:4 ~stack_pages:1 in
+  register_bar mon bar;
+  Monitor.register_exports mon baz
+    [ { Monitor.sym = "baz_read"; fn = (fun ctx args -> Api.read_u8 ctx args.(0)); stack_bytes = 0 } ];
+  let ctx = Monitor.ctx_for mon foo in
+  let buf = Api.malloc_page_aligned ctx 16 in
+  let wid = Api.window_init ctx ~klass:Mm.Page_meta.Heap in
+  Api.window_add ctx wid ~ptr:buf ~size:16;
+  Api.window_open ctx wid bar;
+  (* BAR can access, BAZ cannot: ACLs are per-cubicle *)
+  ignore (Monitor.call mon ~caller:foo "bar" [| buf; 1 |]);
+  check_bool "BAZ denied" true
+    (is_violation (fun () -> Monitor.call mon ~caller:foo "baz_read" [| buf |]))
+
+let test_causal_consistency () =
+  (* Closing a window does not retag; the grantee may still touch the
+     page until the owner (or another authorised cubicle) faults it
+     back (§5.6 "causal tag consistency"). *)
+  let mon, foo, bar = mk_system () in
+  register_bar mon bar;
+  let ctx = Monitor.ctx_for mon foo in
+  let buf = Api.malloc_page_aligned ctx 16 in
+  let wid = Api.window_init ctx ~klass:Mm.Page_meta.Heap in
+  Api.window_add ctx wid ~ptr:buf ~size:16;
+  Api.window_open ctx wid bar;
+  ignore (Monitor.call mon ~caller:foo "bar" [| buf; 0 |]);
+  let retags_before = Monitor.retag_count mon in
+  Api.window_close ctx wid bar;
+  check_int "close does not retag" retags_before (Monitor.retag_count mon);
+  (* BAR still holds the tag: another call succeeds without a new retag
+     (causally consistent: it could have accessed before the close). *)
+  ignore (Monitor.call mon ~caller:foo "bar" [| buf; 1 |]);
+  check_int "no retag on cached tag" retags_before (Monitor.retag_count mon);
+  (* Now FOO touches its own page: it faults back to FOO's tag... *)
+  Monitor.register_exports mon foo
+    [ { Monitor.sym = "foo_touch"; fn = (fun c a -> Api.write_u8 c a.(0) 7; 0); stack_bytes = 0 } ];
+  ignore (Monitor.call mon ~caller:bar "foo_touch" [| buf |]);
+  check_int "owner touch retags" (retags_before + 1) (Monitor.retag_count mon);
+  (* ...and from now on BAR is locked out (window is closed). *)
+  check_bool "BAR locked out after owner reclaim" true
+    (is_violation (fun () -> Monitor.call mon ~caller:foo "bar" [| buf; 2 |]))
+
+let test_window_ownership_enforced () =
+  let mon, foo, bar = mk_system () in
+  let foo_ctx = Monitor.ctx_for mon foo in
+  let bar_ctx = Monitor.ctx_for mon bar in
+  let foo_buf = Api.malloc_page_aligned foo_ctx 16 in
+  (* BAR cannot put FOO's memory into BAR's window *)
+  let wid = Api.window_init bar_ctx ~klass:Mm.Page_meta.Heap in
+  check_bool "foreign memory rejected" true
+    (is_error (fun () -> Api.window_add bar_ctx wid ~ptr:foo_buf ~size:16));
+  (* BAR cannot manage FOO's windows: wids are per-cubicle *)
+  let foo_wid = Api.window_init foo_ctx ~klass:Mm.Page_meta.Heap in
+  Api.window_add foo_ctx foo_wid ~ptr:foo_buf ~size:16;
+  check_bool "bar cannot open foo's window via own table" true
+    (is_error (fun () -> Api.window_open bar_ctx foo_wid foo)
+    || (* wid may exist in BAR's table too; then opening it must not
+          grant access to FOO's buffer *)
+    not (Window.contains (Window.find (Monitor.windows_of mon bar) foo_wid) foo_buf))
+
+let test_window_class_mismatch () =
+  let mon, foo, _bar = mk_system () in
+  let ctx = Monitor.ctx_for mon foo in
+  let buf = Api.malloc_page_aligned ctx 16 in
+  let wid = Api.window_init ctx ~klass:Mm.Page_meta.Stack in
+  (* heap memory cannot enter a stack-class window *)
+  check_bool "class mismatch" true
+    (is_error (fun () -> Api.window_add ctx wid ~ptr:buf ~size:16))
+
+let test_stack_windows () =
+  (* Figure 4's actual scenario: the shared buffer is a stack variable. *)
+  let mon, foo, bar = mk_system () in
+  register_bar mon bar;
+  let ctx = Monitor.ctx_for mon foo in
+  let sp = Monitor.stack_base mon foo in
+  let wid = Api.window_init ctx ~klass:Mm.Page_meta.Stack in
+  Api.window_add ctx wid ~ptr:sp ~size:10;
+  Api.window_open ctx wid bar;
+  ignore (Monitor.call mon ~caller:foo "bar" [| sp; 3 |]);
+  Hw.Cpu.wrpkru (Monitor.cpu mon) Hw.Pkru.all_allow;
+  check_int "stack byte written" 0xAA (Hw.Cpu.read_u8 (Monitor.cpu mon) (sp + 3))
+
+let test_page_granularity_leak () =
+  (* Windows are enforced at page granularity: data co-located on the
+     same page as a windowed buffer leaks — the reason the paper tells
+     developers to segregate allocations onto separate pages. *)
+  let mon, foo, bar = mk_system () in
+  let ctx = Monitor.ctx_for mon foo in
+  let buf = Api.malloc_page_aligned ctx 16 in
+  let secret = Api.malloc ctx 8 in
+  (* only run the check when the allocator co-located them *)
+  if Hw.Addr.page_of secret = Hw.Addr.page_of buf then begin
+    Monitor.register_exports mon bar
+      [ { Monitor.sym = "bar_peek"; fn = (fun c a -> Api.read_u8 c a.(0)); stack_bytes = 0 } ];
+    let wid = Api.window_init ctx ~klass:Mm.Page_meta.Heap in
+    Api.window_add ctx wid ~ptr:buf ~size:16;
+    Api.window_open ctx wid bar;
+    (* the window covers only buf, but the whole page gets retagged once
+       BAR touches buf — after which secret is exposed *)
+    ignore (Monitor.call mon ~caller:foo "bar_peek" [| buf |]);
+    check_int "co-located secret readable" 0
+      (Monitor.call mon ~caller:foo "bar_peek" [| secret |])
+  end
+
+let test_self_open_rejected () =
+  let mon, foo, _ = mk_system () in
+  let ctx = Monitor.ctx_for mon foo in
+  let wid = Api.window_init ctx ~klass:Mm.Page_meta.Heap in
+  check_bool "self-open rejected" true (is_error (fun () -> Api.window_open ctx wid foo))
+
+(* --- protection levels ------------------------------------------------------ *)
+
+let test_protection_none_no_faults () =
+  let mon, foo, bar = mk_system ~protection:Types.None_ () in
+  register_bar mon bar;
+  let buf = Monitor.malloc mon foo 16 in
+  (* no window, but no MPK either: the write goes through *)
+  ignore (Monitor.call mon ~caller:foo "bar" [| buf; 0 |]);
+  check_int "no faults" 0 (Hw.Cpu.fault_count (Monitor.cpu mon))
+
+let test_protection_mpk_no_acls () =
+  (* "CubicleOS w/o ACLs": MPK faults happen but every window is open. *)
+  let mon, foo, bar = mk_system ~protection:Types.Mpk () in
+  register_bar mon bar;
+  let buf = Monitor.malloc mon foo 16 in
+  ignore (Monitor.call mon ~caller:foo "bar" [| buf; 0 |]);
+  check_bool "fault happened" true (Hw.Cpu.fault_count (Monitor.cpu mon) > 0);
+  check_bool "retag happened" true (Monitor.retag_count mon > 0)
+
+let test_protection_full_needs_window () =
+  let mon, foo, bar = mk_system ~protection:Types.Full () in
+  register_bar mon bar;
+  let buf = Monitor.malloc mon foo 16 in
+  check_bool "denied without window" true
+    (is_violation (fun () -> Monitor.call mon ~caller:foo "bar" [| buf; 0 |]))
+
+(* --- cross-cubicle calls ----------------------------------------------------- *)
+
+let test_call_unknown_symbol_cfi () =
+  let mon, foo, _ = mk_system () in
+  check_bool "unknown symbol rejected" true
+    (is_error (fun () -> Monitor.call mon ~caller:foo "no_such_entry" [||]));
+  check_int "counted as rejected" 1 (Stats.rejected (Monitor.stats mon))
+
+let test_call_counts_edges () =
+  let mon, foo, bar = mk_system () in
+  register_bar mon bar;
+  let ctx = Monitor.ctx_for mon foo in
+  let buf = Api.malloc_page_aligned ctx 16 in
+  let wid = Api.window_init ctx ~klass:Mm.Page_meta.Heap in
+  Api.window_add ctx wid ~ptr:buf ~size:16;
+  Api.window_open ctx wid bar;
+  for _ = 1 to 5 do
+    ignore (Monitor.call mon ~caller:foo "bar" [| buf; 0 |])
+  done;
+  check_int "edge count" 5 (Stats.calls_between (Monitor.stats mon) ~caller:foo ~callee:bar);
+  check_int "sym count" 5 (Stats.calls_to_sym (Monitor.stats mon) "bar")
+
+let test_call_pkru_restored_on_exception () =
+  let mon, _foo, bar = mk_system () in
+  Monitor.register_exports mon bar
+    [ { Monitor.sym = "bar_raise"; fn = (fun _ _ -> failwith "boom"); stack_bytes = 0 } ];
+  let saved = Hw.Cpu.pkru (Monitor.cpu mon) in
+  (try ignore (Monitor.call mon ~caller:1 "bar_raise" [||]) with Failure _ -> ());
+  check_bool "pkru restored" true (Hw.Cpu.pkru (Monitor.cpu mon) = saved);
+  check_int "cur restored" Monitor.monitor_cid (Monitor.current mon)
+
+let test_nested_calls () =
+  (* FOO -> BAR -> FOO reentry: the shadow discipline restores each
+     level correctly. *)
+  let mon, foo, bar = mk_system () in
+  Monitor.register_exports mon foo
+    [ { Monitor.sym = "foo_leaf"; fn = (fun _ _ -> 17); stack_bytes = 0 } ];
+  Monitor.register_exports mon bar
+    [ { Monitor.sym = "bar_mid"; fn = (fun ctx _ -> Api.call ctx "foo_leaf" [||] + 1); stack_bytes = 0 } ];
+  check_int "nested result" 18 (Monitor.call mon ~caller:foo "bar_mid" [||]);
+  check_int "cur restored" Monitor.monitor_cid (Monitor.current mon)
+
+let test_shared_cubicle_runs_with_caller_privileges () =
+  let mon, foo, _bar = mk_system () in
+  let libc = Monitor.create_cubicle mon ~name:"LIBC" ~kind:Types.Shared ~heap_pages:2 ~stack_pages:0 in
+  Monitor.register_exports mon libc
+    [
+      {
+        Monitor.sym = "libc_memcpy";
+        fn = (fun ctx args -> Api.memcpy ctx ~dst:args.(0) ~src:args.(1) ~len:args.(2); args.(0));
+        stack_bytes = 0;
+      };
+    ];
+  (* memcpy within FOO's own heap: runs with FOO's privileges, so no
+     window needed and no monitor involvement *)
+  let ctx = Monitor.ctx_for mon foo in
+  let a = Api.malloc ctx 32 and b = Api.malloc ctx 32 in
+  Monitor.register_exports mon foo
+    [
+      {
+        Monitor.sym = "foo_work";
+        fn =
+          (fun ctx args ->
+            Api.write_string ctx args.(0) "hi";
+            ignore (Api.call ctx "libc_memcpy" [| args.(1); args.(0); 2 |]);
+            Api.read_u8 ctx args.(1));
+        stack_bytes = 0;
+      };
+    ];
+  let calls_before = Stats.total_calls (Monitor.stats mon) in
+  check_int "copied" (Char.code 'h') (Monitor.call mon ~caller:Monitor.monitor_cid "foo_work" [| a; b |]);
+  (* only foo_work transits the monitor; libc_memcpy is a shared call *)
+  check_int "one monitored call" (calls_before + 1) (Stats.total_calls (Monitor.stats mon));
+  check_int "one shared call" 1 (Stats.shared_calls (Monitor.stats mon))
+
+let test_stack_argument_copy () =
+  (* An export with by-stack arguments: the trampoline must copy the
+     bytes from the caller's stack to the callee's stack. *)
+  let mon, foo, bar = mk_system () in
+  let cpu = Monitor.cpu mon in
+  let foo_sp = Monitor.stack_base mon foo in
+  let bar_sp = Monitor.stack_base mon bar in
+  Hw.Cpu.priv_write_string cpu foo_sp "stack args: 0123456789ABCDEF";
+  Monitor.register_exports mon bar
+    [
+      {
+        Monitor.sym = "bar_stackargs";
+        (* the callee reads the copied arguments from its own stack *)
+        fn = (fun ctx _ -> Api.read_u8 ctx (Monitor.stack_base ctx.Monitor.mon ctx.Monitor.self + 12));
+        stack_bytes = 28;
+      };
+    ];
+  check_int "callee sees copied stack bytes" (Char.code '0')
+    (Monitor.call mon ~caller:foo "bar_stackargs" [||]);
+  Hw.Cpu.wrpkru cpu Hw.Pkru.all_allow;
+  Alcotest.(check string) "full copy" "stack args: 0123456789ABCDEF"
+    (Bytes.to_string (Hw.Cpu.priv_read_bytes cpu bar_sp 28))
+
+let test_monitor_logs_events () =
+  (* the monitor emits Logs events; capture them with a reporter *)
+  let captured = ref 0 in
+  let reporter =
+    {
+      Logs.report =
+        (fun _src _level ~over k msgf ->
+          incr captured;
+          msgf (fun ?header:_ ?tags:_ fmt ->
+              Format.ikfprintf
+                (fun _ ->
+                  over ();
+                  k ())
+                Format.str_formatter fmt));
+    }
+  in
+  let saved = Logs.reporter () in
+  Logs.set_reporter reporter;
+  Logs.set_level (Some Logs.Debug);
+  Fun.protect
+    ~finally:(fun () ->
+      Logs.set_reporter saved;
+      Logs.set_level (Some Logs.Warning))
+    (fun () ->
+      let mon, foo, bar = mk_system () in
+      register_bar mon bar;
+      let ctx = Monitor.ctx_for mon foo in
+      let buf = Api.malloc_page_aligned ctx 16 in
+      let wid = Api.window_init ctx ~klass:Mm.Page_meta.Heap in
+      Api.window_add ctx wid ~ptr:buf ~size:16;
+      Api.window_open ctx wid bar;
+      ignore (Monitor.call mon ~caller:foo "bar" [| buf; 0 |]);
+      check_bool "events captured" true (!captured > 0))
+
+(* --- loader ------------------------------------------------------------------- *)
+
+let test_loader_rejects_wrpkru () =
+  let mon = Monitor.create ~protection:Types.Full () in
+  let img =
+    {
+      Loader.img_name = "EVIL";
+      code = Hw.Instr.assemble [ Nop; Wrpkru; Ret ];
+      rodata = Bytes.empty;
+      data = Bytes.empty;
+      signed = false;
+    }
+  in
+  check_bool "rejected" true
+    (match Loader.load mon img ~kind:Types.Isolated ~heap_pages:1 ~stack_pages:1 ~exports:[] with
+    | _ -> false
+    | exception Loader.Rejected ("EVIL", _) -> true)
+
+let test_loader_rejects_syscall () =
+  let mon = Monitor.create ~protection:Types.Full () in
+  let img =
+    {
+      Loader.img_name = "EVIL2";
+      code = Hw.Instr.assemble [ Syscall ];
+      rodata = Bytes.empty;
+      data = Bytes.empty;
+      signed = false;
+    }
+  in
+  check_bool "rejected" true
+    (match Loader.load mon img ~kind:Types.Isolated ~heap_pages:1 ~stack_pages:1 ~exports:[] with
+    | _ -> false
+    | exception Loader.Rejected _ -> true)
+
+let test_loader_rejects_hidden_sequence () =
+  let mon = Monitor.create ~protection:Types.Full () in
+  let img =
+    {
+      Loader.img_name = "SNEAKY";
+      code = Hw.Instr.assemble [ Mov_imm (1, 0x00EF010F); Ret ];
+      rodata = Bytes.empty;
+      data = Bytes.empty;
+      signed = false;
+    }
+  in
+  check_bool "hidden wrpkru rejected" true
+    (match Loader.load mon img ~kind:Types.Isolated ~heap_pages:1 ~stack_pages:1 ~exports:[] with
+    | _ -> false
+    | exception Loader.Rejected _ -> true)
+
+let test_loader_accepts_signed_trusted_code () =
+  let mon = Monitor.create ~protection:Types.Full () in
+  let img =
+    {
+      Loader.img_name = "TRAMPOLINES";
+      code = Hw.Instr.assemble [ Wrpkru; Call 0; Wrpkru; Ret ];
+      rodata = Bytes.empty;
+      data = Bytes.empty;
+      signed = true;
+    }
+  in
+  let loaded = Loader.load mon img ~kind:Types.Trusted ~heap_pages:1 ~stack_pages:1 ~exports:[] in
+  check_bool "loaded" true (loaded.Loader.cid > 0)
+
+let test_loader_code_execute_only () =
+  let mon = Monitor.create ~protection:Types.Full () in
+  let img = Loader.image_of_ops ~name:"COMP" () in
+  let loaded = Loader.load mon img ~kind:Types.Isolated ~heap_pages:2 ~stack_pages:1 ~exports:[] in
+  let pt = Hw.Cpu.page_table (Monitor.cpu mon) in
+  let perm = Hw.Page_table.perm pt (Hw.Addr.page_of loaded.Loader.code_base) in
+  check_bool "exec" true perm.x;
+  check_bool "no read" false perm.r;
+  check_bool "no write" false perm.w
+
+let test_loader_data_perms () =
+  let mon = Monitor.create ~protection:Types.Full () in
+  let img =
+    {
+      Loader.img_name = "D";
+      code = Hw.Instr.assemble [ Ret ];
+      rodata = Bytes.of_string "const";
+      data = Bytes.of_string "vars!";
+      signed = false;
+    }
+  in
+  let loaded = Loader.load mon img ~kind:Types.Isolated ~heap_pages:1 ~stack_pages:1 ~exports:[] in
+  let pt = Hw.Cpu.page_table (Monitor.cpu mon) in
+  let ro = Hw.Page_table.perm pt (Hw.Addr.page_of loaded.Loader.rodata_base) in
+  check_bool "ro readable" true ro.r;
+  check_bool "ro not writable" false ro.w;
+  let rw = Hw.Page_table.perm pt (Hw.Addr.page_of loaded.Loader.data_base) in
+  check_bool "data writable" true rw.w;
+  (* contents copied in *)
+  Hw.Cpu.wrpkru (Monitor.cpu mon) Hw.Pkru.all_allow;
+  Alcotest.(check string) "rodata contents" "const"
+    (Bytes.to_string (Hw.Cpu.priv_read_bytes (Monitor.cpu mon) loaded.Loader.rodata_base 5))
+
+let test_loader_page_metadata () =
+  let mon = Monitor.create ~protection:Types.Full () in
+  let img = Loader.image_of_ops ~name:"META" () in
+  let loaded = Loader.load mon img ~kind:Types.Isolated ~heap_pages:2 ~stack_pages:1 ~exports:[] in
+  let meta = Monitor.meta mon in
+  check_bool "code page kind" true
+    (Mm.Page_meta.kind meta (Hw.Addr.page_of loaded.Loader.code_base) = Some Mm.Page_meta.Code);
+  check_bool "code page owner" true
+    (Mm.Page_meta.owner meta (Hw.Addr.page_of loaded.Loader.code_base) = Some loaded.Loader.cid)
+
+(* --- trampolines / CFI --------------------------------------------------------- *)
+
+let mk_built () =
+  let mon = Monitor.create ~protection:Types.Full () in
+  let comps =
+    [
+      ( Builder.component
+          ~exports:[ { Monitor.sym = "alpha_fn"; fn = (fun _ _ -> 1); stack_bytes = 0 } ]
+          "ALPHA",
+        Types.Isolated );
+      ( Builder.component
+          ~exports:[ { Monitor.sym = "beta_fn"; fn = (fun _ _ -> 2); stack_bytes = 0 } ]
+          "BETA",
+        Types.Isolated );
+    ]
+  in
+  Builder.build mon comps
+
+let test_builder_and_call () =
+  let built = mk_built () in
+  let alpha = Builder.cid built "ALPHA" in
+  check_int "call works" 2 (Monitor.call built.Builder.mon ~caller:alpha "beta_fn" [||])
+
+let test_builder_rejects_undeclared_export () =
+  let mon = Monitor.create ~protection:Types.Full () in
+  let comp =
+    Builder.component ~exportsyms:[ "listed" ]
+      ~exports:[ { Monitor.sym = "unlisted"; fn = (fun _ _ -> 0); stack_bytes = 0 } ]
+      "BADCOMP"
+  in
+  check_bool "undeclared rejected" true
+    (match Builder.build mon [ (comp, Types.Isolated) ] with
+    | _ -> false
+    | exception Builder.Undeclared_export ("BADCOMP", "unlisted") -> true)
+
+let test_guard_page_entry_allowed () =
+  let built = mk_built () in
+  let alpha = Builder.cid built "ALPHA" in
+  (* entering through one's own guard page is fine *)
+  Trampoline.enter_via_guard built.Builder.trampolines ~caller:alpha "beta_fn"
+
+let test_rogue_thunk_fetch_faults () =
+  (* Jumping directly into the monitor-owned trampoline thunk must
+     fault under the modified MPK (tag-wide NX). *)
+  let built = mk_built () in
+  let alpha = Builder.cid built "ALPHA" in
+  let thunk = Trampoline.thunk_addr built.Builder.trampolines "beta_fn" in
+  check_bool "rogue fetch faults" true
+    (is_violation (fun () ->
+         Trampoline.rogue_fetch built.Builder.mon ~as_cubicle:alpha ~addr:thunk))
+
+let test_rogue_cross_code_fetch_faults () =
+  (* ALPHA jumping into BETA's code (bypassing its public entries) *)
+  let mon = Monitor.create ~protection:Types.Full () in
+  let img = Loader.image_of_ops ~name:"BETA" () in
+  let beta = Loader.load mon img ~kind:Types.Isolated ~heap_pages:1 ~stack_pages:1 ~exports:[] in
+  let _alpha =
+    Loader.load mon (Loader.image_of_ops ~name:"ALPHA" ()) ~kind:Types.Isolated
+      ~heap_pages:1 ~stack_pages:1 ~exports:[]
+  in
+  let alpha_cid = Monitor.lookup_cubicle mon "ALPHA" in
+  check_bool "cross-code fetch faults" true
+    (is_violation (fun () ->
+         Trampoline.rogue_fetch mon ~as_cubicle:alpha_cid ~addr:beta.Loader.code_base))
+
+let test_own_code_fetch_allowed () =
+  let mon = Monitor.create ~protection:Types.Full () in
+  let loaded =
+    Loader.load mon (Loader.image_of_ops ~name:"SOLO" ()) ~kind:Types.Isolated
+      ~heap_pages:1 ~stack_pages:1 ~exports:[]
+  in
+  Trampoline.rogue_fetch mon ~as_cubicle:loaded.Loader.cid ~addr:loaded.Loader.code_base
+
+(* --- key exhaustion -------------------------------------------------------------- *)
+
+let test_key_exhaustion () =
+  let mon = Monitor.create ~protection:Types.Full () in
+  (* keys 1..14 for isolated cubicles *)
+  for i = 1 to 14 do
+    ignore
+      (Monitor.create_cubicle mon ~name:(Printf.sprintf "C%d" i) ~kind:Types.Isolated
+         ~heap_pages:1 ~stack_pages:1)
+  done;
+  check_bool "15th isolated cubicle fails" true
+    (is_error (fun () ->
+         Monitor.create_cubicle mon ~name:"C15" ~kind:Types.Isolated ~heap_pages:1
+           ~stack_pages:1));
+  (* shared cubicles do not consume isolated keys *)
+  ignore
+    (Monitor.create_cubicle mon ~name:"SHARED" ~kind:Types.Shared ~heap_pages:1 ~stack_pages:0)
+
+(* --- malloc/free ------------------------------------------------------------------ *)
+
+let test_malloc_heap_growth () =
+  let mon, foo, _ = mk_system () in
+  let ctx = Monitor.ctx_for mon foo in
+  (* allocate more than the initial heap; the monitor grows it *)
+  let blocks = List.init 20 (fun _ -> Api.malloc ctx 8192) in
+  check_int "all distinct" 20 (List.length (List.sort_uniq compare blocks));
+  List.iter (Api.free ctx) blocks
+
+let test_free_foreign_pointer () =
+  let mon, foo, bar = mk_system () in
+  let bar_buf = Monitor.malloc mon bar 64 in
+  check_bool "foreign free rejected" true
+    (is_error (fun () -> Monitor.free mon foo bar_buf))
+
+let test_alloc_pages_ownership () =
+  let mon, foo, _ = mk_system () in
+  let base = Monitor.alloc_pages mon foo 3 ~kind:Mm.Page_meta.Heap in
+  check_bool "owned" true (Monitor.page_owner mon (Hw.Addr.page_of base) = Some foo);
+  Monitor.free_pages mon foo base;
+  check_bool "released" true (Monitor.page_owner mon (Hw.Addr.page_of base) = None)
+
+(* --- teardown (dlclose) ------------------------------------------------------------- *)
+
+let test_destroy_cubicle () =
+  let mon, foo, bar = mk_system () in
+  register_bar mon bar;
+  let ctx = Monitor.ctx_for mon foo in
+  let buf = Api.malloc_page_aligned ctx 16 in
+  let wid = Api.window_init ctx ~klass:Mm.Page_meta.Heap in
+  Api.window_add ctx wid ~ptr:buf ~size:16;
+  Api.window_open ctx wid bar;
+  ignore (Monitor.call mon ~caller:foo "bar" [| buf; 0 |]);
+  let bar_pages = Mm.Page_meta.owned_by (Monitor.meta mon) bar in
+  check_bool "bar owned pages" true (bar_pages <> []);
+  Monitor.destroy_cubicle mon bar;
+  (* its exports are gone: CFI error, not a crash *)
+  check_bool "export unresolved" true
+    (is_error (fun () -> Monitor.call mon ~caller:foo "bar" [| buf; 0 |]));
+  (* its pages were released *)
+  check_bool "pages released" true (Mm.Page_meta.owned_by (Monitor.meta mon) bar = []);
+  (* the other cubicle is unaffected *)
+  Monitor.run_as mon foo (fun () -> Api.write_u8 ctx buf 5)
+
+let test_destroy_recycles_key () =
+  let mon, _foo, bar = mk_system () in
+  let bar_key = Monitor.cubicle_key mon bar in
+  Monitor.destroy_cubicle mon bar;
+  let baz =
+    Monitor.create_cubicle mon ~name:"BAZ" ~kind:Types.Isolated ~heap_pages:4 ~stack_pages:1
+  in
+  check_int "key reused" bar_key (Monitor.cubicle_key mon baz);
+  (* and the recycled key grants no access to scrubbed memory: BAZ's
+     fresh pages read as zeroes *)
+  let ctx = Monitor.ctx_for mon baz in
+  let b = Api.malloc ctx 16 in
+  Monitor.run_as mon baz (fun () -> check_int "scrubbed" 0 (Api.read_u8 ctx b))
+
+let test_destroy_full_slot_reuse () =
+  (* churn: create and destroy cubicles repeatedly without exhausting
+     the 14 keys *)
+  let mon = Monitor.create ~protection:Types.Full () in
+  for round = 1 to 40 do
+    let cid =
+      Monitor.create_cubicle mon
+        ~name:(Printf.sprintf "EPHEMERAL%d" round)
+        ~kind:Types.Isolated ~heap_pages:2 ~stack_pages:1
+    in
+    Monitor.destroy_cubicle mon cid
+  done;
+  check_bool "still boots another" true
+    (Monitor.create_cubicle mon ~name:"FINAL" ~kind:Types.Isolated ~heap_pages:2
+       ~stack_pages:1
+    > 0)
+
+let test_destroy_monitor_rejected () =
+  let mon, _, _ = mk_system () in
+  check_bool "monitor protected" true
+    (is_error (fun () -> Monitor.destroy_cubicle mon Monitor.monitor_cid))
+
+(* --- properties -------------------------------------------------------------------- *)
+
+let prop_window_acl =
+  (* For any sequence of open/close operations, is_open_for reflects
+     exactly the most recent operation per cubicle. *)
+  QCheck.Test.make ~name:"window: ACL reflects last open/close per cubicle"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 40) (pair bool (int_bound 7)))
+    (fun script ->
+      let tbl = Window.create_table ~owner:0 ~ncubicles:8 in
+      let w = Window.init tbl ~klass:Mm.Page_meta.Heap in
+      let expect = Array.make 8 false in
+      List.iter
+        (fun (open_, cid) ->
+          if open_ then (Window.open_for w cid; expect.(cid) <- true)
+          else (Window.close_for w cid; expect.(cid) <- false))
+        script;
+      Array.for_all Fun.id
+        (Array.mapi (fun cid e -> Window.is_open_for w cid = e) expect))
+
+let prop_scan_catches_planted =
+  (* Planting a forbidden sequence at a random offset in random bytes is
+     always caught. *)
+  QCheck.Test.make ~name:"scan: planted forbidden sequence always found"
+    QCheck.(pair (string_of_size (QCheck.Gen.int_range 4 200)) (int_bound 199))
+    (fun (s, pos) ->
+      QCheck.assume (pos + 3 <= String.length s);
+      let b = Bytes.of_string s in
+      Bytes.blit_string "\x0F\x01\xEF" 0 b pos 3;
+      List.exists (fun h -> h.Hw.Instr.offset = pos && h.what = "wrpkru")
+        (Hw.Instr.scan_forbidden b))
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest [ prop_window_acl; prop_scan_catches_planted ]
+
+let () =
+  Alcotest.run "cubicle-core"
+    [
+      ("bitset", [ Alcotest.test_case "ops" `Quick test_bitset ]);
+      ( "window",
+        [
+          Alcotest.test_case "table" `Quick test_window_table;
+          Alcotest.test_case "destroy" `Quick test_window_destroy;
+          Alcotest.test_case "remove range" `Quick test_window_remove_range;
+        ] );
+      ( "isolation",
+        [
+          Alcotest.test_case "spatial" `Quick test_spatial_isolation;
+          Alcotest.test_case "window grants" `Quick test_window_grants_access;
+          Alcotest.test_case "third party blocked" `Quick test_window_close_blocks_third_party;
+          Alcotest.test_case "causal consistency" `Quick test_causal_consistency;
+          Alcotest.test_case "ownership enforced" `Quick test_window_ownership_enforced;
+          Alcotest.test_case "class mismatch" `Quick test_window_class_mismatch;
+          Alcotest.test_case "stack windows" `Quick test_stack_windows;
+          Alcotest.test_case "page granularity leak" `Quick test_page_granularity_leak;
+          Alcotest.test_case "self-open rejected" `Quick test_self_open_rejected;
+        ] );
+      ( "protection levels",
+        [
+          Alcotest.test_case "none" `Quick test_protection_none_no_faults;
+          Alcotest.test_case "mpk w/o acls" `Quick test_protection_mpk_no_acls;
+          Alcotest.test_case "full" `Quick test_protection_full_needs_window;
+        ] );
+      ( "calls",
+        [
+          Alcotest.test_case "unknown symbol" `Quick test_call_unknown_symbol_cfi;
+          Alcotest.test_case "edge counting" `Quick test_call_counts_edges;
+          Alcotest.test_case "exception safety" `Quick test_call_pkru_restored_on_exception;
+          Alcotest.test_case "nested calls" `Quick test_nested_calls;
+          Alcotest.test_case "stack arguments" `Quick test_stack_argument_copy;
+          Alcotest.test_case "logging" `Quick test_monitor_logs_events;
+          Alcotest.test_case "shared cubicle" `Quick test_shared_cubicle_runs_with_caller_privileges;
+        ] );
+      ( "loader",
+        [
+          Alcotest.test_case "rejects wrpkru" `Quick test_loader_rejects_wrpkru;
+          Alcotest.test_case "rejects syscall" `Quick test_loader_rejects_syscall;
+          Alcotest.test_case "rejects hidden" `Quick test_loader_rejects_hidden_sequence;
+          Alcotest.test_case "accepts signed" `Quick test_loader_accepts_signed_trusted_code;
+          Alcotest.test_case "x-only code" `Quick test_loader_code_execute_only;
+          Alcotest.test_case "data perms" `Quick test_loader_data_perms;
+          Alcotest.test_case "page metadata" `Quick test_loader_page_metadata;
+        ] );
+      ( "cfi",
+        [
+          Alcotest.test_case "builder calls" `Quick test_builder_and_call;
+          Alcotest.test_case "undeclared export" `Quick test_builder_rejects_undeclared_export;
+          Alcotest.test_case "guard entry ok" `Quick test_guard_page_entry_allowed;
+          Alcotest.test_case "rogue thunk fetch" `Quick test_rogue_thunk_fetch_faults;
+          Alcotest.test_case "rogue cross fetch" `Quick test_rogue_cross_code_fetch_faults;
+          Alcotest.test_case "own code fetch" `Quick test_own_code_fetch_allowed;
+        ] );
+      ( "resources",
+        [
+          Alcotest.test_case "key exhaustion" `Quick test_key_exhaustion;
+          Alcotest.test_case "heap growth" `Quick test_malloc_heap_growth;
+          Alcotest.test_case "foreign free" `Quick test_free_foreign_pointer;
+          Alcotest.test_case "page ownership" `Quick test_alloc_pages_ownership;
+          Alcotest.test_case "destroy cubicle" `Quick test_destroy_cubicle;
+          Alcotest.test_case "destroy recycles key" `Quick test_destroy_recycles_key;
+          Alcotest.test_case "destroy churn" `Quick test_destroy_full_slot_reuse;
+          Alcotest.test_case "destroy monitor rejected" `Quick test_destroy_monitor_rejected;
+        ] );
+      ("properties", qsuite);
+    ]

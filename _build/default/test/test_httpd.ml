@@ -1,0 +1,197 @@
+(* End-to-end tests for the web server: full request path through
+   NETDEV, LWIP, NGINX, VFSCORE, RAMFS under all protection levels. *)
+
+open Cubicle
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let boot ?(protection = Types.Full) files =
+  let sys =
+    Libos.Boot.net_stack ~protection ~extra:[ (Httpd.Server.component (), Types.Isolated) ] ()
+  in
+  Libos.Boot.populate sys ~as_app:"NGINX" files;
+  let server = Httpd.Server.start sys in
+  let siege = Httpd.Siege.make sys server in
+  (sys, server, siege)
+
+(* --- http parsing (pure) ------------------------------------------------------ *)
+
+let test_parse_request () =
+  (match Httpd.Http.parse_request "GET /index.html HTTP/1.0\r\nHost: x\r\n\r\n" with
+  | Some { Httpd.Http.meth; path; keep_alive } ->
+      check_str "method" "GET" meth;
+      check_str "path" "/index.html" path;
+      check_bool "1.0 defaults to close" false keep_alive
+  | None -> Alcotest.fail "should parse");
+  (match
+     Httpd.Http.parse_request "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+   with
+  | Some { Httpd.Http.keep_alive; _ } -> check_bool "explicit keep-alive" true keep_alive
+  | None -> Alcotest.fail "should parse");
+  (match Httpd.Http.parse_request "HEAD /x HTTP/1.1\r\n\r\n" with
+  | Some { Httpd.Http.meth; keep_alive; _ } ->
+      check_str "head" "HEAD" meth;
+      check_bool "1.1 defaults persistent" true keep_alive
+  | None -> Alcotest.fail "should parse");
+  check_bool "garbage" true (Httpd.Http.parse_request "NONSENSE\r\n\r\n" = None);
+  check_bool "post rejected" true
+    (Httpd.Http.parse_request "POST /x HTTP/1.0\r\n\r\n" = None);
+  check_bool "relative path rejected" true
+    (Httpd.Http.parse_request "GET x HTTP/1.0\r\n\r\n" = None)
+
+let test_mime () =
+  check_str "html" "text/html" (Httpd.Http.mime_type "/a/index.html");
+  check_str "txt" "text/plain" (Httpd.Http.mime_type "/notes.txt");
+  check_str "default" "application/octet-stream" (Httpd.Http.mime_type "/blob")
+
+let test_response_header () =
+  let h = Httpd.Http.response_header ~status:200 ~content_length:17 () in
+  check_bool "status" true (String.length h > 0 && String.sub h 0 15 = "HTTP/1.0 200 OK");
+  check_bool "content length" true
+    (let rec mem i =
+       i + 18 <= String.length h && (String.sub h i 18 = "Content-Length: 17" || mem (i + 1))
+     in
+     mem 0)
+
+(* --- serving -------------------------------------------------------------------- *)
+
+let test_serve_small_file () =
+  let _, _, siege = boot [ ("/index.html", "<html>hi</html>") ] in
+  let r = Httpd.Siege.fetch siege "/index.html" in
+  check_int "200" 200 r.Httpd.Siege.status;
+  check_str "body" "<html>hi</html>" r.Httpd.Siege.body
+
+let test_serve_404 () =
+  let _, _, siege = boot [ ("/a", "x") ] in
+  let r = Httpd.Siege.fetch siege "/missing" in
+  check_int "404" 404 r.Httpd.Siege.status;
+  check_str "empty body" "" r.Httpd.Siege.body
+
+let test_serve_large_file_multi_chunk () =
+  let body = String.init 100_000 (fun i -> Char.chr (32 + (i mod 90))) in
+  let _, _, siege = boot [ ("/big.bin", body) ] in
+  let r = Httpd.Siege.fetch siege "/big.bin" in
+  check_int "200" 200 r.Httpd.Siege.status;
+  check_bool "body intact" true (r.Httpd.Siege.body = body)
+
+let test_serve_many_requests () =
+  let files = List.init 5 (fun i -> (Printf.sprintf "/f%d" i, String.make (100 * (i + 1)) 'x')) in
+  let _, server, siege = boot files in
+  List.iter
+    (fun (path, contents) ->
+      let r = Httpd.Siege.fetch siege path in
+      check_bool ("body " ^ path) true (r.Httpd.Siege.body = contents))
+    files;
+  check_int "served count" 5 (Httpd.Server.requests_served server)
+
+let test_serve_all_protection_levels () =
+  List.iter
+    (fun protection ->
+      let _, _, siege = boot ~protection [ ("/p", "protected contents") ] in
+      let r = Httpd.Siege.fetch siege "/p" in
+      check_str
+        (Printf.sprintf "body at %s" (Types.protection_to_string protection))
+        "protected contents" r.Httpd.Siege.body)
+    [ Types.None_; Types.Trampolines; Types.Mpk; Types.Full ]
+
+let test_latency_grows_with_size () =
+  let sizes = [ 1024; 65536; 262144 ] in
+  let sys, server, siege =
+    boot (List.map (fun s -> (Printf.sprintf "/s%d" s, String.make s 'd')) sizes)
+  in
+  ignore sys;
+  ignore server;
+  let results =
+    Httpd.Siege.latency_for_sizes siege ~sizes ~repeats:1
+      ~populate:(fun s -> Printf.sprintf "/s%d" s)
+      ()
+  in
+  (match results with
+  | [ (_, small, _); (_, mid, _); (_, big, _) ] ->
+      check_bool "monotone" true (small <= mid && mid < big)
+  | _ -> Alcotest.fail "expected 3 results");
+  ()
+
+let test_fig5_topology () =
+  (* Serving traffic produces the Figure 5 edges: NGINX->LWIP,
+     LWIP->NETDEV, NGINX->VFSCORE, VFSCORE->RAMFS, LWIP->ALLOC. *)
+  let sys, _, siege = boot [ ("/t", String.make 8000 'y') ] in
+  let stats = Monitor.stats sys.Libos.Boot.mon in
+  let before = Stats.snapshot stats in
+  ignore (Httpd.Siege.fetch siege "/t");
+  let cid name = Builder.cid sys.Libos.Boot.built name in
+  let edges = Stats.diff_edges stats ~since:before in
+  let has a b = List.mem_assoc (cid a, cid b) edges in
+  check_bool "nginx->lwip" true (has "NGINX" "LWIP");
+  check_bool "lwip->netdev" true (has "LWIP" "NETDEV");
+  check_bool "nginx->vfs" true (has "NGINX" "VFSCORE");
+  check_bool "vfs->ramfs" true (has "VFSCORE" "RAMFS");
+  check_bool "lwip->alloc" true (has "LWIP" "ALLOC")
+
+let test_keep_alive_pipelined () =
+  let _, server, siege =
+    boot [ ("/a.html", "<a/>"); ("/b.txt", "bee"); ("/c.bin", String.make 9000 'c') ]
+  in
+  let results = Httpd.Siege.fetch_pipelined siege [ "/a.html"; "/b.txt"; "/c.bin" ] in
+  (match results with
+  | [ (200, a); (200, b); (200, c) ] ->
+      check_str "first" "<a/>" a;
+      check_str "second" "bee" b;
+      check_int "third" 9000 (String.length c)
+  | _ -> Alcotest.fail "expected three 200s");
+  check_int "three served" 3 (Httpd.Server.requests_served server)
+
+let test_head_request () =
+  let _, _, siege = boot [ ("/doc.html", String.make 5000 'h') ] in
+  let header = Httpd.Siege.fetch_head siege "/doc.html" in
+  check_bool "200" true
+    (String.length header >= 15 && String.sub header 0 15 = "HTTP/1.0 200 OK");
+  check_bool "content-length advertised" true
+    (let rec mem i =
+       i + 20 <= String.length header
+       && (String.sub header i 20 = "Content-Length: 5000" || mem (i + 1))
+     in
+     mem 0);
+  check_bool "mime type" true
+    (let rec mem i =
+       i + 9 <= String.length header && (String.sub header i 9 = "text/html" || mem (i + 1))
+     in
+     mem 0)
+
+let test_full_isolation_overhead_exists () =
+  (* CubicleOS must cost more cycles than the unprotected baseline for
+     the same work — and not absurdly more (sanity bounds for Fig. 7). *)
+  let fetch_cycles protection =
+    let _, _, siege = boot ~protection [ ("/w", String.make 65536 'w') ] in
+    (Httpd.Siege.fetch siege "/w").Httpd.Siege.cycles
+  in
+  let base = fetch_cycles Types.None_ in
+  let full = fetch_cycles Types.Full in
+  check_bool "full costs more" true (full > base);
+  check_bool "under 10x" true (full < 10 * base)
+
+let () =
+  Alcotest.run "httpd"
+    [
+      ( "http",
+        [
+          Alcotest.test_case "parse request" `Quick test_parse_request;
+          Alcotest.test_case "mime types" `Quick test_mime;
+          Alcotest.test_case "response header" `Quick test_response_header;
+        ] );
+      ( "serving",
+        [
+          Alcotest.test_case "small file" `Quick test_serve_small_file;
+          Alcotest.test_case "404" `Quick test_serve_404;
+          Alcotest.test_case "large file" `Quick test_serve_large_file_multi_chunk;
+          Alcotest.test_case "many requests" `Quick test_serve_many_requests;
+          Alcotest.test_case "all protections" `Quick test_serve_all_protection_levels;
+          Alcotest.test_case "latency vs size" `Slow test_latency_grows_with_size;
+          Alcotest.test_case "keep-alive pipeline" `Quick test_keep_alive_pipelined;
+          Alcotest.test_case "head request" `Quick test_head_request;
+          Alcotest.test_case "fig5 topology" `Quick test_fig5_topology;
+          Alcotest.test_case "isolation overhead" `Quick test_full_isolation_overhead_exists;
+        ] );
+    ]

@@ -1,0 +1,166 @@
+(* Tests for the cooperative scheduler: interleaving, per-thread PKRU,
+   and isolation between threads of different cubicles. *)
+
+open Cubicle
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mk_system () =
+  let mon = Monitor.create ~protection:Types.Full () in
+  let a = Monitor.create_cubicle mon ~name:"A" ~kind:Types.Isolated ~heap_pages:8 ~stack_pages:2 in
+  let b = Monitor.create_cubicle mon ~name:"B" ~kind:Types.Isolated ~heap_pages:8 ~stack_pages:2 in
+  (mon, a, b)
+
+let test_round_robin_interleaving () =
+  let mon, a, b = mk_system () in
+  let sched = Libos.Sched.create mon in
+  let trace = Buffer.create 16 in
+  let worker tag =
+    fun () ->
+      for _ = 1 to 3 do
+        Buffer.add_string trace tag;
+        Libos.Sched.yield ()
+      done
+  in
+  ignore (Libos.Sched.spawn sched a (worker "a"));
+  ignore (Libos.Sched.spawn sched b (worker "b"));
+  Libos.Sched.run sched;
+  Alcotest.(check string) "strict alternation" "ababab" (Buffer.contents trace);
+  check_int "all done" 0 (Libos.Sched.alive sched);
+  check_bool "switches counted" true (Libos.Sched.context_switches sched >= 6)
+
+let test_threads_run_under_own_pkru () =
+  (* Each thread sees exactly its cubicle's permissions: thread A can
+     touch A's heap but faults on B's, and vice versa — even though
+     they interleave on the same hardware thread. *)
+  let mon, a, b = mk_system () in
+  let ctx_a = Monitor.ctx_for mon a and ctx_b = Monitor.ctx_for mon b in
+  let buf_a = Api.malloc ctx_a 16 and buf_b = Api.malloc ctx_b 16 in
+  let sched = Libos.Sched.create mon in
+  let a_faulted = ref false and b_faulted = ref false in
+  ignore
+    (Libos.Sched.spawn sched a (fun () ->
+         Api.write_u8 ctx_a buf_a 1;
+         Libos.Sched.yield ();
+         (try Api.write_u8 ctx_a buf_b 9 with Hw.Fault.Violation _ -> a_faulted := true);
+         Libos.Sched.yield ();
+         Api.write_u8 ctx_a buf_a 2));
+  ignore
+    (Libos.Sched.spawn sched b (fun () ->
+         Api.write_u8 ctx_b buf_b 1;
+         Libos.Sched.yield ();
+         (try Api.write_u8 ctx_b buf_a 9 with Hw.Fault.Violation _ -> b_faulted := true);
+         Libos.Sched.yield ();
+         Api.write_u8 ctx_b buf_b 2));
+  Libos.Sched.run sched;
+  check_bool "A blocked from B's heap" true !a_faulted;
+  check_bool "B blocked from A's heap" true !b_faulted;
+  Hw.Cpu.wrpkru (Monitor.cpu mon) Hw.Pkru.all_allow;
+  check_int "A's final write landed" 2 (Hw.Cpu.read_u8 (Monitor.cpu mon) buf_a);
+  check_int "B's final write landed" 2 (Hw.Cpu.read_u8 (Monitor.cpu mon) buf_b)
+
+let test_threads_share_via_windows () =
+  (* A window opened by one thread's cubicle grants another thread's
+     cubicle access, across yields. *)
+  let mon, a, b = mk_system () in
+  let ctx_a = Monitor.ctx_for mon a and ctx_b = Monitor.ctx_for mon b in
+  let shared = Api.malloc_page_aligned ctx_a 64 in
+  let sched = Libos.Sched.create mon in
+  ignore
+    (Libos.Sched.spawn sched a (fun () ->
+         let wid = Api.window_init ctx_a ~klass:Mm.Page_meta.Heap in
+         Api.window_add ctx_a wid ~ptr:shared ~size:64;
+         Api.window_open ctx_a wid b;
+         Api.write_string ctx_a shared "from thread A";
+         Libos.Sched.yield ();
+         (* B appended while we were parked *)
+         Alcotest.(check string) "B's reply visible" "from thread A + B"
+           (Api.read_string ctx_a shared 17)));
+  ignore
+    (Libos.Sched.spawn sched b (fun () ->
+         (* runs after A's first slice: the window is already open *)
+         Alcotest.(check string) "A's data visible" "from thread A"
+           (Api.read_string ctx_b shared 13);
+         Api.write_string ctx_b (shared + 13) " + B"));
+  Libos.Sched.run sched;
+  check_int "all finished" 0 (Libos.Sched.alive sched)
+
+let test_many_threads () =
+  let mon, a, b = mk_system () in
+  let sched = Libos.Sched.create mon in
+  let counter = ref 0 in
+  for i = 1 to 50 do
+    ignore
+      (Libos.Sched.spawn sched
+         (if i mod 2 = 0 then a else b)
+         (fun () ->
+           incr counter;
+           Libos.Sched.yield ();
+           incr counter))
+  done;
+  Libos.Sched.run sched;
+  check_int "every slice ran" 100 !counter
+
+let test_yield_outside_thread_rejected () =
+  check_bool "rejected" true
+    (try Libos.Sched.yield (); false with Invalid_argument _ -> true)
+
+let test_exception_propagates () =
+  let mon, a, _ = mk_system () in
+  let sched = Libos.Sched.create mon in
+  ignore (Libos.Sched.spawn sched a (fun () -> failwith "thread crashed"));
+  check_bool "exception surfaces" true
+    (try Libos.Sched.run sched; false with Failure _ -> true);
+  (* monitor state restored despite the crash *)
+  check_int "cur restored" Monitor.monitor_cid (Monitor.current mon)
+
+let test_file_io_from_threads () =
+  (* two application threads doing interleaved file I/O through the
+     full isolated stack *)
+  let app1 = Builder.component ~heap_pages:64 ~stack_pages:2 "APP1" in
+  let app2 = Builder.component ~heap_pages:64 ~stack_pages:2 "APP2" in
+  let sys =
+    Libos.Boot.fs_stack ~protection:Types.Full
+      ~extra:[ (app1, Types.Isolated); (app2, Types.Isolated) ]
+      ()
+  in
+  let sched = Libos.Sched.create sys.Libos.Boot.mon in
+  let cid1 = Builder.cid sys.Libos.Boot.built "APP1" in
+  let cid2 = Builder.cid sys.Libos.Boot.built "APP2" in
+  let fio1 = Libos.Fileio.make (Libos.Boot.app_ctx sys "APP1") in
+  let fio2 = Libos.Fileio.make (Libos.Boot.app_ctx sys "APP2") in
+  ignore
+    (Libos.Sched.spawn sched cid1 (fun () ->
+         Libos.Fileio.write_file fio1 "/one" "first half ";
+         Libos.Sched.yield ();
+         let fd = Libos.Fileio.open_file fio1 "/one" ~create:false in
+         let ctx = Libos.Fileio.ctx fio1 in
+         let buf = Api.malloc_page_aligned ctx 16 in
+         Api.write_string ctx buf "second half";
+         ignore (Libos.Fileio.pwrite fio1 ~fd ~buf ~len:11 ~off:11);
+         ignore (Libos.Fileio.close_file fio1 fd)));
+  ignore
+    (Libos.Sched.spawn sched cid2 (fun () ->
+         Libos.Fileio.write_file fio2 "/two" "interleaved";
+         Libos.Sched.yield ();
+         Alcotest.(check string) "sees own file" "interleaved"
+           (Libos.Fileio.read_file fio2 "/two")));
+  Libos.Sched.run sched;
+  Alcotest.(check string) "interleaved writes composed" "first half second half"
+    (Libos.Fileio.read_file fio1 "/one")
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "cooperative threads",
+        [
+          Alcotest.test_case "round robin" `Quick test_round_robin_interleaving;
+          Alcotest.test_case "per-thread pkru" `Quick test_threads_run_under_own_pkru;
+          Alcotest.test_case "windows across threads" `Quick test_threads_share_via_windows;
+          Alcotest.test_case "many threads" `Quick test_many_threads;
+          Alcotest.test_case "yield outside" `Quick test_yield_outside_thread_rejected;
+          Alcotest.test_case "exceptions" `Quick test_exception_propagates;
+          Alcotest.test_case "threaded file io" `Quick test_file_io_from_threads;
+        ] );
+    ]

@@ -1,0 +1,340 @@
+(* Tests for the SQL front-end: lexing/parsing, execution, planning,
+   transactions, schema persistence. *)
+
+open Cubicle
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mk_sql () =
+  let mon = Monitor.create ~protection:Types.None_ ~mem_bytes:(64 * 1024 * 1024) () in
+  let cid = Monitor.create_cubicle mon ~name:"APP" ~kind:Types.Isolated ~heap_pages:256 ~stack_pages:4 in
+  let os = Minidb.Os_iface.linux (Monitor.ctx_for mon cid) in
+  (os, Minidb.Sql.attach (Minidb.Db.open_db os ~path:"/sql.db"))
+
+let rows = function
+  | Minidb.Sql.Rows (_, rs) -> rs
+  | _ -> Alcotest.fail "expected rows"
+
+let affected = function
+  | Minidb.Sql.Affected n -> n
+  | _ -> Alcotest.fail "expected affected count"
+
+let ints result = List.map (function [ Minidb.Record.Int i ] -> Int64.to_int i | _ -> -1) (rows result)
+
+let setup_people sql =
+  ignore (Minidb.Sql.exec sql "CREATE TABLE people (name, age, city)");
+  ignore
+    (Minidb.Sql.exec sql
+       "INSERT INTO people VALUES ('alice', 30, 'london'), ('bob', 25, 'paris'), \
+        ('carol', 35, 'london'), ('dave', 25, 'berlin')")
+
+(* --- parsing errors ---------------------------------------------------------- *)
+
+let test_parse_errors () =
+  let _, sql = mk_sql () in
+  List.iter
+    (fun bad ->
+      check_bool bad true
+        (match Minidb.Sql.exec sql bad with
+        | _ -> false
+        | exception Minidb.Sql.Parse_error _ -> true))
+    [
+      "SELEC * FROM t";
+      "SELECT * FROM";
+      "INSERT INTO t (1,2)";
+      "CREATE TABLE (a)";
+      "SELECT * FROM t WHERE";
+      "UPDATE t SET";
+      "SELECT * FROM t LIMIT 'x'";
+      "SELECT * FROM t extra garbage";
+      "INSERT INTO t VALUES ('unterminated)";
+    ]
+
+let test_semantic_errors () =
+  let _, sql = mk_sql () in
+  setup_people sql;
+  List.iter
+    (fun bad ->
+      check_bool bad true
+        (match Minidb.Sql.exec sql bad with
+        | _ -> false
+        | exception Types.Error _ -> true))
+    [
+      "SELECT * FROM nosuch";
+      "SELECT nosuch FROM people";
+      "INSERT INTO people VALUES (1)";
+      "CREATE TABLE people (x)";
+    ]
+
+(* --- basic CRUD ---------------------------------------------------------------- *)
+
+let test_insert_select () =
+  let _, sql = mk_sql () in
+  setup_people sql;
+  let r = Minidb.Sql.exec sql "SELECT * FROM people" in
+  check_int "4 rows" 4 (List.length (rows r));
+  (match r with
+  | Minidb.Sql.Rows (headers, _) ->
+      Alcotest.(check (list string)) "headers" [ "name"; "age"; "city" ] headers
+  | _ -> Alcotest.fail "rows expected");
+  let r = Minidb.Sql.exec sql "SELECT age FROM people WHERE name = 'alice'" in
+  Alcotest.(check (list int)) "alice is 30" [ 30 ] (ints r)
+
+let test_where_operators () =
+  let _, sql = mk_sql () in
+  setup_people sql;
+  let count q = List.length (rows (Minidb.Sql.exec sql q)) in
+  check_int "eq" 2 (count "SELECT * FROM people WHERE city = 'london'");
+  check_int "neq" 2 (count "SELECT * FROM people WHERE city <> 'london'");
+  check_int "lt" 2 (count "SELECT * FROM people WHERE age < 30");
+  check_int "le" 3 (count "SELECT * FROM people WHERE age <= 30");
+  check_int "gt" 1 (count "SELECT * FROM people WHERE age > 30");
+  check_int "and" 1 (count "SELECT * FROM people WHERE city = 'london' AND age > 30");
+  check_int "or" 3 (count "SELECT * FROM people WHERE city = 'paris' OR city = 'london'");
+  check_int "not" 2 (count "SELECT * FROM people WHERE NOT city = 'london'");
+  check_int "parens" 3
+    (count "SELECT * FROM people WHERE (age = 25 AND city = 'paris') OR city = 'london'")
+
+let test_order_limit () =
+  let _, sql = mk_sql () in
+  setup_people sql;
+  let r = Minidb.Sql.exec sql "SELECT age FROM people ORDER BY age" in
+  Alcotest.(check (list int)) "ascending" [ 25; 25; 30; 35 ] (ints r);
+  let r = Minidb.Sql.exec sql "SELECT age FROM people ORDER BY age DESC LIMIT 2" in
+  Alcotest.(check (list int)) "desc limit" [ 35; 30 ] (ints r)
+
+let test_update_delete () =
+  let _, sql = mk_sql () in
+  setup_people sql;
+  check_int "update count" 2
+    (affected (Minidb.Sql.exec sql "UPDATE people SET city = 'rome' WHERE city = 'london'"));
+  check_int "moved" 2
+    (List.length (rows (Minidb.Sql.exec sql "SELECT * FROM people WHERE city = 'rome'")));
+  check_int "delete count" 2
+    (affected (Minidb.Sql.exec sql "DELETE FROM people WHERE age = 25"));
+  check_int "2 remain" 2 (List.length (rows (Minidb.Sql.exec sql "SELECT * FROM people")))
+
+let test_rowid_pseudo_column () =
+  let _, sql = mk_sql () in
+  setup_people sql;
+  let r = Minidb.Sql.exec sql "SELECT rowid FROM people WHERE name = 'alice'" in
+  Alcotest.(check (list int)) "rowid 1" [ 1 ] (ints r);
+  let r = Minidb.Sql.exec sql "SELECT name FROM people WHERE rowid = 2" in
+  check_bool "by rowid" true (rows r = [ [ Minidb.Record.Text "bob" ] ])
+
+let test_null_semantics () =
+  let _, sql = mk_sql () in
+  ignore (Minidb.Sql.exec sql "CREATE TABLE t (a)");
+  ignore (Minidb.Sql.exec sql "INSERT INTO t VALUES (NULL), (1)");
+  (* NULL compares to nothing *)
+  check_int "null invisible to =" 1
+    (List.length (rows (Minidb.Sql.exec sql "SELECT * FROM t WHERE a = 1")));
+  check_int "null invisible to <>" 0
+    (List.length (rows (Minidb.Sql.exec sql "SELECT * FROM t WHERE a <> 1")))
+
+let test_string_escapes () =
+  let _, sql = mk_sql () in
+  ignore (Minidb.Sql.exec sql "CREATE TABLE q (s)");
+  ignore (Minidb.Sql.exec sql "INSERT INTO q VALUES ('it''s quoted')");
+  check_bool "escape" true
+    (rows (Minidb.Sql.exec sql "SELECT s FROM q") = [ [ Minidb.Record.Text "it's quoted" ] ])
+
+let test_aggregates () =
+  let _, sql = mk_sql () in
+  setup_people sql;
+  let one q =
+    match Minidb.Sql.exec sql q with
+    | Minidb.Sql.Rows (_, [ row ]) -> row
+    | _ -> Alcotest.fail "expected one aggregate row"
+  in
+  check_bool "count(*)" true (one "SELECT COUNT(*) FROM people" = [ Minidb.Record.Int 4L ]);
+  check_bool "count filtered" true
+    (one "SELECT COUNT(*) FROM people WHERE city = 'london'" = [ Minidb.Record.Int 2L ]);
+  check_bool "sum" true (one "SELECT SUM(age) FROM people" = [ Minidb.Record.Int 115L ]);
+  check_bool "min/max together" true
+    (one "SELECT MIN(age), MAX(age) FROM people"
+    = [ Minidb.Record.Int 25L; Minidb.Record.Int 28L ]
+    || one "SELECT MIN(age), MAX(age) FROM people"
+       = [ Minidb.Record.Int 25L; Minidb.Record.Int 35L ]);
+  check_bool "avg" true (one "SELECT AVG(age) FROM people" = [ Minidb.Record.Int 28L ]);
+  check_bool "min over text" true
+    (one "SELECT MIN(name) FROM people" = [ Minidb.Record.Text "alice" ]);
+  (* empty set: count 0, others NULL *)
+  ignore (Minidb.Sql.exec sql "CREATE TABLE empty (x)");
+  check_bool "count empty" true
+    (one "SELECT COUNT(*) FROM empty" = [ Minidb.Record.Int 0L ]);
+  check_bool "sum empty is null" true
+    (one "SELECT SUM(x) FROM empty" = [ Minidb.Record.Null ])
+
+(* --- planning ------------------------------------------------------------------- *)
+
+let test_index_used_for_equality () =
+  let _, sql = mk_sql () in
+  ignore (Minidb.Sql.exec sql "CREATE TABLE big (v, pad)");
+  ignore (Minidb.Sql.exec sql "BEGIN");
+  for i = 1 to 500 do
+    ignore
+      (Minidb.Sql.exec sql (Printf.sprintf "INSERT INTO big VALUES (%d, 'x')" (i mod 50)))
+  done;
+  ignore (Minidb.Sql.exec sql "COMMIT");
+  ignore (Minidb.Sql.exec sql "CREATE INDEX big_v ON big (v)");
+  check_int "index equality" 10
+    (List.length (rows (Minidb.Sql.exec sql "SELECT * FROM big WHERE v = 7")));
+  check_int "index range" 30
+    (List.length (rows (Minidb.Sql.exec sql "SELECT * FROM big WHERE v >= 5 AND v <= 7")))
+
+let test_txn_rollback_via_sql () =
+  let _, sql = mk_sql () in
+  setup_people sql;
+  ignore (Minidb.Sql.exec sql "BEGIN");
+  ignore (Minidb.Sql.exec sql "DELETE FROM people");
+  check_int "empty inside txn" 0 (List.length (rows (Minidb.Sql.exec sql "SELECT * FROM people")));
+  ignore (Minidb.Sql.exec sql "ROLLBACK");
+  check_int "restored" 4 (List.length (rows (Minidb.Sql.exec sql "SELECT * FROM people")))
+
+let test_schema_persists () =
+  let os, sql = mk_sql () in
+  setup_people sql;
+  ignore (Minidb.Sql.exec sql "CREATE INDEX people_age ON people (age)");
+  (* the application closes and reopens the database *)
+  Minidb.Db.close (Minidb.Sql.db sql);
+  let db2 = Minidb.Db.open_db os ~path:"/sql.db" in
+  let sql2 = Minidb.Sql.attach db2 in
+  Alcotest.(check (list string)) "columns survive" [ "name"; "age"; "city" ]
+    (Minidb.Sql.columns_of sql2 "people");
+  check_int "data survives" 4 (List.length (rows (Minidb.Sql.exec sql2 "SELECT * FROM people")));
+  check_int "index survives and plans" 2
+    (List.length (rows (Minidb.Sql.exec sql2 "SELECT * FROM people WHERE age = 25")))
+
+let test_exec_script () =
+  let _, sql = mk_sql () in
+  let results =
+    Minidb.Sql.exec_script sql
+      "CREATE TABLE s (x); INSERT INTO s VALUES (1), (2); SELECT x FROM s ORDER BY x DESC;"
+  in
+  check_int "3 statements" 3 (List.length results);
+  Alcotest.(check (list int)) "script result" [ 2; 1 ] (ints (List.nth results 2))
+
+(* --- on the full CubicleOS stack ---------------------------------------------------- *)
+
+let test_sql_on_cubicleos () =
+  let app = Builder.component ~heap_pages:256 ~stack_pages:4 "APP" in
+  let sys =
+    Libos.Boot.fs_stack ~protection:Types.Full ~mem_bytes:(128 * 1024 * 1024)
+      ~extra:[ (app, Types.Isolated) ] ()
+  in
+  let ctx = Libos.Boot.app_ctx sys "APP" in
+  let os = Minidb.Os_iface.cubicleos (Libos.Fileio.make ctx) in
+  Monitor.run_as sys.Libos.Boot.mon (Api.self ctx) (fun () ->
+      let sql = Minidb.Sql.attach (Minidb.Db.open_db os ~path:"/app.db") in
+      ignore (Minidb.Sql.exec sql "CREATE TABLE kv (k, v)");
+      ignore (Minidb.Sql.exec sql "INSERT INTO kv VALUES ('answer', 42)");
+      check_bool "query through the whole isolated stack" true
+        (rows (Minidb.Sql.exec sql "SELECT v FROM kv WHERE k = 'answer'")
+        = [ [ Minidb.Record.Int 42L ] ]))
+
+(* --- property: parser never misparses generated selects ------------------------------ *)
+
+let prop_roundtrip_int_inserts =
+  QCheck.Test.make ~count:30 ~name:"sql: inserted ints are selected back"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 30) (int_range (-1000) 1000))
+    (fun xs ->
+      let _, sql = mk_sql () in
+      ignore (Minidb.Sql.exec sql "CREATE TABLE p (x)");
+      List.iter
+        (fun x -> ignore (Minidb.Sql.exec sql (Printf.sprintf "INSERT INTO p VALUES (%d)" x)))
+        xs;
+      let got = ints (Minidb.Sql.exec sql "SELECT x FROM p ORDER BY rowid") in
+      got = xs)
+
+(* random predicates over random rows: SQL WHERE agrees with a direct
+   OCaml evaluation of the same predicate *)
+type pred = P_lt of int | P_ge of int | P_eq of int | P_and of pred * pred | P_or of pred * pred | P_not of pred
+
+let rec pred_gen depth =
+  QCheck.Gen.(
+    if depth = 0 then
+      oneof
+        [
+          map (fun v -> P_lt v) (int_bound 100);
+          map (fun v -> P_ge v) (int_bound 100);
+          map (fun v -> P_eq v) (int_bound 100);
+        ]
+    else
+      oneof
+        [
+          map (fun v -> P_lt v) (int_bound 100);
+          map2 (fun a b -> P_and (a, b)) (pred_gen (depth - 1)) (pred_gen (depth - 1));
+          map2 (fun a b -> P_or (a, b)) (pred_gen (depth - 1)) (pred_gen (depth - 1));
+          map (fun a -> P_not a) (pred_gen (depth - 1));
+        ])
+
+let rec pred_to_sql = function
+  | P_lt v -> Printf.sprintf "x < %d" v
+  | P_ge v -> Printf.sprintf "x >= %d" v
+  | P_eq v -> Printf.sprintf "x = %d" v
+  | P_and (a, b) -> Printf.sprintf "(%s AND %s)" (pred_to_sql a) (pred_to_sql b)
+  | P_or (a, b) -> Printf.sprintf "(%s OR %s)" (pred_to_sql a) (pred_to_sql b)
+  | P_not a -> Printf.sprintf "(NOT %s)" (pred_to_sql a)
+
+let rec pred_eval p x =
+  match p with
+  | P_lt v -> x < v
+  | P_ge v -> x >= v
+  | P_eq v -> x = v
+  | P_and (a, b) -> pred_eval a x && pred_eval b x
+  | P_or (a, b) -> pred_eval a x || pred_eval b x
+  | P_not a -> not (pred_eval a x)
+
+let prop_where_matches_ocaml =
+  QCheck.Test.make ~count:30 ~name:"sql: WHERE agrees with direct evaluation"
+    (QCheck.make
+       QCheck.Gen.(pair (list_size (int_range 1 40) (int_bound 100)) (pred_gen 2)))
+    (fun (xs, pred) ->
+      let _, sql = mk_sql () in
+      ignore (Minidb.Sql.exec sql "CREATE TABLE p (x)");
+      List.iter
+        (fun x -> ignore (Minidb.Sql.exec sql (Printf.sprintf "INSERT INTO p VALUES (%d)" x)))
+        xs;
+      let got =
+        ints
+          (Minidb.Sql.exec sql
+             (Printf.sprintf "SELECT x FROM p WHERE %s ORDER BY rowid" (pred_to_sql pred)))
+      in
+      got = List.filter (pred_eval pred) xs)
+
+let () =
+  Alcotest.run "sql"
+    [
+      ( "parsing",
+        [
+          Alcotest.test_case "syntax errors" `Quick test_parse_errors;
+          Alcotest.test_case "semantic errors" `Quick test_semantic_errors;
+        ] );
+      ( "crud",
+        [
+          Alcotest.test_case "insert/select" `Quick test_insert_select;
+          Alcotest.test_case "where operators" `Quick test_where_operators;
+          Alcotest.test_case "order/limit" `Quick test_order_limit;
+          Alcotest.test_case "update/delete" `Quick test_update_delete;
+          Alcotest.test_case "rowid" `Quick test_rowid_pseudo_column;
+          Alcotest.test_case "null" `Quick test_null_semantics;
+          Alcotest.test_case "string escapes" `Quick test_string_escapes;
+          Alcotest.test_case "aggregates" `Quick test_aggregates;
+        ] );
+      ( "planning & txns",
+        [
+          Alcotest.test_case "index planning" `Quick test_index_used_for_equality;
+          Alcotest.test_case "rollback" `Quick test_txn_rollback_via_sql;
+          Alcotest.test_case "schema persistence" `Quick test_schema_persists;
+          Alcotest.test_case "scripts" `Quick test_exec_script;
+        ] );
+      ( "integration",
+        [ Alcotest.test_case "on cubicleos" `Quick test_sql_on_cubicleos ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_roundtrip_int_inserts;
+          QCheck_alcotest.to_alcotest prop_where_matches_ocaml;
+        ] );
+    ]

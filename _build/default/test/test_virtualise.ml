@@ -1,0 +1,168 @@
+(* Tests for libmpk-style tag virtualisation (paper §8): more isolated
+   cubicles than the 16 hardware keys, with physical keys mapped on
+   demand and evicted LRU. *)
+
+open Cubicle
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let is_violation f = match f () with
+  | _ -> false
+  | exception Hw.Fault.Violation _ -> true
+
+(* a system of [n] isolated cubicles, each exporting peek/poke *)
+let mk_many n =
+  let mon = Monitor.create ~virtualise:true ~protection:Types.Full () in
+  let cids =
+    List.init n (fun i ->
+        let cid =
+          Monitor.create_cubicle mon ~name:(Printf.sprintf "C%02d" i) ~kind:Types.Isolated
+            ~heap_pages:4 ~stack_pages:1
+        in
+        Monitor.register_exports mon cid
+          [
+            {
+              Monitor.sym = Printf.sprintf "c%02d_poke" i;
+              fn = (fun ctx a -> Api.write_u8 ctx a.(0) (a.(1) land 0xFF); 0);
+              stack_bytes = 0;
+            };
+            {
+              Monitor.sym = Printf.sprintf "c%02d_read_own" i;
+              fn = (fun ctx a -> Api.read_u8 ctx a.(0));
+              stack_bytes = 0;
+            };
+          ];
+        cid)
+  in
+  (mon, cids)
+
+let test_more_than_16_cubicles_boot () =
+  let mon, cids = mk_many 24 in
+  check_int "24 cubicles + monitor" 25 (Monitor.ncubicles mon);
+  (* every cubicle can run and touch its own heap *)
+  List.iteri
+    (fun i cid ->
+      let ctx = Monitor.ctx_for mon cid in
+      let buf = Api.malloc ctx 16 in
+      check_int "own access works"
+        0
+        (Monitor.call mon ~caller:cid (Printf.sprintf "c%02d_poke" i) [| buf; i |]))
+    cids
+
+let test_isolation_still_enforced_past_16 () =
+  let mon, cids = mk_many 20 in
+  let c0 = List.nth cids 0 and c19 = List.nth cids 19 in
+  let buf0 = Monitor.malloc mon c0 16 in
+  (* cubicle 19 (physical key certainly recycled) cannot touch C00's heap *)
+  check_bool "cross access denied" true
+    (is_violation (fun () -> Monitor.call mon ~caller:c19 "c19_poke" [| buf0; 1 |]))
+
+let test_evictions_happen () =
+  let mon, cids = mk_many 20 in
+  (* round-robin through all cubicles: far more working tags than
+     physical keys, so evictions must occur *)
+  List.iteri
+    (fun i cid ->
+      let ctx = Monitor.ctx_for mon cid in
+      let buf = Api.malloc ctx 8 in
+      ignore (Monitor.call mon ~caller:cid (Printf.sprintf "c%02d_poke" i) [| buf; 1 |]))
+    cids;
+  check_bool "evictions occurred" true (Monitor.tag_evictions mon > 0)
+
+let test_data_survives_eviction () =
+  let mon, cids = mk_many 20 in
+  let c0 = List.nth cids 0 in
+  let ctx0 = Monitor.ctx_for mon c0 in
+  let buf = Api.malloc ctx0 8 in
+  ignore (Monitor.call mon ~caller:c0 "c00_poke" [| buf; 123 |]);
+  (* churn through every other cubicle to force C00's key out *)
+  List.iteri
+    (fun i cid ->
+      if i > 0 then begin
+        let ctx = Monitor.ctx_for mon cid in
+        let b = Api.malloc ctx 8 in
+        ignore (Monitor.call mon ~caller:cid (Printf.sprintf "c%02d_poke" i) [| b; i |])
+      end)
+    cids;
+  check_bool "evicted at least once" true (Monitor.tag_evictions mon > 0);
+  (* C00 comes back: its data is intact and readable (lazy re-tagging
+     through the fault handler) *)
+  check_int "data survived eviction" 123
+    (Monitor.call mon ~caller:c0 "c00_read_own" [| buf |])
+
+let test_windows_work_across_virtual_tags () =
+  let mon, cids = mk_many 20 in
+  let a = List.nth cids 2 and b = List.nth cids 18 in
+  let ctx = Monitor.ctx_for mon a in
+  let buf = Api.malloc_page_aligned ctx 32 in
+  let wid = Api.window_init ctx ~klass:Mm.Page_meta.Heap in
+  Api.window_add ctx wid ~ptr:buf ~size:32;
+  (* closed: denied *)
+  check_bool "closed window denied" true
+    (is_violation (fun () -> Monitor.call mon ~caller:a "c18_poke" [| buf; 7 |]));
+  Api.window_open ctx wid b;
+  check_int "open window works" 0 (Monitor.call mon ~caller:a "c18_poke" [| buf; 7 |]);
+  Monitor.run_as mon a (fun () -> check_int "written" 7 (Api.read_u8 ctx buf))
+
+let test_without_virtualise_still_fails () =
+  let mon = Monitor.create ~protection:Types.Full () in
+  for i = 1 to 14 do
+    ignore
+      (Monitor.create_cubicle mon ~name:(Printf.sprintf "K%d" i) ~kind:Types.Isolated
+         ~heap_pages:1 ~stack_pages:1)
+  done;
+  check_bool "15th fails without virtualise" true
+    (match
+       Monitor.create_cubicle mon ~name:"K15" ~kind:Types.Isolated ~heap_pages:1
+         ~stack_pages:1
+     with
+    | _ -> false
+    | exception Types.Error _ -> true)
+
+let test_virtualised_full_stack () =
+  (* the whole library OS stack, plus enough extra isolated components
+     to exceed the hardware keys, still serves files correctly *)
+  let extras =
+    List.init 12 (fun i ->
+        (Builder.component ~heap_pages:2 ~stack_pages:1 (Printf.sprintf "X%02d" i),
+         Types.Isolated))
+  in
+  let app = Builder.component ~heap_pages:64 ~stack_pages:4 "APP" in
+  let sys =
+    Libos.Boot.fs_stack ~protection:Types.Full ~virtualise:true
+      ~extra:(extras @ [ (app, Types.Isolated) ])
+      ()
+  in
+  let fio = Libos.Fileio.make (Libos.Boot.app_ctx sys "APP") in
+  Libos.Fileio.write_file fio "/v.txt" "virtualised tags";
+  Alcotest.(check string) "roundtrip" "virtualised tags" (Libos.Fileio.read_file fio "/v.txt");
+  check_int "19 cubicles incl. monitor" 20 (Monitor.ncubicles sys.Libos.Boot.mon)
+
+let test_dedicated_tags_rejected_under_virtualise () =
+  let mon, cids = mk_many 3 in
+  let c0 = List.hd cids in
+  let ctx = Monitor.ctx_for mon c0 in
+  let buf = Api.malloc_page_aligned ctx 32 in
+  let wid = Api.window_init ctx ~klass:Mm.Page_meta.Heap in
+  Api.window_add ctx wid ~ptr:buf ~size:32;
+  check_bool "dedicated tags rejected" true
+    (match Api.window_open_dedicated ctx wid (List.nth cids 1) with
+    | _ -> false
+    | exception Types.Error _ -> true)
+
+let () =
+  Alcotest.run "virtualise"
+    [
+      ( "tag virtualisation",
+        [
+          Alcotest.test_case "boot >16" `Quick test_more_than_16_cubicles_boot;
+          Alcotest.test_case "isolation holds" `Quick test_isolation_still_enforced_past_16;
+          Alcotest.test_case "evictions" `Quick test_evictions_happen;
+          Alcotest.test_case "data survives" `Quick test_data_survives_eviction;
+          Alcotest.test_case "windows work" `Quick test_windows_work_across_virtual_tags;
+          Alcotest.test_case "without flag fails" `Quick test_without_virtualise_still_fails;
+          Alcotest.test_case "full stack" `Quick test_virtualised_full_stack;
+          Alcotest.test_case "no dedicated tags" `Quick test_dedicated_tags_rejected_under_virtualise;
+        ] );
+    ]
