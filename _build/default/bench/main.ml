@@ -484,12 +484,234 @@ let micro () =
       | _ -> fprintf "  %-40s (no estimate)\n" name)
     (List.sort compare rows)
 
+(* --- hw: software-TLB wall-clock suite -> BENCH_hw.json --------------------------- *)
+
+(* Unlike the bechamel [micro] suite this one is bounded by fixed
+   iteration counts, so its simulated-cycle counts are deterministic:
+   CI compares them against bench/golden_cycles.json to catch cost-model
+   drift, and the wall-clock columns track the trajectory of the
+   simulator itself. The TLB must never change simulated behaviour —
+   every scenario runs twice (TLB on / TLB off) and the harness fails
+   if cycles, faults or wrpkru counts differ. *)
+
+type hw_row = {
+  hw_name : string;
+  wall_ns_on : float;
+  wall_ns_off : float;
+  hw_cycles : int;
+  hw_faults : int;
+  hw_wrpkru : int;
+  hw_hit_rate : float;
+}
+
+let hw_scenario ~name body =
+  let run tlb_on =
+    let mon = Monitor.create ~protection:Types.Full () in
+    let cpu = Monitor.cpu mon in
+    Hw.Cpu.set_tlb_enabled cpu tlb_on;
+    let foo =
+      Monitor.create_cubicle mon ~name:"FOO" ~kind:Types.Isolated ~heap_pages:32
+        ~stack_pages:2
+    in
+    let bar =
+      Monitor.create_cubicle mon ~name:"BAR" ~kind:Types.Isolated ~heap_pages:8
+        ~stack_pages:2
+    in
+    Monitor.register_exports mon bar
+      [
+        {
+          Monitor.sym = "bar_fn";
+          fn = (fun ctx a -> Api.write_u8 ctx a.(0) 1; 0);
+          stack_bytes = 0;
+        };
+      ];
+    let ctx = Monitor.ctx_for mon foo in
+    let buf = Api.malloc_page_aligned ctx (16 * 4096) in
+    let wid = Api.window_init ctx ~klass:Mm.Page_meta.Heap in
+    Api.window_add ctx wid ~ptr:buf ~size:(16 * 4096);
+    let tlb = Hw.Cpu.tlb cpu in
+    Hw.Tlb.reset_counters tlb;
+    let c0 = Hw.Cost.cycles (Monitor.cost mon) in
+    let f0 = Hw.Cpu.fault_count cpu in
+    let k0 = Hw.Cpu.wrpkru_count cpu in
+    let t0 = Unix.gettimeofday () in
+    body mon ctx ~foo ~bar ~buf ~wid;
+    let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+    ( wall_ns,
+      Hw.Cost.cycles (Monitor.cost mon) - c0,
+      Hw.Cpu.fault_count cpu - f0,
+      Hw.Cpu.wrpkru_count cpu - k0,
+      Hw.Tlb.hit_rate tlb )
+  in
+  let wall_ns_on, cycles_on, faults_on, wrpkru_on, hit_rate = run true in
+  let wall_ns_off, cycles_off, faults_off, wrpkru_off, _ = run false in
+  if (cycles_on, faults_on, wrpkru_on) <> (cycles_off, faults_off, wrpkru_off) then begin
+    fprintf
+      "FATAL: %s: TLB changed simulated behaviour\n\
+      \  on : cycles=%d faults=%d wrpkru=%d\n\
+      \  off: cycles=%d faults=%d wrpkru=%d\n"
+      name cycles_on faults_on wrpkru_on cycles_off faults_off wrpkru_off;
+    exit 1
+  end;
+  {
+    hw_name = name;
+    wall_ns_on;
+    wall_ns_off;
+    hw_cycles = cycles_on;
+    hw_faults = faults_on;
+    hw_wrpkru = wrpkru_on;
+    hw_hit_rate = hit_rate;
+  }
+
+let hw_rows () =
+  [
+    (* The MMU hot loop: a cubicle scanning its own 16-page heap buffer.
+       One page walk per page, then every access is a TLB hit. Reads go
+       straight through the checked accessor so the loop measures the
+       MMU path, not harness arithmetic. *)
+    hw_scenario ~name:"hot_loop_reads" (fun mon ctx ~foo ~bar:_ ~buf ~wid:_ ->
+        let cpu = ctx.Monitor.cpu in
+        Monitor.run_as mon foo (fun () ->
+            for i = 0 to 1_999_999 do
+              ignore (Hw.Cpu.read_u8 cpu (buf + (i land 0xFFFF)))
+            done));
+    (* Window trap-and-map storm: open/fault/retag/close per call —
+       dominated by monitor work, the TLB must stay out of the way. *)
+    hw_scenario ~name:"trap_and_map_storm" (fun mon ctx ~foo ~bar ~buf ~wid ->
+        for _ = 1 to 2_000 do
+          Api.window_open ctx wid bar;
+          ignore (Monitor.call mon ~caller:foo "bar_fn" [| buf |]);
+          Api.window_close ctx wid bar
+        done);
+    (* Warm cross-cubicle call churn: trampoline PKRU flips flush the
+       TLB twice per call, so this measures flush overhead. *)
+    hw_scenario ~name:"call_churn" (fun mon ctx ~foo ~bar ~buf ~wid ->
+        Api.window_open ctx wid bar;
+        ignore (Monitor.call mon ~caller:foo "bar_fn" [| buf |]);
+        for _ = 1 to 20_000 do
+          ignore (Monitor.call mon ~caller:foo "bar_fn" [| buf |])
+        done);
+  ]
+
+let hw_write_json path rows =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "  \"%s.wall_ns\": %.0f,\n\
+        \  \"%s.wall_ns_tlb_off\": %.0f,\n\
+        \  \"%s.simulated_cycles\": %d,\n\
+        \  \"%s.faults\": %d,\n\
+        \  \"%s.wrpkru\": %d,\n\
+        \  \"%s.tlb_hit_rate\": %.4f%s\n"
+        r.hw_name r.wall_ns_on r.hw_name r.wall_ns_off r.hw_name r.hw_cycles r.hw_name
+        r.hw_faults r.hw_name r.hw_wrpkru r.hw_name r.hw_hit_rate
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "}\n";
+  close_out oc
+
+let hw_write_golden path rows =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc "  \"%s.cycles\": %d,\n  \"%s.faults\": %d,\n  \"%s.wrpkru\": %d%s\n"
+        r.hw_name r.hw_cycles r.hw_name r.hw_faults r.hw_name r.hw_wrpkru
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "}\n";
+  close_out oc
+
+(* Golden files are flat {"key": int} objects; this scanner is all the
+   JSON we need. *)
+let parse_flat_json s =
+  let pairs = ref [] in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '"' then begin
+      let j = String.index_from s (!i + 1) '"' in
+      let key = String.sub s (!i + 1) (j - !i - 1) in
+      let k = ref (j + 1) in
+      while !k < n && (s.[!k] = ':' || s.[!k] = ' ') do
+        incr k
+      done;
+      let st = !k in
+      while !k < n && (match s.[!k] with '0' .. '9' | '-' -> true | _ -> false) do
+        incr k
+      done;
+      if !k > st then pairs := (key, int_of_string (String.sub s st (!k - st))) :: !pairs;
+      i := !k
+    end
+    else incr i
+  done;
+  !pairs
+
+let hw_check_golden path rows =
+  if not (Sys.file_exists path) then begin
+    Printf.printf "GOLDEN FILE MISSING: %s\nGenerate it with:\n  dune exec bench/main.exe -- hw --write-golden %s\n" path path;
+    exit 1
+  end;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let golden = parse_flat_json (really_input_string ic len) in
+  close_in ic;
+  let drift = ref [] in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (field, v) ->
+          let key = r.hw_name ^ "." ^ field in
+          match List.assoc_opt key golden with
+          | Some g when g = v -> ()
+          | Some g -> drift := Printf.sprintf "%s: golden %d, measured %d" key g v :: !drift
+          | None -> drift := Printf.sprintf "%s: missing from golden file" key :: !drift)
+        [ ("cycles", r.hw_cycles); ("faults", r.hw_faults); ("wrpkru", r.hw_wrpkru) ])
+    rows;
+  if !drift <> [] then begin
+    fprintf "\nGOLDEN CYCLE DRIFT vs %s:\n" path;
+    List.iter (fprintf "  %s\n") (List.rev !drift);
+    fprintf
+      "If the drift is an intentional cost-model change, recalibrate with:\n\
+      \  dune exec bench/main.exe -- hw --write-golden %s\n"
+      path;
+    exit 1
+  end;
+  fprintf "\ngolden check OK: simulated cycles match %s\n" path
+
+let hw ?(out = "BENCH_hw.json") ?golden ?write_golden () =
+  heading "Software TLB: wall-clock of the simulator (simulated cycles unchanged)";
+  let rows = hw_rows () in
+  fprintf "%-20s %14s %14s %8s %14s %8s %8s %8s\n" "scenario" "tlb_on(ns)" "tlb_off(ns)"
+    "speedup" "cycles" "faults" "wrpkru" "hitrate";
+  List.iter
+    (fun r ->
+      fprintf "%-20s %14.0f %14.0f %7.1fx %14d %8d %8d %7.1f%%\n" r.hw_name r.wall_ns_on
+        r.wall_ns_off
+        (r.wall_ns_off /. r.wall_ns_on)
+        r.hw_cycles r.hw_faults r.hw_wrpkru (100. *. r.hw_hit_rate))
+    rows;
+  hw_write_json out rows;
+  fprintf "wrote %s\n" out;
+  Option.iter (fun path -> hw_write_golden path rows; fprintf "wrote %s\n" path) write_golden;
+  Option.iter (fun path -> hw_check_golden path rows) golden
+
 (* --- driver ---------------------------------------------------------------------- *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let all = args = [] || args = [ "all" ] in
-  let want name = all || List.mem name args in
+  (* flags with a value: --out FILE, --golden FILE, --write-golden FILE *)
+  let rec split_flags targets flags = function
+    | [] -> (List.rev targets, List.rev flags)
+    | flag :: value :: rest when String.length flag > 2 && String.sub flag 0 2 = "--" ->
+        split_flags targets ((flag, value) :: flags) rest
+    | t :: rest -> split_flags (t :: targets) flags rest
+  in
+  let targets, flags = split_flags [] [] args in
+  let all = targets = [] || targets = [ "all" ] in
+  let want name = all || List.mem name targets in
   let t0 = Unix.gettimeofday () in
   if want "table2" then table2 ();
   if want "fig5" then fig5 ();
@@ -500,4 +722,10 @@ let () =
   if want "fig10b" then fig10b ();
   if want "ablation" then ablation ();
   if want "micro" then micro ();
+  if want "hw" then
+    hw
+      ?out:(List.assoc_opt "--out" flags)
+      ?golden:(List.assoc_opt "--golden" flags)
+      ?write_golden:(List.assoc_opt "--write-golden" flags)
+      ();
   fprintf "\n[bench completed in %.1f s wall clock]\n" (Unix.gettimeofday () -. t0)

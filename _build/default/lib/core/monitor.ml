@@ -64,7 +64,12 @@ type export_spec = { sym : string; fn : fn; stack_bytes : int }
 
 let cpu t = t.m_cpu
 let cost t = Hw.Cpu.cost t.m_cpu
-let stats t = t.stats
+
+let stats t =
+  let tlb = Hw.Cpu.tlb t.m_cpu in
+  Stats.set_tlb_counters t.stats ~hits:(Hw.Tlb.hits tlb) ~misses:(Hw.Tlb.misses tlb)
+    ~flushes:(Hw.Tlb.flushes tlb) ~invalidations:(Hw.Tlb.invalidations tlb);
+  t.stats
 let protection t = t.protection
 let meta t = t.meta
 let current t = t.cur

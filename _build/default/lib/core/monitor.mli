@@ -56,6 +56,9 @@ val create :
 val cpu : t -> Hw.Cpu.t
 val cost : t -> Hw.Cost.t
 val stats : t -> Stats.t
+(** Runtime counters; the machine's software-TLB counters
+    ({!Hw.Tlb}) are synced into the returned value on each read. *)
+
 val protection : t -> Types.protection
 val meta : t -> Mm.Page_meta.t
 val current : t -> Types.cid

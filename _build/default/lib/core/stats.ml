@@ -4,6 +4,10 @@ type t = {
   mutable window_ops : int;
   mutable rejected : int;
   mutable shared : int;
+  mutable tlb_hits : int;
+  mutable tlb_misses : int;
+  mutable tlb_flushes : int;
+  mutable tlb_invalidations : int;
   edges : (Types.cid * Types.cid, int) Hashtbl.t;
   syms : (string, int) Hashtbl.t;
 }
@@ -17,6 +21,10 @@ let create () =
     window_ops = 0;
     rejected = 0;
     shared = 0;
+    tlb_hits = 0;
+    tlb_misses = 0;
+    tlb_flushes = 0;
+    tlb_invalidations = 0;
     edges = Hashtbl.create 64;
     syms = Hashtbl.create 64;
   }
@@ -27,6 +35,10 @@ let reset t =
   t.window_ops <- 0;
   t.rejected <- 0;
   t.shared <- 0;
+  t.tlb_hits <- 0;
+  t.tlb_misses <- 0;
+  t.tlb_flushes <- 0;
+  t.tlb_invalidations <- 0;
   Hashtbl.reset t.edges;
   Hashtbl.reset t.syms
 
@@ -44,6 +56,21 @@ let count_fault t = t.faults <- t.faults + 1
 let count_retag t = t.retags <- t.retags + 1
 let count_window_op t = t.window_ops <- t.window_ops + 1
 let count_rejected t = t.rejected <- t.rejected + 1
+
+let set_tlb_counters t ~hits ~misses ~flushes ~invalidations =
+  t.tlb_hits <- hits;
+  t.tlb_misses <- misses;
+  t.tlb_flushes <- flushes;
+  t.tlb_invalidations <- invalidations
+
+let tlb_hits t = t.tlb_hits
+let tlb_misses t = t.tlb_misses
+let tlb_flushes t = t.tlb_flushes
+let tlb_invalidations t = t.tlb_invalidations
+
+let tlb_hit_rate t =
+  let total = t.tlb_hits + t.tlb_misses in
+  if total = 0 then 0. else float_of_int t.tlb_hits /. float_of_int total
 
 let calls_between t ~caller ~callee =
   Option.value ~default:0 (Hashtbl.find_opt t.edges (caller, callee))

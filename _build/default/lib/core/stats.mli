@@ -15,6 +15,20 @@ val count_window_op : t -> unit
 val count_rejected : t -> unit
 (** CFI / isolation violations that were caught. *)
 
+val set_tlb_counters : t -> hits:int -> misses:int -> flushes:int -> invalidations:int -> unit
+(** Install the machine's software-TLB counters ({!Hw.Tlb}); the
+    monitor syncs these whenever its stats are read, so they reflect
+    the hardware state at observation time rather than accumulating
+    independently. *)
+
+val tlb_hits : t -> int
+val tlb_misses : t -> int
+val tlb_flushes : t -> int
+val tlb_invalidations : t -> int
+
+val tlb_hit_rate : t -> float
+(** Hits over lookups, in [0,1]; 0 when the TLB was never consulted. *)
+
 val calls_between : t -> caller:Types.cid -> callee:Types.cid -> int
 val calls_into : t -> Types.cid -> int
 val calls_to_sym : t -> string -> int

@@ -1,1 +1,1 @@
-lib/hw/cpu.ml: Addr Bytes Cost Fault Page_table Phys_mem Pkru String
+lib/hw/cpu.ml: Addr Array Bytes Cost Fault Page_table Phys_mem Pkru String Tlb

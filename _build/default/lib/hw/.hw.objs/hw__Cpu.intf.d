@@ -1,1 +1,1 @@
-lib/hw/cpu.mli: Cost Fault Page_table Phys_mem Pkru
+lib/hw/cpu.mli: Cost Fault Page_table Phys_mem Pkru Tlb

@@ -39,9 +39,9 @@ let reset t =
   t.cycles <- 0;
   t.mem_bytes <- 0
 
-let charge t n = t.cycles <- t.cycles + n
+let[@inline] charge t n = t.cycles <- t.cycles + n
 
-let charge_mem t len =
+let[@inline] charge_mem t len =
   t.mem_bytes <- t.mem_bytes + len;
   t.cycles <- t.cycles + t.model.mem_op + (((len + 7) lsr 3) * t.model.mem_word)
 

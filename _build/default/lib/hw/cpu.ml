@@ -2,6 +2,7 @@ type t = {
   mem : Phys_mem.t;
   pt : Page_table.t;
   cost : Cost.t;
+  tlb : Tlb.t;
   mutable pkru : Pkru.t;
   mutable mpk_enabled : bool;
   mutable exec_follows_access : bool;
@@ -15,10 +16,16 @@ and handler = t -> Fault.t -> bool
 
 let create ?(mem_bytes = 64 * 1024 * 1024) ?model () =
   let mem = Phys_mem.create mem_bytes in
+  let pt = Page_table.create (Phys_mem.npages mem) in
+  let tlb = Tlb.create (Phys_mem.npages mem) in
+  (* Any page-table mutation — monitor retag, loader perm change, a
+     test poking the table directly — drops the cached decision. *)
+  Page_table.set_hook pt (Tlb.invalidate_page tlb);
   {
     mem;
-    pt = Page_table.create (Phys_mem.npages mem);
+    pt;
     cost = Cost.create ?model ();
+    tlb;
     pkru = Pkru.all_allow;
     mpk_enabled = false;
     exec_follows_access = false;
@@ -31,17 +38,29 @@ let create ?(mem_bytes = 64 * 1024 * 1024) ?model () =
 let mem t = t.mem
 let page_table t = t.pt
 let cost t = t.cost
+let tlb t = t.tlb
+let tlb_enabled t = Tlb.enabled t.tlb
+let set_tlb_enabled t b = Tlb.set_enabled t.tlb b
 let npages t = Phys_mem.npages t.mem
 let set_handler t h = t.handler <- h
 let mpk_enabled t = t.mpk_enabled
-let set_mpk_enabled t b = t.mpk_enabled <- b
+
+let set_mpk_enabled t b =
+  if b <> t.mpk_enabled then Tlb.flush t.tlb;
+  t.mpk_enabled <- b
+
 let exec_follows_access t = t.exec_follows_access
-let set_exec_follows_access t b = t.exec_follows_access <- b
+
+let set_exec_follows_access t b =
+  if b <> t.exec_follows_access then Tlb.flush t.tlb;
+  t.exec_follows_access <- b
+
 let pkru t = t.pkru
 
 let wrpkru t v =
   Cost.charge t.cost t.cost.model.wrpkru;
   t.wrpkru_count <- t.wrpkru_count + 1;
+  if v <> t.pkru then Tlb.flush t.tlb;
   t.pkru <- v
 
 let wrpkru_count t = t.wrpkru_count
@@ -78,19 +97,26 @@ let deliver_fault t fault =
 
 (* Check one page, delivering faults to the handler and retrying while
    the handler keeps resolving them (a resolved fault may still leave a
-   different denial in place, e.g. page-level perms). *)
+   different denial in place, e.g. page-level perms). The TLB fast path
+   skips only the re-walk of an already-allowed decision; denials are
+   never cached, and no simulated cycles are charged on either path, so
+   fault behaviour and cycle counts are identical with the TLB off. *)
 let rec ensure_page t page access ~addr =
-  match check_page t page access with
-  | None -> ()
-  | Some f ->
-      let f = { f with Fault.addr } in
-      if deliver_fault t f then
-        (* Retry once after resolution; if the handler did not actually
-           fix the permission this raises. *)
-        match check_page t page access with
-        | None -> ()
-        | Some f' -> Fault.violation { f' with Fault.addr }
-      else Fault.violation f
+  if Tlb.probe t.tlb page access then Tlb.record_hit t.tlb
+  else begin
+    Tlb.record_miss t.tlb;
+    match check_page t page access with
+    | None -> Tlb.fill t.tlb page access
+    | Some f -> (
+        let f = { f with Fault.addr } in
+        if deliver_fault t f then
+          (* Retry once after resolution; if the handler did not actually
+             fix the permission this raises. *)
+          match check_page t page access with
+          | None -> Tlb.fill t.tlb page access
+          | Some f' -> Fault.violation { f' with Fault.addr }
+        else Fault.violation f)
+  end
 
 and check_range t addr len access =
   if len < 0 then invalid_arg "Cpu.check_range: negative length";
@@ -104,73 +130,135 @@ and check_range t addr len access =
     done
   end
 
+(* Accessor fast path: the whole access lies in one page whose decision
+   is cached-allowed. One offset test, one array load, one generation
+   compare — everything [check_range] would establish is implied: the
+   cached allow proves presence, page perms and key permission (kept
+   current by invalidation), and a live entry proves the page is within
+   physical memory. [bit] is the {!Tlb} allow bit of the access kind
+   (1 = Read, 2 = Write, 4 = Exec); the probe is open-coded on the
+   exposed TLB representation to keep this call-free. *)
+let[@inline] fast t a len bit =
+  let tlb = t.tlb in
+  tlb.Tlb.enabled
+  && a >= 0
+  && len >= 0
+  && Addr.offset a + len <= Addr.page_size
+  && (let p = Addr.page_of a in
+      p < Array.length tlb.Tlb.entries
+      &&
+      let e = Array.unsafe_get tlb.Tlb.entries p in
+      e lsr 3 = tlb.Tlb.gen && e land bit <> 0)
+  &&
+  (tlb.Tlb.hits <- tlb.Tlb.hits + 1;
+   true)
+
 let read_u8 t a =
-  check_range t a 1 Fault.Read;
-  Cost.charge_mem t.cost 1;
-  Phys_mem.get_u8 t.mem a
+  if fast t a 1 1 then begin
+    Cost.charge_mem t.cost 1;
+    Phys_mem.unsafe_get_u8 t.mem a
+  end
+  else begin
+    check_range t a 1 Fault.Read;
+    Cost.charge_mem t.cost 1;
+    Phys_mem.get_u8 t.mem a
+  end
 
 let write_u8 t a v =
-  check_range t a 1 Fault.Write;
-  Cost.charge_mem t.cost 1;
-  Phys_mem.set_u8 t.mem a v
+  if fast t a 1 2 then begin
+    Cost.charge_mem t.cost 1;
+    Phys_mem.unsafe_set_u8 t.mem a v
+  end
+  else begin
+    check_range t a 1 Fault.Write;
+    Cost.charge_mem t.cost 1;
+    Phys_mem.set_u8 t.mem a v
+  end
 
 let read_u16 t a =
-  check_range t a 2 Fault.Read;
-  Cost.charge_mem t.cost 2;
-  Phys_mem.get_u16 t.mem a
+  if fast t a 2 1 then begin
+    Cost.charge_mem t.cost 2;
+    Phys_mem.unsafe_get_u16 t.mem a
+  end
+  else begin
+    check_range t a 2 Fault.Read;
+    Cost.charge_mem t.cost 2;
+    Phys_mem.get_u16 t.mem a
+  end
 
 let write_u16 t a v =
-  check_range t a 2 Fault.Write;
-  Cost.charge_mem t.cost 2;
-  Phys_mem.set_u16 t.mem a v
+  if fast t a 2 2 then begin
+    Cost.charge_mem t.cost 2;
+    Phys_mem.unsafe_set_u16 t.mem a v
+  end
+  else begin
+    check_range t a 2 Fault.Write;
+    Cost.charge_mem t.cost 2;
+    Phys_mem.set_u16 t.mem a v
+  end
 
 let read_u32 t a =
-  check_range t a 4 Fault.Read;
-  Cost.charge_mem t.cost 4;
-  Phys_mem.get_u32 t.mem a
+  if fast t a 4 1 then begin
+    Cost.charge_mem t.cost 4;
+    Phys_mem.unsafe_get_u32 t.mem a
+  end
+  else begin
+    check_range t a 4 Fault.Read;
+    Cost.charge_mem t.cost 4;
+    Phys_mem.get_u32 t.mem a
+  end
 
 let write_u32 t a v =
-  check_range t a 4 Fault.Write;
-  Cost.charge_mem t.cost 4;
-  Phys_mem.set_u32 t.mem a v
+  if fast t a 4 2 then begin
+    Cost.charge_mem t.cost 4;
+    Phys_mem.unsafe_set_u32 t.mem a v
+  end
+  else begin
+    check_range t a 4 Fault.Write;
+    Cost.charge_mem t.cost 4;
+    Phys_mem.set_u32 t.mem a v
+  end
 
 let read_i64 t a =
-  check_range t a 8 Fault.Read;
+  if not (fast t a 8 1) then check_range t a 8 Fault.Read;
   Cost.charge_mem t.cost 8;
   Phys_mem.get_i64 t.mem a
 
 let write_i64 t a v =
-  check_range t a 8 Fault.Write;
+  if not (fast t a 8 2) then check_range t a 8 Fault.Write;
   Cost.charge_mem t.cost 8;
   Phys_mem.set_i64 t.mem a v
 
 let read_bytes t a len =
-  check_range t a len Fault.Read;
+  if not (fast t a len 1) then check_range t a len Fault.Read;
   Cost.charge_mem t.cost len;
   Phys_mem.read_bytes t.mem a len
 
 let write_bytes t a b =
-  check_range t a (Bytes.length b) Fault.Write;
-  Cost.charge_mem t.cost (Bytes.length b);
+  let len = Bytes.length b in
+  if not (fast t a len 2) then check_range t a len Fault.Write;
+  Cost.charge_mem t.cost len;
   Phys_mem.write_bytes t.mem a b
 
 let write_string t a s =
-  check_range t a (String.length s) Fault.Write;
-  Cost.charge_mem t.cost (String.length s);
+  let len = String.length s in
+  if not (fast t a len 2) then check_range t a len Fault.Write;
+  Cost.charge_mem t.cost len;
   Phys_mem.write_string t.mem a s
 
 let memcpy t ~dst ~src ~len =
-  check_range t src len Fault.Read;
-  check_range t dst len Fault.Write;
+  if not (fast t src len 1) then check_range t src len Fault.Read;
+  if not (fast t dst len 2) then check_range t dst len Fault.Write;
   Cost.charge_mem t.cost (2 * len);
   Phys_mem.blit t.mem ~src ~dst ~len
 
 let memset t a len c =
-  check_range t a len Fault.Write;
+  if not (fast t a len 2) then check_range t a len Fault.Write;
   Cost.charge_mem t.cost len;
   Phys_mem.fill t.mem a len c
 
-let fetch t a len = check_range t a len Fault.Exec
+let fetch t a len =
+  if not (fast t a len 4) then check_range t a len Fault.Exec
 
 let priv_read_bytes t a len =
   Cost.charge_mem t.cost len;

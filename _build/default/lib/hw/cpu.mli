@@ -25,6 +25,20 @@ val page_table : t -> Page_table.t
 val cost : t -> Cost.t
 val npages : t -> int
 
+(** {1 Software TLB} — amortises the per-access permission walk, as
+    real MPK hardware does through the TLB. Wall-clock only: simulated
+    cycle counts, fault counts and wrpkru counts are identical with the
+    TLB on or off. Invalidation is automatic: page-table mutations
+    invalidate per page (via {!Page_table.set_hook}); [wrpkru],
+    [set_mpk_enabled] and [set_exec_follows_access] flush globally. *)
+
+val tlb : t -> Tlb.t
+val tlb_enabled : t -> bool
+
+val set_tlb_enabled : t -> bool -> unit
+(** Off forces every access down the full-walk slow path (used by the
+    benchmark harness to measure the TLB's wall-clock effect). *)
+
 val set_handler : t -> handler option -> unit
 
 val mpk_enabled : t -> bool

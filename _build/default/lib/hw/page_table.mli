@@ -22,6 +22,13 @@ val create : int -> t
 (** [create npages] creates a table with every page absent, key 0. *)
 
 val npages : t -> int
+
+val set_hook : t -> (int -> unit) -> unit
+(** [set_hook t f] installs [f] to be called with the page number after
+    every entry mutation ([set_present], [set_perm], [set_key]),
+    whoever performs it. {!Cpu} uses this to invalidate its software
+    TLB; there is a single hook (last install wins). *)
+
 val present : t -> int -> bool
 val set_present : t -> int -> bool -> unit
 val perm : t -> int -> perm

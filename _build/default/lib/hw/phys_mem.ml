@@ -11,6 +11,31 @@ let check t addr len =
   if addr < 0 || len < 0 || addr + len > Bytes.length t.data then
     invalid_arg (Printf.sprintf "Phys_mem: access [0x%x, +%d) out of memory" addr len)
 
+(* Unsafe scalar accessors: no bounds check, for callers that have
+   already proven the access in-bounds (the CPU's TLB fast path — a
+   live TLB entry implies the page, and so the whole single-page
+   access, lies inside memory). The u32 variants also dodge the Int32
+   boxing of [Bytes.get_int32_le]. *)
+
+let unsafe_get_u8 t addr = Char.code (Bytes.unsafe_get t.data addr)
+
+let unsafe_set_u8 t addr v = Bytes.unsafe_set t.data addr (Char.unsafe_chr (v land 0xFF))
+
+let unsafe_get_u16 t addr =
+  Char.code (Bytes.unsafe_get t.data addr)
+  lor (Char.code (Bytes.unsafe_get t.data (addr + 1)) lsl 8)
+
+let unsafe_set_u16 t addr v =
+  Bytes.unsafe_set t.data addr (Char.unsafe_chr (v land 0xFF));
+  Bytes.unsafe_set t.data (addr + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF))
+
+let unsafe_get_u32 t addr =
+  unsafe_get_u16 t addr lor (unsafe_get_u16 t (addr + 2) lsl 16)
+
+let unsafe_set_u32 t addr v =
+  unsafe_set_u16 t addr (v land 0xFFFF);
+  unsafe_set_u16 t (addr + 2) ((v lsr 16) land 0xFFFF)
+
 let get_u8 t addr =
   check t addr 1;
   Char.code (Bytes.get t.data addr)

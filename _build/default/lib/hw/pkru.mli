@@ -2,7 +2,11 @@
 
     Two bits per key, exactly as in the Intel SDM: bit [2k] is AD
     (access disable), bit [2k+1] is WD (write disable). A key with AD set
-    can neither be read nor written; a key with only WD set is read-only. *)
+    can neither be read nor written; a key with only WD set is read-only.
+
+    Values are immutable ints; the machine's live register is only ever
+    installed through {!Cpu.wrpkru}, which is therefore the single
+    point where PKRU changes flush the software TLB ({!Tlb}). *)
 
 type t = int
 (** 32-bit register value. *)

@@ -1,1 +1,1 @@
-test/test_hw.ml: Alcotest Bytes Hw List QCheck QCheck_alcotest String
+test/test_hw.ml: Alcotest Api Array Bytes Cubicle Hw List Mm Monitor QCheck QCheck_alcotest String Types

@@ -342,6 +342,135 @@ let test_cpu_costs () =
   check_int "pkey cost" Hw.Cost.default_model.pkey_set (c2 - c1);
   check_int "wrpkru counted" 1 (Hw.Cpu.wrpkru_count cpu)
 
+(* --- Tlb ------------------------------------------------------------------ *)
+
+(* (a) A cached allow decision must die with the page's key: retag to a
+   key the (unchanged) PKRU denies and the very next access faults. *)
+let test_tlb_set_key_invalidates () =
+  let cpu = mk_cpu () in
+  Hw.Cpu.set_mpk_enabled cpu true;
+  Hw.Cpu.map_page cpu 5 Hw.Page_table.perm_rw ~key:7;
+  Hw.Cpu.wrpkru cpu (Hw.Pkru.of_keys [ 0; 7 ]);
+  (* warm the TLB entry for page 5 *)
+  ignore (Hw.Cpu.read_u8 cpu (4096 * 5));
+  ignore (Hw.Cpu.read_u8 cpu (4096 * 5));
+  (* monitor-style retag to a foreign key, PKRU untouched *)
+  Hw.Cpu.set_page_key cpu 5 9;
+  check_bool "faults after retag" true
+    (try
+       ignore (Hw.Cpu.read_u8 cpu (4096 * 5));
+       false
+     with Hw.Fault.Violation (f, _) -> f.reason = Hw.Fault.Key_perm && f.key = 9)
+
+(* (b) Full system: after a window is closed and the monitor has
+   retagged the page back to its owner, a further call into the callee
+   must fault (and be rejected) — no stale allow may survive in the
+   TLB. *)
+let test_tlb_window_close_observed () =
+  let open Cubicle in
+  let mon = Monitor.create ~protection:Types.Full () in
+  let foo =
+    Monitor.create_cubicle mon ~name:"FOO" ~kind:Types.Isolated ~heap_pages:8
+      ~stack_pages:2
+  in
+  let bar =
+    Monitor.create_cubicle mon ~name:"BAR" ~kind:Types.Isolated ~heap_pages:8
+      ~stack_pages:2
+  in
+  Monitor.register_exports mon bar
+    [
+      {
+        Monitor.sym = "bar_peek";
+        fn = (fun ctx a -> Api.read_u8 ctx a.(0));
+        stack_bytes = 0;
+      };
+    ];
+  let ctx = Monitor.ctx_for mon foo in
+  let buf = Api.malloc_page_aligned ctx 4096 in
+  Monitor.run_as mon foo (fun () -> Api.write_u8 ctx buf 42);
+  let wid = Api.window_init ctx ~klass:Mm.Page_meta.Heap in
+  Api.window_add ctx wid ~ptr:buf ~size:4096;
+  Api.window_open ctx wid bar;
+  check_int "peek through open window" 42 (Monitor.call mon ~caller:foo "bar_peek" [| buf |]);
+  Api.window_close ctx wid bar;
+  (* the owner touches the page: causal revocation retags it to FOO *)
+  Monitor.run_as mon foo (fun () -> Api.write_u8 ctx buf 43);
+  check_bool "closed window is closed" true
+    (try
+       ignore (Monitor.call mon ~caller:foo "bar_peek" [| buf |]);
+       false
+     with Hw.Fault.Violation _ | Types.Error _ -> true)
+
+(* (c) A PKRU write must be observed by the next access. *)
+let test_tlb_wrpkru_observed () =
+  let cpu = mk_cpu () in
+  Hw.Cpu.set_mpk_enabled cpu true;
+  Hw.Cpu.map_page cpu 5 Hw.Page_table.perm_rw ~key:7;
+  Hw.Cpu.wrpkru cpu (Hw.Pkru.of_keys [ 0; 7 ]);
+  ignore (Hw.Cpu.read_u8 cpu (4096 * 5));
+  Hw.Cpu.wrpkru cpu (Hw.Pkru.of_keys [ 0 ]);
+  check_bool "faults after wrpkru" true
+    (try
+       ignore (Hw.Cpu.read_u8 cpu (4096 * 5));
+       false
+     with Hw.Fault.Violation (f, _) -> f.reason = Hw.Fault.Key_perm);
+  (* flipping back re-allows *)
+  Hw.Cpu.wrpkru cpu (Hw.Pkru.of_keys [ 0; 7 ]);
+  ignore (Hw.Cpu.read_u8 cpu (4096 * 5))
+
+(* (d) Counters behave, and simulated cycles are identical on/off. *)
+let test_tlb_counters () =
+  let cpu = mk_cpu () in
+  Hw.Cpu.set_mpk_enabled cpu true;
+  let tlb = Hw.Cpu.tlb cpu in
+  Hw.Tlb.reset_counters tlb;
+  for _ = 1 to 100 do
+    ignore (Hw.Cpu.read_u8 cpu 4096)
+  done;
+  check_int "one miss" 1 (Hw.Tlb.misses tlb);
+  check_int "99 hits" 99 (Hw.Tlb.hits tlb);
+  check_bool "hit rate" true (abs_float (Hw.Tlb.hit_rate tlb -. 0.99) < 1e-9);
+  Hw.Cpu.set_page_key cpu 1 0;
+  check_bool "invalidation counted" true (Hw.Tlb.invalidations tlb > 0);
+  Hw.Cpu.wrpkru cpu Hw.Pkru.all_deny;
+  check_bool "flush counted" true (Hw.Tlb.flushes tlb > 0)
+
+let tlb_workload cpu =
+  (* mixed reads/writes plus a resolved trap-and-map fault *)
+  Hw.Cpu.set_mpk_enabled cpu true;
+  Hw.Cpu.map_page cpu 9 Hw.Page_table.perm_rw ~key:7;
+  Hw.Cpu.set_handler cpu
+    (Some
+       (fun cpu f ->
+         Hw.Cpu.set_page_key cpu (Hw.Addr.page_of f.Hw.Fault.addr) 0;
+         true));
+  for i = 0 to 4999 do
+    Hw.Cpu.write_u32 cpu (4096 + (i mod 1000 * 4)) i;
+    ignore (Hw.Cpu.read_u32 cpu (4096 + (i mod 1000 * 4)))
+  done;
+  (* faulting access, resolved by the handler (trap-and-map) *)
+  Hw.Cpu.write_u8 cpu (4096 * 9) 1;
+  for _ = 1 to 1000 do
+    ignore (Hw.Cpu.read_u8 cpu (4096 * 9))
+  done
+
+let test_tlb_cycles_identical () =
+  let run enabled =
+    let cpu = mk_cpu () in
+    Hw.Cpu.set_tlb_enabled cpu enabled;
+    tlb_workload cpu;
+    (Hw.Cost.cycles (Hw.Cpu.cost cpu), Hw.Cpu.fault_count cpu, Hw.Cpu.wrpkru_count cpu)
+  in
+  let on_cycles, on_faults, on_wrpkru = run true in
+  let off_cycles, off_faults, off_wrpkru = run false in
+  check_int "cycles identical" off_cycles on_cycles;
+  check_int "faults identical" off_faults on_faults;
+  check_int "wrpkru identical" off_wrpkru on_wrpkru;
+  (* and the TLB was actually exercised in the enabled run *)
+  let cpu = mk_cpu () in
+  tlb_workload cpu;
+  check_bool "tlb exercised" true (Hw.Tlb.hit_rate (Hw.Cpu.tlb cpu) > 0.9)
+
 let prop_cpu_write_read_roundtrip =
   QCheck.Test.make ~name:"cpu: bytes written are read back"
     QCheck.(pair (int_bound 1000) (string_of_size (QCheck.Gen.int_bound 200)))
@@ -455,6 +584,14 @@ let () =
           Alcotest.test_case "blit checks both" `Quick test_cpu_blit_checks_both_sides;
           Alcotest.test_case "range crossing" `Quick test_cpu_range_crossing_pages;
           Alcotest.test_case "costs" `Quick test_cpu_costs;
+        ] );
+      ( "tlb",
+        [
+          Alcotest.test_case "set_key invalidates" `Quick test_tlb_set_key_invalidates;
+          Alcotest.test_case "window close observed" `Quick test_tlb_window_close_observed;
+          Alcotest.test_case "wrpkru observed" `Quick test_tlb_wrpkru_observed;
+          Alcotest.test_case "counters" `Quick test_tlb_counters;
+          Alcotest.test_case "cycles identical on/off" `Quick test_tlb_cycles_identical;
         ] );
       ("properties", qsuite);
     ]

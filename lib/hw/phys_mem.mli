@@ -13,6 +13,18 @@ val npages : t -> int
 
 val get_u8 : t -> int -> int
 val set_u8 : t -> int -> int -> unit
+
+(** Unchecked scalar accessors for callers that have already proven the
+    access in-bounds — the CPU's TLB fast path only. Little-endian,
+    like their checked counterparts; the u32 variants avoid Int32
+    boxing. *)
+
+val unsafe_get_u8 : t -> int -> int
+val unsafe_set_u8 : t -> int -> int -> unit
+val unsafe_get_u16 : t -> int -> int
+val unsafe_set_u16 : t -> int -> int -> unit
+val unsafe_get_u32 : t -> int -> int
+val unsafe_set_u32 : t -> int -> int -> unit
 val get_u16 : t -> int -> int
 val set_u16 : t -> int -> int -> unit
 val get_u32 : t -> int -> int
