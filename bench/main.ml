@@ -2,7 +2,11 @@
    evaluation (§6). Results are simulated cycles from the machine's
    cost model, reported in the paper's units. Run with no arguments for
    everything, or with a subset of: table2 fig5 fig6 fig7 fig8 fig10a
-   fig10b ablation micro. EXPERIMENTS.md records paper-vs-measured numbers. *)
+   fig10b ablation micro hw. The extra target `trace` (never part of
+   `all`) captures the Fig. 2 write path on the telemetry bus and writes
+   trace.json / trace.folded. `fig6 --attrib` appends the per-cubicle
+   cycle-attribution tables. EXPERIMENTS.md records paper-vs-measured
+   numbers. *)
 
 open Cubicle
 
@@ -104,12 +108,44 @@ let speedtest_for_protection protection ~n =
   in
   let os = Minidb.Os_iface.cubicleos (Libos.Fileio.make (Libos.Boot.app_ctx sys "APP")) in
   let cost = Monitor.cost sys.Libos.Boot.mon in
-  Minidb.Speedtest.run_all os ~path:"/speed.db" ~n ~measure:(fun f ->
-      let c0 = Hw.Cost.cycles cost in
-      f ();
-      Hw.Cost.cycles cost - c0)
+  let results =
+    Minidb.Speedtest.run_all os ~path:"/speed.db" ~n ~measure:(fun f ->
+        let c0 = Hw.Cost.cycles cost in
+        f ();
+        Hw.Cost.cycles cost - c0)
+  in
+  (results, sys.Libos.Boot.mon)
 
-let fig6 ?(n = 150) () =
+(* Per-cubicle x per-category cycle attribution (the measured form of
+   the paper's §6.4 overhead decomposition). Aborts if the table does
+   not sum to the machine's cycle count — attribution is exhaustive by
+   construction, so any mismatch is a bug. *)
+let attrib_table mon =
+  let cost = Monitor.cost mon in
+  let attrib = cost.Hw.Cost.attrib in
+  let cname cid = try Monitor.cubicle_name mon cid with _ -> Printf.sprintf "C%d" cid in
+  fprintf "%-10s" "cubicle";
+  List.iter (fun c -> fprintf "%13s" (Telemetry.Attrib.cat_name c)) Telemetry.Attrib.categories;
+  fprintf "%15s %6s\n" "total" "share";
+  let grand = Telemetry.Attrib.total attrib in
+  List.iter
+    (fun (cid, row) ->
+      fprintf "%-10s" (cname cid);
+      Array.iter (fun v -> fprintf "%13d" v) row;
+      let tot = Array.fold_left ( + ) 0 row in
+      fprintf "%15d %5.1f%%\n" tot (100. *. float_of_int tot /. float_of_int (max 1 grand)))
+    (Telemetry.Attrib.rows attrib);
+  fprintf "%-10s" "TOTAL";
+  List.iter
+    (fun c -> fprintf "%13d" (Telemetry.Attrib.category_total attrib c))
+    Telemetry.Attrib.categories;
+  fprintf "%15d %5.1f%%\n" grand 100.;
+  if grand <> Hw.Cost.cycles cost then begin
+    fprintf "FATAL: attribution total %d <> Cost.cycles %d\n" grand (Hw.Cost.cycles cost);
+    exit 1
+  end
+
+let fig6 ?(n = 150) ?(attrib = false) () =
   heading "Figure 6: SQLite speedtest1 query execution times (simulated ms)";
   let configs =
     [
@@ -119,7 +155,8 @@ let fig6 ?(n = 150) () =
       ("CubicleOS", Types.Full);
     ]
   in
-  let runs = List.map (fun (name, p) -> (name, speedtest_for_protection p ~n)) configs in
+  let full_runs = List.map (fun (name, p) -> (name, speedtest_for_protection p ~n)) configs in
+  let runs = List.map (fun (name, (r, _)) -> (name, r)) full_runs in
   let base = List.assoc "Unikraft" runs in
   let full = List.assoc "CubicleOS" runs in
   fprintf "%-5s %-5s " "query" "group";
@@ -162,7 +199,16 @@ let fig6 ?(n = 150) () =
   in
   fprintf "\nGroup averages (paper: light group ~1.8x, heavy group ~8x):\n";
   print_group "light queries" Minidb.Speedtest.Light;
-  print_group "heavy queries" Minidb.Speedtest.Heavy
+  print_group "heavy queries" Minidb.Speedtest.Heavy;
+  if attrib then begin
+    fprintf
+      "\n§6.4 overhead decomposition: per-cubicle cycle attribution (full run incl. boot)\n";
+    List.iter
+      (fun (name, (_, mon)) ->
+        fprintf "\n[%s]\n" name;
+        attrib_table mon)
+      full_runs
+  end
 
 (* --- Figure 7: NGINX download latency vs transfer size ---------------------- *)
 
@@ -698,13 +744,77 @@ let hw ?(out = "BENCH_hw.json") ?golden ?write_golden () =
   Option.iter (fun path -> hw_write_golden path rows; fprintf "wrote %s\n" path) write_golden;
   Option.iter (fun path -> hw_check_golden path rows) golden
 
+(* --- trace: event capture of the Fig. 2 write path -------------------------------- *)
+
+(* Runs the paper's running example (1000 x 4 KiB pwrite through
+   APP -> VFSCORE -> RAMFS, full protection) twice — tracing off, then
+   on — and fails hard if tracing perturbed simulated behaviour. The
+   traced run's ring is exported as Chrome trace_event JSON and
+   folded-stacks text. *)
+let trace ?(out = "trace.json") ?(folded = "trace.folded") () =
+  heading "Telemetry trace: Fig. 2 write path (1000 x 4 KiB pwrite, full protection)";
+  let run tracing =
+    let app = Builder.component ~heap_pages:64 ~stack_pages:4 "APP" in
+    let sys =
+      Libos.Boot.fs_stack ~protection:Types.Full ~extra:[ (app, Types.Isolated) ] ()
+    in
+    let mon = sys.Libos.Boot.mon in
+    Telemetry.Bus.set_tracing (Monitor.bus mon) tracing;
+    let ctx = Libos.Boot.app_ctx sys "APP" in
+    let fio = Libos.Fileio.make ctx in
+    let fd =
+      Monitor.run_as mon (Api.self ctx) (fun () ->
+          Libos.Fileio.open_file fio "/trace.bin" ~create:true)
+    in
+    let buf = Api.malloc_page_aligned ctx 4096 in
+    Monitor.run_as mon (Api.self ctx) (fun () ->
+        for i = 0 to 999 do
+          Api.write_u32 ctx buf i;
+          ignore (Libos.Fileio.pwrite fio ~fd ~buf ~len:4096 ~off:(i * 4096))
+        done);
+    ( mon,
+      Hw.Cost.cycles (Monitor.cost mon),
+      Hw.Cpu.fault_count (Monitor.cpu mon),
+      Hw.Cpu.wrpkru_count (Monitor.cpu mon) )
+  in
+  let _, c_off, f_off, k_off = run false in
+  let mon, c_on, f_on, k_on = run true in
+  if (c_on, f_on, k_on) <> (c_off, f_off, k_off) then begin
+    fprintf
+      "FATAL: tracing changed simulated behaviour\n\
+      \  off: cycles=%d faults=%d wrpkru=%d\n\
+      \  on : cycles=%d faults=%d wrpkru=%d\n"
+      c_off f_off k_off c_on f_on k_on;
+    exit 1
+  end;
+  fprintf "tracing on/off bit-identical: cycles=%d faults=%d wrpkru=%d\n" c_on f_on k_on;
+  let bus = Monitor.bus mon in
+  let names cid = try Monitor.cubicle_name mon cid with _ -> Printf.sprintf "C%d" cid in
+  let entries = Telemetry.Bus.events bus in
+  fprintf "events: %d captured, %d dropped (ring capacity %d), %d emitted\n"
+    (Telemetry.Bus.captured bus) (Telemetry.Bus.dropped bus) (Telemetry.Bus.capacity bus)
+    (Telemetry.Bus.total_emitted bus);
+  let write path s =
+    let oc = open_out path in
+    output_string oc s;
+    close_out oc
+  in
+  write out (Telemetry.Export.trace_json ~names ~cycles_per_us:2200. entries);
+  fprintf "wrote %s (Chrome trace_event JSON; load in chrome://tracing or Perfetto)\n" out;
+  write folded (Telemetry.Export.folded_stacks ~names entries);
+  fprintf "wrote %s (folded stacks; feed to flamegraph.pl or speedscope)\n" folded;
+  fprintf "\nper-cubicle cycle attribution of the traced run:\n";
+  attrib_table mon
+
 (* --- driver ---------------------------------------------------------------------- *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  (* flags with a value: --out FILE, --golden FILE, --write-golden FILE *)
+  (* flags with a value: --out FILE, --golden FILE, --write-golden FILE,
+     --folded FILE; boolean flags: --attrib *)
   let rec split_flags targets flags = function
     | [] -> (List.rev targets, List.rev flags)
+    | "--attrib" :: rest -> split_flags targets (("--attrib", "true") :: flags) rest
     | flag :: value :: rest when String.length flag > 2 && String.sub flag 0 2 = "--" ->
         split_flags targets ((flag, value) :: flags) rest
     | t :: rest -> split_flags (t :: targets) flags rest
@@ -715,7 +825,7 @@ let () =
   let t0 = Unix.gettimeofday () in
   if want "table2" then table2 ();
   if want "fig5" then fig5 ();
-  if want "fig6" then fig6 ();
+  if want "fig6" then fig6 ~attrib:(List.mem_assoc "--attrib" flags) ();
   if want "fig7" then fig7 ();
   if want "fig8" then fig8 ();
   if want "fig10a" then fig10a ();
@@ -727,5 +837,10 @@ let () =
       ?out:(List.assoc_opt "--out" flags)
       ?golden:(List.assoc_opt "--golden" flags)
       ?write_golden:(List.assoc_opt "--write-golden" flags)
+      ();
+  if List.mem "trace" targets then
+    trace
+      ?out:(List.assoc_opt "--out" flags)
+      ?folded:(List.assoc_opt "--folded" flags)
       ();
   fprintf "\n[bench completed in %.1f s wall clock]\n" (Unix.gettimeofday () -. t0)

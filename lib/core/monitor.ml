@@ -64,15 +64,24 @@ type export_spec = { sym : string; fn : fn; stack_bytes : int }
 
 let cpu t = t.m_cpu
 let cost t = Hw.Cpu.cost t.m_cpu
+let bus t = Hw.Cpu.bus t.m_cpu
 
-let stats t =
-  let tlb = Hw.Cpu.tlb t.m_cpu in
-  Stats.set_tlb_counters t.stats ~hits:(Hw.Tlb.hits tlb) ~misses:(Hw.Tlb.misses tlb)
-    ~flushes:(Hw.Tlb.flushes tlb) ~invalidations:(Hw.Tlb.invalidations tlb);
-  t.stats
+(* Stats reads TLB counters through the live Hw.Tlb.t, so there is
+   nothing to sync here any more. *)
+let stats t = t.stats
 let protection t = t.protection
 let meta t = t.meta
 let current t = t.cur
+
+(* Every change of the executing cubicle goes through here so cycle
+   attribution ({!Telemetry.Attrib}) always bills the right row. *)
+let set_cur t cid =
+  t.cur <- cid;
+  Telemetry.Attrib.set_current (Hw.Cpu.cost t.m_cpu).Hw.Cost.attrib cid
+
+let[@inline] emit t ev =
+  let b = Hw.Cpu.bus t.m_cpu in
+  if b.Telemetry.Bus.tracing then Telemetry.Bus.emit b ev
 
 let get t cid =
   match List.find_opt (fun c -> c.cid = cid) t.cubicles with
@@ -159,7 +168,8 @@ let pkru_for t cid =
 let retag t page ~to_key =
   Log.debug (fun m -> m "retag page %d -> key %d" page to_key);
   Hw.Cpu.set_page_key t.m_cpu page to_key;
-  Stats.count_retag t.stats
+  Stats.count_retag t.stats;
+  emit t (Telemetry.Event.Retag { page; to_key })
 
 let handle_fault t (fault : Hw.Fault.t) =
   Log.debug (fun m -> m "fault: %a (cubicle %d)" Hw.Fault.pp fault t.cur);
@@ -209,7 +219,8 @@ let handle_fault t (fault : Hw.Fault.t) =
                   retag t page ~to_key:cur_key;
                   true
               | Types.Full -> (
-                  Hw.Cost.charge (Hw.Cpu.cost t.m_cpu) (Hw.Cpu.cost t.m_cpu).model.acl_check;
+                  Hw.Cost.charge_cat (Hw.Cpu.cost t.m_cpu) Telemetry.Attrib.Window
+                    (Hw.Cpu.cost t.m_cpu).model.acl_check;
                   let owner = get t owner_cid in
                   match Mm.Page_meta.kind t.meta page with
                   | None -> false
@@ -217,17 +228,20 @@ let handle_fault t (fault : Hw.Fault.t) =
                       match Window.search owner.windows ~klass ~addr:fault.addr with
                       | None ->
                           Stats.count_rejected t.stats;
+                          emit t (Telemetry.Event.Rejected { cid = cur });
                           false
                       | Some (w, inspected) ->
                           (* Linear ACL search cost; descriptor arrays are
                              short in practice (§5.3 step ❸). *)
-                          Hw.Cost.charge (Hw.Cpu.cost t.m_cpu) (2 * inspected);
+                          Hw.Cost.charge_cat (Hw.Cpu.cost t.m_cpu) Telemetry.Attrib.Window
+                            (2 * inspected);
                           if Window.is_open_for w cur then begin
                             retag t page ~to_key:cur_key;
                             true
                           end
                           else begin
                             Stats.count_rejected t.stats;
+                            emit t (Telemetry.Event.Rejected { cid = cur });
                             false
                           end))
               | Types.None_ | Types.Trampolines -> false))
@@ -251,7 +265,7 @@ let create ?(mem_bytes = 64 * 1024 * 1024) ?model ?(policy = default_policy)
       meta = Mm.Page_meta.create npages;
       protection;
       policy;
-      stats = Stats.create ();
+      stats = Stats.of_bus ~tlb:(Hw.Cpu.tlb cpu) (Hw.Cpu.bus cpu);
       cubicles = [];
       symbols = Hashtbl.create 256;
       next_key = 1;
@@ -408,9 +422,9 @@ let has_export t sym = Hashtbl.mem t.symbols sym
 let invoke_switched t exp ~caller args =
   let callee = exp.e_owner in
   let saved_cur = t.cur in
-  t.cur <- callee;
+  set_cur t callee;
   Fun.protect
-    ~finally:(fun () -> t.cur <- saved_cur)
+    ~finally:(fun () -> set_cur t saved_cur)
     (fun () -> exp.e_fn (ctx_call t callee caller) args)
 
 let call t ~caller sym args =
@@ -419,6 +433,7 @@ let call t ~caller sym args =
     | Some e -> e
     | None ->
         Stats.count_rejected t.stats;
+        emit t (Telemetry.Event.Rejected { cid = caller });
         Log.warn (fun m -> m "CFI: call to unresolved symbol %s from cubicle %d" sym caller);
         Types.error "cross-cubicle call to unresolved symbol %s (CFI)" sym
   in
@@ -430,22 +445,29 @@ let call t ~caller sym args =
       (* Shared cubicles execute with the caller's privileges, stack and
          heap; the monitor is not involved (§3 step ❹). *)
       Stats.count_shared_call t.stats ~caller ~sym;
-      Hw.Cost.charge (cost t) model.call_direct;
+      Hw.Cost.charge_cat (cost t) Telemetry.Attrib.Tramp model.call_direct;
       exp.e_fn (ctx_call t caller caller) args
   | Types.Trusted | Types.Isolated when exp.e_owner = caller && t.cur = caller ->
       (* Intra-cubicle call (e.g. components merged into one cubicle,
          Fig. 9a): the target is in the cubicle that is already
          executing — an ordinary function call, no trampoline. *)
-      Hw.Cost.charge (cost t) model.call_direct;
+      Hw.Cost.charge_cat (cost t) Telemetry.Attrib.Tramp model.call_direct;
       exp.e_fn (ctx_call t exp.e_owner caller) args
   | Types.Trusted | Types.Isolated -> (
       Stats.count_call t.stats ~caller ~callee:exp.e_owner ~sym;
+      (* count_call emitted the Call event; guarantee the matching
+         Return even when the callee raises, so duration slices nest. *)
+      let emit_return () =
+        emit t (Telemetry.Event.Return { caller; callee = exp.e_owner; sym })
+      in
+      Fun.protect ~finally:emit_return @@ fun () ->
       match t.protection with
       | Types.None_ ->
-          Hw.Cost.charge (cost t) model.call_direct;
+          Hw.Cost.charge_cat (cost t) Telemetry.Attrib.Tramp model.call_direct;
           invoke_switched t exp ~caller args
       | Types.Trampolines | Types.Mpk | Types.Full ->
-          Hw.Cost.charge (cost t) (model.tramp_fixed + model.stack_switch);
+          Hw.Cost.charge_cat (cost t) Telemetry.Attrib.Tramp
+            (model.tramp_fixed + model.stack_switch);
           (* Copy by-stack arguments across per-cubicle stacks. *)
           let caller_cub = get t caller in
           if exp.e_stack_bytes > 0 && caller_cub.stack_base > 0 && callee_cub.stack_base > 0
@@ -463,25 +485,25 @@ let call t ~caller sym args =
 
 let run_as t cid f =
   let saved_cur = t.cur in
-  t.cur <- cid;
+  set_cur t cid;
   if mpk_on t then begin
     let saved_pkru = Hw.Cpu.pkru t.m_cpu in
     Hw.Cpu.wrpkru t.m_cpu (pkru_for t cid);
     Fun.protect
       ~finally:(fun () ->
-        t.cur <- saved_cur;
+        set_cur t saved_cur;
         Hw.Cpu.wrpkru t.m_cpu saved_pkru)
       f
   end
-  else Fun.protect ~finally:(fun () -> t.cur <- saved_cur) f
+  else Fun.protect ~finally:(fun () -> set_cur t saved_cur) f
 
 (* --- memory services ---------------------------------------------------- *)
 
 let charge_service t =
   let model = (cost t).model in
   match t.protection with
-  | Types.None_ -> Hw.Cost.charge (cost t) model.call_direct
-  | _ -> Hw.Cost.charge (cost t) model.tramp_fixed
+  | Types.None_ -> Hw.Cost.charge_cat (cost t) Telemetry.Attrib.Tramp model.call_direct
+  | _ -> Hw.Cost.charge_cat (cost t) Telemetry.Attrib.Tramp model.tramp_fixed
 
 let malloc t cid ?(align = 8) size =
   charge_service t;
@@ -514,7 +536,7 @@ let alloc_pages t cid n ~kind =
   (* Runtime page allocation assigns MPK keys via the expensive
      pkey_mprotect path (load-time assignment in [alloc_owned_pages]
      happens before the system runs and is not charged). *)
-  if mpk_on t then Hw.Cost.charge (cost t) (n * (cost t).model.pkey_set);
+  if mpk_on t then Hw.Cost.charge_cat (cost t) Telemetry.Attrib.Mpk (n * (cost t).model.pkey_set);
   let base = alloc_owned_pages t cid n ~kind ~perm:Hw.Page_table.perm_rw in
   t.page_allocs <- (Hw.Addr.page_of base, n) :: t.page_allocs;
   base
@@ -534,7 +556,7 @@ let free_pages t cid base =
       (match Hashtbl.find_opt t.cubicle_runs cid with
       | Some runs -> runs := List.filter (fun (p, _) -> p <> page) !runs
       | None -> ());
-      if mpk_on t then Hw.Cost.charge (cost t) (n * (cost t).model.pkey_set);
+      if mpk_on t then Hw.Cost.charge_cat (cost t) Telemetry.Attrib.Mpk (n * (cost t).model.pkey_set);
       for p = page to page + n - 1 do
         Mm.Page_meta.release t.meta ~page:p;
         Hw.Cpu.unmap_page t.m_cpu p
@@ -543,29 +565,30 @@ let free_pages t cid base =
 
 (* --- window management (Table 1) ---------------------------------------- *)
 
-let charge_window_op t =
+let charge_window_op t cid op =
   match t.protection with
   | Types.None_ -> ()
   | _ ->
       Stats.count_window_op t.stats;
-      Hw.Cost.charge (cost t) (cost t).model.window_op
+      emit t (Telemetry.Event.Window { cid; op });
+      Hw.Cost.charge_cat (cost t) Telemetry.Attrib.Window (cost t).model.window_op
 
 let window_init t cid ~klass =
-  charge_window_op t;
+  charge_window_op t cid Telemetry.Event.Init;
   (Window.init (get t cid).windows ~klass).wid
 
 (* Extending a descriptor array is a monitor service: it reallocates
    the array in monitor-managed memory (charged as an allocation-sized
    operation). *)
 let window_table_extend t cid ~klass =
-  charge_window_op t;
-  Hw.Cost.charge (cost t) (cost t).model.pkey_set;
+  charge_window_op t cid Telemetry.Event.Extend;
+  Hw.Cost.charge_cat (cost t) Telemetry.Attrib.Mpk (cost t).model.pkey_set;
   Window.extend (get t cid).windows klass
 
 let find_window t cid wid = Window.find (get t cid).windows wid
 
 let window_add t cid wid ~ptr ~size =
-  charge_window_op t;
+  charge_window_op t cid Telemetry.Event.Add;
   let w = find_window t cid wid in
   (* Windows may only carry memory the caller owns, of the window's
      data class. *)
@@ -586,7 +609,7 @@ let window_add t cid wid ~ptr ~size =
   Window.add_range w ~ptr ~size
 
 let window_remove t cid wid ~ptr =
-  charge_window_op t;
+  charge_window_op t cid Telemetry.Event.Remove;
   Window.remove_range (find_window t cid wid) ~ptr
 
 let retag_window_pages t w ~to_key =
@@ -599,7 +622,7 @@ let retag_window_pages t w ~to_key =
     w.Window.ranges
 
 let window_open t cid wid other =
-  charge_window_op t;
+  charge_window_op t cid Telemetry.Event.Open;
   if other = cid then Types.error "window_open: cannot open a window to oneself";
   ignore (get t other);
   let w = find_window t cid wid in
@@ -608,7 +631,7 @@ let window_open t cid wid other =
     retag_window_pages t w ~to_key:(phys_of t (get t other))
 
 let window_close t cid wid other =
-  charge_window_op t;
+  charge_window_op t cid Telemetry.Event.Close;
   let w = find_window t cid wid in
   Window.close_for w other;
   (* Under causal tag consistency (the default, §5.6) nothing else
@@ -618,14 +641,14 @@ let window_close t cid wid other =
     retag_window_pages t w ~to_key:(phys_of t (get t cid))
 
 let window_close_all t cid wid =
-  charge_window_op t;
+  charge_window_op t cid Telemetry.Event.Close_all;
   let w = find_window t cid wid in
   Window.close_all w;
   if mpk_on t && t.policy.revocation = `Eager_revoke then
     retag_window_pages t w ~to_key:(phys_of t (get t cid))
 
 let window_destroy t cid wid =
-  charge_window_op t;
+  charge_window_op t cid Telemetry.Event.Destroy;
   let c = get t cid in
   Window.destroy c.windows (find_window t cid wid)
 
@@ -653,7 +676,7 @@ let alloc_dedicated_key t =
    window then never fault — at the price of one of the 16 keys per
    window. *)
 let window_open_dedicated t cid wid other =
-  charge_window_op t;
+  charge_window_op t cid Telemetry.Event.Open_dedicated;
   if other = cid then Types.error "window_open_dedicated: cannot open to oneself";
   let w = find_window t cid wid in
   Window.open_for w other;
@@ -676,7 +699,7 @@ let window_open_dedicated t cid wid other =
     Hw.Cpu.wrpkru t.m_cpu (pkru_for t t.cur)
 
 let window_close_dedicated t cid wid other =
-  charge_window_op t;
+  charge_window_op t cid Telemetry.Event.Close_dedicated;
   let w = find_window t cid wid in
   Window.close_for w other;
   match w.Window.dedicated_key with

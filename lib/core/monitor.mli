@@ -55,9 +55,15 @@ val create :
 
 val cpu : t -> Hw.Cpu.t
 val cost : t -> Hw.Cost.t
+
+val bus : t -> Telemetry.Bus.t
+(** The machine's telemetry bus ({!Hw.Cpu.bus}). The monitor emits
+    retag / window / rejected-call / trampoline call-return events on
+    it; enable [tracing] to capture them in the ring. *)
+
 val stats : t -> Stats.t
-(** Runtime counters; the machine's software-TLB counters
-    ({!Hw.Tlb}) are synced into the returned value on each read. *)
+(** Runtime counters — a view over {!bus}; TLB counters read live from
+    the machine's {!Hw.Tlb} (nothing to sync, cannot go stale). *)
 
 val protection : t -> Types.protection
 val meta : t -> Mm.Page_meta.t

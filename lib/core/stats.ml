@@ -1,96 +1,48 @@
-type t = {
-  mutable faults : int;
-  mutable retags : int;
-  mutable window_ops : int;
-  mutable rejected : int;
-  mutable shared : int;
-  mutable tlb_hits : int;
-  mutable tlb_misses : int;
-  mutable tlb_flushes : int;
-  mutable tlb_invalidations : int;
-  edges : (Types.cid * Types.cid, int) Hashtbl.t;
-  syms : (string, int) Hashtbl.t;
-}
+(* Stats is now a read-side view over the telemetry bus: the count
+   sites feed Telemetry.Bus's always-on counter plane, and every getter
+   here folds/delegates over it. TLB counters are read through the live
+   Hw.Tlb.t instead of being synced in by the monitor (the old
+   [set_tlb_counters] contract), so they can never go stale. *)
 
+type t = { bus : Telemetry.Bus.t; tlb : Hw.Tlb.t option }
 type snapshot = (Types.cid * Types.cid, int) Hashtbl.t
 
-let create () =
-  {
-    faults = 0;
-    retags = 0;
-    window_ops = 0;
-    rejected = 0;
-    shared = 0;
-    tlb_hits = 0;
-    tlb_misses = 0;
-    tlb_flushes = 0;
-    tlb_invalidations = 0;
-    edges = Hashtbl.create 64;
-    syms = Hashtbl.create 64;
-  }
+let of_bus ?tlb bus = { bus; tlb }
+let create () = of_bus (Telemetry.Bus.create ())
 
 let reset t =
-  t.faults <- 0;
-  t.retags <- 0;
-  t.window_ops <- 0;
-  t.rejected <- 0;
-  t.shared <- 0;
-  t.tlb_hits <- 0;
-  t.tlb_misses <- 0;
-  t.tlb_flushes <- 0;
-  t.tlb_invalidations <- 0;
-  Hashtbl.reset t.edges;
-  Hashtbl.reset t.syms
+  Telemetry.Bus.reset_counters t.bus;
+  Option.iter Hw.Tlb.reset_counters t.tlb
 
-let bump tbl key = Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+let count_call t ~caller ~callee ~sym = Telemetry.Bus.count_call t.bus ~caller ~callee ~sym
+let count_shared_call t ~caller ~sym = Telemetry.Bus.count_shared_call t.bus ~caller ~sym
+let count_fault t = Telemetry.Bus.count_fault t.bus
+let count_retag t = Telemetry.Bus.count_retag t.bus
+let count_window_op t = Telemetry.Bus.count_window_op t.bus
+let count_rejected t = Telemetry.Bus.count_rejected t.bus
 
-let count_call t ~caller ~callee ~sym =
-  bump t.edges (caller, callee);
-  bump t.syms sym
+let tlb_hits t = match t.tlb with Some tlb -> Hw.Tlb.hits tlb | None -> 0
+let tlb_misses t = match t.tlb with Some tlb -> Hw.Tlb.misses tlb | None -> 0
+let tlb_flushes t = match t.tlb with Some tlb -> Hw.Tlb.flushes tlb | None -> 0
 
-let count_shared_call t ~caller:_ ~sym =
-  t.shared <- t.shared + 1;
-  bump t.syms sym
-
-let count_fault t = t.faults <- t.faults + 1
-let count_retag t = t.retags <- t.retags + 1
-let count_window_op t = t.window_ops <- t.window_ops + 1
-let count_rejected t = t.rejected <- t.rejected + 1
-
-let set_tlb_counters t ~hits ~misses ~flushes ~invalidations =
-  t.tlb_hits <- hits;
-  t.tlb_misses <- misses;
-  t.tlb_flushes <- flushes;
-  t.tlb_invalidations <- invalidations
-
-let tlb_hits t = t.tlb_hits
-let tlb_misses t = t.tlb_misses
-let tlb_flushes t = t.tlb_flushes
-let tlb_invalidations t = t.tlb_invalidations
+let tlb_invalidations t =
+  match t.tlb with Some tlb -> Hw.Tlb.invalidations tlb | None -> 0
 
 let tlb_hit_rate t =
-  let total = t.tlb_hits + t.tlb_misses in
-  if total = 0 then 0. else float_of_int t.tlb_hits /. float_of_int total
+  let total = tlb_hits t + tlb_misses t in
+  if total = 0 then 0. else float_of_int (tlb_hits t) /. float_of_int total
 
-let calls_between t ~caller ~callee =
-  Option.value ~default:0 (Hashtbl.find_opt t.edges (caller, callee))
-
-let calls_into t callee =
-  Hashtbl.fold (fun (_, ce) n acc -> if ce = callee then acc + n else acc) t.edges 0
-
-let calls_to_sym t sym = Option.value ~default:0 (Hashtbl.find_opt t.syms sym)
-let total_calls t = Hashtbl.fold (fun _ n acc -> acc + n) t.edges 0
-let shared_calls t = t.shared
-let faults t = t.faults
-let retags t = t.retags
-let window_ops t = t.window_ops
-let rejected t = t.rejected
-
-let edges t =
-  Hashtbl.fold (fun e n acc -> (e, n) :: acc) t.edges []
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
-
-let snapshot t = Hashtbl.copy t.edges
+let calls_between t ~caller ~callee = Telemetry.Bus.calls_between t.bus ~caller ~callee
+let calls_into t callee = Telemetry.Bus.calls_into t.bus callee
+let calls_to_sym t sym = Telemetry.Bus.calls_to_sym t.bus sym
+let total_calls t = Telemetry.Bus.total_calls t.bus
+let shared_calls t = Telemetry.Bus.shared_calls t.bus
+let faults t = Telemetry.Bus.faults t.bus
+let retags t = Telemetry.Bus.retags t.bus
+let window_ops t = Telemetry.Bus.window_ops t.bus
+let rejected t = Telemetry.Bus.rejected t.bus
+let edges t = Telemetry.Bus.edges t.bus
+let snapshot t = Telemetry.Bus.snapshot_edges t.bus
 
 let diff_edges t ~since =
   edges t

@@ -1,10 +1,23 @@
 (** Runtime counters used by the evaluation: cross-cubicle call counts
     per edge (Figures 5 and 8), trap-and-map activity, window
-    operations. *)
+    operations.
+
+    Since the telemetry refactor this is a read-side view over
+    {!Telemetry.Bus}: the [count_*] functions feed the bus's always-on
+    counter plane (and, when tracing is enabled, its event ring), and
+    every getter folds over bus state. TLB counters are read live from
+    the machine's {!Hw.Tlb} — there is no sync step and no way for them
+    to go stale. *)
 
 type t
 
+val of_bus : ?tlb:Hw.Tlb.t -> Telemetry.Bus.t -> t
+(** View over an existing bus (the monitor passes the machine's bus and
+    TLB). Without [?tlb] the TLB getters return 0. *)
+
 val create : unit -> t
+(** Standalone stats over a private bus (tests, tools). *)
+
 val reset : t -> unit
 
 val count_call : t -> caller:Types.cid -> callee:Types.cid -> sym:string -> unit
@@ -14,12 +27,6 @@ val count_retag : t -> unit
 val count_window_op : t -> unit
 val count_rejected : t -> unit
 (** CFI / isolation violations that were caught. *)
-
-val set_tlb_counters : t -> hits:int -> misses:int -> flushes:int -> invalidations:int -> unit
-(** Install the machine's software-TLB counters ({!Hw.Tlb}); the
-    monitor syncs these whenever its stats are read, so they reflect
-    the hardware state at observation time rather than accumulating
-    independently. *)
 
 val tlb_hits : t -> int
 val tlb_misses : t -> int

@@ -92,6 +92,9 @@ let as_cubicle mon cid f =
 
 let enter_via_guard t ~caller sym =
   let addr = guard_addr t caller sym in
+  let b = Monitor.bus t.mon in
+  if b.Telemetry.Bus.tracing then
+    Telemetry.Bus.emit b (Telemetry.Event.Guard_fetch { cid = caller; sym });
   (* The guard entry lives in the caller's pages: fetching it is legal.
      Its wrpkru then authorises the jump into the monitor-owned thunk. *)
   as_cubicle t.mon caller (fun () -> Hw.Cpu.fetch (Monitor.cpu t.mon) addr 4)

@@ -31,19 +31,34 @@ let default_model =
     unikraft_op = 6000;
   }
 
-type t = { mutable cycles : int; mutable mem_bytes : int; model : model }
+type t = {
+  mutable cycles : int;
+  mutable mem_bytes : int;
+  model : model;
+  attrib : Telemetry.Attrib.t;
+}
 
-let create ?(model = default_model) () = { cycles = 0; mem_bytes = 0; model }
+let create ?(model = default_model) () =
+  { cycles = 0; mem_bytes = 0; model; attrib = Telemetry.Attrib.create () }
 
 let reset t =
   t.cycles <- 0;
-  t.mem_bytes <- 0
+  t.mem_bytes <- 0;
+  Telemetry.Attrib.reset t.attrib
 
-let[@inline] charge t n = t.cycles <- t.cycles + n
+let attrib t = t.attrib
+
+let[@inline] charge_cat t cat n =
+  t.cycles <- t.cycles + n;
+  Telemetry.Attrib.charge t.attrib cat n
+
+let[@inline] charge t n = charge_cat t Telemetry.Attrib.Other n
 
 let[@inline] charge_mem t len =
   t.mem_bytes <- t.mem_bytes + len;
-  t.cycles <- t.cycles + t.model.mem_op + (((len + 7) lsr 3) * t.model.mem_word)
+  let c = t.model.mem_op + (((len + 7) lsr 3) * t.model.mem_word) in
+  t.cycles <- t.cycles + c;
+  Telemetry.Attrib.charge t.attrib Telemetry.Attrib.Memcpy c
 
 let cycles t = t.cycles
 let cycles_per_ms = 2.2e6

@@ -33,17 +33,30 @@ type t = {
   mutable cycles : int;
   mutable mem_bytes : int;  (** total bytes moved, for reporting *)
   model : model;
+  attrib : Telemetry.Attrib.t;
+      (** attribution sink: every charge is billed to the currently
+          executing cubicle under a cost category, so the per-cubicle
+          table always sums to [cycles]. The monitor keeps the current
+          cubicle up to date via [Telemetry.Attrib.set_current]. *)
 }
 
 val create : ?model:model -> unit -> t
 
 val reset : t -> unit
+(** Also resets the attribution table (its total must track [cycles]). *)
+
+val attrib : t -> Telemetry.Attrib.t
 
 val charge : t -> int -> unit
-(** [charge t cycles] adds raw cycles. *)
+(** [charge t cycles] adds raw cycles, attributed to category
+    [Other]. *)
+
+val charge_cat : t -> Telemetry.Attrib.category -> int -> unit
+(** [charge_cat t cat cycles] adds raw cycles attributed to [cat]. *)
 
 val charge_mem : t -> int -> unit
-(** [charge_mem t len] charges for moving [len] bytes. *)
+(** [charge_mem t len] charges for moving [len] bytes (category
+    [Memcpy]). *)
 
 val cycles : t -> int
 

@@ -3,6 +3,7 @@ type t = {
   pt : Page_table.t;
   cost : Cost.t;
   tlb : Tlb.t;
+  bus : Telemetry.Bus.t;
   mutable pkru : Pkru.t;
   mutable mpk_enabled : bool;
   mutable exec_follows_access : bool;
@@ -18,14 +19,20 @@ let create ?(mem_bytes = 64 * 1024 * 1024) ?model () =
   let mem = Phys_mem.create mem_bytes in
   let pt = Page_table.create (Phys_mem.npages mem) in
   let tlb = Tlb.create (Phys_mem.npages mem) in
+  let cost = Cost.create ?model () in
+  let bus = Telemetry.Bus.create ~now:(fun () -> Cost.cycles cost) () in
   (* Any page-table mutation — monitor retag, loader perm change, a
      test poking the table directly — drops the cached decision. *)
-  Page_table.set_hook pt (Tlb.invalidate_page tlb);
+  Page_table.set_hook pt (fun p ->
+      Tlb.invalidate_page tlb p;
+      if Telemetry.Bus.tracing bus then
+        Telemetry.Bus.emit bus (Telemetry.Event.Tlb Telemetry.Event.Invalidate));
   {
     mem;
     pt;
-    cost = Cost.create ?model ();
+    cost;
     tlb;
+    bus;
     pkru = Pkru.all_allow;
     mpk_enabled = false;
     exec_follows_access = false;
@@ -36,6 +43,10 @@ let create ?(mem_bytes = 64 * 1024 * 1024) ?model () =
   }
 
 let mem t = t.mem
+let bus t = t.bus
+
+let[@inline] emit_tlb_event t op =
+  if t.bus.Telemetry.Bus.tracing then Telemetry.Bus.emit t.bus (Telemetry.Event.Tlb op)
 let page_table t = t.pt
 let cost t = t.cost
 let tlb t = t.tlb
@@ -46,21 +57,32 @@ let set_handler t h = t.handler <- h
 let mpk_enabled t = t.mpk_enabled
 
 let set_mpk_enabled t b =
-  if b <> t.mpk_enabled then Tlb.flush t.tlb;
+  if b <> t.mpk_enabled then begin
+    Tlb.flush t.tlb;
+    emit_tlb_event t Telemetry.Event.Flush
+  end;
   t.mpk_enabled <- b
 
 let exec_follows_access t = t.exec_follows_access
 
 let set_exec_follows_access t b =
-  if b <> t.exec_follows_access then Tlb.flush t.tlb;
+  if b <> t.exec_follows_access then begin
+    Tlb.flush t.tlb;
+    emit_tlb_event t Telemetry.Event.Flush
+  end;
   t.exec_follows_access <- b
 
 let pkru t = t.pkru
 
 let wrpkru t v =
-  Cost.charge t.cost t.cost.model.wrpkru;
+  Cost.charge_cat t.cost Telemetry.Attrib.Mpk t.cost.model.wrpkru;
   t.wrpkru_count <- t.wrpkru_count + 1;
-  if v <> t.pkru then Tlb.flush t.tlb;
+  if v <> t.pkru then begin
+    Tlb.flush t.tlb;
+    emit_tlb_event t Telemetry.Event.Flush
+  end;
+  if t.bus.Telemetry.Bus.tracing then
+    Telemetry.Bus.emit t.bus (Telemetry.Event.Pkru_write { value = v });
   t.pkru <- v
 
 let wrpkru_count t = t.wrpkru_count
@@ -84,16 +106,39 @@ let check_page t page (access : Fault.access) : Fault.t option =
         if t.exec_follows_access && not (Pkru.can_read t.pkru key) then mk Fault.Key_perm
         else None
 
+let ev_access : Fault.access -> Telemetry.Event.access = function
+  | Fault.Read -> Telemetry.Event.Read
+  | Fault.Write -> Telemetry.Event.Write
+  | Fault.Exec -> Telemetry.Event.Exec
+
+let ev_reason : Fault.reason -> Telemetry.Event.fault_reason = function
+  | Fault.Not_present -> Telemetry.Event.Not_present
+  | Fault.Page_perm -> Telemetry.Event.Page_perm
+  | Fault.Key_perm -> Telemetry.Event.Key_perm
+
 let deliver_fault t fault =
   t.fault_count <- t.fault_count + 1;
-  Cost.charge t.cost t.cost.model.fault_trap;
-  match t.handler with
-  | Some h when not t.in_handler ->
-      t.in_handler <- true;
-      let resolved = try h t fault with e -> t.in_handler <- false; raise e in
-      t.in_handler <- false;
-      resolved
-  | _ -> false
+  Cost.charge_cat t.cost Telemetry.Attrib.Fault t.cost.model.fault_trap;
+  let resolved =
+    match t.handler with
+    | Some h when not t.in_handler ->
+        t.in_handler <- true;
+        let resolved = try h t fault with e -> t.in_handler <- false; raise e in
+        t.in_handler <- false;
+        resolved
+    | _ -> false
+  in
+  if t.bus.Telemetry.Bus.tracing then
+    Telemetry.Bus.emit t.bus
+      (Telemetry.Event.Fault
+         {
+           addr = fault.Fault.addr;
+           access = ev_access fault.Fault.access;
+           key = fault.Fault.key;
+           reason = ev_reason fault.Fault.reason;
+           resolved;
+         });
+  resolved
 
 (* Check one page, delivering faults to the handler and retrying while
    the handler keeps resolving them (a resolved fault may still leave a
@@ -102,9 +147,13 @@ let deliver_fault t fault =
    never cached, and no simulated cycles are charged on either path, so
    fault behaviour and cycle counts are identical with the TLB off. *)
 let rec ensure_page t page access ~addr =
-  if Tlb.probe t.tlb page access then Tlb.record_hit t.tlb
+  if Tlb.probe t.tlb page access then begin
+    Tlb.record_hit t.tlb;
+    emit_tlb_event t Telemetry.Event.Hit
+  end
   else begin
     Tlb.record_miss t.tlb;
+    if Tlb.enabled t.tlb then emit_tlb_event t Telemetry.Event.Miss;
     match check_page t page access with
     | None -> Tlb.fill t.tlb page access
     | Some f -> (
@@ -151,6 +200,8 @@ let[@inline] fast t a len bit =
       e lsr 3 = tlb.Tlb.gen && e land bit <> 0)
   &&
   (tlb.Tlb.hits <- tlb.Tlb.hits + 1;
+   if t.bus.Telemetry.Bus.tracing then
+     Telemetry.Bus.emit t.bus (Telemetry.Event.Tlb Telemetry.Event.Hit);
    true)
 
 let read_u8 t a =
@@ -292,7 +343,7 @@ let map_page t p perm ~key =
 let unmap_page t p = Page_table.set_present t.pt p false
 
 let set_page_key t p k =
-  Cost.charge t.cost t.cost.model.pkey_set;
+  Cost.charge_cat t.cost Telemetry.Attrib.Mpk t.cost.model.pkey_set;
   Page_table.set_key t.pt p k
 
 let page_key t p = Page_table.key t.pt p

@@ -25,6 +25,14 @@ val page_table : t -> Page_table.t
 val cost : t -> Cost.t
 val npages : t -> int
 
+val bus : t -> Telemetry.Bus.t
+(** The machine's telemetry bus. Created with the machine and clocked by
+    {!Cost.cycles}, so event timestamps are simulated cycles. The CPU
+    emits faults, PKRU writes and TLB activity; upper layers (monitor,
+    scheduler, pager) emit their own events on the same bus. Tracing is
+    off by default and never charges cycles: simulated cycle / fault /
+    wrpkru counts are bit-identical with tracing on or off. *)
+
 (** {1 Software TLB} — amortises the per-access permission walk, as
     real MPK hardware does through the TLB. Wall-clock only: simulated
     cycle counts, fault counts and wrpkru counts are identical with the

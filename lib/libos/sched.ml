@@ -43,6 +43,9 @@ let yield () =
 let slice t runnable =
   let thread = match runnable with Fresh th | Resumed (th, _) -> th in
   t.switches <- t.switches + 1;
+  let b = Monitor.bus t.mon in
+  if b.Telemetry.Bus.tracing then
+    Telemetry.Bus.emit b (Telemetry.Event.Sched_switch { tid = thread.tid; cid = thread.cid });
   Monitor.run_as t.mon thread.cid (fun () ->
       match runnable with
       | Fresh th ->

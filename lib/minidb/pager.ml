@@ -55,6 +55,10 @@ let stats t = t.st
 let page_count t = t.npages
 let in_txn t = t.txn
 let ctx t = t.os.Os_iface.ctx
+
+let[@inline] emit_pager t op =
+  let b = Hw.Cpu.bus (ctx t).Monitor.cpu in
+  if b.Telemetry.Bus.tracing then Telemetry.Bus.emit b (Telemetry.Event.Pager op)
 let journal_mode t = t.mode
 let wal_pages t = t.wal_off / wal_record
 
@@ -126,6 +130,7 @@ let check_pageno t pageno =
 
 let writeback t frame =
   t.st.page_writes <- t.st.page_writes + 1;
+  emit_pager t Telemetry.Event.Page_write;
   (match t.mode with
   | Rollback ->
       let n =
@@ -142,7 +147,8 @@ let writeback t frame =
       in
       if n <> page_size then Types.error "pager: WAL data write failed";
       Hashtbl.replace t.wal_index frame.pageno t.wal_off;
-      t.wal_off <- t.wal_off + wal_record);
+      t.wal_off <- t.wal_off + wal_record;
+      emit_pager t Telemetry.Event.Wal_append);
   frame.dirty <- false
 
 (* Find a buffer for a new frame: reuse a spare, allocate a fresh one
@@ -175,6 +181,7 @@ let acquire_buffer t =
             if f.dirty then writeback t f;
             Hashtbl.remove t.frames f.pageno;
             t.st.evictions <- t.st.evictions + 1;
+            emit_pager t Telemetry.Event.Evict;
             f.addr
       end
 
@@ -182,13 +189,16 @@ let load_frame t pageno =
   match Hashtbl.find_opt t.frames pageno with
   | Some f ->
       t.st.hits <- t.st.hits + 1;
+      emit_pager t Telemetry.Event.Cache_hit;
       t.tick <- t.tick + 1;
       f.last_used <- t.tick;
       f
   | None ->
       t.st.misses <- t.st.misses + 1;
+      emit_pager t Telemetry.Event.Cache_miss;
       let addr = acquire_buffer t in
       t.st.page_reads <- t.st.page_reads + 1;
+      emit_pager t Telemetry.Event.Page_read;
       let n =
         match
           if t.mode = Wal then Hashtbl.find_opt t.wal_index pageno else None
@@ -273,6 +283,7 @@ let end_txn t =
 let checkpoint t =
   if t.txn then Types.error "pager: checkpoint inside transaction";
   if t.mode = Wal && Hashtbl.length t.wal_index > 0 then begin
+    emit_pager t Telemetry.Event.Checkpoint;
     let buf = Api.malloc_page_aligned (ctx t) page_size in
     Hashtbl.iter
       (fun pageno woff ->
@@ -300,6 +311,7 @@ let commit t =
       flush t;
       ignore (t.os.fsync t.wal_fd));
   t.st.commits <- t.st.commits + 1;
+  emit_pager t Telemetry.Event.Commit;
   end_txn t;
   if t.mode = Wal && t.wal_off / wal_record > wal_autocheckpoint then checkpoint t
 
@@ -339,6 +351,7 @@ let rollback_wal t =
   end;
   t.npages <- t.txn_orig_npages;
   t.st.rollbacks <- t.st.rollbacks + 1;
+  emit_pager t Telemetry.Event.Rollback;
   end_txn t
 
 let rollback t =
@@ -377,6 +390,7 @@ let rollback t =
   t.npages <- t.txn_orig_npages;
   ignore (t.os.truncate ~fd:t.fd ~size:(t.npages * page_size));
   t.st.rollbacks <- t.st.rollbacks + 1;
+  emit_pager t Telemetry.Event.Rollback;
   end_txn t
   end
 

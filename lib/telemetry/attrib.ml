@@ -1,0 +1,74 @@
+type category = Tramp | Mpk | Window | Memcpy | Fault | Other
+
+let categories = [ Tramp; Mpk; Window; Memcpy; Fault; Other ]
+let ncat = List.length categories
+
+let cat_index = function
+  | Tramp -> 0
+  | Mpk -> 1
+  | Window -> 2
+  | Memcpy -> 3
+  | Fault -> 4
+  | Other -> 5
+
+let cat_name = function
+  | Tramp -> "tramp"
+  | Mpk -> "mpk"
+  | Window -> "window"
+  | Memcpy -> "memcpy"
+  | Fault -> "fault"
+  | Other -> "other"
+
+type t = {
+  mutable rows : int array array;  (* cubicle id -> per-category cycles *)
+  mutable cur : int;
+  mutable cur_row : int array;  (* == rows.(cur); cached for the hot path *)
+}
+
+let initial_rows = 8
+
+let create () =
+  let rows = Array.init initial_rows (fun _ -> Array.make ncat 0) in
+  { rows; cur = 0; cur_row = rows.(0) }
+
+let grow t cid =
+  let n = Array.length t.rows in
+  let n' = max (cid + 1) (2 * n) in
+  let rows = Array.init n' (fun i -> if i < n then t.rows.(i) else Array.make ncat 0) in
+  t.rows <- rows
+
+let set_current t cid =
+  if cid < 0 then invalid_arg "Attrib.set_current: negative cubicle id";
+  if cid >= Array.length t.rows then grow t cid;
+  t.cur <- cid;
+  t.cur_row <- t.rows.(cid)
+
+let current t = t.cur
+
+let[@inline] charge t cat n =
+  let i = cat_index cat in
+  Array.unsafe_set t.cur_row i (Array.unsafe_get t.cur_row i + n)
+
+let row_total r = Array.fold_left ( + ) 0 r
+
+let cycles t ~cid cat =
+  if cid >= 0 && cid < Array.length t.rows then t.rows.(cid).(cat_index cat) else 0
+
+let row t ~cid =
+  if cid >= 0 && cid < Array.length t.rows then Array.copy t.rows.(cid)
+  else Array.make ncat 0
+
+let rows t =
+  let acc = ref [] in
+  for cid = Array.length t.rows - 1 downto 0 do
+    if row_total t.rows.(cid) > 0 then acc := (cid, Array.copy t.rows.(cid)) :: !acc
+  done;
+  !acc
+
+let total t = Array.fold_left (fun acc r -> acc + row_total r) 0 t.rows
+
+let category_total t cat =
+  let i = cat_index cat in
+  Array.fold_left (fun acc r -> acc + r.(i)) 0 t.rows
+
+let reset t = Array.iter (fun r -> Array.fill r 0 ncat 0) t.rows

@@ -1,0 +1,56 @@
+(** Per-cubicle, per-category cycle attribution.
+
+    The sink behind [Hw.Cost]: every simulated cycle charged anywhere in
+    the system is billed to the {e currently executing cubicle} (set by
+    the monitor on every cubicle switch) under a cost {!category}. The
+    §6.4 overhead decomposition — trampoline vs MPK vs window vs data
+    copy shares — is then a measured table whose rows sum exactly to
+    the machine's total cycle count.
+
+    Attribution is always on (it is one array add per charge) and never
+    charges cycles itself, so it cannot perturb simulated behaviour. *)
+
+type category =
+  | Tramp  (** trampoline entry/exit, stack switching, direct calls *)
+  | Mpk  (** [wrpkru] and page-key reassignment (incl. trap-and-map retags) *)
+  | Window  (** window ACL bookkeeping and descriptor searches *)
+  | Memcpy  (** data movement through the simulated memory *)
+  | Fault  (** protection-fault delivery *)
+  | Other  (** everything else: OS work, syscalls, device models *)
+
+val categories : category list
+(** In display order. *)
+
+val ncat : int
+val cat_index : category -> int
+val cat_name : category -> string
+
+type t
+
+val create : unit -> t
+(** All cycles are billed to cubicle 0 (the monitor) until
+    {!set_current} says otherwise. *)
+
+val set_current : t -> int -> unit
+(** [set_current t cid] — subsequent charges are billed to [cid]. The
+    table grows on demand. *)
+
+val current : t -> int
+
+val charge : t -> category -> int -> unit
+(** Bill [n] cycles; allocation-free hot path. *)
+
+val cycles : t -> cid:int -> category -> int
+val row : t -> cid:int -> int array
+(** A copy of one cubicle's per-category cycles, indexed by {!cat_index}. *)
+
+val rows : t -> (int * int array) list
+(** All cubicles with non-zero totals, ascending cubicle id. *)
+
+val total : t -> int
+(** Sum over all rows; equals [Hw.Cost.cycles] of the machine this sink
+    is attached to. *)
+
+val category_total : t -> category -> int
+
+val reset : t -> unit

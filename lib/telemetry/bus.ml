@@ -1,0 +1,96 @@
+type entry = { at : int; ev : Event.t }
+
+type t = {
+  mutable tracing : bool;
+  mutable now : unit -> int;
+  ring : entry Ring.t;
+  (* counter plane: always on, allocation-free (the hashtable bumps
+     replace existing bindings after first touch) *)
+  mutable faults : int;
+  mutable retags : int;
+  mutable window_ops : int;
+  mutable rejected : int;
+  mutable shared : int;
+  edges : (int * int, int) Hashtbl.t;
+  syms : (string, int) Hashtbl.t;
+}
+
+let default_capacity = 65536
+
+let create ?(capacity = default_capacity) ?(now = fun () -> 0) () =
+  {
+    tracing = false;
+    now;
+    ring = Ring.create ~capacity ~dummy:{ at = 0; ev = Event.Mark "" };
+    faults = 0;
+    retags = 0;
+    window_ops = 0;
+    rejected = 0;
+    shared = 0;
+    edges = Hashtbl.create 64;
+    syms = Hashtbl.create 64;
+  }
+
+let set_now t f = t.now <- f
+let tracing t = t.tracing
+let set_tracing t b = t.tracing <- b
+
+let[@inline] emit t ev = if t.tracing then Ring.push t.ring { at = t.now (); ev }
+
+let events t = Ring.to_list t.ring
+let iter_events f t = Ring.iter f t.ring
+let captured t = Ring.length t.ring
+let dropped t = Ring.dropped t.ring
+let total_emitted t = Ring.total t.ring
+let clear_ring t = Ring.clear t.ring
+let capacity t = Ring.capacity t.ring
+
+(* --- counter plane ------------------------------------------------------ *)
+
+let bump tbl key =
+  Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let count_call t ~caller ~callee ~sym =
+  bump t.edges (caller, callee);
+  bump t.syms sym;
+  if t.tracing then emit t (Event.Call { caller; callee; sym })
+
+let count_shared_call t ~caller ~sym =
+  t.shared <- t.shared + 1;
+  bump t.syms sym;
+  if t.tracing then emit t (Event.Shared_call { caller; sym })
+
+let count_fault t = t.faults <- t.faults + 1
+let count_retag t = t.retags <- t.retags + 1
+let count_window_op t = t.window_ops <- t.window_ops + 1
+let count_rejected t = t.rejected <- t.rejected + 1
+
+let faults t = t.faults
+let retags t = t.retags
+let window_ops t = t.window_ops
+let rejected t = t.rejected
+let shared_calls t = t.shared
+
+let calls_between t ~caller ~callee =
+  Option.value ~default:0 (Hashtbl.find_opt t.edges (caller, callee))
+
+let calls_into t callee =
+  Hashtbl.fold (fun (_, ce) n acc -> if ce = callee then acc + n else acc) t.edges 0
+
+let calls_to_sym t sym = Option.value ~default:0 (Hashtbl.find_opt t.syms sym)
+let total_calls t = Hashtbl.fold (fun _ n acc -> acc + n) t.edges 0
+
+let edges t =
+  Hashtbl.fold (fun e n acc -> (e, n) :: acc) t.edges []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let snapshot_edges t = Hashtbl.copy t.edges
+
+let reset_counters t =
+  t.faults <- 0;
+  t.retags <- 0;
+  t.window_ops <- 0;
+  t.rejected <- 0;
+  t.shared <- 0;
+  Hashtbl.reset t.edges;
+  Hashtbl.reset t.syms

@@ -1,0 +1,94 @@
+(** The telemetry bus: one per simulated machine.
+
+    Two planes share the bus:
+
+    - an {e event plane}: a fixed-capacity {!Ring} of timestamped
+      {!Event.t}s. Off by default; when off, emission is a single
+      branch and nothing allocates. When on, each emit is one ring
+      store (the ring overwrites its oldest entry when full, counting
+      drops, so tracing can never abort a run).
+    - a {e counter plane}: always-on aggregate counters for the
+      evaluation's figures — cross-cubicle call edges, per-symbol call
+      counts, faults, retags, window ops, rejected accesses. These are
+      what [Core.Stats] reads, so the counters are event-sourced at the
+      same sites that trace.
+
+    Timestamps are simulated cycles, read through the [now] closure the
+    owning machine installs ({!set_now}); the bus itself never charges
+    cycles, so tracing on vs off is bit-identical in simulated time. *)
+
+type entry = { at : int;  (** simulated cycles at emission *) ev : Event.t }
+
+type t = {
+  mutable tracing : bool;
+  mutable now : unit -> int;
+  ring : entry Ring.t;
+  mutable faults : int;
+  mutable retags : int;
+  mutable window_ops : int;
+  mutable rejected : int;
+  mutable shared : int;
+  edges : (int * int, int) Hashtbl.t;
+  syms : (string, int) Hashtbl.t;
+}
+(** The representation is exposed so the machine's accessor fast path
+    can open-code the [tracing] test without a cross-module call
+    (the same deal as [Hw.Tlb]). Treat it as owned by the machine: all
+    other code must go through the functions below. *)
+
+val default_capacity : int
+
+val create : ?capacity:int -> ?now:(unit -> int) -> unit -> t
+(** Tracing starts disabled; [now] defaults to a constant 0 until
+    {!set_now} installs the machine's cycle clock. *)
+
+val set_now : t -> (unit -> int) -> unit
+
+val tracing : t -> bool
+val set_tracing : t -> bool -> unit
+
+val emit : t -> Event.t -> unit
+(** Push onto the ring if tracing; a single branch otherwise. Callers
+    on hot paths should test {!tracing} first so the event itself is
+    only allocated when it will be kept. *)
+
+val events : t -> entry list
+(** Ring contents, oldest first. *)
+
+val iter_events : (entry -> unit) -> t -> unit
+val captured : t -> int
+val dropped : t -> int
+val total_emitted : t -> int
+val clear_ring : t -> unit
+val capacity : t -> int
+
+(** {1 Counter plane} — always on; the sites below both bump the
+    aggregate and (when tracing) emit the corresponding event. Sites
+    whose event carries more context than the counter (faults, retags,
+    window ops, rejections) bump here and emit separately. *)
+
+val count_call : t -> caller:int -> callee:int -> sym:string -> unit
+val count_shared_call : t -> caller:int -> sym:string -> unit
+val count_fault : t -> unit
+val count_retag : t -> unit
+val count_window_op : t -> unit
+val count_rejected : t -> unit
+
+val faults : t -> int
+val retags : t -> int
+val window_ops : t -> int
+val rejected : t -> int
+val shared_calls : t -> int
+val calls_between : t -> caller:int -> callee:int -> int
+val calls_into : t -> int -> int
+val calls_to_sym : t -> string -> int
+val total_calls : t -> int
+
+val edges : t -> ((int * int) * int) list
+(** All (caller, callee) edges with call counts, descending. *)
+
+val snapshot_edges : t -> (int * int, int) Hashtbl.t
+
+val reset_counters : t -> unit
+(** Clears the counter plane only; the ring is cleared separately with
+    {!clear_ring}. *)

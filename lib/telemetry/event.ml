@@ -1,0 +1,113 @@
+type access = Read | Write | Exec
+type fault_reason = Not_present | Page_perm | Key_perm
+
+type window_op =
+  | Init
+  | Extend
+  | Add
+  | Remove
+  | Open
+  | Close
+  | Close_all
+  | Destroy
+  | Open_dedicated
+  | Close_dedicated
+
+type tlb_op = Hit | Miss | Flush | Invalidate
+
+type pager_op =
+  | Cache_hit
+  | Cache_miss
+  | Evict
+  | Page_read
+  | Page_write
+  | Commit
+  | Rollback
+  | Wal_append
+  | Checkpoint
+
+type t =
+  | Fault of { addr : int; access : access; key : int; reason : fault_reason; resolved : bool }
+  | Retag of { page : int; to_key : int }
+  | Pkru_write of { value : int }
+  | Call of { caller : int; callee : int; sym : string }
+  | Return of { caller : int; callee : int; sym : string }
+  | Shared_call of { caller : int; sym : string }
+  | Guard_fetch of { cid : int; sym : string }
+  | Rejected of { cid : int }
+  | Window of { cid : int; op : window_op }
+  | Tlb of tlb_op
+  | Sched_switch of { tid : int; cid : int }
+  | Pager of pager_op
+  | Mark of string
+
+let access_name = function Read -> "read" | Write -> "write" | Exec -> "exec"
+
+let reason_name = function
+  | Not_present -> "not_present"
+  | Page_perm -> "page_perm"
+  | Key_perm -> "key_perm"
+
+let window_op_name = function
+  | Init -> "init"
+  | Extend -> "extend"
+  | Add -> "add"
+  | Remove -> "remove"
+  | Open -> "open"
+  | Close -> "close"
+  | Close_all -> "close_all"
+  | Destroy -> "destroy"
+  | Open_dedicated -> "open_dedicated"
+  | Close_dedicated -> "close_dedicated"
+
+let tlb_op_name = function
+  | Hit -> "hit"
+  | Miss -> "miss"
+  | Flush -> "flush"
+  | Invalidate -> "invalidate"
+
+let pager_op_name = function
+  | Cache_hit -> "cache_hit"
+  | Cache_miss -> "cache_miss"
+  | Evict -> "evict"
+  | Page_read -> "page_read"
+  | Page_write -> "page_write"
+  | Commit -> "commit"
+  | Rollback -> "rollback"
+  | Wal_append -> "wal_append"
+  | Checkpoint -> "checkpoint"
+
+let name = function
+  | Fault _ -> "fault"
+  | Retag _ -> "retag"
+  | Pkru_write _ -> "wrpkru"
+  | Call _ -> "call"
+  | Return _ -> "return"
+  | Shared_call _ -> "shared_call"
+  | Guard_fetch _ -> "guard_fetch"
+  | Rejected _ -> "rejected"
+  | Window _ -> "window"
+  | Tlb _ -> "tlb"
+  | Sched_switch _ -> "sched_switch"
+  | Pager _ -> "pager"
+  | Mark _ -> "mark"
+
+let pp ppf ev =
+  match ev with
+  | Fault { addr; access; key; reason; resolved } ->
+      Format.fprintf ppf "fault addr=0x%x %s key=%d %s%s" addr (access_name access) key
+        (reason_name reason)
+        (if resolved then " (resolved)" else "")
+  | Retag { page; to_key } -> Format.fprintf ppf "retag page=%d -> key %d" page to_key
+  | Pkru_write { value } -> Format.fprintf ppf "wrpkru 0x%08x" value
+  | Call { caller; callee; sym } -> Format.fprintf ppf "call %s: %d -> %d" sym caller callee
+  | Return { caller; callee; sym } ->
+      Format.fprintf ppf "return %s: %d -> %d" sym callee caller
+  | Shared_call { caller; sym } -> Format.fprintf ppf "shared %s (caller %d)" sym caller
+  | Guard_fetch { cid; sym } -> Format.fprintf ppf "guard_fetch %s (cubicle %d)" sym cid
+  | Rejected { cid } -> Format.fprintf ppf "rejected (cubicle %d)" cid
+  | Window { cid; op } -> Format.fprintf ppf "window %s (cubicle %d)" (window_op_name op) cid
+  | Tlb op -> Format.fprintf ppf "tlb %s" (tlb_op_name op)
+  | Sched_switch { tid; cid } -> Format.fprintf ppf "sched tid=%d cid=%d" tid cid
+  | Pager op -> Format.fprintf ppf "pager %s" (pager_op_name op)
+  | Mark s -> Format.fprintf ppf "mark %s" s

@@ -1,0 +1,70 @@
+(** Typed telemetry events.
+
+    One variant per observable action of the simulated system, emitted
+    onto the {!Bus} at the existing count sites: memory faults and
+    trap-and-map retags ({!Fault}, {!Retag}), PKRU writes, trampoline
+    calls and returns, window ACL operations, software-TLB activity,
+    scheduler slice switches, and pager/journal operations.
+
+    Cubicle and key identifiers are plain [int]s so this library sits
+    below [hw] and [cubicle] in the dependency order; the exporters take
+    a naming function to render them. *)
+
+type access = Read | Write | Exec
+type fault_reason = Not_present | Page_perm | Key_perm
+
+type window_op =
+  | Init
+  | Extend
+  | Add
+  | Remove
+  | Open
+  | Close
+  | Close_all
+  | Destroy
+  | Open_dedicated
+  | Close_dedicated
+
+type tlb_op = Hit | Miss | Flush | Invalidate
+
+type pager_op =
+  | Cache_hit
+  | Cache_miss
+  | Evict
+  | Page_read
+  | Page_write
+  | Commit
+  | Rollback
+  | Wal_append
+  | Checkpoint
+
+type t =
+  | Fault of { addr : int; access : access; key : int; reason : fault_reason; resolved : bool }
+      (** A protection fault delivered by the machine; [resolved] is
+          whether the handler fixed it (trap-and-map). *)
+  | Retag of { page : int; to_key : int }  (** Trap-and-map key reassignment. *)
+  | Pkru_write of { value : int }
+  | Call of { caller : int; callee : int; sym : string }
+      (** Cross-cubicle trampoline entry (paired with {!Return}). *)
+  | Return of { caller : int; callee : int; sym : string }
+  | Shared_call of { caller : int; sym : string }
+      (** Call into a shared cubicle (caller's privileges, no trampoline). *)
+  | Guard_fetch of { cid : int; sym : string }
+      (** Instruction fetch of a trampoline guard entry. *)
+  | Rejected of { cid : int }  (** A caught CFI / isolation violation. *)
+  | Window of { cid : int; op : window_op }
+  | Tlb of tlb_op
+  | Sched_switch of { tid : int; cid : int }
+  | Pager of pager_op
+  | Mark of string  (** Free-form phase marker (benchmark harness). *)
+
+val access_name : access -> string
+val reason_name : fault_reason -> string
+val window_op_name : window_op -> string
+val tlb_op_name : tlb_op -> string
+val pager_op_name : pager_op -> string
+
+val name : t -> string
+(** Short kind name ("fault", "retag", …) used by the exporters. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,125 @@
+(* Exporters for the event ring: Chrome trace_event JSON (load in
+   chrome://tracing or https://ui.perfetto.dev) and folded-stacks text
+   (feed to flamegraph.pl / speedscope). Both are pure functions over a
+   captured entry list; timestamps are simulated cycles converted with
+   the caller's clock rate. *)
+
+let buf_add_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* One trace_event object. [ph] "B"/"E" nest duration slices (the
+   machine models a single hardware thread, so one track nests
+   correctly); everything else is an instant event. *)
+let add_trace_obj b ~name ~cat ~ph ~ts ~args =
+  Buffer.add_string b "{\"name\":";
+  buf_add_json_string b name;
+  Buffer.add_string b ",\"cat\":";
+  buf_add_json_string b cat;
+  Buffer.add_string b (Printf.sprintf ",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":1" ph ts);
+  (match ph with "i" -> Buffer.add_string b ",\"s\":\"t\"" | _ -> ());
+  (match args with
+  | [] -> ()
+  | args ->
+      Buffer.add_string b ",\"args\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          buf_add_json_string b k;
+          Buffer.add_char b ':';
+          v b)
+        args;
+      Buffer.add_char b '}');
+  Buffer.add_char b '}'
+
+let jstr s b = buf_add_json_string b s
+let jint (n : int) b = Buffer.add_string b (string_of_int n)
+
+let trace_json ?(process_name = "cubicleos-sim") ~names ~cycles_per_us entries =
+  let b = Buffer.create 65536 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  Buffer.add_string b "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":";
+  buf_add_json_string b process_name;
+  Buffer.add_string b "}}";
+  List.iter
+    (fun { Bus.at; ev } ->
+      Buffer.add_string b ",\n";
+      let ts = float_of_int at /. cycles_per_us in
+      let instant ?(cat = "event") name args = add_trace_obj b ~name ~cat ~ph:"i" ~ts ~args in
+      match ev with
+      | Event.Call { caller; callee; sym } ->
+          add_trace_obj b ~name:sym ~cat:"call" ~ph:"B" ~ts
+            ~args:[ ("caller", jstr (names caller)); ("callee", jstr (names callee)) ]
+      | Event.Return { sym; _ } -> add_trace_obj b ~name:sym ~cat:"call" ~ph:"E" ~ts ~args:[]
+      | Event.Shared_call { caller; sym } ->
+          instant ~cat:"call" ("shared:" ^ sym) [ ("caller", jstr (names caller)) ]
+      | Event.Guard_fetch { cid; sym } ->
+          instant ~cat:"call" ("guard:" ^ sym) [ ("cubicle", jstr (names cid)) ]
+      | Event.Fault { addr; access; key; reason; resolved } ->
+          instant ~cat:"fault" "fault"
+            [
+              ("addr", jint addr);
+              ("access", jstr (Event.access_name access));
+              ("key", jint key);
+              ("reason", jstr (Event.reason_name reason));
+              ("resolved", fun b -> Buffer.add_string b (string_of_bool resolved));
+            ]
+      | Event.Retag { page; to_key } ->
+          instant ~cat:"fault" "retag" [ ("page", jint page); ("to_key", jint to_key) ]
+      | Event.Pkru_write { value } -> instant ~cat:"mpk" "wrpkru" [ ("pkru", jint value) ]
+      | Event.Rejected { cid } -> instant ~cat:"fault" "rejected" [ ("cubicle", jstr (names cid)) ]
+      | Event.Window { cid; op } ->
+          instant ~cat:"window"
+            ("window:" ^ Event.window_op_name op)
+            [ ("cubicle", jstr (names cid)) ]
+      | Event.Tlb op -> instant ~cat:"tlb" ("tlb:" ^ Event.tlb_op_name op) []
+      | Event.Sched_switch { tid; cid } ->
+          instant ~cat:"sched" "sched_switch"
+            [ ("tid", jint tid); ("cubicle", jstr (names cid)) ]
+      | Event.Pager op -> instant ~cat:"pager" ("pager:" ^ Event.pager_op_name op) []
+      | Event.Mark s -> instant ~cat:"mark" ("mark:" ^ s) [])
+    entries;
+  Buffer.add_string b "]}\n";
+  Buffer.contents b
+
+(* Folded stacks: attribute the simulated cycles elapsed between
+   consecutive events to the call stack in effect before each event.
+   Frames are "CUBICLE:sym"; the root frame collects time outside any
+   traced cross-cubicle call. *)
+let folded_stacks ?(root = "main") ~names entries =
+  let tbl = Hashtbl.create 64 in
+  let bump key dt =
+    if dt > 0 then
+      Hashtbl.replace tbl key (dt + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+  in
+  let stack = ref [ root ] (* top first *) in
+  let key_of st = String.concat ";" (List.rev st) in
+  let last = ref (match entries with { Bus.at; _ } :: _ -> at | [] -> 0) in
+  List.iter
+    (fun { Bus.at; ev } ->
+      bump (key_of !stack) (at - !last);
+      last := at;
+      match ev with
+      | Event.Call { callee; sym; _ } ->
+          stack := Printf.sprintf "%s:%s" (names callee) sym :: !stack
+      | Event.Return _ -> (
+          match !stack with
+          | _ :: (_ :: _ as rest) -> stack := rest
+          | _ -> () (* unbalanced return (trace started mid-call): keep root *))
+      | _ -> ())
+    entries;
+  let lines =
+    Hashtbl.fold (fun k v acc -> Printf.sprintf "%s %d" k v :: acc) tbl []
+    |> List.sort compare
+  in
+  String.concat "\n" lines ^ if lines = [] then "" else "\n"

@@ -1,0 +1,24 @@
+(** Exporters for captured event rings.
+
+    Both take [names] to render cubicle ids (the bus stores plain ints)
+    and operate on {!Bus.events} output; neither touches the live bus. *)
+
+val trace_json :
+  ?process_name:string ->
+  names:(int -> string) ->
+  cycles_per_us:float ->
+  Bus.entry list ->
+  string
+(** Chrome [trace_event] JSON (the ["traceEvents"] array form), loadable
+    in [chrome://tracing] or Perfetto. Trampoline {!Event.Call} /
+    {!Event.Return} pairs become nested duration slices on one track
+    (the machine is single-threaded); faults, retags, PKRU writes,
+    window/TLB/scheduler/pager activity become instant events with their
+    payloads under ["args"]. Timestamps are simulated cycles divided by
+    [cycles_per_us]. *)
+
+val folded_stacks : ?root:string -> names:(int -> string) -> Bus.entry list -> string
+(** Folded-stacks text ("frame;frame;frame cycles" per line, suitable
+    for flamegraph.pl or speedscope). Simulated cycles elapsed between
+    consecutive events are attributed to the cross-cubicle call stack
+    in effect; frames are ["CUBICLE:sym"]. *)

@@ -1,0 +1,311 @@
+(* Tests for the telemetry subsystem: the ring buffer, the
+   tracing-never-perturbs-simulation invariant, per-cubicle cycle
+   attribution, the exporters, and the property that Core.Stats —
+   now a view over the bus's counter plane — agrees with the event
+   stream on random workloads. *)
+
+open Cubicle
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains_sub haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+(* --- ring buffer --------------------------------------------------------- *)
+
+let test_ring_basic () =
+  let r = Telemetry.Ring.create ~capacity:4 ~dummy:0 in
+  check_int "empty" 0 (Telemetry.Ring.length r);
+  Telemetry.Ring.push r 1;
+  Telemetry.Ring.push r 2;
+  check_int "len 2" 2 (Telemetry.Ring.length r);
+  Alcotest.(check (list int)) "order" [ 1; 2 ] (Telemetry.Ring.to_list r);
+  check_int "no drops" 0 (Telemetry.Ring.dropped r)
+
+let test_ring_wraparound () =
+  let r = Telemetry.Ring.create ~capacity:4 ~dummy:0 in
+  for i = 1 to 6 do
+    Telemetry.Ring.push r i
+  done;
+  check_int "len capped" 4 (Telemetry.Ring.length r);
+  Alcotest.(check (list int)) "oldest overwritten" [ 3; 4; 5; 6 ] (Telemetry.Ring.to_list r);
+  check_int "dropped" 2 (Telemetry.Ring.dropped r);
+  check_int "total" 6 (Telemetry.Ring.total r)
+
+let test_ring_clear () =
+  let r = Telemetry.Ring.create ~capacity:4 ~dummy:0 in
+  for i = 1 to 6 do
+    Telemetry.Ring.push r i
+  done;
+  Telemetry.Ring.clear r;
+  check_int "len" 0 (Telemetry.Ring.length r);
+  check_int "dropped" 0 (Telemetry.Ring.dropped r);
+  check_int "total" 0 (Telemetry.Ring.total r);
+  Telemetry.Ring.push r 9;
+  Alcotest.(check (list int)) "usable after clear" [ 9 ] (Telemetry.Ring.to_list r)
+
+(* --- a small two-cubicle world for workload tests ------------------------ *)
+
+type world = {
+  w_mon : Monitor.t;
+  w_foo : Types.cid;
+  w_bar : Types.cid;
+  w_ctx : Monitor.ctx;
+  w_buf : int;
+  w_wid : Types.wid;
+}
+
+let build_world () =
+  let mon = Monitor.create ~protection:Types.Full () in
+  let foo =
+    Monitor.create_cubicle mon ~name:"FOO" ~kind:Types.Isolated ~heap_pages:8 ~stack_pages:2
+  in
+  let bar =
+    Monitor.create_cubicle mon ~name:"BAR" ~kind:Types.Isolated ~heap_pages:8 ~stack_pages:2
+  in
+  let sh =
+    Monitor.create_cubicle mon ~name:"SH" ~kind:Types.Shared ~heap_pages:4 ~stack_pages:0
+  in
+  Monitor.register_exports mon bar
+    [ { Monitor.sym = "bar_peek"; fn = (fun c a -> Api.read_u8 c a.(0)); stack_bytes = 0 } ];
+  Monitor.register_exports mon sh
+    [ { Monitor.sym = "sh_fn"; fn = (fun _ _ -> 7); stack_bytes = 0 } ];
+  let ctx = Monitor.ctx_for mon foo in
+  let buf = Api.malloc_page_aligned ctx 4096 in
+  let wid = Api.window_init ctx ~klass:Mm.Page_meta.Heap in
+  Api.window_add ctx wid ~ptr:buf ~size:4096;
+  { w_mon = mon; w_foo = foo; w_bar = bar; w_ctx = ctx; w_buf = buf; w_wid = wid }
+
+(* One workload step; every branch is total so random sequences run to
+   completion whatever state they reach. *)
+let apply w op =
+  match op mod 6 with
+  | 0 -> ( try ignore (Monitor.call w.w_mon ~caller:w.w_foo "bar_peek" [| w.w_buf |]) with _ -> ())
+  | 1 -> Api.window_open w.w_ctx w.w_wid w.w_bar
+  | 2 -> Api.window_close w.w_ctx w.w_wid w.w_bar
+  | 3 -> ignore (Monitor.call w.w_mon ~caller:w.w_foo "sh_fn" [||])
+  | 4 ->
+      (* touch the buffer as its owner: faults back (trap-and-map) when
+         a previous call migrated the page to BAR *)
+      Monitor.run_as w.w_mon w.w_foo (fun () -> Api.write_u8 w.w_ctx w.w_buf 1)
+  | _ -> ( try ignore (Monitor.call w.w_mon ~caller:w.w_foo "nosuch" [||]) with _ -> ())
+
+let run_workload ?(tracing = false) ops =
+  let w = build_world () in
+  let bus = Monitor.bus w.w_mon in
+  Stats.reset (Monitor.stats w.w_mon);
+  Telemetry.Bus.clear_ring bus;
+  Telemetry.Bus.set_tracing bus tracing;
+  List.iter (apply w) ops;
+  w
+
+let some_ops = [ 1; 0; 0; 2; 0; 4; 3; 5; 1; 0; 4; 2; 4; 0; 3 ]
+
+(* --- tracing must not perturb the simulation ----------------------------- *)
+
+let test_cycle_identity () =
+  let observe w =
+    ( (Hw.Cost.cycles (Monitor.cost w.w_mon), Hw.Cpu.fault_count (Monitor.cpu w.w_mon)),
+      (Hw.Cpu.wrpkru_count (Monitor.cpu w.w_mon), Stats.retags (Monitor.stats w.w_mon)) )
+  in
+  let off = observe (run_workload ~tracing:false some_ops) in
+  let on = observe (run_workload ~tracing:true some_ops) in
+  Alcotest.(check (pair (pair int int) (pair int int)))
+    "tracing on/off bit-identical" off on
+
+(* --- attribution --------------------------------------------------------- *)
+
+let test_attrib_sums_to_cycles () =
+  let w = run_workload ~tracing:true some_ops in
+  let cost = Monitor.cost w.w_mon in
+  check_int "rows sum to Cost.cycles"
+    (Hw.Cost.cycles cost)
+    (Telemetry.Attrib.total cost.Hw.Cost.attrib);
+  (* categories the workload certainly exercised *)
+  check_bool "trampoline cycles billed" true
+    (Telemetry.Attrib.category_total cost.Hw.Cost.attrib Telemetry.Attrib.Tramp > 0);
+  check_bool "MPK cycles billed" true
+    (Telemetry.Attrib.category_total cost.Hw.Cost.attrib Telemetry.Attrib.Mpk > 0);
+  (* trap-and-map work during calls into BAR is billed to BAR's row *)
+  check_bool "BAR row non-empty" true
+    (Array.fold_left ( + ) 0 (Telemetry.Attrib.row cost.Hw.Cost.attrib ~cid:w.w_bar) > 0)
+
+let test_attrib_reset () =
+  let w = run_workload some_ops in
+  let cost = Monitor.cost w.w_mon in
+  Hw.Cost.reset cost;
+  check_int "attrib reset with cost" 0 (Telemetry.Attrib.total cost.Hw.Cost.attrib);
+  check_int "cycles reset" 0 (Hw.Cost.cycles cost)
+
+(* --- Stats as a fold over the bus ---------------------------------------- *)
+
+let count_events bus =
+  let calls = ref 0
+  and shared = ref 0
+  and faults = ref 0
+  and retags = ref 0
+  and window_ops = ref 0
+  and rejected = ref 0
+  and returns = ref 0 in
+  Telemetry.Bus.iter_events
+    (fun { Telemetry.Bus.ev; _ } ->
+      match ev with
+      | Telemetry.Event.Call _ -> incr calls
+      | Telemetry.Event.Return _ -> incr returns
+      | Telemetry.Event.Shared_call _ -> incr shared
+      | Telemetry.Event.Fault _ -> incr faults
+      | Telemetry.Event.Retag _ -> incr retags
+      | Telemetry.Event.Window _ -> incr window_ops
+      | Telemetry.Event.Rejected _ -> incr rejected
+      | _ -> ())
+    bus;
+  (!calls, !shared, !faults, !retags, !window_ops, !rejected, !returns)
+
+let stats_match_events w =
+  let bus = Monitor.bus w.w_mon in
+  let st = Monitor.stats w.w_mon in
+  let calls, shared, faults, retags, window_ops, rejected, returns = count_events bus in
+  Telemetry.Bus.dropped bus = 0
+  && calls = Stats.total_calls st
+  && returns = calls
+  && shared = Stats.shared_calls st
+  && faults = Stats.faults st
+  && retags = Stats.retags st
+  && window_ops = Stats.window_ops st
+  && rejected = Stats.rejected st
+
+let test_stats_equal_events () =
+  let w = run_workload ~tracing:true some_ops in
+  check_bool "counters equal event stream" true (stats_match_events w)
+
+let prop_stats_equal_events =
+  QCheck.Test.make ~count:60
+    ~name:"stats rebuilt from the event stream equal the counter plane"
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 60) (int_range 0 5)))
+    (fun ops -> stats_match_events (run_workload ~tracing:true ops))
+
+(* --- TLB counters are read through, not synced --------------------------- *)
+
+let test_tlb_read_through () =
+  let w = build_world () in
+  let cpu = Monitor.cpu w.w_mon in
+  (* take the Stats value FIRST; reads later must still see live data *)
+  let st = Monitor.stats w.w_mon in
+  Hw.Tlb.reset_counters (Hw.Cpu.tlb cpu);
+  Monitor.run_as w.w_mon w.w_foo (fun () ->
+      for i = 0 to 999 do
+        ignore (Hw.Cpu.read_u8 cpu (w.w_buf + (i land 0xFFF)))
+      done);
+  check_bool "hits visible without sync" true (Stats.tlb_hits st > 0);
+  check_int "hits equal the machine's" (Hw.Tlb.hits (Hw.Cpu.tlb cpu)) (Stats.tlb_hits st);
+  check_int "misses equal the machine's" (Hw.Tlb.misses (Hw.Cpu.tlb cpu)) (Stats.tlb_misses st)
+
+(* --- standalone Stats (no machine) --------------------------------------- *)
+
+let test_standalone_stats_tlb_zero () =
+  let s = Stats.create () in
+  check_int "tlb hits 0 without machine" 0 (Stats.tlb_hits s);
+  Alcotest.(check (float 0.0)) "hit rate 0" 0.0 (Stats.tlb_hit_rate s)
+
+(* --- bus plumbing --------------------------------------------------------- *)
+
+let test_bus_off_captures_nothing () =
+  let w = run_workload ~tracing:false some_ops in
+  let bus = Monitor.bus w.w_mon in
+  check_int "nothing captured" 0 (Telemetry.Bus.captured bus);
+  check_int "nothing emitted" 0 (Telemetry.Bus.total_emitted bus);
+  (* ...but the counter plane saw everything *)
+  check_bool "counters alive" true (Stats.total_calls (Monitor.stats w.w_mon) > 0)
+
+let test_bus_timestamps_monotone () =
+  let w = run_workload ~tracing:true some_ops in
+  let last = ref min_int in
+  let ok = ref true in
+  Telemetry.Bus.iter_events
+    (fun { Telemetry.Bus.at; _ } ->
+      if at < !last then ok := false;
+      last := at)
+    (Monitor.bus w.w_mon);
+  check_bool "cycle timestamps non-decreasing" true !ok
+
+(* --- exporters ------------------------------------------------------------ *)
+
+let test_export_trace_json () =
+  let w = run_workload ~tracing:true some_ops in
+  let entries = Telemetry.Bus.events (Monitor.bus w.w_mon) in
+  let names cid = Monitor.cubicle_name w.w_mon cid in
+  let json = Telemetry.Export.trace_json ~names ~cycles_per_us:2200. entries in
+  check_bool "has traceEvents" true
+    (String.length json > 0
+    && contains_sub json "\"traceEvents\""
+    && contains_sub json "\"ph\":\"B\""
+    && contains_sub json "\"ph\":\"E\"");
+  (* crude balance check: equally many begin and end slices *)
+  let count affix =
+    let n = ref 0 in
+    let len = String.length affix in
+    for i = 0 to String.length json - len do
+      if String.sub json i len = affix then incr n
+    done;
+    !n
+  in
+  check_int "B/E slices balanced" (count "\"ph\":\"B\"") (count "\"ph\":\"E\"")
+
+let test_export_folded () =
+  let w = run_workload ~tracing:true some_ops in
+  let entries = Telemetry.Bus.events (Monitor.bus w.w_mon) in
+  let names cid = Monitor.cubicle_name w.w_mon cid in
+  let folded = Telemetry.Export.folded_stacks ~names entries in
+  let lines = String.split_on_char '\n' folded |> List.filter (fun l -> l <> "") in
+  check_bool "has stacks" true (List.length lines > 0);
+  List.iter
+    (fun line ->
+      match String.rindex_opt line ' ' with
+      | None -> Alcotest.failf "malformed folded line: %s" line
+      | Some i ->
+          let v = String.sub line (i + 1) (String.length line - i - 1) in
+          check_bool "positive cycle count" true (int_of_string v > 0))
+    lines;
+  check_bool "a BAR frame appears" true
+    (List.exists (fun l -> contains_sub l "BAR:bar_peek") lines)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "basic" `Quick test_ring_basic;
+          Alcotest.test_case "wrap-around + drops" `Quick test_ring_wraparound;
+          Alcotest.test_case "clear" `Quick test_ring_clear;
+        ] );
+      ( "identity",
+        [ Alcotest.test_case "tracing on/off bit-identical" `Quick test_cycle_identity ] );
+      ( "attribution",
+        [
+          Alcotest.test_case "rows sum to Cost.cycles" `Quick test_attrib_sums_to_cycles;
+          Alcotest.test_case "reset" `Quick test_attrib_reset;
+        ] );
+      ( "stats-vs-events",
+        [
+          Alcotest.test_case "fixed workload" `Quick test_stats_equal_events;
+          QCheck_alcotest.to_alcotest prop_stats_equal_events;
+        ] );
+      ( "tlb",
+        [
+          Alcotest.test_case "read-through, no sync" `Quick test_tlb_read_through;
+          Alcotest.test_case "standalone stats" `Quick test_standalone_stats_tlb_zero;
+        ] );
+      ( "bus",
+        [
+          Alcotest.test_case "off captures nothing" `Quick test_bus_off_captures_nothing;
+          Alcotest.test_case "timestamps monotone" `Quick test_bus_timestamps_monotone;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome trace json" `Quick test_export_trace_json;
+          Alcotest.test_case "folded stacks" `Quick test_export_folded;
+        ] );
+    ]
