@@ -4,8 +4,12 @@
    everything, or with a subset of: table2 fig5 fig6 fig7 fig8 fig10a
    fig10b ablation micro hw. The extra target `trace` (never part of
    `all`) captures the Fig. 2 write path on the telemetry bus and writes
-   trace.json / trace.folded. `fig6 --attrib` appends the per-cubicle
-   cycle-attribution tables. EXPERIMENTS.md records paper-vs-measured
+   trace.json / trace.folded; `--sample N` keeps 1 in N events and
+   `--stream` writes the JSON incrementally through a bus sink instead
+   of from the ring. `fig6 --attrib` appends the per-cubicle
+   cycle-attribution tables; `--latency` (on fig6/fig10a/fig10b)
+   appends per-edge call-latency percentiles and, for fig6, writes
+   BENCH_latency.json. EXPERIMENTS.md records paper-vs-measured
    numbers. *)
 
 open Cubicle
@@ -99,13 +103,22 @@ let fig8 () =
 
 (* --- Figure 6: per-query execution times under the 4 configs --------------- *)
 
-let speedtest_for_protection protection ~n =
+(* Attach a latency sink post-boot, resetting the counter plane at the
+   same instant so per-edge sample counts can be cross-checked against
+   calls_between. Cost attribution is untouched. *)
+let attach_latency mon =
+  let bus = Monitor.bus mon in
+  Telemetry.Bus.set_latency bus (Some (Telemetry.Latency.create ()));
+  Telemetry.Bus.reset_counters bus
+
+let speedtest_for_protection ?(latency = false) protection ~n =
   let app = Builder.component ~heap_pages:512 ~stack_pages:4 "APP" in
   let sys =
     Libos.Boot.fs_stack ~protection ~mem_bytes:(192 * 1024 * 1024)
       ~extra:[ (app, Types.Isolated) ]
       ()
   in
+  if latency then attach_latency sys.Libos.Boot.mon;
   let os = Minidb.Os_iface.cubicleos (Libos.Fileio.make (Libos.Boot.app_ctx sys "APP")) in
   let cost = Monitor.cost sys.Libos.Boot.mon in
   let results =
@@ -145,7 +158,83 @@ let attrib_table mon =
     exit 1
   end
 
-let fig6 ?(n = 150) ?(attrib = false) () =
+(* Per-edge call-latency percentiles from the bus's latency plane. The
+   sink is fed from the same counter-plane sites as calls_between, so
+   every counter edge must appear with the identical count — any
+   divergence is a call/return pairing bug and aborts the run. The
+   microkernel baselines' RPC edges are latency-only observations, so
+   they carry no counter to check against. *)
+let latency_table mon =
+  let bus = Monitor.bus mon in
+  match Telemetry.Bus.latency bus with
+  | None -> fprintf "  (no latency sink attached)\n"
+  | Some lat ->
+      let cname cid = try Monitor.cubicle_name mon cid with _ -> Printf.sprintf "C%d" cid in
+      let edges = Telemetry.Latency.edges lat in
+      if edges = [] then fprintf "  (no cross-cubicle calls observed)\n"
+      else begin
+        fprintf "  %-10s %-10s %9s %9s %9s %9s %9s %11s\n" "caller" "callee" "count" "p50"
+          "p90" "p99" "max" "mean";
+        List.iter
+          (fun ((caller, callee), h) ->
+            let open Telemetry.Hist in
+            fprintf "  %-10s %-10s %9d %9d %9d %9d %9d %11.1f\n" (cname caller)
+              (cname callee) (count h) (percentile h 0.50) (percentile h 0.90)
+              (percentile h 0.99) (max_value h) (mean h))
+          edges
+      end;
+      if Telemetry.Latency.unmatched lat > 0 || Telemetry.Latency.in_flight lat > 0 then
+        fprintf "  (unmatched returns: %d, in flight at capture: %d)\n"
+          (Telemetry.Latency.unmatched lat)
+          (Telemetry.Latency.in_flight lat);
+      List.iter
+        (fun ((caller, callee), n) ->
+          let c =
+            match Telemetry.Latency.edge lat ~caller ~callee with
+            | Some h -> Telemetry.Hist.count h
+            | None -> 0
+          in
+          if c <> n then begin
+            fprintf "FATAL: edge %s->%s: latency count %d <> calls_between %d\n"
+              (cname caller) (cname callee) c n;
+            exit 1
+          end)
+        (Telemetry.Bus.edges bus)
+
+let json_key_sanitize s = String.map (function ' ' | '/' -> '_' | c -> c) s
+
+let latency_json_rows mon ~config =
+  let bus = Monitor.bus mon in
+  match Telemetry.Bus.latency bus with
+  | None -> []
+  | Some lat ->
+      let cname cid = try Monitor.cubicle_name mon cid with _ -> Printf.sprintf "C%d" cid in
+      List.concat_map
+        (fun ((caller, callee), h) ->
+          let key field =
+            Printf.sprintf "%s.%s->%s.%s" (json_key_sanitize config) (cname caller)
+              (cname callee) field
+          in
+          let open Telemetry.Hist in
+          [
+            (key "count", count h);
+            (key "p50", percentile h 0.50);
+            (key "p90", percentile h 0.90);
+            (key "p99", percentile h 0.99);
+          ])
+        (Telemetry.Latency.edges lat)
+
+let write_flat_json path rows =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  List.iteri
+    (fun i (k, v) ->
+      Printf.fprintf oc "  \"%s\": %d%s\n" k v (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "}\n";
+  close_out oc
+
+let fig6 ?(n = 150) ?(attrib = false) ?(latency = false) ?(lat_out = "BENCH_latency.json") () =
   heading "Figure 6: SQLite speedtest1 query execution times (simulated ms)";
   let configs =
     [
@@ -155,7 +244,9 @@ let fig6 ?(n = 150) ?(attrib = false) () =
       ("CubicleOS", Types.Full);
     ]
   in
-  let full_runs = List.map (fun (name, p) -> (name, speedtest_for_protection p ~n)) configs in
+  let full_runs =
+    List.map (fun (name, p) -> (name, speedtest_for_protection ~latency p ~n)) configs
+  in
   let runs = List.map (fun (name, (r, _)) -> (name, r)) full_runs in
   let base = List.assoc "Unikraft" runs in
   let full = List.assoc "CubicleOS" runs in
@@ -208,6 +299,21 @@ let fig6 ?(n = 150) ?(attrib = false) () =
         fprintf "\n[%s]\n" name;
         attrib_table mon)
       full_runs
+  end;
+  if latency then begin
+    fprintf
+      "\nPer-edge call latency (simulated cycles; counters reset post-boot so\n\
+       per-edge counts equal the bus's calls_between — checked):\n";
+    List.iter
+      (fun (name, (_, mon)) ->
+        fprintf "\n[%s]\n" name;
+        latency_table mon)
+      full_runs;
+    let rows =
+      List.concat_map (fun (name, (_, mon)) -> latency_json_rows mon ~config:name) full_runs
+    in
+    write_flat_json lat_out rows;
+    fprintf "\nwrote %s\n" lat_out
   end
 
 (* --- Figure 7: NGINX download latency vs transfer size ---------------------- *)
@@ -242,7 +348,7 @@ let fig7 ?(repeats = 3) () =
 
 (* --- Figures 9/10: partitioning comparison ----------------------------------- *)
 
-let fig10a ?(n = 120) () =
+let fig10a ?(n = 120) ?(latency = false) () =
   heading "Figure 10a: slowdown vs Linux (speedtest1 average)";
   fprintf "(Figure 9: '3 components' merges the fs driver into the VFS;\n";
   fprintf " '4 components' separates RAMFS into its own compartment)\n\n";
@@ -257,7 +363,16 @@ let fig10a ?(n = 120) () =
       Cubicle4;
     ]
   in
-  let totals = List.map (fun c -> (config_name c, speedtest_total_cycles ~n c)) configs in
+  let runs =
+    List.map
+      (fun c ->
+        let inst = make c in
+        if latency then attach_latency inst.mon;
+        let per_q = speedtest_run ~n inst in
+        (config_name c, List.fold_left (fun acc (_, cyc) -> acc + cyc) 0 per_q, inst.mon))
+      configs
+  in
+  let totals = List.map (fun (name, total, _) -> (name, total)) runs in
   let linux_total = float_of_int (List.assoc "Linux" totals) in
   fprintf "%-16s %16s %9s   (paper)\n" "config" "cycles" "slowdown";
   let paper = [ "1.0x"; "2.8x"; "1.4x"; "29x"; "4.1x"; "5.4x" ] in
@@ -266,14 +381,35 @@ let fig10a ?(n = 120) () =
       fprintf "%-16s %16d %8.1fx   (%s)\n" name total
         (float_of_int total /. linux_total)
         (List.nth paper i))
-    totals
+    totals;
+  if latency then begin
+    fprintf
+      "\nPer-edge call latency (trampoline edges counter-checked; the Genode\n\
+       configs' kernel RPC edges are latency-only observations):\n";
+    List.iter
+      (fun (name, _, mon) ->
+        fprintf "\n[%s]\n" name;
+        latency_table mon)
+      runs
+  end
 
-let fig10b ?(n = 120) () =
+let fig10b ?(n = 120) ?(latency = false) () =
   heading "Figure 10b: slowdown of 4 components vs 3 components";
   let open Ukernel.Compose in
+  (* keep the 4-component monitors when --latency: those deployments are
+     where the per-packet RPC edges live *)
+  let kept = ref [] in
+  let total ~keep c =
+    let inst = make c in
+    if latency then attach_latency inst.mon;
+    let t = List.fold_left (fun acc (_, cyc) -> acc + cyc) 0 (speedtest_run ~n inst) in
+    if latency && keep then kept := (config_name c, inst.mon) :: !kept;
+    t
+  in
   let ratio three four =
-    float_of_int (speedtest_total_cycles ~n four)
-    /. float_of_int (speedtest_total_cycles ~n three)
+    let t3 = total ~keep:false three in
+    let t4 = total ~keep:true four in
+    float_of_int t4 /. float_of_int t3
   in
   let paper =
     [
@@ -293,7 +429,15 @@ let fig10b ?(n = 120) () =
   fprintf "%-12s %9s   (paper)\n" "kernel" "slowdown";
   List.iter
     (fun (name, r) -> fprintf "%-12s %8.1fx   (%s)\n" name r (List.assoc name paper))
-    results
+    results;
+  if latency then begin
+    fprintf "\nPer-edge call latency of the 4-component deployments:\n";
+    List.iter
+      (fun (name, mon) ->
+        fprintf "\n[%s]\n" name;
+        latency_table mon)
+      (List.rev !kept)
+  end
 
 (* --- Ablations: the design-space choices of §5.6/§8 --------------------------- *)
 
@@ -748,18 +892,24 @@ let hw ?(out = "BENCH_hw.json") ?golden ?write_golden () =
 
 (* Runs the paper's running example (1000 x 4 KiB pwrite through
    APP -> VFSCORE -> RAMFS, full protection) twice — tracing off, then
-   on — and fails hard if tracing perturbed simulated behaviour. The
-   traced run's ring is exported as Chrome trace_event JSON and
-   folded-stacks text. *)
-let trace ?(out = "trace.json") ?(folded = "trace.folded") () =
+   on — and fails hard if tracing perturbed simulated behaviour; the
+   same identity must hold when the traced run is sampled (--sample N)
+   or streamed (--stream). The trace is exported as Chrome trace_event
+   JSON and folded-stacks text; with --stream the JSON is written
+   incrementally by a bus sink during the run and self-checked
+   byte-equal against the ring exporter whenever the ring kept every
+   event. *)
+let trace ?(out = "trace.json") ?(folded = "trace.folded") ?(sample = 1) ?(stream = false) ()
+    =
   heading "Telemetry trace: Fig. 2 write path (1000 x 4 KiB pwrite, full protection)";
-  let run tracing =
+  let run ~tracing ~configure =
     let app = Builder.component ~heap_pages:64 ~stack_pages:4 "APP" in
     let sys =
       Libos.Boot.fs_stack ~protection:Types.Full ~extra:[ (app, Types.Isolated) ] ()
     in
     let mon = sys.Libos.Boot.mon in
     Telemetry.Bus.set_tracing (Monitor.bus mon) tracing;
+    configure mon;
     let ctx = Libos.Boot.app_ctx sys "APP" in
     let fio = Libos.Fileio.make ctx in
     let fd =
@@ -777,31 +927,79 @@ let trace ?(out = "trace.json") ?(folded = "trace.folded") () =
       Hw.Cpu.fault_count (Monitor.cpu mon),
       Hw.Cpu.wrpkru_count (Monitor.cpu mon) )
   in
-  let _, c_off, f_off, k_off = run false in
-  let mon, c_on, f_on, k_on = run true in
+  let _, c_off, f_off, k_off = run ~tracing:false ~configure:ignore in
+  let cycles_per_us = Hw.Cost.cycles_per_us in
+  let streamed = Buffer.create (1 lsl 16) in
+  let stream_st = ref None in
+  let configure mon =
+    let bus = Monitor.bus mon in
+    if sample > 1 then Telemetry.Bus.set_sampling bus ~every:sample;
+    if stream then begin
+      let names cid = try Monitor.cubicle_name mon cid with _ -> Printf.sprintf "C%d" cid in
+      let st =
+        Telemetry.Export.Stream.create ~names ~cycles_per_us
+          ~write:(Buffer.add_string streamed) ()
+      in
+      stream_st := Some st;
+      Telemetry.Bus.set_sink bus (Some (Telemetry.Export.Stream.entry st))
+    end
+  in
+  let mon, c_on, f_on, k_on = run ~tracing:true ~configure in
+  Option.iter Telemetry.Export.Stream.finish !stream_st;
+  let mode =
+    (if sample > 1 then Printf.sprintf " (sampled 1/%d)" sample else "")
+    ^ if stream then " (streamed)" else ""
+  in
   if (c_on, f_on, k_on) <> (c_off, f_off, k_off) then begin
     fprintf
-      "FATAL: tracing changed simulated behaviour\n\
+      "FATAL: tracing%s changed simulated behaviour\n\
       \  off: cycles=%d faults=%d wrpkru=%d\n\
       \  on : cycles=%d faults=%d wrpkru=%d\n"
-      c_off f_off k_off c_on f_on k_on;
+      mode c_off f_off k_off c_on f_on k_on;
     exit 1
   end;
-  fprintf "tracing on/off bit-identical: cycles=%d faults=%d wrpkru=%d\n" c_on f_on k_on;
+  fprintf "tracing%s on/off bit-identical: cycles=%d faults=%d wrpkru=%d\n" mode c_on f_on
+    k_on;
   let bus = Monitor.bus mon in
   let names cid = try Monitor.cubicle_name mon cid with _ -> Printf.sprintf "C%d" cid in
   let entries = Telemetry.Bus.events bus in
-  fprintf "events: %d captured, %d dropped (ring capacity %d), %d emitted\n"
+  fprintf "events: %d captured, %d dropped (ring capacity %d), %d sampled out, %d emitted\n"
     (Telemetry.Bus.captured bus) (Telemetry.Bus.dropped bus) (Telemetry.Bus.capacity bus)
+    (Telemetry.Bus.sampled_out bus)
     (Telemetry.Bus.total_emitted bus);
+  if sample > 1 && Telemetry.Bus.dropped bus > 0 then begin
+    fprintf "FATAL: sampling 1/%d still overflowed the ring (%d drops)\n" sample
+      (Telemetry.Bus.dropped bus);
+    exit 1
+  end;
   let write path s =
     let oc = open_out path in
     output_string oc s;
     close_out oc
   in
-  write out (Telemetry.Export.trace_json ~names ~cycles_per_us:2200. entries);
-  fprintf "wrote %s (Chrome trace_event JSON; load in chrome://tracing or Perfetto)\n" out;
-  write folded (Telemetry.Export.folded_stacks ~names entries);
+  if stream then begin
+    write out (Buffer.contents streamed);
+    fprintf "wrote %s (streamed Chrome trace_event JSON, written during the run)\n" out;
+    if Telemetry.Bus.dropped bus = 0 then begin
+      let ring_json = Telemetry.Export.trace_json ~names ~cycles_per_us entries in
+      if not (String.equal ring_json (Buffer.contents streamed)) then begin
+        fprintf "FATAL: streamed export differs from ring exporter (%d vs %d bytes)\n"
+          (Buffer.length streamed) (String.length ring_json);
+        exit 1
+      end;
+      fprintf "stream byte-match OK: streamed output identical to ring exporter\n"
+    end
+    else
+      fprintf
+        "(ring dropped %d events, so the ring exporter holds a suffix only —\n\
+        \ byte-match self-check skipped; the streamed file has the full trace)\n"
+        (Telemetry.Bus.dropped bus)
+  end
+  else begin
+    write out (Telemetry.Export.trace_json ~names ~cycles_per_us entries);
+    fprintf "wrote %s (Chrome trace_event JSON; load in chrome://tracing or Perfetto)\n" out
+  end;
+  write folded (Telemetry.Export.folded_stacks ~names ~until:c_on entries);
   fprintf "wrote %s (folded stacks; feed to flamegraph.pl or speedscope)\n" folded;
   fprintf "\nper-cubicle cycle attribution of the traced run:\n";
   attrib_table mon
@@ -811,10 +1009,13 @@ let trace ?(out = "trace.json") ?(folded = "trace.folded") () =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (* flags with a value: --out FILE, --golden FILE, --write-golden FILE,
-     --folded FILE; boolean flags: --attrib *)
+     --folded FILE, --sample N, --n N, --lat-out FILE; boolean flags:
+     --attrib, --latency, --stream — matched before the generic rule so
+     they never swallow the following token *)
   let rec split_flags targets flags = function
     | [] -> (List.rev targets, List.rev flags)
-    | "--attrib" :: rest -> split_flags targets (("--attrib", "true") :: flags) rest
+    | (("--attrib" | "--latency" | "--stream") as flag) :: rest ->
+        split_flags targets ((flag, "true") :: flags) rest
     | flag :: value :: rest when String.length flag > 2 && String.sub flag 0 2 = "--" ->
         split_flags targets ((flag, value) :: flags) rest
     | t :: rest -> split_flags (t :: targets) flags rest
@@ -822,14 +1023,19 @@ let () =
   let targets, flags = split_flags [] [] args in
   let all = targets = [] || targets = [ "all" ] in
   let want name = all || List.mem name targets in
+  let bool_flag name = List.mem_assoc name flags in
+  let int_flag name = Option.map int_of_string (List.assoc_opt name flags) in
   let t0 = Unix.gettimeofday () in
   if want "table2" then table2 ();
   if want "fig5" then fig5 ();
-  if want "fig6" then fig6 ~attrib:(List.mem_assoc "--attrib" flags) ();
+  if want "fig6" then
+    fig6 ?n:(int_flag "--n") ~attrib:(bool_flag "--attrib") ~latency:(bool_flag "--latency")
+      ?lat_out:(List.assoc_opt "--lat-out" flags)
+      ();
   if want "fig7" then fig7 ();
   if want "fig8" then fig8 ();
-  if want "fig10a" then fig10a ();
-  if want "fig10b" then fig10b ();
+  if want "fig10a" then fig10a ?n:(int_flag "--n") ~latency:(bool_flag "--latency") ();
+  if want "fig10b" then fig10b ?n:(int_flag "--n") ~latency:(bool_flag "--latency") ();
   if want "ablation" then ablation ();
   if want "micro" then micro ();
   if want "hw" then
@@ -842,5 +1048,7 @@ let () =
     trace
       ?out:(List.assoc_opt "--out" flags)
       ?folded:(List.assoc_opt "--folded" flags)
+      ?sample:(int_flag "--sample")
+      ~stream:(bool_flag "--stream")
       ();
   fprintf "\n[bench completed in %.1f s wall clock]\n" (Unix.gettimeofday () -. t0)

@@ -455,11 +455,10 @@ let call t ~caller sym args =
       exp.e_fn (ctx_call t exp.e_owner caller) args
   | Types.Trusted | Types.Isolated -> (
       Stats.count_call t.stats ~caller ~callee:exp.e_owner ~sym;
-      (* count_call emitted the Call event; guarantee the matching
-         Return even when the callee raises, so duration slices nest. *)
-      let emit_return () =
-        emit t (Telemetry.Event.Return { caller; callee = exp.e_owner; sym })
-      in
+      (* count_call recorded the call start (counter, latency plane,
+         traced Call event); guarantee the matching return even when the
+         callee raises, so latencies pair up and duration slices nest. *)
+      let emit_return () = Stats.count_return t.stats ~caller ~callee:exp.e_owner ~sym in
       Fun.protect ~finally:emit_return @@ fun () ->
       match t.protection with
       | Types.None_ ->

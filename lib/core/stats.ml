@@ -15,6 +15,9 @@ let reset t =
   Option.iter Hw.Tlb.reset_counters t.tlb
 
 let count_call t ~caller ~callee ~sym = Telemetry.Bus.count_call t.bus ~caller ~callee ~sym
+
+let count_return t ~caller ~callee ~sym =
+  Telemetry.Bus.count_return t.bus ~caller ~callee ~sym
 let count_shared_call t ~caller ~sym = Telemetry.Bus.count_shared_call t.bus ~caller ~sym
 let count_fault t = Telemetry.Bus.count_fault t.bus
 let count_retag t = Telemetry.Bus.count_retag t.bus

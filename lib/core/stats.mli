@@ -21,6 +21,12 @@ val create : unit -> t
 val reset : t -> unit
 
 val count_call : t -> caller:Types.cid -> callee:Types.cid -> sym:string -> unit
+
+val count_return : t -> caller:Types.cid -> callee:Types.cid -> sym:string -> unit
+(** The return edge of {!count_call}: no counter is bumped (the call
+    was already counted), but the bus's latency plane — and, when
+    tracing, the event ring — see the return. *)
+
 val count_shared_call : t -> caller:Types.cid -> sym:string -> unit
 val count_fault : t -> unit
 val count_retag : t -> unit

@@ -113,9 +113,15 @@ let add_range w ~ptr ~size =
 
 let remove_range w ~ptr =
   check_alive w;
-  let found = List.exists (fun r -> r.ptr = ptr) w.ranges in
-  if not found then Types.error "window %d: no range starts at 0x%x" w.wid ptr;
-  w.ranges <- List.filter (fun r -> r.ptr <> ptr) w.ranges
+  (* Exactly one range per remove: two add_range calls with the same
+     base (and possibly different sizes) are two grants, and a single
+     remove must not revoke both. *)
+  let rec drop_one = function
+    | [] -> Types.error "window %d: no range starts at 0x%x" w.wid ptr
+    | r :: rest when r.ptr = ptr -> rest
+    | r :: rest -> r :: drop_one rest
+  in
+  w.ranges <- drop_one w.ranges
 
 let open_for w cid =
   check_alive w;

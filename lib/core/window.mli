@@ -46,7 +46,9 @@ val find : table -> Types.wid -> t
 
 val add_range : t -> ptr:int -> size:int -> unit
 val remove_range : t -> ptr:int -> unit
-(** Raises {!Types.Error} if no range starts at [ptr]. *)
+(** Removes exactly one range starting at [ptr] (the most recently
+    added, if several share a base). Raises {!Types.Error} if no range
+    starts at [ptr]. *)
 
 val open_for : t -> Types.cid -> unit
 val close_for : t -> Types.cid -> unit

@@ -62,5 +62,6 @@ let[@inline] charge_mem t len =
 
 let cycles t = t.cycles
 let cycles_per_ms = 2.2e6
+let cycles_per_us = cycles_per_ms /. 1000.
 let to_ms c = float_of_int c /. cycles_per_ms
-let to_us c = float_of_int c /. (cycles_per_ms /. 1000.)
+let to_us c = float_of_int c /. cycles_per_us

@@ -1,6 +1,6 @@
-type category = Tramp | Mpk | Window | Memcpy | Fault | Other
+type category = Tramp | Mpk | Window | Memcpy | Fault | Ipc | Other
 
-let categories = [ Tramp; Mpk; Window; Memcpy; Fault; Other ]
+let categories = [ Tramp; Mpk; Window; Memcpy; Fault; Ipc; Other ]
 let ncat = List.length categories
 
 let cat_index = function
@@ -9,7 +9,8 @@ let cat_index = function
   | Window -> 2
   | Memcpy -> 3
   | Fault -> 4
-  | Other -> 5
+  | Ipc -> 5
+  | Other -> 6
 
 let cat_name = function
   | Tramp -> "tramp"
@@ -17,6 +18,7 @@ let cat_name = function
   | Window -> "window"
   | Memcpy -> "memcpy"
   | Fault -> "fault"
+  | Ipc -> "ipc"
   | Other -> "other"
 
 type t = {

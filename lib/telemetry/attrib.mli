@@ -16,6 +16,10 @@ type category =
   | Window  (** window ACL bookkeeping and descriptor searches *)
   | Memcpy  (** data movement through the simulated memory *)
   | Fault  (** protection-fault delivery *)
+  | Ipc
+      (** kernel IPC / framework dispatch of the microkernel baselines
+          (Genode RPC round trips, signals, library-VFS dispatch) — the
+          mechanism the paper's Fig. 10 compares trampolines against *)
   | Other  (** everything else: OS work, syscalls, device models *)
 
 val categories : category list

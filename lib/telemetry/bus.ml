@@ -4,6 +4,16 @@ type t = {
   mutable tracing : bool;
   mutable now : unit -> int;
   ring : entry Ring.t;
+  (* event-plane sampling: keep 1 in [every] emissions (1 = keep all).
+     [countdown] is the distance to the next kept event. *)
+  mutable every : int;
+  mutable countdown : int;
+  mutable sampled_out : int;
+  (* streamed export: a sink sees exactly the entries the ring keeps *)
+  mutable sink : (entry -> unit) option;
+  (* latency plane: fed from the counter-plane call sites, never from
+     the ring, so it is exact under sampling and ring wrap *)
+  mutable lat : Latency.t option;
   (* counter plane: always on, allocation-free (the hashtable bumps
      replace existing bindings after first touch) *)
   mutable faults : int;
@@ -22,6 +32,11 @@ let create ?(capacity = default_capacity) ?(now = fun () -> 0) () =
     tracing = false;
     now;
     ring = Ring.create ~capacity ~dummy:{ at = 0; ev = Event.Mark "" };
+    every = 1;
+    countdown = 1;
+    sampled_out = 0;
+    sink = None;
+    lat = None;
     faults = 0;
     retags = 0;
     window_ops = 0;
@@ -35,14 +50,40 @@ let set_now t f = t.now <- f
 let tracing t = t.tracing
 let set_tracing t b = t.tracing <- b
 
-let[@inline] emit t ev = if t.tracing then Ring.push t.ring { at = t.now (); ev }
+let set_sampling t ~every =
+  if every < 1 then invalid_arg "Bus.set_sampling: every must be >= 1";
+  t.every <- every;
+  t.countdown <- 1 (* the next emission is kept, deterministically *)
+
+let sampling t = t.every
+let sampled_out t = t.sampled_out
+let set_sink t f = t.sink <- f
+let set_latency t l = t.lat <- l
+let latency t = t.lat
+
+let[@inline] emit t ev =
+  if t.tracing then begin
+    t.countdown <- t.countdown - 1;
+    if t.countdown <= 0 then begin
+      t.countdown <- t.every;
+      let e = { at = t.now (); ev } in
+      Ring.push t.ring e;
+      match t.sink with None -> () | Some f -> f e
+    end
+    else t.sampled_out <- t.sampled_out + 1
+  end
 
 let events t = Ring.to_list t.ring
 let iter_events f t = Ring.iter f t.ring
 let captured t = Ring.length t.ring
 let dropped t = Ring.dropped t.ring
 let total_emitted t = Ring.total t.ring
-let clear_ring t = Ring.clear t.ring
+
+let clear_ring t =
+  Ring.clear t.ring;
+  t.sampled_out <- 0;
+  t.countdown <- 1
+
 let capacity t = Ring.capacity t.ring
 
 (* --- counter plane ------------------------------------------------------ *)
@@ -53,7 +94,20 @@ let bump tbl key =
 let count_call t ~caller ~callee ~sym =
   bump t.edges (caller, callee);
   bump t.syms sym;
+  (match t.lat with Some l -> Latency.on_call l ~caller ~callee ~at:(t.now ()) | None -> ());
   if t.tracing then emit t (Event.Call { caller; callee; sym })
+
+let count_return t ~caller ~callee ~sym =
+  (match t.lat with
+  | Some l -> Latency.on_return l ~caller ~callee ~at:(t.now ())
+  | None -> ());
+  if t.tracing then emit t (Event.Return { caller; callee; sym })
+
+let observe_call t ~caller ~callee =
+  match t.lat with Some l -> Latency.on_call l ~caller ~callee ~at:(t.now ()) | None -> ()
+
+let observe_return t ~caller ~callee =
+  match t.lat with Some l -> Latency.on_return l ~caller ~callee ~at:(t.now ()) | None -> ()
 
 let count_shared_call t ~caller ~sym =
   t.shared <- t.shared + 1;

@@ -1,21 +1,30 @@
 (** The telemetry bus: one per simulated machine.
 
-    Two planes share the bus:
+    Three planes share the bus:
 
     - an {e event plane}: a fixed-capacity {!Ring} of timestamped
       {!Event.t}s. Off by default; when off, emission is a single
       branch and nothing allocates. When on, each emit is one ring
       store (the ring overwrites its oldest entry when full, counting
-      drops, so tracing can never abort a run).
+      drops, so tracing can never abort a run). The plane can be
+      {e sampled} ({!set_sampling}) — keep 1 in [n] emissions — and/or
+      {e streamed} ({!set_sink}) — every kept entry is also handed to a
+      caller-supplied sink, lifting the ring-capacity ceiling on trace
+      length.
     - a {e counter plane}: always-on aggregate counters for the
       evaluation's figures — cross-cubicle call edges, per-symbol call
       counts, faults, retags, window ops, rejected accesses. These are
       what [Core.Stats] reads, so the counters are event-sourced at the
-      same sites that trace.
+      same sites that trace. Sampling never applies here.
+    - a {e latency plane}: an optional {!Latency} sink
+      ({!set_latency}) fed from the counter-plane call sites (never
+      from the ring), folding call/return pairs into per-edge cycle
+      histograms that are exact under sampling and ring wrap.
 
     Timestamps are simulated cycles, read through the [now] closure the
     owning machine installs ({!set_now}); the bus itself never charges
-    cycles, so tracing on vs off is bit-identical in simulated time. *)
+    cycles, so tracing on vs off (sampled or streamed or neither) is
+    bit-identical in simulated time. *)
 
 type entry = { at : int;  (** simulated cycles at emission *) ev : Event.t }
 
@@ -23,6 +32,11 @@ type t = {
   mutable tracing : bool;
   mutable now : unit -> int;
   ring : entry Ring.t;
+  mutable every : int;
+  mutable countdown : int;
+  mutable sampled_out : int;
+  mutable sink : (entry -> unit) option;
+  mutable lat : Latency.t option;
   mutable faults : int;
   mutable retags : int;
   mutable window_ops : int;
@@ -39,18 +53,41 @@ type t = {
 val default_capacity : int
 
 val create : ?capacity:int -> ?now:(unit -> int) -> unit -> t
-(** Tracing starts disabled; [now] defaults to a constant 0 until
-    {!set_now} installs the machine's cycle clock. *)
+(** Tracing starts disabled, unsampled, with no sink and no latency
+    sink; [now] defaults to a constant 0 until {!set_now} installs the
+    machine's cycle clock. *)
 
 val set_now : t -> (unit -> int) -> unit
 
 val tracing : t -> bool
 val set_tracing : t -> bool -> unit
 
+val set_sampling : t -> every:int -> unit
+(** Keep 1 in [every] event-plane emissions ([every = 1] keeps all; the
+    emission after a call to this function is always kept, so sampling
+    is deterministic). Counter and latency planes are unaffected.
+    Raises [Invalid_argument] for [every < 1]. *)
+
+val sampling : t -> int
+
+val sampled_out : t -> int
+(** Emissions discarded by sampling since the last {!clear_ring}. *)
+
+val set_sink : t -> (entry -> unit) option -> unit
+(** Streamed export: every entry the ring keeps (post-sampling) is also
+    passed to the sink, during the run. The sink must not charge
+    simulated cycles (exporter sinks only buffer/write host-side). *)
+
+val set_latency : t -> Latency.t option -> unit
+(** Attach a latency sink; call sites feed it from the counter plane. *)
+
+val latency : t -> Latency.t option
+
 val emit : t -> Event.t -> unit
-(** Push onto the ring if tracing; a single branch otherwise. Callers
-    on hot paths should test {!tracing} first so the event itself is
-    only allocated when it will be kept. *)
+(** Push onto the ring (and sink) if tracing and the sampler keeps it;
+    a single branch when tracing is off. Callers on hot paths should
+    test {!tracing} first so the event itself is only allocated when it
+    may be kept. *)
 
 val events : t -> entry list
 (** Ring contents, oldest first. *)
@@ -59,7 +96,10 @@ val iter_events : (entry -> unit) -> t -> unit
 val captured : t -> int
 val dropped : t -> int
 val total_emitted : t -> int
+
 val clear_ring : t -> unit
+(** Also resets {!sampled_out} and the sampling countdown. *)
+
 val capacity : t -> int
 
 (** {1 Counter plane} — always on; the sites below both bump the
@@ -68,6 +108,19 @@ val capacity : t -> int
     window ops, rejections) bump here and emit separately. *)
 
 val count_call : t -> caller:int -> callee:int -> sym:string -> unit
+
+val count_return : t -> caller:int -> callee:int -> sym:string -> unit
+(** The return edge of {!count_call}: feeds the latency plane and (when
+    tracing) emits {!Event.Return}. No counter is bumped — the call was
+    already counted. *)
+
+val observe_call : t -> caller:int -> callee:int -> unit
+(** Latency plane only: record a crossing that is not a trampoline call
+    edge (the microkernel baselines' RPC round trips). No counter, no
+    event. *)
+
+val observe_return : t -> caller:int -> callee:int -> unit
+
 val count_shared_call : t -> caller:int -> sym:string -> unit
 val count_fault : t -> unit
 val count_retag : t -> unit
@@ -91,4 +144,5 @@ val snapshot_edges : t -> (int * int, int) Hashtbl.t
 
 val reset_counters : t -> unit
 (** Clears the counter plane only; the ring is cleared separately with
-    {!clear_ring}. *)
+    {!clear_ring}, and an attached {!Latency} sink with
+    [Latency.reset]. *)

@@ -1,8 +1,12 @@
 (* Exporters for the event ring: Chrome trace_event JSON (load in
    chrome://tracing or https://ui.perfetto.dev) and folded-stacks text
-   (feed to flamegraph.pl / speedscope). Both are pure functions over a
-   captured entry list; timestamps are simulated cycles converted with
-   the caller's clock rate. *)
+   (feed to flamegraph.pl / speedscope). The JSON exporter is built on
+   {!Stream}, which formats one entry at a time through a
+   caller-supplied writer — attach [Stream.entry] as a [Bus] sink to
+   write the trace incrementally during the run (no ring-capacity
+   ceiling), or feed it a captured entry list after the fact
+   ({!trace_json} does exactly that, so the two paths are byte-identical
+   on the same entries by construction). *)
 
 let buf_add_json_string b s =
   Buffer.add_char b '"';
@@ -45,58 +49,125 @@ let add_trace_obj b ~name ~cat ~ph ~ts ~args =
 let jstr s b = buf_add_json_string b s
 let jint (n : int) b = Buffer.add_string b (string_of_int n)
 
-let trace_json ?(process_name = "cubicleos-sim") ~names ~cycles_per_us entries =
-  let b = Buffer.create 65536 in
-  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  Buffer.add_string b "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":";
-  buf_add_json_string b process_name;
-  Buffer.add_string b "}}";
-  List.iter
-    (fun { Bus.at; ev } ->
+module Stream = struct
+  type t = {
+    write : string -> unit;
+    names : int -> string;
+    cycles_per_us : float;
+    scratch : Buffer.t;  (* per-entry formatting buffer, reused *)
+    mutable open_slices : string list;  (* syms of open "B" slices, innermost first *)
+    mutable last_ts : float;
+    mutable finished : bool;
+  }
+
+  let create ?(process_name = "cubicleos-sim") ~names ~cycles_per_us ~write () =
+    let b = Buffer.create 256 in
+    Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    Buffer.add_string b "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":";
+    buf_add_json_string b process_name;
+    Buffer.add_string b "}}";
+    write (Buffer.contents b);
+    {
+      write;
+      names;
+      cycles_per_us;
+      scratch = Buffer.create 512;
+      open_slices = [];
+      last_ts = 0.;
+      finished = false;
+    }
+
+  let flush t =
+    t.write (Buffer.contents t.scratch);
+    Buffer.clear t.scratch
+
+  let entry t { Bus.at; ev } =
+    if t.finished then invalid_arg "Export.Stream.entry: stream already finished";
+    let b = t.scratch in
+    let names = t.names in
+    let ts = float_of_int at /. t.cycles_per_us in
+    t.last_ts <- ts;
+    let obj ~name ~cat ~ph ~args =
       Buffer.add_string b ",\n";
-      let ts = float_of_int at /. cycles_per_us in
-      let instant ?(cat = "event") name args = add_trace_obj b ~name ~cat ~ph:"i" ~ts ~args in
-      match ev with
-      | Event.Call { caller; callee; sym } ->
-          add_trace_obj b ~name:sym ~cat:"call" ~ph:"B" ~ts
-            ~args:[ ("caller", jstr (names caller)); ("callee", jstr (names callee)) ]
-      | Event.Return { sym; _ } -> add_trace_obj b ~name:sym ~cat:"call" ~ph:"E" ~ts ~args:[]
-      | Event.Shared_call { caller; sym } ->
-          instant ~cat:"call" ("shared:" ^ sym) [ ("caller", jstr (names caller)) ]
-      | Event.Guard_fetch { cid; sym } ->
-          instant ~cat:"call" ("guard:" ^ sym) [ ("cubicle", jstr (names cid)) ]
-      | Event.Fault { addr; access; key; reason; resolved } ->
-          instant ~cat:"fault" "fault"
-            [
-              ("addr", jint addr);
-              ("access", jstr (Event.access_name access));
-              ("key", jint key);
-              ("reason", jstr (Event.reason_name reason));
-              ("resolved", fun b -> Buffer.add_string b (string_of_bool resolved));
-            ]
-      | Event.Retag { page; to_key } ->
-          instant ~cat:"fault" "retag" [ ("page", jint page); ("to_key", jint to_key) ]
-      | Event.Pkru_write { value } -> instant ~cat:"mpk" "wrpkru" [ ("pkru", jint value) ]
-      | Event.Rejected { cid } -> instant ~cat:"fault" "rejected" [ ("cubicle", jstr (names cid)) ]
-      | Event.Window { cid; op } ->
-          instant ~cat:"window"
-            ("window:" ^ Event.window_op_name op)
-            [ ("cubicle", jstr (names cid)) ]
-      | Event.Tlb op -> instant ~cat:"tlb" ("tlb:" ^ Event.tlb_op_name op) []
-      | Event.Sched_switch { tid; cid } ->
-          instant ~cat:"sched" "sched_switch"
-            [ ("tid", jint tid); ("cubicle", jstr (names cid)) ]
-      | Event.Pager op -> instant ~cat:"pager" ("pager:" ^ Event.pager_op_name op) []
-      | Event.Mark s -> instant ~cat:"mark" ("mark:" ^ s) [])
-    entries;
-  Buffer.add_string b "]}\n";
+      add_trace_obj b ~name ~cat ~ph ~ts ~args
+    in
+    let instant ?(cat = "event") name args = obj ~name ~cat ~ph:"i" ~args in
+    (match ev with
+    | Event.Call { caller; callee; sym } ->
+        t.open_slices <- sym :: t.open_slices;
+        obj ~name:sym ~cat:"call" ~ph:"B"
+          ~args:[ ("caller", jstr (names caller)); ("callee", jstr (names callee)) ]
+    | Event.Return { sym; _ } -> (
+        (* An "E" whose "B" predates the trace (ring wrapped, trace
+           started mid-call, or the "B" was sampled out) would corrupt
+           slice nesting in Perfetto: only emit it while a slice is
+           open. *)
+        match t.open_slices with
+        | [] -> ()
+        | _ :: rest ->
+            t.open_slices <- rest;
+            obj ~name:sym ~cat:"call" ~ph:"E" ~args:[])
+    | Event.Shared_call { caller; sym } ->
+        instant ~cat:"call" ("shared:" ^ sym) [ ("caller", jstr (names caller)) ]
+    | Event.Guard_fetch { cid; sym } ->
+        instant ~cat:"call" ("guard:" ^ sym) [ ("cubicle", jstr (names cid)) ]
+    | Event.Fault { addr; access; key; reason; resolved } ->
+        instant ~cat:"fault" "fault"
+          [
+            ("addr", jint addr);
+            ("access", jstr (Event.access_name access));
+            ("key", jint key);
+            ("reason", jstr (Event.reason_name reason));
+            ("resolved", fun b -> Buffer.add_string b (string_of_bool resolved));
+          ]
+    | Event.Retag { page; to_key } ->
+        instant ~cat:"fault" "retag" [ ("page", jint page); ("to_key", jint to_key) ]
+    | Event.Pkru_write { value } -> instant ~cat:"mpk" "wrpkru" [ ("pkru", jint value) ]
+    | Event.Rejected { cid } -> instant ~cat:"fault" "rejected" [ ("cubicle", jstr (names cid)) ]
+    | Event.Window { cid; op } ->
+        instant ~cat:"window"
+          ("window:" ^ Event.window_op_name op)
+          [ ("cubicle", jstr (names cid)) ]
+    | Event.Tlb op -> instant ~cat:"tlb" ("tlb:" ^ Event.tlb_op_name op) []
+    | Event.Sched_switch { tid; cid } ->
+        instant ~cat:"sched" "sched_switch"
+          [ ("tid", jint tid); ("cubicle", jstr (names cid)) ]
+    | Event.Pager op -> instant ~cat:"pager" ("pager:" ^ Event.pager_op_name op) []
+    | Event.Mark s -> instant ~cat:"mark" ("mark:" ^ s) []);
+    flush t
+
+  let open_slices t = List.length t.open_slices
+
+  let finish t =
+    if not t.finished then begin
+      t.finished <- true;
+      let b = t.scratch in
+      (* Close slices still open at capture (call in flight, or its "E"
+         was sampled out) at the last seen timestamp, innermost first,
+         so the emitted "B"s all nest. *)
+      List.iter
+        (fun sym ->
+          Buffer.add_string b ",\n";
+          add_trace_obj b ~name:sym ~cat:"call" ~ph:"E" ~ts:t.last_ts ~args:[])
+        t.open_slices;
+      t.open_slices <- [];
+      Buffer.add_string b "]}\n";
+      flush t
+    end
+end
+
+let trace_json ?process_name ~names ~cycles_per_us entries =
+  let b = Buffer.create 65536 in
+  let st = Stream.create ?process_name ~names ~cycles_per_us ~write:(Buffer.add_string b) () in
+  List.iter (Stream.entry st) entries;
+  Stream.finish st;
   Buffer.contents b
 
 (* Folded stacks: attribute the simulated cycles elapsed between
    consecutive events to the call stack in effect before each event.
    Frames are "CUBICLE:sym"; the root frame collects time outside any
    traced cross-cubicle call. *)
-let folded_stacks ?(root = "main") ~names entries =
+let folded_stacks ?(root = "main") ?until ~names entries =
   let tbl = Hashtbl.create 64 in
   let bump key dt =
     if dt > 0 then
@@ -118,6 +189,10 @@ let folded_stacks ?(root = "main") ~names entries =
           | _ -> () (* unbalanced return (trace started mid-call): keep root *))
       | _ -> ())
     entries;
+  (* The tail: cycles between the last event and capture belong to the
+     stack in effect there — without this the end of every run vanished
+     from flamegraphs. *)
+  (match until with Some u -> bump (key_of !stack) (u - !last) | None -> ());
   let lines =
     Hashtbl.fold (fun k v acc -> Printf.sprintf "%s %d" k v :: acc) tbl []
     |> List.sort compare

@@ -56,7 +56,8 @@ let genode_os kern ~split ctx =
   let session_call payload f =
     if split then Rpc.call session ~payload f
     else begin
-      Hw.Cost.charge (Hw.Cpu.cost ctx.Monitor.cpu) genode_lib_op_cycles;
+      Hw.Cost.charge_cat (Hw.Cpu.cost ctx.Monitor.cpu) Telemetry.Attrib.Ipc
+        genode_lib_op_cycles;
       f ()
     end
   in
@@ -198,13 +199,14 @@ let make ?(mem_bytes = 192 * 1024 * 1024) = function
   | Cubicle3 -> cubicle_system mem_bytes ~merge_fs:true
   | Cubicle4 -> cubicle_system mem_bytes ~merge_fs:false
 
-let speedtest_per_query ?(n = 200) config =
-  let inst = make config in
+let speedtest_run ?(n = 200) inst =
   let cost = Monitor.cost inst.mon in
   Minidb.Speedtest.run_all inst.os ~path:"/speed.db" ~n ~measure:(fun f ->
       let c0 = Hw.Cost.cycles cost in
       f ();
       Hw.Cost.cycles cost - c0)
+
+let speedtest_per_query ?n config = speedtest_run ?n (make config)
 
 let speedtest_total_cycles ?n config =
   List.fold_left (fun acc (_, c) -> acc + c) 0 (speedtest_per_query ?n config)

@@ -28,6 +28,11 @@ type instance = { os : Minidb.Os_iface.t; mon : Cubicle.Monitor.t }
 val make : ?mem_bytes:int -> config -> instance
 (** A fresh system for the configuration. *)
 
+val speedtest_run : ?n:int -> instance -> (Minidb.Speedtest.query * int) list
+(** Run the speedtest suite on an existing instance (so the caller can
+    attach telemetry — a latency sink, tracing — to [inst.mon]'s bus
+    first). *)
+
 val speedtest_total_cycles : ?n:int -> config -> int
 (** Run the whole speedtest suite on a fresh instance and return total
     simulated cycles. *)

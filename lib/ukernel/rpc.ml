@@ -22,15 +22,28 @@ let charge_copy t len =
   (* payload larger than the message buffer is sent in bursts *)
   Hw.Cost.charge_mem (cost t) (max 0 len)
 
+(* An RPC round trip crosses from the client component into the OS
+   service and back — modelled for the latency plane as an edge into
+   the monitor cubicle (the "kernel side"), so `fig10 --latency` can
+   compare RPC crossing latencies against trampoline edges. *)
+let bus t = Monitor.bus t.ctx.Monitor.mon
+
 let call t ~payload f =
   t.rpcs <- t.rpcs + 1;
-  charge_copy t payload;
-  Hw.Cost.charge (cost t) t.kern.Kernel.rpc_cycles;
-  let r = f () in
-  charge_copy t payload;
-  r
+  Telemetry.Bus.observe_call (bus t) ~caller:t.ctx.Monitor.self
+    ~callee:Monitor.monitor_cid;
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.Bus.observe_return (bus t) ~caller:t.ctx.Monitor.self
+        ~callee:Monitor.monitor_cid)
+    (fun () ->
+      charge_copy t payload;
+      Hw.Cost.charge_cat (cost t) Telemetry.Attrib.Ipc t.kern.Kernel.rpc_cycles;
+      let r = f () in
+      charge_copy t payload;
+      r)
 
-let signal t = Hw.Cost.charge (cost t) t.kern.Kernel.signal_cycles
+let signal t = Hw.Cost.charge_cat (cost t) Telemetry.Attrib.Ipc t.kern.Kernel.signal_cycles
 
 let copy_in t data =
   let len = min (Bytes.length data) msg_buf_size in

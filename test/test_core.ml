@@ -89,6 +89,22 @@ let test_window_remove_range () =
   check_bool "remove unknown errors" true
     (is_error (fun () -> Window.remove_range w ~ptr:0x9999))
 
+(* Regression: two grants sharing a base address are two ranges, and one
+   remove_range must revoke exactly one of them (it used to delete every
+   range starting at the pointer). *)
+let test_window_remove_range_duplicates () =
+  let tbl = Window.create_table ~owner:1 ~ncubicles:8 in
+  let w = Window.init tbl ~klass:Mm.Page_meta.Heap in
+  Window.add_range w ~ptr:0x1000 ~size:64;
+  Window.add_range w ~ptr:0x1000 ~size:4096;
+  Window.remove_range w ~ptr:0x1000;
+  check_bool "one grant remains" true (Window.contains w 0x1000);
+  check_int "exactly one range left" 1 (List.length w.Window.ranges);
+  Window.remove_range w ~ptr:0x1000;
+  check_bool "second remove revokes the other" false (Window.contains w 0x1000);
+  check_bool "third remove errors" true
+    (is_error (fun () -> Window.remove_range w ~ptr:0x1000))
+
 (* --- spatial isolation ------------------------------------------------------ *)
 
 let test_spatial_isolation () =
@@ -709,6 +725,8 @@ let () =
           Alcotest.test_case "table" `Quick test_window_table;
           Alcotest.test_case "destroy" `Quick test_window_destroy;
           Alcotest.test_case "remove range" `Quick test_window_remove_range;
+          Alcotest.test_case "remove one of duplicate grants" `Quick
+            test_window_remove_range_duplicates;
         ] );
       ( "isolation",
         [

@@ -93,12 +93,23 @@ let apply w op =
       Monitor.run_as w.w_mon w.w_foo (fun () -> Api.write_u8 w.w_ctx w.w_buf 1)
   | _ -> ( try ignore (Monitor.call w.w_mon ~caller:w.w_foo "nosuch" [||]) with _ -> ())
 
-let run_workload ?(tracing = false) ops =
+let run_workload ?(tracing = false) ?(sample = 1) ?stream_into ?(latency = false) ops =
   let w = build_world () in
   let bus = Monitor.bus w.w_mon in
   Stats.reset (Monitor.stats w.w_mon);
   Telemetry.Bus.clear_ring bus;
   Telemetry.Bus.set_tracing bus tracing;
+  if sample > 1 then Telemetry.Bus.set_sampling bus ~every:sample;
+  Option.iter
+    (fun buf ->
+      let st =
+        Telemetry.Export.Stream.create
+          ~names:(fun cid -> Monitor.cubicle_name w.w_mon cid)
+          ~cycles_per_us:2200. ~write:(Buffer.add_string buf) ()
+      in
+      Telemetry.Bus.set_sink bus (Some (Telemetry.Export.Stream.entry st)))
+    stream_into;
+  if latency then Telemetry.Bus.set_latency bus (Some (Telemetry.Latency.create ()));
   List.iter (apply w) ops;
   w
 
@@ -113,8 +124,16 @@ let test_cycle_identity () =
   in
   let off = observe (run_workload ~tracing:false some_ops) in
   let on = observe (run_workload ~tracing:true some_ops) in
-  Alcotest.(check (pair (pair int int) (pair int int)))
-    "tracing on/off bit-identical" off on
+  let sampled = observe (run_workload ~tracing:true ~sample:4 some_ops) in
+  let streamed =
+    observe (run_workload ~tracing:true ~stream_into:(Buffer.create 4096) some_ops)
+  in
+  let with_latency = observe (run_workload ~tracing:true ~latency:true some_ops) in
+  let chk what = Alcotest.(check (pair (pair int int) (pair int int))) what off in
+  chk "tracing on/off bit-identical" on;
+  chk "sampled tracing bit-identical" sampled;
+  chk "streamed tracing bit-identical" streamed;
+  chk "latency sink bit-identical" with_latency
 
 (* --- attribution --------------------------------------------------------- *)
 
@@ -272,6 +291,270 @@ let test_export_folded () =
   check_bool "a BAR frame appears" true
     (List.exists (fun l -> contains_sub l "BAR:bar_peek") lines)
 
+(* --- ring vs a list model (wraparound property) --------------------------- *)
+
+(* Replays an arbitrary push/clear sequence against plain-list semantics
+   of a bounded ring: to_list, iter, length, total and dropped must all
+   agree, whatever the wrap pattern. op = 0 clears, anything else
+   pushes. *)
+let prop_ring_model =
+  QCheck.Test.make ~count:300 ~name:"ring agrees with a list model under push/clear"
+    (QCheck.make
+       QCheck.Gen.(pair (int_range 1 8) (list_size (int_range 0 120) (int_range 0 100))))
+    (fun (capacity, ops) ->
+      let r = Telemetry.Ring.create ~capacity ~dummy:(-1) in
+      let model = ref [] (* newest first *) and pushed = ref 0 in
+      List.iter
+        (fun op ->
+          if op = 0 then begin
+            Telemetry.Ring.clear r;
+            model := [];
+            pushed := 0
+          end
+          else begin
+            Telemetry.Ring.push r op;
+            model := op :: !model;
+            incr pushed
+          end)
+        ops;
+      let kept = List.rev (List.filteri (fun i _ -> i < capacity) !model) in
+      let via_iter = ref [] in
+      Telemetry.Ring.iter (fun v -> via_iter := v :: !via_iter) r;
+      Telemetry.Ring.to_list r = kept
+      && List.rev !via_iter = kept
+      && Telemetry.Ring.length r = List.length kept
+      && Telemetry.Ring.total r = !pushed
+      && Telemetry.Ring.dropped r = !pushed - List.length kept)
+
+(* --- histograms ----------------------------------------------------------- *)
+
+let test_hist_empty () =
+  let h = Telemetry.Hist.create () in
+  check_int "count" 0 (Telemetry.Hist.count h);
+  check_int "sum" 0 (Telemetry.Hist.sum h);
+  check_int "min" 0 (Telemetry.Hist.min_value h);
+  check_int "max" 0 (Telemetry.Hist.max_value h);
+  Alcotest.(check (float 0.0)) "mean" 0.0 (Telemetry.Hist.mean h);
+  List.iter
+    (fun q -> check_int "percentile of empty" 0 (Telemetry.Hist.percentile h q))
+    [ 0.0; 0.5; 0.99; 1.0 ]
+
+let test_hist_single () =
+  let h = Telemetry.Hist.create () in
+  Telemetry.Hist.add h 12345;
+  check_int "count" 1 (Telemetry.Hist.count h);
+  check_int "min" 12345 (Telemetry.Hist.min_value h);
+  check_int "max" 12345 (Telemetry.Hist.max_value h);
+  (* clamping into [min,max] makes a single sample exact everywhere *)
+  List.iter
+    (fun q -> check_int "single sample exact" 12345 (Telemetry.Hist.percentile h q))
+    [ 0.0; 0.5; 0.9; 0.99; 1.0 ]
+
+let test_hist_boundaries () =
+  (* values below 16 are exact, and every 16-sub-bucket boundary above
+     is its bucket's lower bound — both report exactly even when a far
+     larger sample keeps the clamp from helping *)
+  List.iter
+    (fun v ->
+      let h = Telemetry.Hist.create () in
+      Telemetry.Hist.add h v;
+      Telemetry.Hist.add h v;
+      Telemetry.Hist.add h 1_000_000;
+      check_int (Printf.sprintf "p50 of boundary %d" v) v (Telemetry.Hist.percentile h 0.5))
+    [ 0; 1; 15; 16; 17; 31; 32; 48; 64; 96; 1024; 1088; 65536 ];
+  (* negative samples clamp to 0 but are counted *)
+  let h = Telemetry.Hist.create () in
+  Telemetry.Hist.add h (-5);
+  check_int "negative clamps to 0" 0 (Telemetry.Hist.percentile h 1.0);
+  check_int "still counted" 1 (Telemetry.Hist.count h);
+  (* percentiles are monotone in q and bounded by min/max *)
+  let h = Telemetry.Hist.create () in
+  List.iter (Telemetry.Hist.add h) [ 3; 700; 41; 90_000; 41; 8; 555_555; 64 ];
+  let last = ref 0 in
+  List.iter
+    (fun q ->
+      let p = Telemetry.Hist.percentile h q in
+      check_bool "monotone" true (p >= !last);
+      check_bool "within [min,max]" true
+        (p >= Telemetry.Hist.min_value h && p <= Telemetry.Hist.max_value h);
+      last := p)
+    [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ];
+  check_int "p0 is min" (Telemetry.Hist.min_value h) (Telemetry.Hist.percentile h 0.0);
+  check_int "p100 is max" (Telemetry.Hist.max_value h) (Telemetry.Hist.percentile h 1.0)
+
+(* Any percentile of a log-bucketed histogram is the lower bound of the
+   right bucket: never above the true sample, never more than one
+   sub-bucket width (1/16th of the bucket's power of two) below it. *)
+let prop_hist_quantisation =
+  QCheck.Test.make ~count:300 ~name:"median within one sub-bucket of the true sample"
+    (QCheck.make QCheck.Gen.(int_range 0 2_000_000))
+    (fun v ->
+      let h = Telemetry.Hist.create () in
+      Telemetry.Hist.add h v;
+      Telemetry.Hist.add h v;
+      Telemetry.Hist.add h 4_000_000;
+      let p = Telemetry.Hist.percentile h 0.5 in
+      p <= v && float_of_int (v - p) <= Float.max 1. (float_of_int v /. 16.))
+
+(* --- event-plane sampling ------------------------------------------------- *)
+
+let test_bus_sampling () =
+  let bus = Telemetry.Bus.create ~capacity:64 () in
+  Telemetry.Bus.set_tracing bus true;
+  Telemetry.Bus.set_sampling bus ~every:3;
+  for i = 1 to 10 do
+    Telemetry.Bus.emit bus (Telemetry.Event.Mark (string_of_int i))
+  done;
+  check_int "captured 1-in-3" 4 (Telemetry.Bus.captured bus);
+  check_int "sampled out" 6 (Telemetry.Bus.sampled_out bus);
+  (* deterministic: the first emission after set_sampling is kept *)
+  (match Telemetry.Bus.events bus with
+  | { Telemetry.Bus.ev = Telemetry.Event.Mark "1"; _ } :: _ -> ()
+  | _ -> Alcotest.fail "first emission after set_sampling was not kept");
+  Alcotest.check_raises "every < 1 rejected"
+    (Invalid_argument "Bus.set_sampling: every must be >= 1") (fun () ->
+      Telemetry.Bus.set_sampling bus ~every:0);
+  (* clear_ring resets the stride so captures stay deterministic *)
+  Telemetry.Bus.clear_ring bus;
+  check_int "sampled_out cleared" 0 (Telemetry.Bus.sampled_out bus);
+  Telemetry.Bus.emit bus (Telemetry.Event.Mark "fresh");
+  check_int "first post-clear emission kept" 1 (Telemetry.Bus.captured bus);
+  (* counter plane ignores sampling *)
+  let w = run_workload ~tracing:true ~sample:1000 some_ops in
+  check_bool "counters exact under sampling" true
+    (Stats.total_calls (Monitor.stats w.w_mon) > 0
+    && Telemetry.Bus.captured (Monitor.bus w.w_mon)
+       < Telemetry.Bus.sampled_out (Monitor.bus w.w_mon)
+         + Telemetry.Bus.captured (Monitor.bus w.w_mon))
+
+(* --- latency plane -------------------------------------------------------- *)
+
+let latency_counts_equal_edges w =
+  let bus = Monitor.bus w.w_mon in
+  match Telemetry.Bus.latency bus with
+  | None -> Alcotest.fail "latency sink missing"
+  | Some lat ->
+      check_int "no unmatched returns" 0 (Telemetry.Latency.unmatched lat);
+      check_int "none in flight" 0 (Telemetry.Latency.in_flight lat);
+      let edges = Telemetry.Bus.edges bus in
+      check_bool "workload produced edges" true (edges <> []);
+      List.iter
+        (fun ((caller, callee), n) ->
+          let c =
+            match Telemetry.Latency.edge lat ~caller ~callee with
+            | Some h -> Telemetry.Hist.count h
+            | None -> 0
+          in
+          check_int (Printf.sprintf "edge %d->%d count" caller callee) n c)
+        edges;
+      check_int "observed = sum of edges"
+        (List.fold_left (fun a (_, n) -> a + n) 0 edges)
+        (Telemetry.Latency.observed lat)
+
+let test_latency_counts () = latency_counts_equal_edges (run_workload ~latency:true some_ops)
+
+let test_latency_counts_sampled () =
+  (* the latency plane is fed from the counter plane, so event-plane
+     sampling must not cost it a single sample *)
+  latency_counts_equal_edges (run_workload ~tracing:true ~sample:7 ~latency:true some_ops)
+
+let test_latency_positive () =
+  let w = run_workload ~latency:true some_ops in
+  match Telemetry.Bus.latency (Monitor.bus w.w_mon) with
+  | None -> Alcotest.fail "latency sink missing"
+  | Some lat ->
+      List.iter
+        (fun ((_, _), h) ->
+          check_bool "call latency is positive cycles" true (Telemetry.Hist.min_value h > 0))
+        (Telemetry.Latency.edges lat)
+
+(* --- streamed export ------------------------------------------------------ *)
+
+let count_sub haystack needle =
+  let n = ref 0 in
+  let len = String.length needle in
+  for i = 0 to String.length haystack - len do
+    if String.sub haystack i len = needle then incr n
+  done;
+  !n
+
+let test_stream_matches_ring_replay () =
+  let w = run_workload ~tracing:true some_ops in
+  let entries = Telemetry.Bus.events (Monitor.bus w.w_mon) in
+  let names cid = Monitor.cubicle_name w.w_mon cid in
+  let buf = Buffer.create 4096 in
+  let st =
+    Telemetry.Export.Stream.create ~names ~cycles_per_us:2200.
+      ~write:(Buffer.add_string buf) ()
+  in
+  List.iter (Telemetry.Export.Stream.entry st) entries;
+  Telemetry.Export.Stream.finish st;
+  Telemetry.Export.Stream.finish st (* idempotent *);
+  Alcotest.(check string) "byte-identical to trace_json"
+    (Telemetry.Export.trace_json ~names ~cycles_per_us:2200. entries)
+    (Buffer.contents buf);
+  Alcotest.check_raises "entry after finish rejected"
+    (Invalid_argument "Export.Stream.entry: stream already finished") (fun () ->
+      Telemetry.Export.Stream.entry st (List.hd entries))
+
+let test_stream_live_sink_matches_ring () =
+  let buf = Buffer.create 4096 in
+  let w = run_workload ~tracing:true ~stream_into:buf some_ops in
+  let bus = Monitor.bus w.w_mon in
+  Telemetry.Bus.set_sink bus None;
+  check_int "ring kept everything" 0 (Telemetry.Bus.dropped bus);
+  (* the sink never saw finish; replaying the ring through trace_json
+     must reproduce the streamed bytes plus only the trailer *)
+  let names cid = Monitor.cubicle_name w.w_mon cid in
+  let full =
+    Telemetry.Export.trace_json ~names ~cycles_per_us:2200. (Telemetry.Bus.events bus)
+  in
+  let streamed = Buffer.contents buf in
+  check_bool "streamed output is a prefix of the ring export" true
+    (String.length streamed <= String.length full
+    && String.sub full 0 (String.length streamed) = streamed)
+
+let entry at ev = { Telemetry.Bus.at; ev }
+
+let test_stream_orphan_return_dropped () =
+  let names cid = "C" ^ string_of_int cid in
+  let entries =
+    [
+      entry 10 (Telemetry.Event.Return { caller = 0; callee = 1; sym = "wrapped" });
+      entry 20 (Telemetry.Event.Call { caller = 0; callee = 1; sym = "g" });
+      entry 30 (Telemetry.Event.Return { caller = 0; callee = 1; sym = "g" });
+    ]
+  in
+  let json = Telemetry.Export.trace_json ~names ~cycles_per_us:1. entries in
+  check_int "orphan E dropped" 1 (count_sub json "\"ph\":\"E\"");
+  check_int "real slice kept" 1 (count_sub json "\"ph\":\"B\"")
+
+let test_stream_synthesizes_close () =
+  let names cid = "C" ^ string_of_int cid in
+  let buf = Buffer.create 512 in
+  let st =
+    Telemetry.Export.Stream.create ~names ~cycles_per_us:1. ~write:(Buffer.add_string buf) ()
+  in
+  Telemetry.Export.Stream.entry st
+    (entry 10 (Telemetry.Event.Call { caller = 0; callee = 1; sym = "f" }));
+  Telemetry.Export.Stream.entry st
+    (entry 20 (Telemetry.Event.Call { caller = 1; callee = 2; sym = "g" }));
+  check_int "two slices open" 2 (Telemetry.Export.Stream.open_slices st);
+  Telemetry.Export.Stream.finish st;
+  check_int "all closed" 0 (Telemetry.Export.Stream.open_slices st);
+  let json = Buffer.contents buf in
+  check_int "E synthesized for every B" (count_sub json "\"ph\":\"B\"")
+    (count_sub json "\"ph\":\"E\"")
+
+let test_folded_until_tail () =
+  let names cid = "C" ^ string_of_int cid in
+  let entries = [ entry 100 (Telemetry.Event.Call { caller = 0; callee = 1; sym = "f" }) ] in
+  let with_tail = Telemetry.Export.folded_stacks ~names ~until:250 entries in
+  check_bool "tail cycles attributed to the open stack" true
+    (contains_sub with_tail "C1:f 150");
+  let without = Telemetry.Export.folded_stacks ~names entries in
+  check_bool "tail unattributed without ~until" false (contains_sub without "150")
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -280,9 +563,24 @@ let () =
           Alcotest.test_case "basic" `Quick test_ring_basic;
           Alcotest.test_case "wrap-around + drops" `Quick test_ring_wraparound;
           Alcotest.test_case "clear" `Quick test_ring_clear;
+          QCheck_alcotest.to_alcotest prop_ring_model;
+        ] );
+      ( "hist",
+        [
+          Alcotest.test_case "empty" `Quick test_hist_empty;
+          Alcotest.test_case "single sample exact" `Quick test_hist_single;
+          Alcotest.test_case "bucket boundaries" `Quick test_hist_boundaries;
+          QCheck_alcotest.to_alcotest prop_hist_quantisation;
         ] );
       ( "identity",
         [ Alcotest.test_case "tracing on/off bit-identical" `Quick test_cycle_identity ] );
+      ( "sampling", [ Alcotest.test_case "1-in-n deterministic" `Quick test_bus_sampling ] );
+      ( "latency",
+        [
+          Alcotest.test_case "counts equal calls_between" `Quick test_latency_counts;
+          Alcotest.test_case "exact under sampling" `Quick test_latency_counts_sampled;
+          Alcotest.test_case "latencies positive" `Quick test_latency_positive;
+        ] );
       ( "attribution",
         [
           Alcotest.test_case "rows sum to Cost.cycles" `Quick test_attrib_sums_to_cycles;
@@ -307,5 +605,17 @@ let () =
         [
           Alcotest.test_case "chrome trace json" `Quick test_export_trace_json;
           Alcotest.test_case "folded stacks" `Quick test_export_folded;
+          Alcotest.test_case "folded ~until attributes the tail" `Quick
+            test_folded_until_tail;
+        ] );
+      ( "stream",
+        [
+          Alcotest.test_case "replay byte-matches trace_json" `Quick
+            test_stream_matches_ring_replay;
+          Alcotest.test_case "live sink prefixes ring export" `Quick
+            test_stream_live_sink_matches_ring;
+          Alcotest.test_case "orphan E dropped" `Quick test_stream_orphan_return_dropped;
+          Alcotest.test_case "open slices closed at finish" `Quick
+            test_stream_synthesizes_close;
         ] );
     ]
