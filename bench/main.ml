@@ -234,7 +234,77 @@ let write_flat_json path rows =
   Printf.fprintf oc "}\n";
   close_out oc
 
-let fig6 ?(n = 150) ?(attrib = false) ?(latency = false) ?(lat_out = "BENCH_latency.json") () =
+(* Golden files are flat {"key": int} objects; this scanner is all the
+   JSON we need. *)
+let parse_flat_json s =
+  let pairs = ref [] in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '"' then begin
+      let j = String.index_from s (!i + 1) '"' in
+      let key = String.sub s (!i + 1) (j - !i - 1) in
+      let k = ref (j + 1) in
+      while !k < n && (s.[!k] = ':' || s.[!k] = ' ') do
+        incr k
+      done;
+      let st = !k in
+      while !k < n && (match s.[!k] with '0' .. '9' | '-' -> true | _ -> false) do
+        incr k
+      done;
+      if !k > st then pairs := (key, int_of_string (String.sub s st (!k - st))) :: !pairs;
+      i := !k
+    end
+    else incr i
+  done;
+  !pairs
+
+let read_flat_json path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  parse_flat_json s
+
+(* The per-edge latency analogue of the hw suite's golden-cycles guard:
+   the simulator is deterministic, so every percentile must match the
+   checked-in golden file bit-for-bit at the same --n. *)
+let latency_check_golden path ~n rows =
+  if not (Sys.file_exists path) then begin
+    Printf.printf
+      "GOLDEN FILE MISSING: %s\nGenerate it with:\n\
+      \  dune exec bench/main.exe -- fig6 --latency --n %d --write-golden %s\n"
+      path n path;
+    exit 1
+  end;
+  let golden = read_flat_json path in
+  let drift = ref [] in
+  List.iter
+    (fun (key, v) ->
+      match List.assoc_opt key golden with
+      | Some g when g = v -> ()
+      | Some g -> drift := Printf.sprintf "%s: golden %d, measured %d" key g v :: !drift
+      | None -> drift := Printf.sprintf "%s: missing from golden file" key :: !drift)
+    rows;
+  List.iter
+    (fun (key, _) ->
+      if not (List.mem_assoc key rows) then
+        drift := Printf.sprintf "%s: in golden file but edge not measured" key :: !drift)
+    golden;
+  if !drift <> [] then begin
+    fprintf "\nGOLDEN LATENCY DRIFT vs %s:\n" path;
+    List.iter (fprintf "  %s\n") (List.rev !drift);
+    fprintf
+      "If the drift is an intentional cost-model or stack change, recalibrate with:\n\
+      \  dune exec bench/main.exe -- fig6 --latency --n %d --write-golden %s\n"
+      n path;
+    exit 1
+  end;
+  fprintf "\ngolden check OK: per-edge latency percentiles match %s\n" path
+
+let fig6 ?(n = 150) ?(attrib = false) ?(latency = false) ?(lat_out = "BENCH_latency.json")
+    ?golden ?write_golden () =
+  let latency = latency || golden <> None || write_golden <> None in
   heading "Figure 6: SQLite speedtest1 query execution times (simulated ms)";
   let configs =
     [
@@ -313,12 +383,18 @@ let fig6 ?(n = 150) ?(attrib = false) ?(latency = false) ?(lat_out = "BENCH_late
       List.concat_map (fun (name, (_, mon)) -> latency_json_rows mon ~config:name) full_runs
     in
     write_flat_json lat_out rows;
-    fprintf "\nwrote %s\n" lat_out
+    fprintf "\nwrote %s\n" lat_out;
+    (match write_golden with
+    | Some path ->
+        write_flat_json path rows;
+        fprintf "wrote golden per-edge latencies (--n %d) to %s\n" n path
+    | None -> ());
+    match golden with Some path -> latency_check_golden path ~n rows | None -> ()
   end
 
 (* --- Figure 7: NGINX download latency vs transfer size ---------------------- *)
 
-let fig7 ?(repeats = 3) () =
+let fig7 ?(repeats = 3) ?(latency = false) ?(lat_out = "BENCH_latency.json") () =
   heading "Figure 7: NGINX download latency vs transfer size (simulated ms)";
   let sizes = List.init 14 (fun i -> 1024 lsl i) (* 1 KiB .. 8 MiB *) in
   let run protection =
@@ -328,23 +404,79 @@ let fig7 ?(repeats = 3) () =
         ~extra:[ (app, Types.Isolated) ]
         ()
     in
+    if latency then attach_latency sys.Libos.Boot.mon;
     let server = Httpd.Server.start sys in
     let siege = Httpd.Siege.make sys server in
     let fio = Libos.Fileio.make (Libos.Boot.app_ctx sys "NGINX") in
-    Httpd.Siege.latency_for_sizes siege ~sizes ~repeats
-      ~populate:(fun size ->
-        let path = Printf.sprintf "/f%d.bin" size in
-        if not (Libos.Fileio.exists fio path) then
-          Libos.Fileio.write_file fio path (String.make size 'd');
-        path)
-      ()
+    let results =
+      Httpd.Siege.latency_for_sizes siege ~sizes ~repeats
+        ~populate:(fun size ->
+          let path = Printf.sprintf "/f%d.bin" size in
+          if not (Libos.Fileio.exists fio path) then
+            Libos.Fileio.write_file fio path (String.make size 'd');
+          path)
+        ()
+    in
+    (results, sys.Libos.Boot.mon)
   in
-  let base = run Types.None_ in
-  let cubicle = run Types.Full in
+  let base, base_mon = run Types.None_ in
+  let cubicle, full_mon = run Types.Full in
   fprintf "%12s %14s %14s %9s\n" "size(B)" "baseline(ms)" "CubicleOS(ms)" "overhead";
   List.iter2
     (fun (size, b, _) (_, c, _) -> fprintf "%12d %14.2f %14.2f %8.2fx\n" size b c (c /. b))
-    base cubicle
+    base cubicle;
+  if latency then begin
+    fprintf
+      "\nPer-edge call latency of the serving path (the paper's request pipeline:\n\
+       NGINX->LWIP for recv/send, LWIP->NETDEV per frame; counters reset\n\
+       post-boot so per-edge counts equal the bus's calls_between — checked):\n";
+    let runs = [ ("fig7-baseline", base_mon); ("fig7-CubicleOS", full_mon) ] in
+    List.iter
+      (fun (name, mon) ->
+        fprintf "\n[%s]\n" name;
+        latency_table mon;
+        (* call out the two edges Figure 7's overhead story hangs on *)
+        let bus = Monitor.bus mon in
+        match Telemetry.Bus.latency bus with
+        | None -> ()
+        | Some lat ->
+            let cid_of name =
+              let rec go i =
+                if i >= Monitor.ncubicles mon then None
+                else if Monitor.cubicle_name mon i = name then Some i
+                else go (i + 1)
+              in
+              go 0
+            in
+            List.iter
+              (fun (c1, c2) ->
+                match (cid_of c1, cid_of c2) with
+                | Some caller, Some callee -> (
+                    match Telemetry.Latency.edge lat ~caller ~callee with
+                    | Some h ->
+                        let open Telemetry.Hist in
+                        fprintf "  %s->%s: %d calls, p50 %d / p99 %d cycles\n" c1 c2
+                          (count h) (percentile h 0.50) (percentile h 0.99)
+                    | None -> fprintf "  %s->%s: edge not observed\n" c1 c2)
+                | _ -> ())
+              [ ("NGINX", "LWIP"); ("LWIP", "NETDEV") ])
+      runs;
+    (* merge into the flat BENCH_latency.json so a fig6 run in the same
+       invocation is appended to, not clobbered *)
+    let prior =
+      if Sys.file_exists lat_out then
+        List.filter
+          (fun (k, _) -> not (String.length k >= 5 && String.sub k 0 5 = "fig7-"))
+          (read_flat_json lat_out)
+      else []
+    in
+    let rows =
+      prior
+      @ List.concat_map (fun (name, mon) -> latency_json_rows mon ~config:name) runs
+    in
+    write_flat_json lat_out rows;
+    fprintf "\nwrote %s\n" lat_out
+  end
 
 (* --- Figures 9/10: partitioning comparison ----------------------------------- *)
 
@@ -814,31 +946,6 @@ let hw_write_golden path rows =
   Printf.fprintf oc "}\n";
   close_out oc
 
-(* Golden files are flat {"key": int} objects; this scanner is all the
-   JSON we need. *)
-let parse_flat_json s =
-  let pairs = ref [] in
-  let n = String.length s in
-  let i = ref 0 in
-  while !i < n do
-    if s.[!i] = '"' then begin
-      let j = String.index_from s (!i + 1) '"' in
-      let key = String.sub s (!i + 1) (j - !i - 1) in
-      let k = ref (j + 1) in
-      while !k < n && (s.[!k] = ':' || s.[!k] = ' ') do
-        incr k
-      done;
-      let st = !k in
-      while !k < n && (match s.[!k] with '0' .. '9' | '-' -> true | _ -> false) do
-        incr k
-      done;
-      if !k > st then pairs := (key, int_of_string (String.sub s st (!k - st))) :: !pairs;
-      i := !k
-    end
-    else incr i
-  done;
-  !pairs
-
 let hw_check_golden path rows =
   if not (Sys.file_exists path) then begin
     Printf.printf "GOLDEN FILE MISSING: %s\nGenerate it with:\n  dune exec bench/main.exe -- hw --write-golden %s\n" path path;
@@ -1004,14 +1111,159 @@ let trace ?(out = "trace.json") ?(folded = "trace.folded") ?(sample = 1) ?(strea
   fprintf "\nper-cubicle cycle attribution of the traced run:\n";
   attrib_table mon
 
+(* --- CubiCheck: static isolation analyzer + trace-driven detectors ---------- *)
+
+(* Dynamic plane: seed the replay mirror from the freshly booted
+   monitor (standing __init windows were granted before tracing
+   started), trace the workload through a bus sink — so ring capacity
+   never truncates the trace — and judge every foreign access against
+   the mirrored ACLs. *)
+let traced_replay sys workload =
+  let mon = sys.Libos.Boot.mon in
+  let bus = Monitor.bus mon in
+  let name_of cid = try Monitor.cubicle_name mon cid with _ -> Printf.sprintf "C%d" cid in
+  let r = Analysis.Replay.create ~name_of in
+  Analysis.Replay.seed_from_monitor r mon;
+  let acc = ref [] in
+  Telemetry.Bus.set_sink bus (Some (fun e -> acc := e :: !acc));
+  Telemetry.Bus.set_tracing bus true;
+  workload ();
+  Telemetry.Bus.set_tracing bus false;
+  Telemetry.Bus.set_sink bus None;
+  let entries = List.rev !acc in
+  Analysis.Replay.run r entries;
+  (Analysis.Replay.findings r, List.length entries)
+
+let analyze ?(out = "ANALYSIS.json") ?baseline ?write_baseline () =
+  heading "CubiCheck: static isolation analysis + trace-driven dynamic detectors";
+  let shipped = ref [] in
+  let record label fs =
+    fprintf "\n[%s] %d finding(s)\n" label (List.length fs);
+    if fs = [] then fprintf "  (clean)\n"
+    else Analysis.Report.print_table Format.std_formatter fs;
+    shipped := !shipped @ fs
+  in
+  (* static plane: the IR comes from each component's interface summary,
+     checked against the trampoline table and window discipline *)
+  let fs_sys =
+    Libos.Boot.fs_stack ~mem_bytes:(192 * 1024 * 1024)
+      ~extra:[ (Builder.component ~heap_pages:512 ~stack_pages:4 "APP", Types.Isolated) ]
+      ()
+  in
+  record "static: fs_stack + APP (the Fig. 6 SQLite deployment)"
+    (Analysis.Static.run_built fs_sys.Libos.Boot.built);
+  let net_sys =
+    Libos.Boot.net_stack ~mem_bytes:(256 * 1024 * 1024)
+      ~extra:[ (Httpd.Server.component (), Types.Isolated) ]
+      ()
+  in
+  record "static: net_stack + NGINX (the Fig. 7 deployment)"
+    (Analysis.Static.run_built net_sys.Libos.Boot.built);
+  (* dynamic plane: replay real traced workloads through the ACL mirror *)
+  let fs_dyn, fs_events =
+    traced_replay fs_sys (fun () ->
+        let os =
+          Minidb.Os_iface.cubicleos (Libos.Fileio.make (Libos.Boot.app_ctx fs_sys "APP"))
+        in
+        ignore (Minidb.Speedtest.run_all os ~path:"/analyze.db" ~n:4 ~measure:(fun f -> f ())))
+  in
+  record
+    (Printf.sprintf "dynamic: speedtest1 (n=4) replayed through the window mirror, %d events"
+       fs_events)
+    fs_dyn;
+  let net_dyn, net_events =
+    traced_replay net_sys (fun () ->
+        let server = Httpd.Server.start net_sys in
+        let siege = Httpd.Siege.make net_sys server in
+        let fio = Libos.Fileio.make (Libos.Boot.app_ctx net_sys "NGINX") in
+        Libos.Fileio.write_file fio "/index.html" (String.make 16384 'x');
+        let r = Httpd.Siege.fetch siege "/index.html" in
+        if r.Httpd.Siege.status <> 200 then begin
+          fprintf "FATAL: analyze workload: GET /index.html returned %d\n" r.Httpd.Siege.status;
+          exit 1
+        end;
+        ignore (Httpd.Siege.fetch_pipelined siege [ "/index.html"; "/missing.bin" ]))
+  in
+  record
+    (Printf.sprintf "dynamic: httpd GET + pipelined requests replayed, %d events" net_events)
+    net_dyn;
+  (* the seeded violations: the analyzer's own regression harness — one
+     deliberately broken example per detector, each of which must trip *)
+  let scenarios = Analysis.Seeded.all () in
+  fprintf "\nSeeded violations (each must be caught, with the expected severity):\n";
+  fprintf "  %-22s %-16s %-9s %s\n" "scenario" "pass" "severity" "verdict";
+  List.iter
+    (fun (s : Analysis.Seeded.scenario) ->
+      fprintf "  %-22s %-16s %-9s %s\n" s.Analysis.Seeded.sc_name s.Analysis.Seeded.expect_pass
+        (Analysis.Report.severity_name s.Analysis.Seeded.expect_severity)
+        (if Analysis.Seeded.caught s then "caught" else "MISSED"))
+    scenarios;
+  let missed =
+    List.filter (fun s -> not (Analysis.Seeded.caught s)) scenarios
+  in
+  let shipped = Analysis.Report.sort (Analysis.Report.dedup !shipped) in
+  let oc = open_out out in
+  output_string oc
+    (Analysis.Report.to_json
+       ~extra:
+         [
+           ("seeded_total", string_of_int (List.length scenarios));
+           ("seeded_caught", string_of_int (List.length scenarios - List.length missed));
+         ]
+       shipped);
+  close_out oc;
+  fprintf "\nwrote %s\n" out;
+  (match write_baseline with
+  | Some path ->
+      write_flat_json path (Analysis.Report.baseline_counts shipped);
+      fprintf "wrote baseline (%d key(s)) to %s\n"
+        (List.length (Analysis.Report.baseline_counts shipped))
+        path
+  | None -> ());
+  let fail = ref false in
+  (match baseline with
+  | Some path ->
+      if not (Sys.file_exists path) then begin
+        fprintf
+          "BASELINE MISSING: %s\nGenerate it with:\n\
+          \  dune exec bench/main.exe -- analyze --write-baseline %s\n"
+          path path;
+        exit 1
+      end;
+      let fresh, resolved = Analysis.Report.diff_baseline ~baseline:(read_flat_json path) shipped in
+      if fresh <> [] then begin
+        fprintf "\nFINDINGS ABOVE BASELINE (%s):\n" path;
+        List.iter (fun (k, c) -> fprintf "  %s (x%d)\n" k c) fresh;
+        fail := true
+      end
+      else fprintf "\nbaseline check OK: no findings above %s\n" path;
+      if resolved <> [] then begin
+        fprintf "baseline entries no longer observed (re-baseline with --write-baseline):\n";
+        List.iter (fun (k, c) -> fprintf "  %s (x%d)\n" k c) resolved
+      end
+  | None ->
+      if shipped <> [] then begin
+        fprintf "\n%d finding(s) in the shipped stacks and no --baseline to excuse them\n"
+          (List.length shipped);
+        fail := true
+      end);
+  if missed <> [] then begin
+    fprintf "\nFATAL: %d seeded violation(s) went uncaught\n" (List.length missed);
+    fail := true
+  end;
+  if !fail then exit 1;
+  fprintf "\nanalyze OK: shipped stacks hold the window discipline, all %d seeded violations caught\n"
+    (List.length scenarios)
+
 (* --- driver ---------------------------------------------------------------------- *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (* flags with a value: --out FILE, --golden FILE, --write-golden FILE,
-     --folded FILE, --sample N, --n N, --lat-out FILE; boolean flags:
-     --attrib, --latency, --stream — matched before the generic rule so
-     they never swallow the following token *)
+     --folded FILE, --sample N, --n N, --repeats N, --lat-out FILE,
+     --baseline FILE, --write-baseline FILE; boolean flags: --attrib,
+     --latency, --stream — matched before the generic rule so they
+     never swallow the following token *)
   let rec split_flags targets flags = function
     | [] -> (List.rev targets, List.rev flags)
     | (("--attrib" | "--latency" | "--stream") as flag) :: rest ->
@@ -1031,8 +1283,14 @@ let () =
   if want "fig6" then
     fig6 ?n:(int_flag "--n") ~attrib:(bool_flag "--attrib") ~latency:(bool_flag "--latency")
       ?lat_out:(List.assoc_opt "--lat-out" flags)
+      ?golden:(if List.mem "fig6" targets then List.assoc_opt "--golden" flags else None)
+      ?write_golden:
+        (if List.mem "fig6" targets then List.assoc_opt "--write-golden" flags else None)
       ();
-  if want "fig7" then fig7 ();
+  if want "fig7" then
+    fig7 ?repeats:(int_flag "--repeats") ~latency:(bool_flag "--latency")
+      ?lat_out:(List.assoc_opt "--lat-out" flags)
+      ();
   if want "fig8" then fig8 ();
   if want "fig10a" then fig10a ?n:(int_flag "--n") ~latency:(bool_flag "--latency") ();
   if want "fig10b" then fig10b ?n:(int_flag "--n") ~latency:(bool_flag "--latency") ();
@@ -1043,6 +1301,12 @@ let () =
       ?out:(List.assoc_opt "--out" flags)
       ?golden:(List.assoc_opt "--golden" flags)
       ?write_golden:(List.assoc_opt "--write-golden" flags)
+      ();
+  if want "analyze" then
+    analyze
+      ?out:(if List.mem "analyze" targets then List.assoc_opt "--out" flags else None)
+      ?baseline:(List.assoc_opt "--baseline" flags)
+      ?write_baseline:(List.assoc_opt "--write-baseline" flags)
       ();
   if List.mem "trace" targets then
     trace

@@ -1,0 +1,48 @@
+(** CubiCheck's program IR: what the static passes see.
+
+    Extracted from a {!Cubicle.Builder.built} system — component
+    identities and kinds from the monitor, the export symbol table, the
+    trampoline installation, and each component's {!Cubicle.Iface}
+    summary — or synthesised directly for tests. *)
+
+open Cubicle
+
+type comp = {
+  name : string;
+  cid : Types.cid;
+  kind : Types.kind;
+  exports : string list;
+  iface : Iface.t;
+}
+
+type program = {
+  comps : comp list;
+  has_thunk : string -> bool;  (** trampoline thunk installed for symbol *)
+  has_guard : Types.cid -> string -> bool;
+      (** guard entry installed for (caller cubicle, symbol) *)
+}
+
+val init_sym : string
+(** ["__init"]: the pseudo-export naming a component's initialisation
+    summary. Its window facts become the entry state of every real
+    export (standing staging buffers, registration-time opens). *)
+
+val find : program -> string -> comp option
+val owner_of : program -> string -> comp option
+(** The component exporting a symbol (the namespace is flat). *)
+
+val summary : comp -> string -> Iface.fundecl option
+val init_decl : comp -> Iface.fundecl option
+
+val of_built : Builder.built -> program
+
+val make :
+  ?missing_thunks:string list ->
+  ?missing_guards:(string * string) list ->
+  (string * Types.kind * string list * Iface.t) list ->
+  program
+(** Synthetic program: [(name, kind, exports, iface)] per component,
+    cids assigned in order from 1. Trampoline coverage is simulated
+    (complete for isolated/trusted exports) minus the explicitly
+    missing thunks / (component, sym) guards — the injection points for
+    seeded violations. *)

@@ -1,0 +1,92 @@
+open Cubicle
+
+module SMap = Map.Make (String)
+
+(* Window-leak detection (may-analysis): a grant added on some path and
+   not removed (or its window destroyed) before the export returns keeps
+   the peer's access alive across calls — the standing-leak hazard of
+   user-managed ACLs (paper Table 1). Grants marked [standing] are
+   deliberate (staging buffers) and exempt.
+
+   Status lattice: [Live_all] — the grant is live on every path;
+   [Live_some] — live on at least one path. End-of-body [Live_all] is a
+   High finding, [Live_some] a Medium one (some path cleans up). *)
+
+type status = Live_all | Live_some
+
+type state = status SMap.t  (* "win\x00buf" -> status *)
+
+let key win buf =
+  let b = match buf with Iface.Param i -> Printf.sprintf "arg%d" i | Iface.Local s -> s in
+  win ^ "\x00" ^ b
+
+let pretty k =
+  match String.index_opt k '\x00' with
+  | Some i ->
+      Printf.sprintf "%s/%s" (String.sub k 0 i)
+        (String.sub k (i + 1) (String.length k - i - 1))
+  | None -> k
+
+let join (a : state) (b : state) =
+  SMap.merge
+    (fun _ x y ->
+      match (x, y) with
+      | Some Live_all, Some Live_all -> Some Live_all
+      | Some _, _ | _, Some _ -> Some Live_some
+      | None, None -> None)
+    a b
+
+let rec exec (state : state) stmts =
+  List.fold_left
+    (fun (state : state) (s : Iface.stmt) ->
+      match s with
+      | Iface.Window_add { win; buf; standing; _ } ->
+          if standing then state else SMap.add (key win buf) Live_all state
+      | Iface.Window_remove { win; buf } -> SMap.remove (key win buf) state
+      | Iface.Window_destroy { win } ->
+          SMap.filter (fun k _ -> not (String.length k > String.length win
+                                       && String.sub k 0 (String.length win) = win
+                                       && k.[String.length win] = '\x00')) state
+      | Iface.Branch arms -> (
+          match List.map (exec state) arms with
+          | [] -> state
+          | s :: rest -> List.fold_left join s rest)
+      | Iface.Loop body ->
+          (* zero-or-more iterations: anything the body leaves live is
+             live on some path *)
+          join state (exec state body)
+      | _ -> state)
+    state stmts
+
+let check (p : Ir.program) =
+  let findings = ref [] in
+  List.iter
+    (fun (c : Ir.comp) ->
+      List.iter
+        (fun (fd : Iface.fundecl) ->
+          let here = Printf.sprintf "%s.%s" c.Ir.name fd.Iface.fd_sym in
+          let out = exec SMap.empty fd.Iface.fd_body in
+          SMap.iter
+            (fun k st ->
+              let severity, tag =
+                match st with
+                | Live_all -> (Report.High, "leak")
+                | Live_some -> (Report.Medium, "leak:partial")
+              in
+              findings :=
+                Report.make ~pass:"leak" ~severity ~plane:Report.Static
+                  ~component:c.Ir.name
+                  ~detail:
+                    (Printf.sprintf
+                       "%s leaves grant %s live %s — the peer retains access after \
+                        return"
+                       here (pretty k)
+                       (match st with
+                       | Live_all -> "on every path"
+                       | Live_some -> "on some path"))
+                  ~key:(Printf.sprintf "%s:%s:%s" tag here (pretty k))
+                :: !findings)
+            out)
+        c.Ir.iface)
+    p.Ir.comps;
+  Report.dedup (List.rev !findings)

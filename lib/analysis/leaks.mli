@@ -1,0 +1,9 @@
+(** Window-leak pass (may-analysis).
+
+    Flags grants ([Window_add]) with no matching [Window_remove] or
+    [Window_destroy] on some path before the export returns. Grants
+    declared [standing] (deliberate long-lived staging windows) are
+    exempt. [High] when the grant survives every path, [Medium] when
+    only some. Applies to [__init] bodies too. *)
+
+val check : Ir.program -> Report.finding list

@@ -1,0 +1,80 @@
+(* Window race and use-after-close detection over the telemetry event
+   stream.
+
+   Race: window grants are symmetric-access, not synchronised — two
+   cubicles writing the same granted page with no trampoline crossing
+   between the writes have no happens-before edge, so the interleaving
+   is timing-dependent. We track the last writer of each page plus a
+   global "crossing" counter bumped at every trampoline Call/Return; a
+   write by a different cubicle with no crossing since the previous
+   write is flagged.
+
+   Use-after-close: revocation is causal (paper §5.6) — closing a
+   window does not retag pages the peer already faulted in, so a stale
+   access after [window_close] never faults at runtime. The replay
+   mirror knows the ACL state the monitor intended, so an access with
+   no covering open window is exactly that silent hole. *)
+
+type t = {
+  name_of : int -> string;
+  mutable seq : int;
+  mutable crossing : int;  (* seq of the most recent Call/Return *)
+  last_write : (int, int * int) Hashtbl.t;  (* page -> (writer cid, seq) *)
+  mutable findings : Report.finding list;
+  seen : (string, unit) Hashtbl.t;
+}
+
+let create ~name_of =
+  {
+    name_of;
+    seq = 0;
+    crossing = 0;
+    last_write = Hashtbl.create 64;
+    findings = [];
+    seen = Hashtbl.create 16;
+  }
+
+let add t f =
+  if not (Hashtbl.mem t.seen f.Report.key) then begin
+    Hashtbl.replace t.seen f.Report.key ();
+    t.findings <- f :: t.findings
+  end
+
+let crossing t =
+  t.seq <- t.seq + 1;
+  t.crossing <- t.seq
+
+let access t ~cid ~owner ~page ~(access : Telemetry.Event.access) ~covered =
+  t.seq <- t.seq + 1;
+  if not covered then
+    add t
+      (Report.make ~pass:"use-after-close" ~severity:Report.Critical
+         ~plane:Report.Dynamic ~component:(t.name_of cid)
+         ~detail:
+           (Printf.sprintf
+              "%s %s a page of %s with no open window covering it — causal \
+               revocation never faults on the stale tag"
+              (t.name_of cid)
+              (match access with Telemetry.Event.Write -> "wrote" | _ -> "read")
+              (t.name_of owner))
+         ~key:(Printf.sprintf "uac:%s->%s" (t.name_of cid) (t.name_of owner)));
+  (match access with
+  | Telemetry.Event.Write -> (
+      (match Hashtbl.find_opt t.last_write page with
+      | Some (w, wseq) when w <> cid && t.crossing <= wseq ->
+          add t
+            (Report.make ~pass:"race" ~severity:Report.High ~plane:Report.Dynamic
+               ~component:(t.name_of w)
+               ~detail:
+                 (Printf.sprintf
+                    "%s and %s both wrote a page of %s with no trampoline crossing \
+                     between the writes (no happens-before edge)"
+                    (t.name_of w) (t.name_of cid) (t.name_of owner))
+               ~key:
+                 (Printf.sprintf "race:%s-%s:owner=%s" (t.name_of w) (t.name_of cid)
+                    (t.name_of owner)))
+      | _ -> ());
+      Hashtbl.replace t.last_write page (cid, t.seq))
+  | Telemetry.Event.Read | Telemetry.Event.Exec -> ())
+
+let findings t = Report.sort (List.rev t.findings)

@@ -1,0 +1,28 @@
+(** Lockset/last-writer race and use-after-close state machine.
+
+    Fed digested access records by {!Replay}: each checked cross-cubicle
+    access plus whether the replay mirror shows a live, open window
+    covering it. Trampoline [Call]/[Return] events are the only
+    happens-before edges ({!crossing}). *)
+
+type t
+
+val create : name_of:(int -> string) -> t
+val crossing : t -> unit
+(** A trampoline Call or Return was observed: orders all prior accesses
+    before all later ones. *)
+
+val access :
+  t ->
+  cid:int ->
+  owner:int ->
+  page:int ->
+  access:Telemetry.Event.access ->
+  covered:bool ->
+  unit
+(** One checked access by [cid] to a page owned by [owner]. [covered] is
+    the replay mirror's verdict. Uncovered access → [Critical]
+    use-after-close; same-page writes from two cubicles with no crossing
+    between them → [High] race. *)
+
+val findings : t -> Report.finding list

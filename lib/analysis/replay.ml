@@ -1,0 +1,101 @@
+open Cubicle
+
+module ISet = Set.Make (Int)
+
+(* The replay mirror: a shadow copy of every cubicle's window ACL
+   state, reconstructed purely from Window telemetry events (optionally
+   seeded from a live monitor when the trace starts mid-run). Accesses
+   are then judged against the *intended* ACL state rather than the
+   lazily-retagged MPK tags the simulated hardware holds — which is
+   exactly where causal revocation (paper §5.6) and missing
+   happens-before edges hide. *)
+
+type mwin = {
+  owner : int;
+  mutable ranges : (int * int) list;  (* (ptr, size) *)
+  mutable opened : ISet.t;
+  mutable alive : bool;
+}
+
+type t = {
+  wins : (int * int, mwin) Hashtbl.t;  (* (owner, wid) -> window *)
+  races : Races.t;
+}
+
+let create ~name_of = { wins = Hashtbl.create 32; races = Races.create ~name_of }
+
+let seed_from_monitor t mon =
+  for cid = 0 to Monitor.ncubicles mon - 1 do
+    List.iter
+      (fun (w : Window.t) ->
+        Hashtbl.replace t.wins (cid, w.Window.wid)
+          {
+            owner = cid;
+            ranges = List.map (fun (r : Window.range) -> (r.ptr, r.size)) w.Window.ranges;
+            opened = ISet.of_list (Bitset.elements w.Window.opened);
+            alive = true;
+          })
+      (Window.live_windows (Monitor.windows_of mon cid))
+  done
+
+let covered t ~owner ~page ~cid =
+  Hashtbl.fold
+    (fun (o, _) w acc ->
+      acc
+      || o = owner && w.alive
+         && ISet.mem cid w.opened
+         && List.exists
+              (fun (ptr, size) ->
+                size > 0
+                && Hw.Addr.page_of ptr <= page
+                && page <= Hw.Addr.page_of (ptr + size - 1))
+              w.ranges)
+    t.wins false
+
+let get_win t owner wid =
+  match Hashtbl.find_opt t.wins (owner, wid) with
+  | Some w -> w
+  | None ->
+      let w = { owner; ranges = []; opened = ISet.empty; alive = true } in
+      Hashtbl.replace t.wins (owner, wid) w;
+      w
+
+let feed t (ev : Telemetry.Event.t) =
+  match ev with
+  | Telemetry.Event.Call _ | Telemetry.Event.Return _ -> Races.crossing t.races
+  | Telemetry.Event.Window { cid; op; wid; peer; ptr; size } -> (
+      let w = get_win t cid wid in
+      match op with
+      | Telemetry.Event.Init -> w.ranges <- []; w.opened <- ISet.empty; w.alive <- true
+      | Telemetry.Event.Extend -> ()
+      | Telemetry.Event.Add -> w.ranges <- (ptr, size) :: w.ranges
+      | Telemetry.Event.Remove ->
+          (* remove the first range rooted at ptr, mirroring
+             Window.remove_range *)
+          let removed = ref false in
+          w.ranges <-
+            List.filter
+              (fun (p, _) ->
+                if (not !removed) && p = ptr then (removed := true; false) else true)
+              w.ranges
+      | Telemetry.Event.Open | Telemetry.Event.Open_dedicated ->
+          if peer >= 0 then w.opened <- ISet.add peer w.opened
+      | Telemetry.Event.Close | Telemetry.Event.Close_dedicated ->
+          if peer >= 0 then w.opened <- ISet.remove peer w.opened
+      | Telemetry.Event.Close_all -> w.opened <- ISet.empty
+      | Telemetry.Event.Destroy -> w.alive <- false)
+  | Telemetry.Event.Window_access { cid; owner; page; access } ->
+      Races.access t.races ~cid ~owner ~page ~access
+        ~covered:(covered t ~owner ~page ~cid)
+  | _ -> ()
+
+let run t entries =
+  List.iter (fun (e : Telemetry.Bus.entry) -> feed t e.Telemetry.Bus.ev) entries
+
+let findings t = Races.findings t.races
+
+let of_bus ?monitor bus ~name_of =
+  let t = create ~name_of in
+  (match monitor with Some m -> seed_from_monitor t m | None -> ());
+  run t (Telemetry.Bus.events bus);
+  findings t

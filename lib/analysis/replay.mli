@@ -1,0 +1,27 @@
+(** Trace replay: the dynamic plane's window-ACL mirror.
+
+    Rebuilds every cubicle's intended window ACL state from [Window]
+    telemetry events and judges each [Window_access] against it,
+    feeding {!Races}. Because the mirror tracks the ACL the monitor
+    {e intended} — not the lazily-retagged MPK tags — it sees exactly
+    the accesses that causal revocation (paper §5.6) lets through
+    silently. *)
+
+open Cubicle
+
+type t
+
+val create : name_of:(int -> string) -> t
+
+val seed_from_monitor : t -> Monitor.t -> unit
+(** Prime the mirror with the live window state, for traces that start
+    mid-run (after boot-time grants were already emitted or dropped). *)
+
+val feed : t -> Telemetry.Event.t -> unit
+val run : t -> Telemetry.Bus.entry list -> unit
+val findings : t -> Report.finding list
+
+val of_bus :
+  ?monitor:Monitor.t -> Telemetry.Bus.t -> name_of:(int -> string) -> Report.finding list
+(** One-shot convenience: seed (optionally), replay the bus ring, return
+    the findings. *)

@@ -1,0 +1,183 @@
+open Cubicle
+
+(* Deliberately-broken examples, one per detector. Each scenario names
+   the pass and severity it must trip; the bench `analyze` command and
+   the test suite both assert that CubiCheck catches every one. The
+   static three are synthetic IR programs; the dynamic two run real
+   monitor workloads under tracing and replay the event stream. *)
+
+type scenario = {
+  sc_name : string;
+  expect_pass : string;
+  expect_severity : Report.severity;
+  findings : Report.finding list;
+}
+
+let caught sc =
+  List.exists
+    (fun f -> f.Report.pass = sc.expect_pass && f.Report.severity = sc.expect_severity)
+    sc.findings
+
+(* 1. A cross-cubicle call with no trampoline thunk installed: the CFI
+   escape hatch of paper §5.5. *)
+let missing_trampoline () =
+  let p =
+    Ir.make ~missing_thunks:[ "srv_process" ]
+      [
+        ( "CLIENT",
+          Types.Isolated,
+          [ "client_main" ],
+          [ Iface.fundecl "client_main" [ Iface.Call { sym = "srv_process"; ptr_args = [] } ] ] );
+        ( "SERVER",
+          Types.Isolated,
+          [ "srv_process" ],
+          [ Iface.fundecl ~derefs:[] "srv_process" [] ] );
+      ]
+  in
+  {
+    sc_name = "missing-trampoline";
+    expect_pass = "trampoline";
+    expect_severity = Report.Critical;
+    findings = Static.run p;
+  }
+
+(* 2. A pointer argument crossing the boundary with no window grant
+   covering it: the callee faults on first dereference. *)
+let uncovered_pointer () =
+  let p =
+    Ir.make
+      [
+        ( "CLIENT",
+          Types.Isolated,
+          [ "client_main" ],
+          [
+            Iface.fundecl "client_main"
+              [
+                Iface.Alloc { buf = "req"; bytes = 128 };
+                Iface.Call
+                  { sym = "srv_process"; ptr_args = [ (0, Iface.Local "req", 128) ] };
+              ];
+          ] );
+        ( "SERVER",
+          Types.Isolated,
+          [ "srv_process" ],
+          [ Iface.fundecl ~derefs:[ 0 ] "srv_process" [] ] );
+      ]
+  in
+  {
+    sc_name = "uncovered-pointer";
+    expect_pass = "coverage";
+    expect_severity = Report.High;
+    findings = Static.run p;
+  }
+
+(* 3. A grant with no matching remove on any path: the server keeps
+   access to the client's buffer after the call returns. *)
+let leaked_window () =
+  let p =
+    Ir.make
+      [
+        ( "CLIENT",
+          Types.Isolated,
+          [ "client_main" ],
+          [
+            Iface.fundecl "client_main"
+              [
+                Iface.Alloc { buf = "req"; bytes = 128 };
+                Iface.Window_add
+                  { win = "w"; buf = Iface.Local "req"; bytes = 128; standing = false };
+                Iface.Window_open { win = "w"; peer = "SERVER" };
+                Iface.Call
+                  { sym = "srv_process"; ptr_args = [ (0, Iface.Local "req", 128) ] };
+                Iface.Window_close { win = "w"; peer = "SERVER" };
+                (* missing: Window_remove / Window_destroy *)
+              ];
+          ] );
+        ( "SERVER",
+          Types.Isolated,
+          [ "srv_process" ],
+          [ Iface.fundecl ~derefs:[ 0 ] "srv_process" [] ] );
+      ]
+  in
+  {
+    sc_name = "leaked-window";
+    expect_pass = "leak";
+    expect_severity = Report.High;
+    findings = Static.run p;
+  }
+
+(* Dynamic scenarios: a real monitor under Full protection, tracing
+   on, replayed through the mirror. *)
+
+let mk_dynamic () =
+  let mon = Monitor.create ~protection:Types.Full () in
+  let a = Monitor.create_cubicle mon ~name:"OWNER" ~kind:Types.Isolated ~heap_pages:8 ~stack_pages:2 in
+  let b = Monitor.create_cubicle mon ~name:"PEER1" ~kind:Types.Isolated ~heap_pages:4 ~stack_pages:1 in
+  let c = Monitor.create_cubicle mon ~name:"PEER2" ~kind:Types.Isolated ~heap_pages:4 ~stack_pages:1 in
+  let bus = Monitor.bus mon in
+  Telemetry.Bus.clear_ring bus;
+  Telemetry.Bus.set_tracing bus true;
+  (mon, a, b, c, bus)
+
+let replay_bus mon bus =
+  Telemetry.Bus.set_tracing bus false;
+  Replay.of_bus bus ~name_of:(Monitor.cubicle_name mon)
+
+(* 4. Two peers write the same granted page with no trampoline crossing
+   between the writes: no happens-before edge, a window race. *)
+let write_race () =
+  let mon, a, b, c, bus = mk_dynamic () in
+  let actx = Monitor.ctx_for mon a in
+  let buf =
+    Monitor.run_as mon a (fun () -> Api.malloc_page_aligned actx Hw.Addr.page_size)
+  in
+  Monitor.run_as mon a (fun () ->
+      let wid = Api.window_init actx ~klass:Mm.Page_meta.Heap in
+      Api.window_add actx wid ~ptr:buf ~size:Hw.Addr.page_size;
+      Api.window_open actx wid b;
+      Api.window_open actx wid c);
+  Monitor.run_as mon b (fun () -> Api.write_u8 (Monitor.ctx_for mon b) buf 0x11);
+  Monitor.run_as mon c (fun () -> Api.write_u8 (Monitor.ctx_for mon c) buf 0x22);
+  {
+    sc_name = "write-race";
+    expect_pass = "race";
+    expect_severity = Report.High;
+    findings = replay_bus mon bus;
+  }
+
+(* 5. A peer writes after the owner closed the window: under causal
+   revocation (§5.6) the page still carries the peer's tag, so the
+   write never faults — only the replay mirror sees it. *)
+let use_after_close () =
+  let mon, a, b, _c, bus = mk_dynamic () in
+  let actx = Monitor.ctx_for mon a in
+  let buf =
+    Monitor.run_as mon a (fun () -> Api.malloc_page_aligned actx Hw.Addr.page_size)
+  in
+  let wid =
+    Monitor.run_as mon a (fun () ->
+        let wid = Api.window_init actx ~klass:Mm.Page_meta.Heap in
+        Api.window_add actx wid ~ptr:buf ~size:Hw.Addr.page_size;
+        Api.window_open actx wid b;
+        wid)
+  in
+  (* first write faults, trap-and-map retags the page to PEER1 *)
+  Monitor.run_as mon b (fun () -> Api.write_u8 (Monitor.ctx_for mon b) buf 0x33);
+  Monitor.run_as mon a (fun () -> Api.window_close actx wid b);
+  (* stale-tag write: succeeds silently at runtime *)
+  Monitor.run_as mon b (fun () -> Api.write_u8 (Monitor.ctx_for mon b) buf 0x44);
+  {
+    sc_name = "use-after-close";
+    expect_pass = "use-after-close";
+    expect_severity = Report.Critical;
+    findings = replay_bus mon bus;
+  }
+
+let all () =
+  [
+    missing_trampoline ();
+    uncovered_pointer ();
+    leaked_window ();
+    write_race ();
+    use_after_close ();
+  ]

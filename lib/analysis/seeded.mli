@@ -1,0 +1,32 @@
+(** Deliberately-broken examples, one per detector.
+
+    Each scenario runs CubiCheck against a seeded violation and records
+    the findings plus the pass/severity it must trip. The bench
+    [analyze] command and the test suite both fail if any scenario goes
+    uncaught — the analyzer's own regression harness. *)
+
+type scenario = {
+  sc_name : string;
+  expect_pass : string;
+  expect_severity : Report.severity;
+  findings : Report.finding list;
+}
+
+val caught : scenario -> bool
+
+val missing_trampoline : unit -> scenario
+(** static, [Critical] *)
+
+val uncovered_pointer : unit -> scenario
+(** static, [High] *)
+
+val leaked_window : unit -> scenario
+(** static, [High] *)
+
+val write_race : unit -> scenario
+(** dynamic, [High] *)
+
+val use_after_close : unit -> scenario
+(** dynamic, [Critical] *)
+
+val all : unit -> scenario list

@@ -1,0 +1,4 @@
+let run (p : Ir.program) =
+  Report.sort (Report.dedup (Callgraph.check p @ Windows.check p @ Leaks.check p))
+
+let run_built (b : Cubicle.Builder.built) = run (Ir.of_built b)

@@ -1,0 +1,5 @@
+(** The static plane: all three passes over one IR, deduped and sorted
+    by severity. *)
+
+val run : Ir.program -> Report.finding list
+val run_built : Cubicle.Builder.built -> Report.finding list

@@ -1,0 +1,258 @@
+open Cubicle
+
+module SSet = Set.Make (String)
+module SMap = Map.Make (String)
+
+(* --- interprocedural accessors --------------------------------------- *)
+
+(* accessors (sym, idx) = the components that may dereference the [idx]th
+   argument of [sym], transitively: the owner itself when the summary
+   declares the deref, plus — when the owner forwards the argument as a
+   pointer to another call — the accessors of the forwarded position.
+   Forwarding to a *shared* component adds the forwarder itself: shared
+   code executes with the caller's privileges, so its dereferences are
+   the forwarder's for isolation purposes (e.g. RAMFS handing an
+   application buffer to the shared libc memcpy). *)
+let accessors (p : Ir.program) =
+  let tbl : (string * int, SSet.t) Hashtbl.t = Hashtbl.create 64 in
+  let get k = Option.value ~default:SSet.empty (Hashtbl.find_opt tbl k) in
+  let changed = ref true in
+  let update k v =
+    let cur = get k in
+    let v' = SSet.union cur v in
+    if not (SSet.equal cur v') then begin
+      Hashtbl.replace tbl k v';
+      changed := true
+    end
+  in
+  let rec walk_stmts owner sym stmts =
+    List.iter
+      (fun (s : Iface.stmt) ->
+        match s with
+        | Iface.Call { sym = s2; ptr_args } ->
+            List.iter
+              (fun (j, buf, _) ->
+                match buf with
+                | Iface.Param idx -> (
+                    match Ir.owner_of p s2 with
+                    | Some o2 when o2.Ir.kind = Types.Shared ->
+                        update (sym, idx) (SSet.singleton owner)
+                    | Some _ -> update (sym, idx) (get (s2, j))
+                    | None -> ())
+                | Iface.Local _ -> ())
+              ptr_args
+        | Iface.Branch arms -> List.iter (walk_stmts owner sym) arms
+        | Iface.Loop body -> walk_stmts owner sym body
+        | _ -> ())
+      stmts
+  in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (c : Ir.comp) ->
+        List.iter
+          (fun (fd : Iface.fundecl) ->
+            List.iter
+              (fun idx -> update (fd.Iface.fd_sym, idx) (SSet.singleton c.Ir.name))
+              fd.Iface.fd_derefs;
+            walk_stmts c.Ir.name fd.Iface.fd_sym fd.Iface.fd_body)
+          c.Ir.iface)
+      p.Ir.comps
+  done;
+  fun sym idx -> get (sym, idx)
+
+(* --- must-state over window facts ------------------------------------ *)
+
+type win = {
+  grants : int SMap.t;  (* local buffer name -> granted bytes (max) *)
+  opened : SSet.t;  (* peer component names; "*" = any *)
+}
+
+type state = win SMap.t
+
+let join_win a b =
+  {
+    grants =
+      SMap.merge
+        (fun _ x y ->
+          match (x, y) with Some n, Some m -> Some (min n m) | _ -> None)
+        a.grants b.grants;
+    opened = SSet.inter a.opened b.opened;
+  }
+
+let join (states : state list) =
+  match states with
+  | [] -> SMap.empty
+  | s :: rest ->
+      List.fold_left
+        (fun acc s' ->
+          SMap.merge
+            (fun _ x y ->
+              match (x, y) with Some a, Some b -> Some (join_win a b) | _ -> None)
+            acc s')
+        s rest
+
+(* All Local buffer sizes declared anywhere in a component's summaries
+   (Alloc statements), for resolving "bytes = 0 → the buffer's size". *)
+let alloc_sizes (c : Ir.comp) =
+  let tbl = Hashtbl.create 8 in
+  let rec walk stmts =
+    List.iter
+      (fun (s : Iface.stmt) ->
+        match s with
+        | Iface.Alloc { buf; bytes } -> Hashtbl.replace tbl buf bytes
+        | Iface.Branch arms -> List.iter walk arms
+        | Iface.Loop body -> walk body
+        | _ -> ())
+      stmts
+  in
+  List.iter (fun (fd : Iface.fundecl) -> walk fd.Iface.fd_body) c.Ir.iface;
+  tbl
+
+let check (p : Ir.program) =
+  let acc = accessors p in
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  let trusted name =
+    match Ir.find p name with Some c -> c.Ir.kind = Types.Trusted | None -> false
+  in
+  List.iter
+    (fun (c : Ir.comp) ->
+      let sizes = alloc_sizes c in
+      let check_call state here sym ptr_args =
+        match Ir.owner_of p sym with
+        | None -> ()  (* unresolved: the callgraph pass owns that finding *)
+        | Some o2 when o2.Ir.kind = Types.Shared -> ()
+        | Some _ ->
+            List.iter
+              (fun (j, buf, bytes) ->
+                match buf with
+                | Iface.Param _ -> ()  (* rolled up to this component's callers *)
+                | Iface.Local b ->
+                    let needed =
+                      if bytes > 0 then bytes
+                      else Option.value ~default:0 (Hashtbl.find_opt sizes b)
+                    in
+                    let accs =
+                      acc sym j |> SSet.remove c.Ir.name
+                      |> SSet.filter (fun d -> not (trusted d))
+                    in
+                    SSet.iter
+                      (fun d ->
+                        (* best grant for [b] among windows open for [d] *)
+                        let granted = ref (-1) and open_best = ref (-1) in
+                        SMap.iter
+                          (fun _ w ->
+                            match SMap.find_opt b w.grants with
+                            | None -> ()
+                            | Some n ->
+                                granted := max !granted n;
+                                if SSet.mem d w.opened || SSet.mem "*" w.opened then
+                                  open_best := max !open_best n)
+                          state;
+                        if !granted < 0 then
+                          add
+                            (Report.make ~pass:"coverage" ~severity:Report.High
+                               ~plane:Report.Static ~component:c.Ir.name
+                               ~detail:
+                                 (Printf.sprintf
+                                    "%s passes %s to %s (arg %d) with no window grant \
+                                     covering it (accessor %s)"
+                                    here b sym j d)
+                               ~key:
+                                 (Printf.sprintf "coverage:no-grant:%s:%s:%d:%s" here sym j d))
+                        else if !open_best < 0 then
+                          add
+                            (Report.make ~pass:"coverage" ~severity:Report.High
+                               ~plane:Report.Static ~component:c.Ir.name
+                               ~detail:
+                                 (Printf.sprintf
+                                    "%s passes %s to %s (arg %d) but no covering window \
+                                     is open for accessor %s"
+                                    here b sym j d)
+                               ~key:
+                                 (Printf.sprintf "coverage:not-open:%s:%s:%d:%s" here sym j d))
+                        else if needed > 0 && !open_best < needed then
+                          add
+                            (Report.make ~pass:"coverage" ~severity:Report.High
+                               ~plane:Report.Static ~component:c.Ir.name
+                               ~detail:
+                                 (Printf.sprintf
+                                    "%s passes %s to %s (arg %d): grant covers %d of %d \
+                                     bytes — %s faults at byte %d"
+                                    here b sym j !open_best needed d !open_best)
+                               ~key:
+                                 (Printf.sprintf "coverage:partial:%s:%s:%d:%s" here sym j d)))
+                      accs)
+              ptr_args
+      in
+      let rec exec here (state : state) stmts =
+        List.fold_left
+          (fun (state : state) (s : Iface.stmt) ->
+            match s with
+            | Iface.Alloc _ | Iface.Direct_call _ -> state
+            | Iface.Call { sym; ptr_args } ->
+                check_call state here sym ptr_args;
+                state
+            | Iface.Window_add { win; buf = Iface.Local b; bytes; _ } ->
+                let size =
+                  if bytes > 0 then bytes
+                  else Option.value ~default:0 (Hashtbl.find_opt sizes b)
+                in
+                let w =
+                  Option.value
+                    ~default:{ grants = SMap.empty; opened = SSet.empty }
+                    (SMap.find_opt win state)
+                in
+                SMap.add win
+                  { w with grants = SMap.add b (max size (Option.value ~default:0 (SMap.find_opt b w.grants))) w.grants }
+                  state
+            | Iface.Window_add _ -> state  (* Param-rooted grants: not representable *)
+            | Iface.Window_remove { win; buf = Iface.Local b } -> (
+                match SMap.find_opt win state with
+                | None -> state
+                | Some w -> SMap.add win { w with grants = SMap.remove b w.grants } state)
+            | Iface.Window_remove _ -> state
+            | Iface.Window_open { win; peer } -> (
+                match SMap.find_opt win state with
+                | None ->
+                    SMap.add win
+                      { grants = SMap.empty; opened = SSet.singleton peer }
+                      state
+                | Some w -> SMap.add win { w with opened = SSet.add peer w.opened } state)
+            | Iface.Window_close { win; peer } -> (
+                match SMap.find_opt win state with
+                | None -> state
+                | Some w -> SMap.add win { w with opened = SSet.remove peer w.opened } state)
+            | Iface.Window_close_all { win } -> (
+                match SMap.find_opt win state with
+                | None -> state
+                | Some w -> SMap.add win { w with opened = SSet.empty } state)
+            | Iface.Window_destroy { win } -> SMap.remove win state
+            | Iface.Branch arms -> join (List.map (exec here state) arms)
+            | Iface.Loop body ->
+                (* body may run zero times: facts established inside are
+                   checked with the state at loop entry; the exit state
+                   keeps only facts true on both paths *)
+                join [ state; exec here state body ])
+          state stmts
+      in
+      (* The component's init summary establishes the entry state of
+         every export: standing staging windows, registration-time
+         opens. *)
+      let init_state =
+        match Ir.init_decl c with
+        | None -> SMap.empty
+        | Some fd ->
+            exec (Printf.sprintf "%s.%s" c.Ir.name Ir.init_sym) SMap.empty fd.Iface.fd_body
+      in
+      List.iter
+        (fun (fd : Iface.fundecl) ->
+          if fd.Iface.fd_sym <> Ir.init_sym then
+            ignore
+              (exec
+                 (Printf.sprintf "%s.%s" c.Ir.name fd.Iface.fd_sym)
+                 init_state fd.Iface.fd_body))
+        c.Ir.iface)
+    p.Ir.comps;
+  Report.dedup (List.rev !findings)

@@ -1,0 +1,20 @@
+(** Window-coverage dataflow (must-analysis).
+
+    For every pointer argument a component passes across a cubicle
+    boundary, prove that — on all paths — a window grant of sufficient
+    size is live and open for every component that may dereference the
+    pointer (computed by an interprocedural accessors fixpoint over the
+    interface summaries). [Branch] joins by intersection; [Loop] bodies
+    are analysed with the loop-entry state and may run zero times. *)
+
+val accessors : Ir.program -> string -> int -> Set.Make(String).t
+(** [accessors p sym idx]: components that may dereference argument
+    [idx] of export [sym], transitively through pointer forwarding.
+    Forwarding to shared code attributes the dereference to the
+    forwarder (shared code runs with the caller's privileges). *)
+
+val check : Ir.program -> Report.finding list
+(** Findings (all [High], static, pass ["coverage"]):
+    [no-grant] — no live window grants the buffer at all;
+    [not-open] — granted but never opened for an accessor;
+    [partial] — open grant smaller than the bytes the callee touches. *)

@@ -17,20 +17,70 @@ let alloc_pages (c : ctx) n ~kind = Monitor.alloc_pages c.mon c.self n ~kind
 let free_pages (c : ctx) base = Monitor.free_pages c.mon c.self base
 let malloc_page_aligned (c : ctx) size = malloc c ~align:Hw.Addr.page_size size
 
-let read_string (c : ctx) addr len = Bytes.to_string (Hw.Cpu.read_bytes c.cpu addr len)
-let write_string (c : ctx) addr s = Hw.Cpu.write_string c.cpu addr s
-let read_bytes (c : ctx) addr len = Hw.Cpu.read_bytes c.cpu addr len
-let write_bytes (c : ctx) addr b = Hw.Cpu.write_bytes c.cpu addr b
-let read_u8 (c : ctx) addr = Hw.Cpu.read_u8 c.cpu addr
-let write_u8 (c : ctx) addr v = Hw.Cpu.write_u8 c.cpu addr v
-let read_u16 (c : ctx) addr = Hw.Cpu.read_u16 c.cpu addr
-let write_u16 (c : ctx) addr v = Hw.Cpu.write_u16 c.cpu addr v
-let read_u32 (c : ctx) addr = Hw.Cpu.read_u32 c.cpu addr
-let write_u32 (c : ctx) addr v = Hw.Cpu.write_u32 c.cpu addr v
-let read_i64 (c : ctx) addr = Hw.Cpu.read_i64 c.cpu addr
-let write_i64 (c : ctx) addr v = Hw.Cpu.write_i64 c.cpu addr v
-let memcpy (c : ctx) ~dst ~src ~len = Hw.Cpu.memcpy c.cpu ~dst ~src ~len
-let memset (c : ctx) addr len ch = Hw.Cpu.memset c.cpu addr len ch
+(* Observation hook for the CubiCheck replay plane: each checked access
+   reports the pages it touches that belong to another cubicle
+   (tracing-gated, cost-free — see Monitor.observe_access). The access
+   itself still goes through the machine's MPK checks below; the hook
+   only makes non-faulting cross-owner accesses (open windows, stale
+   tags after a causal-revocation close) visible to offline analysis. *)
+let[@inline] obs (c : ctx) addr len access = Monitor.observe_access c.mon ~addr ~len ~access
+
+let read_string (c : ctx) addr len =
+  obs c addr len Telemetry.Event.Read;
+  Bytes.to_string (Hw.Cpu.read_bytes c.cpu addr len)
+
+let write_string (c : ctx) addr s =
+  obs c addr (String.length s) Telemetry.Event.Write;
+  Hw.Cpu.write_string c.cpu addr s
+
+let read_bytes (c : ctx) addr len =
+  obs c addr len Telemetry.Event.Read;
+  Hw.Cpu.read_bytes c.cpu addr len
+
+let write_bytes (c : ctx) addr b =
+  obs c addr (Bytes.length b) Telemetry.Event.Write;
+  Hw.Cpu.write_bytes c.cpu addr b
+
+let read_u8 (c : ctx) addr =
+  obs c addr 1 Telemetry.Event.Read;
+  Hw.Cpu.read_u8 c.cpu addr
+
+let write_u8 (c : ctx) addr v =
+  obs c addr 1 Telemetry.Event.Write;
+  Hw.Cpu.write_u8 c.cpu addr v
+
+let read_u16 (c : ctx) addr =
+  obs c addr 2 Telemetry.Event.Read;
+  Hw.Cpu.read_u16 c.cpu addr
+
+let write_u16 (c : ctx) addr v =
+  obs c addr 2 Telemetry.Event.Write;
+  Hw.Cpu.write_u16 c.cpu addr v
+
+let read_u32 (c : ctx) addr =
+  obs c addr 4 Telemetry.Event.Read;
+  Hw.Cpu.read_u32 c.cpu addr
+
+let write_u32 (c : ctx) addr v =
+  obs c addr 4 Telemetry.Event.Write;
+  Hw.Cpu.write_u32 c.cpu addr v
+
+let read_i64 (c : ctx) addr =
+  obs c addr 8 Telemetry.Event.Read;
+  Hw.Cpu.read_i64 c.cpu addr
+
+let write_i64 (c : ctx) addr v =
+  obs c addr 8 Telemetry.Event.Write;
+  Hw.Cpu.write_i64 c.cpu addr v
+
+let memcpy (c : ctx) ~dst ~src ~len =
+  obs c src len Telemetry.Event.Read;
+  obs c dst len Telemetry.Event.Write;
+  Hw.Cpu.memcpy c.cpu ~dst ~src ~len
+
+let memset (c : ctx) addr len ch =
+  obs c addr len Telemetry.Event.Write;
+  Hw.Cpu.memset c.cpu addr len ch
 let window_open_dedicated (c : ctx) wid other =
   Monitor.window_open_dedicated c.mon c.self wid other
 

@@ -7,16 +7,17 @@ type component = {
   stack_pages : int;
   exports : Monitor.export_spec list;
   init : Monitor.ctx -> unit;
+  iface : Iface.t;
 }
 
 let component ?exportsyms ?(code_ops = 256) ?(data_bytes = 256) ?(heap_pages = 16)
-    ?(stack_pages = 4) ?(init = fun _ -> ()) ?(exports = []) name =
+    ?(stack_pages = 4) ?(init = fun _ -> ()) ?(exports = []) ?(iface = []) name =
   let exportsyms =
     match exportsyms with
     | Some syms -> syms
     | None -> List.map (fun (e : Monitor.export_spec) -> e.sym) exports
   in
-  { name; exportsyms; code_ops; data_bytes; heap_pages; stack_pages; exports; init }
+  { name; exportsyms; code_ops; data_bytes; heap_pages; stack_pages; exports; init; iface }
 
 let merge name comps =
   {
@@ -28,12 +29,14 @@ let merge name comps =
     stack_pages = List.fold_left (fun acc c -> max acc c.stack_pages) 1 comps;
     exports = List.concat_map (fun c -> c.exports) comps;
     init = (fun ctx -> List.iter (fun c -> c.init ctx) comps);
+    iface = List.concat_map (fun c -> c.iface) comps;
   }
 
 type built = {
   mon : Monitor.t;
   cids : (string * Types.cid) list;
   trampolines : Trampoline.t;
+  ifaces : (string * Iface.t) list;
 }
 
 exception Undeclared_export of string * string
@@ -79,7 +82,7 @@ let build mon comps =
       let cid = List.assoc c.name cids in
       Monitor.run_as mon cid (fun () -> c.init (Monitor.ctx_for mon cid)))
     comps;
-  { mon; cids; trampolines }
+  { mon; cids; trampolines; ifaces = List.map (fun (c, _) -> (c.name, c.iface)) comps }
 
 let cid built name =
   match List.assoc_opt name built.cids with

@@ -19,6 +19,10 @@ type component = {
   stack_pages : int;
   exports : Monitor.export_spec list;
   init : Monitor.ctx -> unit;
+  iface : Iface.t;
+      (** CubiCheck interface summary for the component's exports (may
+          be empty: exports are then assumed side-effect-free for
+          isolation purposes — a documented soundness caveat). *)
 }
 
 val component :
@@ -29,6 +33,7 @@ val component :
   ?stack_pages:int ->
   ?init:(Monitor.ctx -> unit) ->
   ?exports:Monitor.export_spec list ->
+  ?iface:Iface.t ->
   string ->
   component
 (** [component name] with defaults; [exportsyms] defaults to the export
@@ -44,6 +49,9 @@ type built = {
   mon : Monitor.t;
   cids : (string * Types.cid) list;
   trampolines : Trampoline.t;
+  ifaces : (string * Iface.t) list;
+      (** per-component interface summaries, in declaration order —
+          the input to [Analysis.Ir.of_built] *)
 }
 
 exception Undeclared_export of string * string

@@ -564,30 +564,41 @@ let free_pages t cid base =
 
 (* --- window management (Table 1) ---------------------------------------- *)
 
-let charge_window_op t cid op =
+(* The cycle charge and the always-on counter happen up front (the
+   monitor bills the service call whether or not it succeeds); the
+   traced event is emitted only after the operation succeeds, carrying
+   enough detail (wid / peer / range) that the CubiCheck replay plane
+   can mirror the full window ACL state from the event stream alone. *)
+let charge_window_op t =
   match t.protection with
   | Types.None_ -> ()
   | _ ->
       Stats.count_window_op t.stats;
-      emit t (Telemetry.Event.Window { cid; op });
       Hw.Cost.charge_cat (cost t) Telemetry.Attrib.Window (cost t).model.window_op
 
+let emit_window t cid op ?(wid = -1) ?(peer = -1) ?(ptr = 0) ?(size = 0) () =
+  if t.protection <> Types.None_ then
+    emit t (Telemetry.Event.Window { cid; op; wid; peer; ptr; size })
+
 let window_init t cid ~klass =
-  charge_window_op t cid Telemetry.Event.Init;
-  (Window.init (get t cid).windows ~klass).wid
+  charge_window_op t;
+  let wid = (Window.init (get t cid).windows ~klass).wid in
+  emit_window t cid Telemetry.Event.Init ~wid ();
+  wid
 
 (* Extending a descriptor array is a monitor service: it reallocates
    the array in monitor-managed memory (charged as an allocation-sized
    operation). *)
 let window_table_extend t cid ~klass =
-  charge_window_op t cid Telemetry.Event.Extend;
+  charge_window_op t;
   Hw.Cost.charge_cat (cost t) Telemetry.Attrib.Mpk (cost t).model.pkey_set;
-  Window.extend (get t cid).windows klass
+  Window.extend (get t cid).windows klass;
+  emit_window t cid Telemetry.Event.Extend ()
 
 let find_window t cid wid = Window.find (get t cid).windows wid
 
 let window_add t cid wid ~ptr ~size =
-  charge_window_op t cid Telemetry.Event.Add;
+  charge_window_op t;
   let w = find_window t cid wid in
   (* Windows may only carry memory the caller owns, of the window's
      data class. *)
@@ -605,11 +616,21 @@ let window_add t cid wid ~ptr ~size =
           (Mm.Page_meta.kind_to_string w.Window.klass)
     | None -> Types.error "window_add: page %d has no class" p
   done;
-  Window.add_range w ~ptr ~size
+  Window.add_range w ~ptr ~size;
+  emit_window t cid Telemetry.Event.Add ~wid ~ptr ~size ()
 
 let window_remove t cid wid ~ptr =
-  charge_window_op t cid Telemetry.Event.Remove;
-  Window.remove_range (find_window t cid wid) ~ptr
+  charge_window_op t;
+  let w = find_window t cid wid in
+  (* record the revoked grant's size before dropping it, so replay can
+     retire the exact range *)
+  let size =
+    match List.find_opt (fun (r : Window.range) -> r.ptr = ptr) w.Window.ranges with
+    | Some r -> r.size
+    | None -> 0
+  in
+  Window.remove_range w ~ptr;
+  emit_window t cid Telemetry.Event.Remove ~wid ~ptr ~size ()
 
 let retag_window_pages t w ~to_key =
   List.iter
@@ -621,35 +642,47 @@ let retag_window_pages t w ~to_key =
     w.Window.ranges
 
 let window_open t cid wid other =
-  charge_window_op t cid Telemetry.Event.Open;
+  charge_window_op t;
   if other = cid then Types.error "window_open: cannot open a window to oneself";
   ignore (get t other);
   let w = find_window t cid wid in
   Window.open_for w other;
   if mpk_on t && t.policy.mapping = `Eager_on_open then
-    retag_window_pages t w ~to_key:(phys_of t (get t other))
+    retag_window_pages t w ~to_key:(phys_of t (get t other));
+  emit_window t cid Telemetry.Event.Open ~wid ~peer:other ()
 
 let window_close t cid wid other =
-  charge_window_op t cid Telemetry.Event.Close;
+  charge_window_op t;
   let w = find_window t cid wid in
   Window.close_for w other;
   (* Under causal tag consistency (the default, §5.6) nothing else
      happens: pages migrate back lazily when their owner (or another
      authorised cubicle) next touches them. *)
   if mpk_on t && t.policy.revocation = `Eager_revoke then
-    retag_window_pages t w ~to_key:(phys_of t (get t cid))
+    retag_window_pages t w ~to_key:(phys_of t (get t cid));
+  emit_window t cid Telemetry.Event.Close ~wid ~peer:other ()
 
 let window_close_all t cid wid =
-  charge_window_op t cid Telemetry.Event.Close_all;
+  charge_window_op t;
   let w = find_window t cid wid in
   Window.close_all w;
   if mpk_on t && t.policy.revocation = `Eager_revoke then
-    retag_window_pages t w ~to_key:(phys_of t (get t cid))
+    retag_window_pages t w ~to_key:(phys_of t (get t cid));
+  emit_window t cid Telemetry.Event.Close_all ~wid ()
 
 let window_destroy t cid wid =
-  charge_window_op t cid Telemetry.Event.Destroy;
+  charge_window_op t;
   let c = get t cid in
-  Window.destroy c.windows (find_window t cid wid)
+  Window.destroy c.windows (find_window t cid wid);
+  emit_window t cid Telemetry.Event.Destroy ~wid ()
+
+(* Explicit grant check (CubiCheck): does [cid] hold a live window open
+   for [peer] whose ranges cover the whole [ptr, ptr+size) span? The
+   byte-exact complement to the page-granular trap-and-map path. *)
+let window_grants t cid ~peer ~ptr ~size =
+  List.exists
+    (fun w -> Window.is_open_for w peer && Window.covers w ~ptr ~size)
+    (Window.live_windows (get t cid).windows)
 
 let alloc_dedicated_key t =
   if t.virtualise then
@@ -675,7 +708,8 @@ let alloc_dedicated_key t =
    window then never fault — at the price of one of the 16 keys per
    window. *)
 let window_open_dedicated t cid wid other =
-  charge_window_op t cid Telemetry.Event.Open_dedicated;
+  charge_window_op t;
+  emit_window t cid Telemetry.Event.Open_dedicated ~wid ~peer:other ();
   if other = cid then Types.error "window_open_dedicated: cannot open to oneself";
   let w = find_window t cid wid in
   Window.open_for w other;
@@ -698,7 +732,8 @@ let window_open_dedicated t cid wid other =
     Hw.Cpu.wrpkru t.m_cpu (pkru_for t t.cur)
 
 let window_close_dedicated t cid wid other =
-  charge_window_op t cid Telemetry.Event.Close_dedicated;
+  charge_window_op t;
+  emit_window t cid Telemetry.Event.Close_dedicated ~wid ~peer:other ();
   let w = find_window t cid wid in
   Window.close_for w other;
   match w.Window.dedicated_key with
@@ -716,6 +751,30 @@ let window_close_dedicated t cid wid other =
       end;
       if mpk_on t && (t.cur = cid || t.cur = other) then
         Hw.Cpu.wrpkru t.m_cpu (pkru_for t t.cur)
+
+(* Dynamic-plane observability: record a checked memory access that
+   touches pages owned by a different cubicle. Only runs while tracing
+   (one branch otherwise), never charges cycles, and skips trusted
+   cubicles and the monitor itself — trusted code legitimately touches
+   everything, so reporting it would be pure noise. These events are
+   what lets the CubiCheck replay plane see accesses that never fault:
+   a write through a stale tag after window_close (causal revocation,
+   §5.6) is invisible to the fault handler by design. *)
+let observe_access t ~addr ~len ~access =
+  let b = Hw.Cpu.bus t.m_cpu in
+  if b.Telemetry.Bus.tracing && t.cur <> monitor_cid then
+    match (get t t.cur).kind with
+    | Types.Trusted -> ()
+    | Types.Isolated | Types.Shared ->
+        let first = Hw.Addr.page_of addr
+        and last = Hw.Addr.page_of (addr + max 1 len - 1) in
+        for p = first to last do
+          match Mm.Page_meta.owner t.meta p with
+          | Some owner when owner <> t.cur ->
+              Telemetry.Bus.emit b
+                (Telemetry.Event.Window_access { cid = t.cur; owner; page = p; access })
+          | _ -> ()
+        done
 
 let dedicated_keys_in_use t =
   List.fold_left

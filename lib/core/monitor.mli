@@ -152,6 +152,21 @@ val window_close : t -> Types.cid -> Types.wid -> Types.cid -> unit
 val window_close_all : t -> Types.cid -> Types.wid -> unit
 val window_destroy : t -> Types.cid -> Types.wid -> unit
 
+val window_grants : t -> Types.cid -> peer:Types.cid -> ptr:int -> size:int -> bool
+(** Explicit byte-exact grant check: [cid] holds a live window open for
+    [peer] whose ranges cover the whole [ptr, ptr+size) span (possibly
+    stitched from several grants). The trap-and-map path only ever
+    tests the single faulting address, so a too-short grant used to
+    surface as a mid-copy fault; this is the full-span predicate the
+    CubiCheck coverage pass and the regression tests rely on. *)
+
+val observe_access : t -> addr:int -> len:int -> access:Telemetry.Event.access -> unit
+(** Emit {!Telemetry.Event.Window_access} for each page of
+    [addr..addr+len) owned by a cubicle other than the current one.
+    Tracing-gated, cost-free, and silent for trusted cubicles; called
+    by the {!Api} memory helpers so the replay plane can detect write
+    races and use-after-close accesses that never fault. *)
+
 (** {1 Introspection for tests and benchmarks} *)
 
 val page_owner : t -> int -> Types.cid option

@@ -77,6 +77,9 @@ let guard_addr t cid sym =
   | None -> Types.error "no guard entry for cubicle %d, symbol %s" cid sym
 
 let thunk_cid _ = Monitor.monitor_cid
+let syms t = Hashtbl.fold (fun sym _ acc -> sym :: acc) t.thunks [] |> List.sort compare
+let has_thunk t sym = Hashtbl.mem t.thunks sym
+let has_guard t cid sym = Hashtbl.mem t.guards (cid, sym)
 
 (* Run [f] with the machine configured as if [cid] were executing:
    PKRU narrowed to the cubicle's own tags. *)

@@ -32,6 +32,17 @@ val guard_addr : t -> Types.cid -> string -> int
 val thunk_cid : t -> Types.cid
 (** The cubicle owning the thunk pages (the monitor). *)
 
+(** {2 Introspection (CubiCheck static plane)} *)
+
+val syms : t -> string list
+(** Symbols with an installed thunk, sorted. *)
+
+val has_thunk : t -> string -> bool
+
+val has_guard : t -> Types.cid -> string -> bool
+(** Whether (caller cubicle, symbol) has a guard entry — isolated
+    cubicles can only reach a thunk through their guard page. *)
+
 val enter_via_guard : t -> caller:Types.cid -> string -> unit
 (** Model a well-behaved call entry: fetch the guard entry (in the
     caller's own pages, allowed), which executes [wrpkru] and jumps to

@@ -147,6 +147,29 @@ let is_open_for w cid = w.alive && Bitset.mem w.opened cid
 let contains w addr =
   w.alive && List.exists (fun r -> addr >= r.ptr && addr < r.ptr + r.size) w.ranges
 
+(* Byte-exact span coverage: walk forward from [ptr], at each position
+   jumping to the end of any range containing it, until no range makes
+   progress. Handles spans stitched together from several grants. *)
+let covered_prefix w ~ptr ~size =
+  if (not w.alive) || size <= 0 then 0
+  else begin
+    let pos = ref ptr and limit = ptr + size in
+    let progressed = ref true in
+    while !pos < limit && !progressed do
+      progressed := false;
+      List.iter
+        (fun r ->
+          if !pos >= r.ptr && !pos < r.ptr + r.size then begin
+            pos := min limit (r.ptr + r.size);
+            progressed := true
+          end)
+        w.ranges
+    done;
+    !pos - ptr
+  end
+
+let covers w ~ptr ~size = size > 0 && covered_prefix w ~ptr ~size >= size
+
 let search table ~klass ~addr =
   let rec scan inspected = function
     | [] -> None

@@ -62,6 +62,19 @@ val contains : t -> int -> bool
     (the monitor retags whole pages), which is why the paper tells
     developers to align shared structures. *)
 
+val covered_prefix : t -> ptr:int -> size:int -> int
+(** How many bytes of the span [\[ptr, ptr+size)] are covered by the
+    window's ranges, starting at [ptr] — possibly stitched together
+    from several grants. A partially covering grant returns the exact
+    byte offset at which a peer's access would fault at runtime. *)
+
+val covers : t -> ptr:int -> size:int -> bool
+(** Explicit size check on overlap: the {e whole} span is granted, not
+    merely its first byte. The runtime's trap-and-map only ever tests
+    single faulting addresses, so a too-short grant used to surface as
+    a fault halfway through a peer's copy; CubiCheck's coverage pass
+    and this predicate make the full-span check explicit. *)
+
 val search : table -> klass:Mm.Page_meta.kind -> addr:int -> (t * int) option
 (** Linear search of one descriptor array for a live window containing
     [addr]; also returns the number of descriptors inspected so the

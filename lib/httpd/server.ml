@@ -14,7 +14,91 @@ type t = {
   mutable served : int;
 }
 
-let component () = Builder.component ~code_ops:2048 ~heap_pages:32 ~stack_pages:4 "NGINX"
+(* CubiCheck summary of the server loop ([__main] is the pseudo-export
+   for a component driven from the outside rather than called into).
+   Mirrors [start]/[poll_inner]/[serve_file]: a standing path window to
+   VFSCORE (the Fileio pattern), a per-request window over [req_buf]
+   for LWIP, and per-chunk windows over [file_buf] — to VFSCORE+RAMFS
+   for the pread, to LWIP for the send. *)
+let iface =
+  let lwip_window buf stmts =
+    [
+      Iface.Window_add { win = "net_win"; buf = Iface.Local buf; bytes = 0; standing = false };
+      Iface.Window_open { win = "net_win"; peer = "LWIP" };
+    ]
+    @ stmts
+    @ [ Iface.Window_destroy { win = "net_win" } ]
+  in
+  let send_chunk =
+    lwip_window "file_buf"
+      [ Iface.Call { sym = "lwip_send"; ptr_args = [ (1, Iface.Local "file_buf", 0) ] } ]
+  in
+  [
+    Iface.fundecl "__init"
+      [
+        Iface.Call { sym = "vfs_backend_cid"; ptr_args = [] };
+        Iface.Alloc { buf = "path_buf"; bytes = 512 };
+        Iface.Window_add
+          { win = "path_wid"; buf = Iface.Local "path_buf"; bytes = 512; standing = true };
+        Iface.Window_open { win = "path_wid"; peer = "VFSCORE" };
+        Iface.Alloc { buf = "req_buf"; bytes = 4096 };
+        Iface.Alloc { buf = "file_buf"; bytes = chunk_size };
+        Iface.Call { sym = "lwip_listen"; ptr_args = [] };
+      ];
+    Iface.fundecl "__main"
+      [
+        Iface.Loop [ Iface.Call { sym = "lwip_accept"; ptr_args = [] } ];
+        Iface.Loop
+          ([
+             Iface.Loop
+               (lwip_window "req_buf"
+                  [
+                    Iface.Call
+                      { sym = "lwip_recv"; ptr_args = [ (1, Iface.Local "req_buf", 4096) ] };
+                  ]);
+             Iface.Call { sym = "uk_palloc"; ptr_args = [] };
+             Iface.Call { sym = "uk_time_ns"; ptr_args = [] };
+             Iface.Call { sym = "vfs_open"; ptr_args = [ (0, Iface.Local "path_buf", 512) ] };
+             Iface.Branch
+               [
+                 (* 200: headers, then stream the file chunk by chunk *)
+                 [
+                   Iface.Call { sym = "vfs_size"; ptr_args = [] };
+                   Iface.Loop
+                     ([
+                        Iface.Window_add
+                          {
+                            win = "data_win";
+                            buf = Iface.Local "file_buf";
+                            bytes = 0;
+                            standing = false;
+                          };
+                        Iface.Window_open { win = "data_win"; peer = "VFSCORE" };
+                        Iface.Window_open { win = "data_win"; peer = "RAMFS" };
+                        Iface.Call
+                          {
+                            sym = "vfs_pread";
+                            ptr_args = [ (1, Iface.Local "file_buf", 0) ];
+                          };
+                        Iface.Window_close_all { win = "data_win" };
+                        Iface.Window_remove
+                          { win = "data_win"; buf = Iface.Local "file_buf" };
+                      ]
+                     @ send_chunk);
+                   Iface.Call { sym = "vfs_close"; ptr_args = [] };
+                 ];
+                 (* error response: headers only *)
+                 send_chunk;
+               ];
+             Iface.Call { sym = "lwip_close"; ptr_args = [] };
+             Iface.Call { sym = "uk_pfree"; ptr_args = [] };
+           ]
+          @ send_chunk);
+      ];
+  ]
+
+let component () =
+  Builder.component ~code_ops:2048 ~heap_pages:32 ~stack_pages:4 ~iface "NGINX"
 
 let start sys =
   let ctx = Libos.Boot.app_ctx sys "NGINX" in

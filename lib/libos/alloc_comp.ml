@@ -8,7 +8,10 @@ let pfree_fn (ctx : Monitor.ctx) (args : int array) =
   0
 
 let component () =
+  (* the page arguments are monitor-mediated, never dereferenced by
+     ALLOC itself: no window obligations *)
   Builder.component "ALLOC" ~code_ops:384 ~heap_pages:2 ~stack_pages:2
+    ~iface:[ Iface.fundecl "uk_palloc" []; Iface.fundecl "uk_pfree" [] ]
     ~exports:
       [
         { Monitor.sym = "uk_palloc"; fn = palloc_fn; stack_bytes = 0 };

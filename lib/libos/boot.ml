@@ -86,7 +86,7 @@ let fat_stack ?(protection = Types.Full) ?policy ?(mem_bytes = 64 * 1024 * 1024)
       (plat, Types.Isolated);
       (Time_comp.component (), Types.Isolated);
       (Alloc_comp.component (), Types.Isolated);
-      (Vfscore.component (), Types.Isolated);
+      (Vfscore.component ~backend:"fatfs" (), Types.Isolated);
       (blk, Types.Isolated);
       (fat, Types.Isolated);
     ]

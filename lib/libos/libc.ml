@@ -18,8 +18,19 @@ let strnlen_fn ctx (args : int array) =
   let rec scan i = if i >= maxlen || Api.read_u8 ctx (p + i) = 0 then i else scan (i + 1) in
   scan 0
 
+(* CubiCheck summaries: shared code runs with the caller's privileges,
+   so the declared dereferences are attributed to whichever component
+   forwards a pointer here. *)
+let iface =
+  [
+    Iface.fundecl ~derefs:[ 0; 1 ] "memcpy" [];
+    Iface.fundecl ~derefs:[ 0 ] "memset" [];
+    Iface.fundecl ~derefs:[ 0; 1 ] "memcmp" [];
+    Iface.fundecl ~derefs:[ 0 ] "strnlen" [];
+  ]
+
 let component () =
-  Builder.component "LIBC" ~code_ops:512 ~heap_pages:2 ~stack_pages:0
+  Builder.component "LIBC" ~code_ops:512 ~heap_pages:2 ~stack_pages:0 ~iface
     ~exports:
       [
         { Monitor.sym = "memcpy"; fn = memcpy_fn; stack_bytes = 0 };

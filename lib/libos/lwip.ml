@@ -251,9 +251,72 @@ let make () =
       staging_wid = 0;
     }
   in
+  (* rx pump: drain frames from NETDEV into the standing staging page,
+     then park payload copies in pbufs *)
+  let pump_iface =
+    [
+      Iface.Loop
+        [
+          Iface.Call
+            { sym = "netdev_rx"; ptr_args = [ (0, Iface.Local "rx_staging", 4096) ] };
+          Iface.Call { sym = "uk_palloc"; ptr_args = [] };
+          Iface.Call { sym = "memcpy"; ptr_args = [] };
+        ];
+    ]
+  in
+  (* tx: one short-lived window per segment pbuf, torn down after the
+     transmit returns *)
+  let send_iface =
+    [
+      Iface.Loop
+        [
+          Iface.Call { sym = "uk_palloc"; ptr_args = [] };
+          Iface.Call { sym = "memcpy"; ptr_args = [] };
+          Iface.Window_add
+            { win = "tx_win"; buf = Iface.Local "pbuf"; bytes = 4096; standing = false };
+          Iface.Window_open { win = "tx_win"; peer = "NETDEV" };
+          Iface.Call { sym = "netdev_tx"; ptr_args = [ (0, Iface.Local "pbuf", 4096) ] };
+          Iface.Window_destroy { win = "tx_win" };
+          Iface.Call { sym = "uk_pfree"; ptr_args = [] };
+        ];
+    ]
+  in
+  let iface =
+    [
+      Iface.fundecl "__init"
+        [
+          Iface.Alloc { buf = "rx_staging"; bytes = 4096 };
+          Iface.Window_add
+            {
+              win = "staging_wid";
+              buf = Iface.Local "rx_staging";
+              bytes = 4096;
+              standing = true;
+            };
+          Iface.Window_open { win = "staging_wid"; peer = "NETDEV" };
+        ];
+      Iface.fundecl "lwip_listen" [];
+      Iface.fundecl "lwip_accept" pump_iface;
+      Iface.fundecl ~derefs:[ 1 ] "lwip_recv"
+        (pump_iface
+        @ [
+            Iface.Call { sym = "memcpy"; ptr_args = [] };
+            Iface.Branch [ [ Iface.Call { sym = "uk_pfree"; ptr_args = [] } ]; [] ];
+          ]);
+      Iface.fundecl ~derefs:[ 1 ] "lwip_send" (pump_iface @ send_iface);
+      Iface.fundecl "lwip_close"
+        [
+          Iface.Call
+            {
+              sym = "netdev_tx";
+              ptr_args = [ (0, Iface.Local "rx_staging", Sysdefs.frame_header) ];
+            };
+        ];
+    ]
+  in
   let comp =
     Builder.component "LWIP" ~code_ops:2048 ~heap_pages:32 ~stack_pages:4
-      ~init:(init state)
+      ~init:(init state) ~iface
       ~exports:
         [
           { Monitor.sym = "lwip_listen"; fn = listen_fn state; stack_bytes = 0 };

@@ -57,6 +57,13 @@ let make () =
   let comp =
     Builder.component "NETDEV" ~code_ops:640 ~heap_pages:4 ~stack_pages:2
       ~init:(init state)
+      ~iface:
+        [
+          (* both sides copy through the caller's buffer: tx reads it
+             into the ring slot, rx fills it from the slot *)
+          Iface.fundecl ~derefs:[ 0 ] "netdev_tx" [];
+          Iface.fundecl ~derefs:[ 0 ] "netdev_rx" [];
+        ]
       ~exports:
         [
           { Monitor.sym = "netdev_tx"; fn = tx_fn state; stack_bytes = 0 };

@@ -30,6 +30,12 @@ let make ?(echo = false) () =
   let state = { console = Buffer.create 256; echo; rand_state = 0x2545F491; halted = false } in
   let comp =
     Builder.component "PLAT" ~code_ops:512 ~heap_pages:2 ~stack_pages:2
+      ~iface:
+        [
+          Iface.fundecl "plat_putc" [];
+          Iface.fundecl "plat_rand" [];
+          Iface.fundecl "plat_halt" [];
+        ]
       ~exports:
         [
           { Monitor.sym = "plat_putc"; fn = putc_fn state; stack_bytes = 0 };

@@ -163,6 +163,37 @@ let make () =
   let state = { by_name = Hashtbl.create 64; by_ino = Hashtbl.create 64; next_ino = 1 } in
   let comp =
     Builder.component "RAMFS" ~code_ops:768 ~heap_pages:8 ~stack_pages:4 ~init:(init state)
+      ~iface:
+        [
+          Iface.fundecl "__init"
+            [ Iface.Call { sym = "vfs_register_backend"; ptr_args = [] } ];
+          Iface.fundecl ~derefs:[ 0 ] "ramfs_lookup" [];
+          Iface.fundecl ~derefs:[ 0 ] "ramfs_create" [];
+          (* data ops read the iodesc (arg 0) and copy through the
+             caller's buffer (arg 1) via shared libc, running with this
+             cubicle's privileges *)
+          Iface.fundecl ~derefs:[ 0; 1 ] "ramfs_pread"
+            [ Iface.Loop [ Iface.Call { sym = "memcpy"; ptr_args = [] } ] ];
+          Iface.fundecl ~derefs:[ 0; 1 ] "ramfs_pwrite"
+            [
+              Iface.Loop
+                [
+                  Iface.Call { sym = "uk_palloc"; ptr_args = [] };
+                  Iface.Call { sym = "memcpy"; ptr_args = [] };
+                ];
+            ];
+          Iface.fundecl "ramfs_size" [];
+          Iface.fundecl "ramfs_truncate"
+            [
+              Iface.Loop [ Iface.Call { sym = "uk_pfree"; ptr_args = [] } ];
+              Iface.Branch [ [ Iface.Call { sym = "memset"; ptr_args = [] } ]; [] ];
+            ];
+          Iface.fundecl "ramfs_fsync" [];
+          Iface.fundecl ~derefs:[ 0 ] "ramfs_unlink"
+            [ Iface.Loop [ Iface.Call { sym = "uk_pfree"; ptr_args = [] } ] ];
+          Iface.fundecl ~derefs:[ 0; 2 ] "ramfs_rename"
+            [ Iface.Loop [ Iface.Call { sym = "uk_pfree"; ptr_args = [] } ] ];
+        ]
       ~exports:
         [
           { Monitor.sym = "ramfs_lookup"; fn = lookup_fn state; stack_bytes = 0 };

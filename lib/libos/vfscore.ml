@@ -134,12 +134,67 @@ let init state ctx =
   state.path_wid <- Api.window_init ctx ~klass:Mm.Page_meta.Heap;
   Api.window_add ctx state.path_wid ~ptr:state.path_buf ~size:4096
 
-let component () =
+(* CubiCheck summary. The backend is registered at runtime, so the
+   callee prefix is a parameter ([ramfs] by default, [fatfs] for the
+   persistent-disk stack); the registration-time [window_open] to the
+   dynamic backend caller is modelled as an init-time open to peer "*"
+   (documented soundness caveat: the summary cannot name a cubicle that
+   only exists at runtime). *)
+let iface ~backend =
+  let b s = backend ^ "_" ^ s in
+  let staged ~arg ~bytes = (arg, Iface.Local "path_staging", bytes) in
+  [
+    Iface.fundecl "__init"
+      [
+        Iface.Alloc { buf = "path_staging"; bytes = 4096 };
+        Iface.Window_add
+          { win = "path_wid"; buf = Iface.Local "path_staging"; bytes = 4096; standing = true };
+        Iface.Window_open { win = "path_wid"; peer = "*" };
+      ];
+    Iface.fundecl "vfs_register_backend" [];
+    Iface.fundecl "vfs_backend_cid" [];
+    Iface.fundecl ~derefs:[ 0 ] "vfs_open"
+      [
+        Iface.Call { sym = b "lookup"; ptr_args = [ staged ~arg:0 ~bytes:2048 ] };
+        Iface.Branch
+          [ [ Iface.Call { sym = b "create"; ptr_args = [ staged ~arg:0 ~bytes:2048 ] } ]; [] ];
+      ];
+    Iface.fundecl "vfs_close" [];
+    (* data ops: the io descriptor goes through the staging window, the
+       data buffer is forwarded zero-copy (arg 1 of the backend call) *)
+    Iface.fundecl "vfs_pread"
+      [
+        Iface.Call
+          { sym = b "pread"; ptr_args = [ staged ~arg:0 ~bytes:1040; (1, Iface.Param 1, 0) ] };
+      ];
+    Iface.fundecl "vfs_pwrite"
+      [
+        Iface.Call
+          { sym = b "pwrite"; ptr_args = [ staged ~arg:0 ~bytes:1040; (1, Iface.Param 1, 0) ] };
+      ];
+    Iface.fundecl "vfs_size" [ Iface.Call { sym = b "size"; ptr_args = [] } ];
+    Iface.fundecl "vfs_truncate" [ Iface.Call { sym = b "truncate"; ptr_args = [] } ];
+    Iface.fundecl "vfs_fsync" [ Iface.Call { sym = b "fsync"; ptr_args = [] } ];
+    Iface.fundecl ~derefs:[ 0 ] "vfs_unlink"
+      [ Iface.Call { sym = b "unlink"; ptr_args = [ staged ~arg:0 ~bytes:2048 ] } ];
+    Iface.fundecl ~derefs:[ 0 ] "vfs_exists"
+      [ Iface.Call { sym = b "lookup"; ptr_args = [ staged ~arg:0 ~bytes:2048 ] } ];
+    Iface.fundecl ~derefs:[ 0; 2 ] "vfs_rename"
+      [
+        Iface.Call
+          {
+            sym = b "rename";
+            ptr_args = [ staged ~arg:0 ~bytes:2048; staged ~arg:2 ~bytes:4096 ];
+          };
+      ];
+  ]
+
+let component ?(backend = "ramfs") () =
   let state =
     { backend = None; fds = Hashtbl.create 32; next_fd = 3; path_buf = 0; path_wid = 0 }
   in
   Builder.component "VFSCORE" ~code_ops:1024 ~heap_pages:8 ~stack_pages:4
-    ~init:(init state)
+    ~init:(init state) ~iface:(iface ~backend)
     ~exports:
       [
         { Monitor.sym = "vfs_register_backend"; fn = register_backend_fn state; stack_bytes = 0 };

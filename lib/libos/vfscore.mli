@@ -15,8 +15,14 @@
     its buffer window for both VFSCORE's and the backend's cubicles
     ahead of the call (the paper's rule for nested calls, §5.6). *)
 
-val component : unit -> Cubicle.Builder.component
-(** Exports:
+val component : ?backend:string -> unit -> Cubicle.Builder.component
+(** [backend] is the symbol prefix the CubiCheck interface summary
+    names for backend calls ([_lookup], [_pread], …) — ["ramfs"] by
+    default, ["fatfs"] for the persistent-disk stack. The runtime
+    dispatch is unaffected (the real prefix is fixed by whichever
+    backend registers).
+
+    Exports:
     - [vfs_register_backend(tag)] — backend self-registration
       (tag 1 = "ramfs" symbol prefix); the caller's cubicle id is
       recorded from the trampoline;

@@ -35,7 +35,8 @@ type t =
   | Shared_call of { caller : int; sym : string }
   | Guard_fetch of { cid : int; sym : string }
   | Rejected of { cid : int }
-  | Window of { cid : int; op : window_op }
+  | Window of { cid : int; op : window_op; wid : int; peer : int; ptr : int; size : int }
+  | Window_access of { cid : int; owner : int; page : int; access : access }
   | Tlb of tlb_op
   | Sched_switch of { tid : int; cid : int }
   | Pager of pager_op
@@ -87,6 +88,7 @@ let name = function
   | Guard_fetch _ -> "guard_fetch"
   | Rejected _ -> "rejected"
   | Window _ -> "window"
+  | Window_access _ -> "window_access"
   | Tlb _ -> "tlb"
   | Sched_switch _ -> "sched_switch"
   | Pager _ -> "pager"
@@ -106,7 +108,13 @@ let pp ppf ev =
   | Shared_call { caller; sym } -> Format.fprintf ppf "shared %s (caller %d)" sym caller
   | Guard_fetch { cid; sym } -> Format.fprintf ppf "guard_fetch %s (cubicle %d)" sym cid
   | Rejected { cid } -> Format.fprintf ppf "rejected (cubicle %d)" cid
-  | Window { cid; op } -> Format.fprintf ppf "window %s (cubicle %d)" (window_op_name op) cid
+  | Window { cid; op; wid; peer; ptr; size } ->
+      Format.fprintf ppf "window %s wid=%d (cubicle %d)" (window_op_name op) wid cid;
+      if peer >= 0 then Format.fprintf ppf " peer=%d" peer;
+      if size > 0 then Format.fprintf ppf " ptr=0x%x size=%d" ptr size
+  | Window_access { cid; owner; page; access } ->
+      Format.fprintf ppf "window_access %s page=%d (cubicle %d -> owner %d)"
+        (access_name access) page cid owner
   | Tlb op -> Format.fprintf ppf "tlb %s" (tlb_op_name op)
   | Sched_switch { tid; cid } -> Format.fprintf ppf "sched tid=%d cid=%d" tid cid
   | Pager op -> Format.fprintf ppf "pager %s" (pager_op_name op)

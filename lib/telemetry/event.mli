@@ -52,7 +52,19 @@ type t =
   | Guard_fetch of { cid : int; sym : string }
       (** Instruction fetch of a trampoline guard entry. *)
   | Rejected of { cid : int }  (** A caught CFI / isolation violation. *)
-  | Window of { cid : int; op : window_op }
+  | Window of { cid : int; op : window_op; wid : int; peer : int; ptr : int; size : int }
+      (** A window ACL operation that succeeded. [wid] identifies the
+          window within the owner; [peer] is the grantee for
+          open/close-style ops (-1 otherwise); [ptr]/[size] carry the
+          range for add/remove (0 otherwise). Rich enough that an
+          offline consumer (the CubiCheck replay plane) can mirror the
+          full window ACL state. *)
+  | Window_access of { cid : int; owner : int; page : int; access : access }
+      (** A checked memory access by [cid] touching a page owned by a
+          {e different} cubicle — the raw material for the replay
+          plane's race / use-after-close detection. Emitted from the
+          {!Api} access helpers only while tracing, and never charged:
+          traced and untraced runs stay cycle-identical. *)
   | Tlb of tlb_op
   | Sched_switch of { tid : int; cid : int }
   | Pager of pager_op

@@ -124,10 +124,16 @@ module Stream = struct
         instant ~cat:"fault" "retag" [ ("page", jint page); ("to_key", jint to_key) ]
     | Event.Pkru_write { value } -> instant ~cat:"mpk" "wrpkru" [ ("pkru", jint value) ]
     | Event.Rejected { cid } -> instant ~cat:"fault" "rejected" [ ("cubicle", jstr (names cid)) ]
-    | Event.Window { cid; op } ->
+    | Event.Window { cid; op; wid; peer; ptr; size } ->
         instant ~cat:"window"
           ("window:" ^ Event.window_op_name op)
-          [ ("cubicle", jstr (names cid)) ]
+          ([ ("cubicle", jstr (names cid)); ("wid", jint wid) ]
+          @ (if peer >= 0 then [ ("peer", jstr (names peer)) ] else [])
+          @ if size > 0 then [ ("ptr", jint ptr); ("size", jint size) ] else [])
+    | Event.Window_access { cid; owner; page; access } ->
+        instant ~cat:"window"
+          ("window_access:" ^ Event.access_name access)
+          [ ("cubicle", jstr (names cid)); ("owner", jstr (names owner)); ("page", jint page) ]
     | Event.Tlb op -> instant ~cat:"tlb" ("tlb:" ^ Event.tlb_op_name op) []
     | Event.Sched_switch { tid; cid } ->
         instant ~cat:"sched" "sched_switch"

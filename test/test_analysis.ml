@@ -1,0 +1,493 @@
+(* CubiCheck: the static isolation analyzer and the trace-driven
+   dynamic plane. Unit tests per pass, the seeded broken examples, the
+   byte-exact window grant semantics, and qcheck properties (a random
+   well-formed program analyses clean; each injected violation yields
+   exactly one finding). *)
+
+open Cubicle
+open Analysis
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fundecl = Iface.fundecl
+
+(* --- little program builders ------------------------------------------ *)
+
+let server ?(derefs = [ 0 ]) () =
+  ("SERVER", Types.Isolated, [ "srv" ], [ fundecl ~derefs "srv" [] ])
+
+let client body = ("CLIENT", Types.Isolated, [ "main" ], [ fundecl "main" body ])
+
+let clean_body ?(bytes = 128) () =
+  [
+    Iface.Alloc { buf = "req"; bytes };
+    Iface.Window_add { win = "w"; buf = Iface.Local "req"; bytes; standing = false };
+    Iface.Window_open { win = "w"; peer = "SERVER" };
+    Iface.Call { sym = "srv"; ptr_args = [ (0, Iface.Local "req", bytes) ] };
+    Iface.Window_close { win = "w"; peer = "SERVER" };
+    Iface.Window_remove { win = "w"; buf = Iface.Local "req" };
+  ]
+
+let keys fs = List.map (fun f -> f.Report.key) fs
+
+(* --- callgraph pass ---------------------------------------------------- *)
+
+let test_callgraph_clean () =
+  let p = Ir.make [ client (clean_body ()); server () ] in
+  check_int "no findings" 0 (List.length (Static.run p))
+
+let test_callgraph_missing_thunk () =
+  let p = Ir.make ~missing_thunks:[ "srv" ] [ client (clean_body ()); server () ] in
+  let fs = Callgraph.check p in
+  check_int "one finding" 1 (List.length fs);
+  let f = List.hd fs in
+  check_bool "critical" true (f.Report.severity = Report.Critical);
+  check_bool "key" true (f.Report.key = "trampoline:no-thunk:CLIENT.main:srv")
+
+let test_callgraph_missing_guard () =
+  let p =
+    Ir.make ~missing_guards:[ ("CLIENT", "srv") ] [ client (clean_body ()); server () ]
+  in
+  let fs = Callgraph.check p in
+  check_int "one finding" 1 (List.length fs);
+  check_bool "high" true ((List.hd fs).Report.severity = Report.High)
+
+let test_callgraph_direct_call () =
+  let p =
+    Ir.make [ client [ Iface.Direct_call { sym = "srv" } ]; server () ]
+  in
+  let fs = Callgraph.check p in
+  check_int "one finding" 1 (List.length fs);
+  check_bool "critical" true ((List.hd fs).Report.severity = Report.Critical)
+
+let test_callgraph_unresolved () =
+  let p = Ir.make [ client [ Iface.Call { sym = "ghost"; ptr_args = [] } ] ] in
+  let fs = Callgraph.check p in
+  check_int "one finding" 1 (List.length fs);
+  check_bool "key" true ((List.hd fs).Report.key = "trampoline:unresolved:CLIENT.main:ghost")
+
+let test_callgraph_edges () =
+  let p = Ir.make [ client (clean_body ()); server () ] in
+  match Callgraph.edges p with
+  | [ e ] ->
+      check_bool "edge" true
+        (e.Callgraph.caller = "CLIENT" && e.Callgraph.callee = "SERVER"
+       && e.Callgraph.sym = "srv")
+  | es -> Alcotest.failf "expected 1 edge, got %d" (List.length es)
+
+(* --- coverage pass ------------------------------------------------------ *)
+
+let test_coverage_no_grant () =
+  let body =
+    [
+      Iface.Alloc { buf = "req"; bytes = 128 };
+      Iface.Call { sym = "srv"; ptr_args = [ (0, Iface.Local "req", 128) ] };
+    ]
+  in
+  let fs = Windows.check (Ir.make [ client body; server () ]) in
+  check_int "one finding" 1 (List.length fs);
+  check_bool "key" true
+    ((List.hd fs).Report.key = "coverage:no-grant:CLIENT.main:srv:0:SERVER")
+
+let test_coverage_not_open () =
+  let body =
+    [
+      Iface.Alloc { buf = "req"; bytes = 128 };
+      Iface.Window_add { win = "w"; buf = Iface.Local "req"; bytes = 128; standing = false };
+      Iface.Call { sym = "srv"; ptr_args = [ (0, Iface.Local "req", 128) ] };
+      Iface.Window_remove { win = "w"; buf = Iface.Local "req" };
+    ]
+  in
+  let fs = Windows.check (Ir.make [ client body; server () ]) in
+  check_int "one finding" 1 (List.length fs);
+  check_bool "key" true
+    ((List.hd fs).Report.key = "coverage:not-open:CLIENT.main:srv:0:SERVER")
+
+let test_coverage_partial () =
+  let body =
+    [
+      Iface.Alloc { buf = "req"; bytes = 128 };
+      Iface.Window_add { win = "w"; buf = Iface.Local "req"; bytes = 64; standing = false };
+      Iface.Window_open { win = "w"; peer = "SERVER" };
+      Iface.Call { sym = "srv"; ptr_args = [ (0, Iface.Local "req", 128) ] };
+      Iface.Window_remove { win = "w"; buf = Iface.Local "req" };
+    ]
+  in
+  let fs = Windows.check (Ir.make [ client body; server () ]) in
+  check_int "one finding" 1 (List.length fs);
+  check_bool "key" true
+    ((List.hd fs).Report.key = "coverage:partial:CLIENT.main:srv:0:SERVER")
+
+let test_coverage_branch_intersection () =
+  (* the grant happens on only one arm: a must-analysis flags the call
+     after the join *)
+  let body =
+    [
+      Iface.Alloc { buf = "req"; bytes = 128 };
+      Iface.Branch
+        [
+          [
+            Iface.Window_add
+              { win = "w"; buf = Iface.Local "req"; bytes = 128; standing = false };
+            Iface.Window_open { win = "w"; peer = "SERVER" };
+          ];
+          [];
+        ];
+      Iface.Call { sym = "srv"; ptr_args = [ (0, Iface.Local "req", 128) ] };
+    ]
+  in
+  let fs = Windows.check (Ir.make [ client body; server () ]) in
+  check_int "flagged after join" 1 (List.length fs)
+
+let test_coverage_init_seeds_exports () =
+  (* a standing grant made in __init covers calls in every export *)
+  let iface =
+    [
+      fundecl "__init"
+        [
+          Iface.Alloc { buf = "staging"; bytes = 4096 };
+          Iface.Window_add
+            { win = "w"; buf = Iface.Local "staging"; bytes = 4096; standing = true };
+          Iface.Window_open { win = "w"; peer = "SERVER" };
+        ];
+      fundecl "main"
+        [ Iface.Call { sym = "srv"; ptr_args = [ (0, Iface.Local "staging", 4096) ] } ];
+    ]
+  in
+  let p = Ir.make [ ("CLIENT", Types.Isolated, [ "main" ], iface); server () ] in
+  check_int "covered from init" 0 (List.length (Static.run p))
+
+let test_coverage_transitive_accessor () =
+  (* CLIENT -> PROXY (forwards arg 0) -> SERVER (derefs): the grant must
+     be open for SERVER, the transitive accessor, not just PROXY *)
+  let proxy =
+    ( "PROXY",
+      Types.Isolated,
+      [ "fwd" ],
+      [
+        fundecl "fwd" [ Iface.Call { sym = "srv"; ptr_args = [ (0, Iface.Param 0, 0) ] } ];
+      ] )
+  in
+  let body_open_for peer =
+    [
+      Iface.Alloc { buf = "req"; bytes = 128 };
+      Iface.Window_add { win = "w"; buf = Iface.Local "req"; bytes = 128; standing = false };
+      Iface.Window_open { win = "w"; peer };
+      Iface.Call { sym = "fwd"; ptr_args = [ (0, Iface.Local "req", 128) ] };
+      Iface.Window_remove { win = "w"; buf = Iface.Local "req" };
+    ]
+  in
+  let fs_proxy_only =
+    Windows.check (Ir.make [ client (body_open_for "PROXY"); proxy; server () ])
+  in
+  check_bool "proxy-only grant flagged" true
+    (List.mem "coverage:not-open:CLIENT.main:fwd:0:SERVER" (keys fs_proxy_only));
+  let fs_server =
+    Windows.check (Ir.make [ client (body_open_for "SERVER"); proxy; server () ])
+  in
+  check_bool "server grant has no SERVER finding" false
+    (List.mem "coverage:not-open:CLIENT.main:fwd:0:SERVER" (keys fs_server))
+
+let test_coverage_shared_callee_exempt () =
+  (* calls into shared code run with the caller's privileges: no window
+     needed for the caller's own buffer *)
+  let libc =
+    ("LIBC", Types.Shared, [ "memcpy" ], [ fundecl ~derefs:[ 0; 1 ] "memcpy" [] ])
+  in
+  let body =
+    [
+      Iface.Alloc { buf = "req"; bytes = 128 };
+      Iface.Call { sym = "memcpy"; ptr_args = [ (0, Iface.Local "req", 128) ] };
+    ]
+  in
+  check_int "no findings" 0 (List.length (Static.run (Ir.make [ client body; libc ])))
+
+(* --- leak pass ---------------------------------------------------------- *)
+
+let test_leak_flagged () =
+  let body =
+    [
+      Iface.Alloc { buf = "req"; bytes = 128 };
+      Iface.Window_add { win = "w"; buf = Iface.Local "req"; bytes = 128; standing = false };
+    ]
+  in
+  let fs = Leaks.check (Ir.make [ client body ]) in
+  check_int "one finding" 1 (List.length fs);
+  check_bool "high" true ((List.hd fs).Report.severity = Report.High);
+  check_bool "key" true ((List.hd fs).Report.key = "leak:CLIENT.main:w/req")
+
+let test_leak_destroy_clean () =
+  let body =
+    [
+      Iface.Window_add { win = "w"; buf = Iface.Local "req"; bytes = 128; standing = false };
+      Iface.Window_destroy { win = "w" };
+    ]
+  in
+  check_int "no findings" 0 (List.length (Leaks.check (Ir.make [ client body ])))
+
+let test_leak_standing_exempt () =
+  let body =
+    [ Iface.Window_add { win = "w"; buf = Iface.Local "req"; bytes = 128; standing = true } ]
+  in
+  check_int "no findings" 0 (List.length (Leaks.check (Ir.make [ client body ])))
+
+let test_leak_partial_on_branch () =
+  let body =
+    [
+      Iface.Window_add { win = "w"; buf = Iface.Local "req"; bytes = 128; standing = false };
+      Iface.Branch [ [ Iface.Window_remove { win = "w"; buf = Iface.Local "req" } ]; [] ];
+    ]
+  in
+  let fs = Leaks.check (Ir.make [ client body ]) in
+  check_int "one finding" 1 (List.length fs);
+  check_bool "medium" true ((List.hd fs).Report.severity = Report.Medium)
+
+(* --- window grant semantics (byte-exact coverage) ----------------------- *)
+
+let test_window_covers () =
+  let tbl = Window.create_table ~owner:1 ~ncubicles:4 in
+  let w = Window.init tbl ~klass:Mm.Page_meta.Heap in
+  Window.add_range w ~ptr:0x1000 ~size:16;
+  check_bool "exact" true (Window.covers w ~ptr:0x1000 ~size:16);
+  check_bool "prefix" true (Window.covers w ~ptr:0x1000 ~size:10);
+  check_bool "partial (regression)" false (Window.covers w ~ptr:0x1000 ~size:32);
+  check_int "covered prefix" 16 (Window.covered_prefix w ~ptr:0x1000 ~size:32);
+  (* adjacent ranges stitch *)
+  Window.add_range w ~ptr:0x1010 ~size:16;
+  check_bool "stitched" true (Window.covers w ~ptr:0x1000 ~size:32);
+  (* a hole breaks coverage *)
+  Window.add_range w ~ptr:0x1030 ~size:16;
+  check_bool "hole" false (Window.covers w ~ptr:0x1000 ~size:64);
+  check_int "stops at hole" 32 (Window.covered_prefix w ~ptr:0x1000 ~size:64);
+  check_bool "zero size" false (Window.covers w ~ptr:0x1000 ~size:0)
+
+let test_monitor_window_grants () =
+  let mon = Monitor.create ~protection:Types.Full () in
+  let a =
+    Monitor.create_cubicle mon ~name:"A" ~kind:Types.Isolated ~heap_pages:8 ~stack_pages:2
+  in
+  let b =
+    Monitor.create_cubicle mon ~name:"B" ~kind:Types.Isolated ~heap_pages:4 ~stack_pages:1
+  in
+  let ctx = Monitor.ctx_for mon a in
+  let buf = Monitor.run_as mon a (fun () -> Api.malloc ctx 64) in
+  let wid = Api.window_init ctx ~klass:Mm.Page_meta.Heap in
+  Api.window_add ctx wid ~ptr:buf ~size:32;
+  (* permission: granted but not open *)
+  check_bool "not open" false (Monitor.window_grants mon a ~peer:b ~ptr:buf ~size:32);
+  Api.window_open ctx wid b;
+  check_bool "open + covered" true (Monitor.window_grants mon a ~peer:b ~ptr:buf ~size:32);
+  (* size: grant smaller than the access (regression for partial
+     coverage) *)
+  check_bool "partial" false (Monitor.window_grants mon a ~peer:b ~ptr:buf ~size:64);
+  Api.window_close ctx wid b;
+  check_bool "closed" false (Monitor.window_grants mon a ~peer:b ~ptr:buf ~size:32)
+
+(* --- dynamic plane ------------------------------------------------------ *)
+
+let test_replay_crossing_suppresses_race () =
+  (* same two writes as the seeded race, but with a trampoline crossing
+     between them: ordered, no race *)
+  let det = Races.create ~name_of:(Printf.sprintf "C%d") in
+  Races.access det ~cid:2 ~owner:1 ~page:10 ~access:Telemetry.Event.Write ~covered:true;
+  Races.crossing det;
+  Races.access det ~cid:3 ~owner:1 ~page:10 ~access:Telemetry.Event.Write ~covered:true;
+  check_int "no findings" 0 (List.length (Races.findings det))
+
+let test_replay_race_detected () =
+  let det = Races.create ~name_of:(Printf.sprintf "C%d") in
+  Races.access det ~cid:2 ~owner:1 ~page:10 ~access:Telemetry.Event.Write ~covered:true;
+  Races.access det ~cid:3 ~owner:1 ~page:10 ~access:Telemetry.Event.Write ~covered:true;
+  let fs = Races.findings det in
+  check_int "one finding" 1 (List.length fs);
+  check_bool "race" true ((List.hd fs).Report.pass = "race")
+
+let test_replay_mirror_tracks_acl () =
+  let t = Replay.create ~name_of:(Printf.sprintf "C%d") in
+  let page = 16 in
+  let ptr = page * Hw.Addr.page_size in
+  Replay.feed t (Telemetry.Event.Window { cid = 1; op = Telemetry.Event.Init; wid = 0; peer = -1; ptr = 0; size = 0 });
+  Replay.feed t (Telemetry.Event.Window { cid = 1; op = Telemetry.Event.Add; wid = 0; peer = -1; ptr; size = 64 });
+  Replay.feed t (Telemetry.Event.Window { cid = 1; op = Telemetry.Event.Open; wid = 0; peer = 2; ptr = 0; size = 0 });
+  Replay.feed t (Telemetry.Event.Window_access { cid = 2; owner = 1; page; access = Telemetry.Event.Write });
+  check_int "covered access ok" 0 (List.length (Replay.findings t));
+  Replay.feed t (Telemetry.Event.Window { cid = 1; op = Telemetry.Event.Close; wid = 0; peer = 2; ptr = 0; size = 0 });
+  Replay.feed t (Telemetry.Event.Window_access { cid = 2; owner = 1; page; access = Telemetry.Event.Write });
+  let fs = Replay.findings t in
+  check_int "one finding" 1 (List.length fs);
+  check_bool "use-after-close" true ((List.hd fs).Report.pass = "use-after-close");
+  check_bool "critical" true ((List.hd fs).Report.severity = Report.Critical)
+
+(* --- seeded broken examples --------------------------------------------- *)
+
+let test_seeded_all_caught () =
+  List.iter
+    (fun (sc : Seeded.scenario) ->
+      if not (Seeded.caught sc) then
+        Alcotest.failf "seeded scenario %s not caught (expected %s/%s, got %d findings: %s)"
+          sc.Seeded.sc_name sc.Seeded.expect_pass
+          (Report.severity_name sc.Seeded.expect_severity)
+          (List.length sc.Seeded.findings)
+          (String.concat ", " (keys sc.Seeded.findings)))
+    (Seeded.all ())
+
+let test_seeded_static_exactly_one () =
+  List.iter
+    (fun (sc : Seeded.scenario) ->
+      check_int (sc.Seeded.sc_name ^ " finding count") 1 (List.length sc.Seeded.findings))
+    [ Seeded.missing_trampoline (); Seeded.uncovered_pointer (); Seeded.leaked_window () ]
+
+(* --- report / baseline --------------------------------------------------- *)
+
+let test_baseline_diff () =
+  let f key severity =
+    Report.make ~pass:"coverage" ~severity ~plane:Report.Static ~component:"X"
+      ~detail:"d" ~key
+  in
+  let fs = [ f "a" Report.High; f "b" Report.Medium ] in
+  check_int "counts" 2 (List.length (Report.baseline_counts fs));
+  let fresh, resolved = Report.diff_baseline ~baseline:[ ("a", 1); ("c", 1) ] fs in
+  check_bool "fresh" true (fresh = [ ("b", 1) ]);
+  check_bool "resolved" true (resolved = [ ("c", 1) ])
+
+(* --- shipped stacks analyse clean ---------------------------------------- *)
+
+let test_fs_stack_clean () =
+  let sys = Libos.Boot.fs_stack ~protection:Types.Full () in
+  let fs = Static.run_built sys.Libos.Boot.built in
+  if fs <> [] then
+    Alcotest.failf "fs stack: %d findings: %s" (List.length fs)
+      (String.concat ", " (keys fs))
+
+let test_net_stack_clean () =
+  let sys = Libos.Boot.net_stack ~protection:Types.Full () in
+  let fs = Static.run_built sys.Libos.Boot.built in
+  if fs <> [] then
+    Alcotest.failf "net stack: %d findings: %s" (List.length fs)
+      (String.concat ", " (keys fs))
+
+(* --- qcheck properties ---------------------------------------------------- *)
+
+(* Random well-formed single-client programs plus five injectable
+   violations. Generators vary buffer size, cleanup style (remove vs
+   destroy), whether the window is closed, and harmless padding
+   statements. *)
+
+type injection = Clean | No_thunk | Drop_grant | Shrink_grant | Drop_open | Drop_remove
+
+let gen_case =
+  QCheck.Gen.(
+    let* size_q = int_range 1 16 in
+    let size = size_q * 16 in
+    let* use_destroy = bool in
+    let* close_first = bool in
+    let* pad = bool in
+    let* inj = oneofl [ Clean; No_thunk; Drop_grant; Shrink_grant; Drop_open; Drop_remove ] in
+    return (size, use_destroy, close_first, pad, inj))
+
+let build_case (size, use_destroy, close_first, pad, inj) =
+  let grant_bytes = match inj with Shrink_grant -> size / 2 | _ -> size in
+  let body =
+    (if pad then [ Iface.Alloc { buf = "scratch"; bytes = 16 } ] else [])
+    @ [ Iface.Alloc { buf = "req"; bytes = size } ]
+    @ (match inj with
+      | Drop_grant -> []
+      | _ ->
+          [
+            Iface.Window_add
+              { win = "w"; buf = Iface.Local "req"; bytes = grant_bytes; standing = false };
+          ])
+    @ (match inj with
+      | Drop_open | Drop_grant -> []
+      | _ -> [ Iface.Window_open { win = "w"; peer = "SERVER" } ])
+    @ [ Iface.Call { sym = "srv"; ptr_args = [ (0, Iface.Local "req", size) ] } ]
+    @ (if close_first && inj <> Drop_grant && inj <> Drop_open then
+         [ Iface.Window_close { win = "w"; peer = "SERVER" } ]
+       else [])
+    @
+    match inj with
+    | Drop_remove | Drop_grant -> []
+    | _ ->
+        if use_destroy then [ Iface.Window_destroy { win = "w" } ]
+        else [ Iface.Window_remove { win = "w"; buf = Iface.Local "req" } ]
+  in
+  let missing_thunks = match inj with No_thunk -> [ "srv" ] | _ -> [] in
+  Ir.make ~missing_thunks [ client body; server () ]
+
+let expected_key (_, _, _, _, inj) =
+  match inj with
+  | Clean -> None
+  | No_thunk -> Some "trampoline:no-thunk:CLIENT.main:srv"
+  | Drop_grant -> Some "coverage:no-grant:CLIENT.main:srv:0:SERVER"
+  | Shrink_grant -> Some "coverage:partial:CLIENT.main:srv:0:SERVER"
+  | Drop_open -> Some "coverage:not-open:CLIENT.main:srv:0:SERVER"
+  | Drop_remove -> Some "leak:CLIENT.main:w/req"
+
+let prop_injection =
+  QCheck.Test.make ~count:200
+    ~name:"cubicheck: well-formed clean; each injected violation yields exactly one finding"
+    (QCheck.make gen_case)
+    (fun case ->
+      let fs = Static.run (build_case case) in
+      match expected_key case with
+      | None -> fs = []
+      | Some k -> List.length fs = 1 && (List.hd fs).Report.key = k)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_injection ]
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "callgraph",
+        [
+          Alcotest.test_case "clean" `Quick test_callgraph_clean;
+          Alcotest.test_case "missing thunk" `Quick test_callgraph_missing_thunk;
+          Alcotest.test_case "missing guard" `Quick test_callgraph_missing_guard;
+          Alcotest.test_case "direct call" `Quick test_callgraph_direct_call;
+          Alcotest.test_case "unresolved" `Quick test_callgraph_unresolved;
+          Alcotest.test_case "edges" `Quick test_callgraph_edges;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "no grant" `Quick test_coverage_no_grant;
+          Alcotest.test_case "not open" `Quick test_coverage_not_open;
+          Alcotest.test_case "partial" `Quick test_coverage_partial;
+          Alcotest.test_case "branch intersection" `Quick test_coverage_branch_intersection;
+          Alcotest.test_case "init seeds exports" `Quick test_coverage_init_seeds_exports;
+          Alcotest.test_case "transitive accessor" `Quick test_coverage_transitive_accessor;
+          Alcotest.test_case "shared callee exempt" `Quick test_coverage_shared_callee_exempt;
+        ] );
+      ( "leaks",
+        [
+          Alcotest.test_case "leak flagged" `Quick test_leak_flagged;
+          Alcotest.test_case "destroy clean" `Quick test_leak_destroy_clean;
+          Alcotest.test_case "standing exempt" `Quick test_leak_standing_exempt;
+          Alcotest.test_case "partial on branch" `Quick test_leak_partial_on_branch;
+        ] );
+      ( "grant semantics",
+        [
+          Alcotest.test_case "covers" `Quick test_window_covers;
+          Alcotest.test_case "monitor grants" `Quick test_monitor_window_grants;
+        ] );
+      ( "dynamic",
+        [
+          Alcotest.test_case "crossing suppresses race" `Quick
+            test_replay_crossing_suppresses_race;
+          Alcotest.test_case "race detected" `Quick test_replay_race_detected;
+          Alcotest.test_case "mirror tracks acl" `Quick test_replay_mirror_tracks_acl;
+        ] );
+      ( "seeded",
+        [
+          Alcotest.test_case "all caught" `Quick test_seeded_all_caught;
+          Alcotest.test_case "static exactly one" `Quick test_seeded_static_exactly_one;
+        ] );
+      ( "report",
+        [ Alcotest.test_case "baseline diff" `Quick test_baseline_diff ] );
+      ( "stacks",
+        [
+          Alcotest.test_case "fs stack clean" `Quick test_fs_stack_clean;
+          Alcotest.test_case "net stack clean" `Quick test_net_stack_clean;
+        ] );
+      ("properties", qsuite);
+    ]
