@@ -2,7 +2,7 @@
    evaluation (§6). Results are simulated cycles from the machine's
    cost model, reported in the paper's units. Run with no arguments for
    everything, or with a subset of: table2 fig5 fig6 fig7 fig8 fig10a
-   fig10b ablation micro hw. The extra target `trace` (never part of
+   fig10b ablation micro hw smp. The extra target `trace` (never part of
    `all`) captures the Fig. 2 write path on the telemetry bus and writes
    trace.json / trace.folded; `--sample N` keeps 1 in N events and
    `--stream` writes the JSON incrementally through a bus sink instead
@@ -1255,6 +1255,238 @@ let analyze ?(out = "ANALYSIS.json") ?baseline ?write_baseline () =
   fprintf "\nanalyze OK: shipped stacks hold the window discipline, all %d seeded violations caught\n"
     (List.length scenarios)
 
+(* --- smp: multi-core throughput scaling -> BENCH_smp.json ------------------------- *)
+
+(* Drive a fixed batch of siege connections through the sharded NGINX
+   deployment on an N-core machine: one SO_REUSEPORT worker per core,
+   one NETDEV ring per core, frames steered to ring [conn mod N] by the
+   host bridge (RSS by connection id). All requests are injected up
+   front; the SMP scheduler then runs one worker thread per core until
+   every shard has served its share. The measurement is the per-core
+   cycle delta across the serving phase: the makespan (the maximum
+   per-core counter) is the N-core machine's elapsed time, and the
+   scaling curve is makespan(1) / makespan(N). Everything is simulated
+   cycles, so the curve is deterministic and golden-checked in CI. *)
+
+let smp_conns = 64
+let smp_file_size = 8192
+
+type smp_row = {
+  smp_ncores : int;
+  smp_makespan : int;  (* max per-core cycle delta over the serving phase *)
+  smp_total : int;  (* summed cycle delta (the single-timeline cost) *)
+  smp_core_deltas : int array;
+  smp_migrations : int;
+  smp_steals : int;
+  smp_shootdowns : int;
+}
+
+let smp_run ~ncores =
+  let app = Httpd.Server.component ~workers:ncores () in
+  let sys =
+    Libos.Boot.net_stack ~ncores ~nrings:ncores ~mem_bytes:(256 * 1024 * 1024)
+      ~extra:[ (app, Types.Isolated) ]
+      ()
+  in
+  let mon = sys.Libos.Boot.mon in
+  let cpu = Monitor.cpu mon in
+  let cost = Monitor.cost mon in
+  let netdev = Option.get sys.Libos.Boot.netdev in
+  let path = Printf.sprintf "/f%d.bin" smp_file_size in
+  Libos.Boot.populate sys ~as_app:"NGINX" [ (path, String.make smp_file_size 'x') ];
+  let workers = Array.init ncores (fun shard -> Httpd.Server.start ~shard sys) in
+  let per_shard = Array.make ncores 0 in
+  for conn = 1 to smp_conns do
+    let ring = conn mod ncores in
+    per_shard.(ring) <- per_shard.(ring) + 1;
+    Libos.Netdev.host_inject ~ring netdev
+      (Libos.Lwip.Frame.encode ~conn ~kind:Libos.Lwip.Frame.Syn ~payload:"" ());
+    Libos.Netdev.host_inject ~ring netdev
+      (Libos.Lwip.Frame.encode ~conn ~kind:Libos.Lwip.Frame.Data
+         ~payload:(Printf.sprintf "GET %s HTTP/1.0\r\nHost: sim\r\n\r\n" path)
+         ())
+  done;
+  (* serving phase: one worker thread per core, pinned to its shard's
+     core (work stealing may still migrate a straggler) *)
+  let bases = Array.init ncores (fun c -> Hw.Cost.core_cycles cost c) in
+  let c0 = Hw.Cost.cycles cost in
+  let nginx = (Libos.Boot.app_ctx sys "NGINX").Monitor.self in
+  let sched = Libos.Sched.create mon in
+  Array.iteri
+    (fun shard w ->
+      ignore
+        (Libos.Sched.spawn ~core:shard sched nginx (fun () ->
+             let stalled = ref 0 in
+             while Httpd.Server.requests_served w < per_shard.(shard) do
+               if Httpd.Server.poll w = 0 then begin
+                 incr stalled;
+                 if !stalled > 100 then
+                   Types.error "smp: worker %d stalled (%d/%d served)" shard
+                     (Httpd.Server.requests_served w)
+                     per_shard.(shard)
+               end
+               else stalled := 0;
+               Libos.Sched.yield ()
+             done)))
+    workers;
+  Libos.Sched.run sched;
+  let deltas = Array.init ncores (fun c -> Hw.Cost.core_cycles cost c - bases.(c)) in
+  let total_delta = Hw.Cost.cycles cost - c0 in
+  if Array.fold_left ( + ) 0 deltas <> total_delta then begin
+    fprintf "FATAL: smp %d cores: per-core deltas sum to %d, total delta %d\n" ncores
+      (Array.fold_left ( + ) 0 deltas)
+      total_delta;
+    exit 1
+  end;
+  (* the telemetry invariant, extended per core: each core plane of the
+     attribution table must equal the machine's per-core counter *)
+  let attrib = cost.Hw.Cost.attrib in
+  for c = 0 to Hw.Cost.ncores cost - 1 do
+    if Telemetry.Attrib.core_total attrib ~core:c <> Hw.Cost.core_cycles cost c then begin
+      fprintf "FATAL: smp %d cores: attrib core %d total %d <> core cycles %d\n" ncores c
+        (Telemetry.Attrib.core_total attrib ~core:c)
+        (Hw.Cost.core_cycles cost c);
+      exit 1
+    end
+  done;
+  let served = Array.fold_left (fun acc w -> acc + Httpd.Server.requests_served w) 0 workers in
+  if served <> smp_conns then begin
+    fprintf "FATAL: smp %d cores: served %d of %d requests\n" ncores served smp_conns;
+    exit 1
+  end;
+  (* every connection must have received a complete 200 response *)
+  let by_conn = Hashtbl.create smp_conns in
+  List.iter
+    (fun f ->
+      let c, kind, seq, payload = Libos.Lwip.Frame.decode f in
+      if kind = Libos.Lwip.Frame.Data then begin
+        let r =
+          match Hashtbl.find_opt by_conn c with
+          | Some r -> r
+          | None ->
+              let r = Libos.Lwip.Reassembly.create () in
+              Hashtbl.replace by_conn c r;
+              r
+        in
+        Libos.Lwip.Reassembly.push r ~seq payload
+      end)
+    (Libos.Netdev.host_collect netdev);
+  for conn = 1 to smp_conns do
+    let resp =
+      match Hashtbl.find_opt by_conn conn with
+      | Some r -> Libos.Lwip.Reassembly.pop_ready r
+      | None -> ""
+    in
+    if
+      String.length resp <= smp_file_size
+      || not (String.length resp > 12 && String.sub resp 9 3 = "200")
+    then begin
+      fprintf "FATAL: smp %d cores: conn %d got a bad response (%d bytes)\n" ncores conn
+        (String.length resp);
+      exit 1
+    end
+  done;
+  {
+    smp_ncores = ncores;
+    smp_makespan = Array.fold_left max 0 deltas;
+    smp_total = total_delta;
+    smp_core_deltas = deltas;
+    smp_migrations = Libos.Sched.migrations sched;
+    smp_steals = Libos.Sched.steals sched;
+    smp_shootdowns = Hw.Cpu.shootdown_count cpu;
+  }
+
+let smp_json_rows rows =
+  List.concat_map
+    (fun r ->
+      let key f = Printf.sprintf "smp%d.%s" r.smp_ncores f in
+      let base = (List.hd rows).smp_makespan in
+      [
+        (key "makespan_cycles", r.smp_makespan);
+        (key "total_cycles", r.smp_total);
+        (key "speedup_x100", 100 * base / r.smp_makespan);
+        (key "migrations", r.smp_migrations);
+        (key "steals", r.smp_steals);
+        (key "shootdowns", r.smp_shootdowns);
+      ]
+      @ Array.to_list
+          (Array.mapi (fun c d -> (key (Printf.sprintf "core%d_cycles" c), d)) r.smp_core_deltas))
+    rows
+
+let smp_check_golden path rows =
+  if not (Sys.file_exists path) then begin
+    Printf.printf
+      "GOLDEN FILE MISSING: %s\nGenerate it with:\n\
+      \  dune exec bench/main.exe -- smp --write-golden %s\n"
+      path path;
+    exit 1
+  end;
+  let golden = read_flat_json path in
+  let drift = ref [] in
+  List.iter
+    (fun (key, v) ->
+      match List.assoc_opt key golden with
+      | Some g when g = v -> ()
+      | Some g -> drift := Printf.sprintf "%s: golden %d, measured %d" key g v :: !drift
+      | None -> drift := Printf.sprintf "%s: missing from golden file" key :: !drift)
+    rows;
+  List.iter
+    (fun (key, _) ->
+      if not (List.mem_assoc key rows) then
+        drift := Printf.sprintf "%s: in golden file but not measured" key :: !drift)
+    golden;
+  if !drift <> [] then begin
+    fprintf "\nGOLDEN SMP DRIFT vs %s:\n" path;
+    List.iter (fprintf "  %s\n") (List.rev !drift);
+    fprintf
+      "If the drift is an intentional cost-model, scheduler or stack change,\n\
+       recalibrate with:\n\
+      \  dune exec bench/main.exe -- smp --write-golden %s\n"
+      path;
+    exit 1
+  end;
+  fprintf "\ngolden check OK: scaling curve matches %s\n" path
+
+let smp ?(out = "BENCH_smp.json") ?golden ?write_golden () =
+  heading
+    (Printf.sprintf "SMP scale-out: %d siege connections over 1/2/4/8 simulated cores"
+       smp_conns);
+  let rows = List.map (fun n -> smp_run ~ncores:n) [ 1; 2; 4; 8 ] in
+  let base = (List.hd rows).smp_makespan in
+  fprintf "%6s %16s %16s %8s %11s %7s %7s %11s\n" "cores" "makespan(cyc)" "total(cyc)"
+    "speedup" "efficiency" "migr" "steals" "shootdowns";
+  List.iter
+    (fun r ->
+      let speedup = float_of_int base /. float_of_int r.smp_makespan in
+      fprintf "%6d %16d %16d %7.2fx %10.1f%% %7d %7d %11d\n" r.smp_ncores r.smp_makespan
+        r.smp_total speedup
+        (100. *. speedup /. float_of_int r.smp_ncores)
+        r.smp_migrations r.smp_steals r.smp_shootdowns)
+    rows;
+  (* the acceptance floors: >=1.7x at 2 cores, >=3x at 4 cores *)
+  List.iter
+    (fun (n, floor_x100) ->
+      match List.find_opt (fun r -> r.smp_ncores = n) rows with
+      | None -> ()
+      | Some r ->
+          let x100 = 100 * base / r.smp_makespan in
+          if x100 < floor_x100 then begin
+            fprintf "FATAL: %d-core speedup %d.%02dx below the %d.%02dx floor\n" n
+              (x100 / 100) (x100 mod 100) (floor_x100 / 100) (floor_x100 mod 100);
+            exit 1
+          end)
+    [ (2, 170); (4, 300) ];
+  fprintf "scaling floors OK: >=1.70x at 2 cores, >=3.00x at 4 cores\n";
+  let json = smp_json_rows rows in
+  write_flat_json out json;
+  fprintf "wrote %s\n" out;
+  (match write_golden with
+  | Some path ->
+      write_flat_json path json;
+      fprintf "wrote golden scaling curve to %s\n" path
+  | None -> ());
+  match golden with Some path -> smp_check_golden path json | None -> ()
+
 (* --- driver ---------------------------------------------------------------------- *)
 
 let () =
@@ -1299,8 +1531,16 @@ let () =
   if want "hw" then
     hw
       ?out:(List.assoc_opt "--out" flags)
-      ?golden:(List.assoc_opt "--golden" flags)
-      ?write_golden:(List.assoc_opt "--write-golden" flags)
+      ?golden:(if List.mem "hw" targets then List.assoc_opt "--golden" flags else None)
+      ?write_golden:
+        (if List.mem "hw" targets then List.assoc_opt "--write-golden" flags else None)
+      ();
+  if want "smp" then
+    smp
+      ?out:(if List.mem "smp" targets then List.assoc_opt "--out" flags else None)
+      ?golden:(if List.mem "smp" targets then List.assoc_opt "--golden" flags else None)
+      ?write_golden:
+        (if List.mem "smp" targets then List.assoc_opt "--write-golden" flags else None)
       ();
   if want "analyze" then
     analyze

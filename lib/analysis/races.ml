@@ -2,12 +2,16 @@
    stream.
 
    Race: window grants are symmetric-access, not synchronised — two
-   cubicles writing the same granted page with no trampoline crossing
-   between the writes have no happens-before edge, so the interleaving
-   is timing-dependent. We track the last writer of each page plus a
-   global "crossing" counter bumped at every trampoline Call/Return; a
-   write by a different cubicle with no crossing since the previous
-   write is flagged.
+   cubicles writing the same granted page with no happens-before edge
+   between the writes have a timing-dependent interleaving. Order is
+   per-core: on one core, trampoline Call/Return events and scheduler
+   switches serialise everything that runs there (same-core program
+   order IS a happens-before edge), so we keep a per-core "crossing"
+   counter and flag a same-core write pair only when no crossing
+   separates the writes. Across cores there is no such edge at all —
+   the cores genuinely interleave — so two writes of the same page from
+   different cores by different cubicles are always a race, crossings
+   or not.
 
    Use-after-close: revocation is causal (paper §5.6) — closing a
    window does not retag pages the peer already faulted in, so a stale
@@ -18,8 +22,8 @@
 type t = {
   name_of : int -> string;
   mutable seq : int;
-  mutable crossing : int;  (* seq of the most recent Call/Return *)
-  last_write : (int, int * int) Hashtbl.t;  (* page -> (writer cid, seq) *)
+  mutable crossings : int array;  (* per core: seq of its most recent hb edge *)
+  last_write : (int, int * int * int) Hashtbl.t;  (* page -> (writer cid, seq, core) *)
   mutable findings : Report.finding list;
   seen : (string, unit) Hashtbl.t;
 }
@@ -28,7 +32,7 @@ let create ~name_of =
   {
     name_of;
     seq = 0;
-    crossing = 0;
+    crossings = [| 0 |];
     last_write = Hashtbl.create 64;
     findings = [];
     seen = Hashtbl.create 16;
@@ -40,11 +44,21 @@ let add t f =
     t.findings <- f :: t.findings
   end
 
-let crossing t =
-  t.seq <- t.seq + 1;
-  t.crossing <- t.seq
+let grow t core =
+  if core >= Array.length t.crossings then begin
+    let fresh = Array.make (core + 1) 0 in
+    Array.blit t.crossings 0 fresh 0 (Array.length t.crossings);
+    t.crossings <- fresh
+  end
 
-let access t ~cid ~owner ~page ~(access : Telemetry.Event.access) ~covered =
+let crossing_of t core = if core < Array.length t.crossings then t.crossings.(core) else 0
+
+let crossing ?(core = 0) t =
+  t.seq <- t.seq + 1;
+  grow t core;
+  t.crossings.(core) <- t.seq
+
+let access ?(core = 0) t ~cid ~owner ~page ~(access : Telemetry.Event.access) ~covered =
   t.seq <- t.seq + 1;
   if not covered then
     add t
@@ -61,20 +75,31 @@ let access t ~cid ~owner ~page ~(access : Telemetry.Event.access) ~covered =
   (match access with
   | Telemetry.Event.Write -> (
       (match Hashtbl.find_opt t.last_write page with
-      | Some (w, wseq) when w <> cid && t.crossing <= wseq ->
-          add t
-            (Report.make ~pass:"race" ~severity:Report.High ~plane:Report.Dynamic
-               ~component:(t.name_of w)
-               ~detail:
-                 (Printf.sprintf
-                    "%s and %s both wrote a page of %s with no trampoline crossing \
-                     between the writes (no happens-before edge)"
-                    (t.name_of w) (t.name_of cid) (t.name_of owner))
-               ~key:
-                 (Printf.sprintf "race:%s-%s:owner=%s" (t.name_of w) (t.name_of cid)
-                    (t.name_of owner)))
+      | Some (w, wseq, wcore) when w <> cid ->
+          let race detail =
+            add t
+              (Report.make ~pass:"race" ~severity:Report.High ~plane:Report.Dynamic
+                 ~component:(t.name_of w) ~detail
+                 ~key:
+                   (Printf.sprintf "race:%s-%s:owner=%s" (t.name_of w) (t.name_of cid)
+                      (t.name_of owner)))
+          in
+          if wcore <> core then
+            (* cross-core: the cores interleave concurrently — no
+               crossing on either core orders the two writes *)
+            race
+              (Printf.sprintf
+                 "%s (core %d) and %s (core %d) wrote a page of %s from different \
+                  cores — cross-core interleaving has no happens-before edge"
+                 (t.name_of w) wcore (t.name_of cid) core (t.name_of owner))
+          else if crossing_of t core <= wseq then
+            race
+              (Printf.sprintf
+                 "%s and %s both wrote a page of %s with no trampoline crossing or \
+                  scheduler switch between the writes (no happens-before edge)"
+                 (t.name_of w) (t.name_of cid) (t.name_of owner))
       | _ -> ());
-      Hashtbl.replace t.last_write page (cid, t.seq))
+      Hashtbl.replace t.last_write page (cid, t.seq, core))
   | Telemetry.Event.Read | Telemetry.Event.Exec -> ())
 
 let findings t = Report.sort (List.rev t.findings)

@@ -2,17 +2,21 @@
 
     Fed digested access records by {!Replay}: each checked cross-cubicle
     access plus whether the replay mirror shows a live, open window
-    covering it. Trampoline [Call]/[Return] events are the only
-    happens-before edges ({!crossing}). *)
+    covering it. Happens-before is per core: trampoline [Call]/[Return]
+    events and scheduler switches order everything on their own core
+    ({!crossing}); nothing orders two different cores. *)
 
 type t
 
 val create : name_of:(int -> string) -> t
-val crossing : t -> unit
-(** A trampoline Call or Return was observed: orders all prior accesses
-    before all later ones. *)
+
+val crossing : ?core:int -> t -> unit
+(** A trampoline Call/Return or a scheduler switch was observed on
+    [core] (default 0): orders all prior accesses on that core before
+    all later ones on that core. *)
 
 val access :
+  ?core:int ->
   t ->
   cid:int ->
   owner:int ->
@@ -20,9 +24,12 @@ val access :
   access:Telemetry.Event.access ->
   covered:bool ->
   unit
-(** One checked access by [cid] to a page owned by [owner]. [covered] is
-    the replay mirror's verdict. Uncovered access → [Critical]
-    use-after-close; same-page writes from two cubicles with no crossing
-    between them → [High] race. *)
+(** One checked access by [cid] on [core] (default 0) to a page owned by
+    [owner]. [covered] is the replay mirror's verdict. Uncovered access
+    → [Critical] use-after-close; same-page writes from two cubicles on
+    one core with no crossing between them → [High] race; same-page
+    writes from two cubicles on {e different} cores → [High] race
+    unconditionally (cross-core interleaving has no happens-before
+    edge). *)
 
 val findings : t -> Report.finding list

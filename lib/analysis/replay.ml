@@ -60,9 +60,12 @@ let get_win t owner wid =
       Hashtbl.replace t.wins (owner, wid) w;
       w
 
-let feed t (ev : Telemetry.Event.t) =
+let feed ?(core = 0) t (ev : Telemetry.Event.t) =
   match ev with
-  | Telemetry.Event.Call _ | Telemetry.Event.Return _ -> Races.crossing t.races
+  (* trampoline crossings and scheduler switches are happens-before
+     edges on the core they run on *)
+  | Telemetry.Event.Call _ | Telemetry.Event.Return _ | Telemetry.Event.Sched_switch _ ->
+      Races.crossing ~core t.races
   | Telemetry.Event.Window { cid; op; wid; peer; ptr; size } -> (
       let w = get_win t cid wid in
       match op with
@@ -85,12 +88,14 @@ let feed t (ev : Telemetry.Event.t) =
       | Telemetry.Event.Close_all -> w.opened <- ISet.empty
       | Telemetry.Event.Destroy -> w.alive <- false)
   | Telemetry.Event.Window_access { cid; owner; page; access } ->
-      Races.access t.races ~cid ~owner ~page ~access
+      Races.access ~core t.races ~cid ~owner ~page ~access
         ~covered:(covered t ~owner ~page ~cid)
   | _ -> ()
 
 let run t entries =
-  List.iter (fun (e : Telemetry.Bus.entry) -> feed t e.Telemetry.Bus.ev) entries
+  List.iter
+    (fun (e : Telemetry.Bus.entry) -> feed ~core:e.Telemetry.Bus.core t e.Telemetry.Bus.ev)
+    entries
 
 let findings t = Races.findings t.races
 

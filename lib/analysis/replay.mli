@@ -17,8 +17,13 @@ val seed_from_monitor : t -> Monitor.t -> unit
 (** Prime the mirror with the live window state, for traces that start
     mid-run (after boot-time grants were already emitted or dropped). *)
 
-val feed : t -> Telemetry.Event.t -> unit
+val feed : ?core:int -> t -> Telemetry.Event.t -> unit
+(** [core] (default 0) is the simulated core the event was emitted on;
+    it scopes the happens-before edges fed to {!Races}. *)
+
 val run : t -> Telemetry.Bus.entry list -> unit
+(** [run t entries] feeds each entry with its recorded core. *)
+
 val findings : t -> Report.finding list
 
 val of_bus :

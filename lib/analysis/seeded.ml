@@ -109,8 +109,8 @@ let leaked_window () =
 (* Dynamic scenarios: a real monitor under Full protection, tracing
    on, replayed through the mirror. *)
 
-let mk_dynamic () =
-  let mon = Monitor.create ~protection:Types.Full () in
+let mk_dynamic ?ncores () =
+  let mon = Monitor.create ?ncores ~protection:Types.Full () in
   let a = Monitor.create_cubicle mon ~name:"OWNER" ~kind:Types.Isolated ~heap_pages:8 ~stack_pages:2 in
   let b = Monitor.create_cubicle mon ~name:"PEER1" ~kind:Types.Isolated ~heap_pages:4 ~stack_pages:1 in
   let c = Monitor.create_cubicle mon ~name:"PEER2" ~kind:Types.Isolated ~heap_pages:4 ~stack_pages:1 in
@@ -173,6 +173,38 @@ let use_after_close () =
     findings = replay_bus mon bus;
   }
 
+(* 6. Two peers write the same granted page from different cores. A
+   trampoline crossing separates the writes — on one core that is a
+   happens-before edge and would suppress the race (scenario 4 relies
+   on exactly that rule) — but the cores interleave concurrently, so
+   the cross-core pair must be flagged regardless. *)
+let cross_core_race () =
+  let mon, a, b, c, bus = mk_dynamic ~ncores:2 () in
+  Monitor.register_exports mon a
+    [ { Monitor.sym = "own_sync"; fn = (fun _ _ -> 0); stack_bytes = 0 } ];
+  let actx = Monitor.ctx_for mon a in
+  let buf =
+    Monitor.run_as mon a (fun () -> Api.malloc_page_aligned actx Hw.Addr.page_size)
+  in
+  Monitor.run_as mon a (fun () ->
+      let wid = Api.window_init actx ~klass:Mm.Page_meta.Heap in
+      Api.window_add actx wid ~ptr:buf ~size:Hw.Addr.page_size;
+      Api.window_open actx wid b;
+      Api.window_open actx wid c);
+  (* core 0: PEER1 writes, then a trampoline crossing *)
+  Monitor.run_as mon b (fun () -> Api.write_u8 (Monitor.ctx_for mon b) buf 0x55);
+  ignore (Monitor.call mon ~caller:b "own_sync" [||]);
+  (* core 1: PEER2 writes — same-core, the crossing would clear it *)
+  Hw.Cpu.set_core (Monitor.cpu mon) 1;
+  Monitor.run_as mon c (fun () -> Api.write_u8 (Monitor.ctx_for mon c) buf 0x66);
+  Hw.Cpu.set_core (Monitor.cpu mon) 0;
+  {
+    sc_name = "cross-core-race";
+    expect_pass = "race";
+    expect_severity = Report.High;
+    findings = replay_bus mon bus;
+  }
+
 let all () =
   [
     missing_trampoline ();
@@ -180,4 +212,5 @@ let all () =
     leaked_window ();
     write_race ();
     use_after_close ();
+    cross_core_race ();
   ]

@@ -250,9 +250,9 @@ let handle_fault t (fault : Hw.Fault.t) =
 
 let monitor_reserved_pages = 16
 
-let create ?(mem_bytes = 64 * 1024 * 1024) ?model ?(policy = default_policy)
+let create ?(mem_bytes = 64 * 1024 * 1024) ?ncores ?model ?(policy = default_policy)
     ?(virtualise = false) ~protection () =
-  let cpu = Hw.Cpu.create ~mem_bytes ?model () in
+  let cpu = Hw.Cpu.create ~mem_bytes ?ncores ?model () in
   let npages = Hw.Cpu.npages cpu in
   let palloc =
     Mm.Page_alloc.create ~first_page:monitor_reserved_pages

@@ -43,15 +43,17 @@ val default_policy : policy
 
 val create :
   ?mem_bytes:int ->
+  ?ncores:int ->
   ?model:Hw.Cost.model ->
   ?policy:policy ->
   ?virtualise:bool ->
   protection:Types.protection ->
   unit ->
   t
-(** Builds the machine, reserves monitor memory, installs the fault
-    handler, and enables MPK (and the tag-wide no-execute hardware
-    modification) when [protection >= Mpk]. *)
+(** Builds the machine (with [ncores] simulated cores, default 1),
+    reserves monitor memory, installs the fault handler, and enables
+    MPK (and the tag-wide no-execute hardware modification) when
+    [protection >= Mpk]. *)
 
 val cpu : t -> Hw.Cpu.t
 val cost : t -> Hw.Cost.t

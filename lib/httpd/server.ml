@@ -8,6 +8,7 @@ type t = {
   ctx : Monitor.ctx;
   fio : Libos.Fileio.t;
   lwip_cid : Types.cid;
+  shard : int;  (* the LWIP accept shard / NETDEV ring this worker drives *)
   req_buf : int;  (* page for request bytes *)
   file_buf : int;  (* chunk buffer for file data and response headers *)
   mutable conns : conn list;
@@ -97,18 +98,33 @@ let iface =
       ];
   ]
 
-let component () =
-  Builder.component ~code_ops:2048 ~heap_pages:32 ~stack_pages:4 ~iface "NGINX"
+let component ?(workers = 1) () =
+  (* each SO_REUSEPORT-style worker needs its own path/request pages
+     and 32 KiB chunk buffer from the cubicle heap *)
+  Builder.component ~code_ops:2048 ~heap_pages:(16 + (16 * workers)) ~stack_pages:4
+    ~iface "NGINX"
 
-let start sys =
+let start ?(shard = 0) sys =
   let ctx = Libos.Boot.app_ctx sys "NGINX" in
+  (* each worker holds two persistent Fileio windows (path + data) plus
+     transient net windows; extend the heap descriptor array (initially
+     8 slots) so a full worker fleet fits (paper §5.3) *)
+  let rec ensure cap need =
+    if cap < need then begin
+      Api.window_table_extend ctx ~klass:Mm.Page_meta.Heap;
+      ensure (2 * cap) need
+    end
+  in
+  ensure 8 (2 * (shard + 2));
   let fio = Libos.Fileio.make ctx in
   let lwip_cid = Api.cid_of ctx "LWIP" in
   let req_buf = Api.malloc_page_aligned ctx 4096 in
   let file_buf = Api.malloc_page_aligned ctx chunk_size in
+  (* every worker binds the same port; LWIP's listen is idempotent, the
+     shard argument to accept is what splits the backlog *)
   let r = Api.call ctx "lwip_listen" [| 80 |] in
   if r <> 0 then Types.error "nginx: listen failed (%d)" r;
-  { ctx; fio; lwip_cid; req_buf; file_buf; conns = []; served = 0 }
+  { ctx; fio; lwip_cid; shard; req_buf; file_buf; conns = []; served = 0 }
 
 let with_lwip_window t ~ptr ~size f =
   let wid = Api.window_init t.ctx ~klass:Mm.Page_meta.Heap in
@@ -175,7 +191,7 @@ let poll_inner t =
   let served_before = t.served in
   (* accept any pending connections *)
   let rec accept_loop () =
-    let c = Api.call t.ctx "lwip_accept" [||] in
+    let c = Api.call t.ctx "lwip_accept" [| t.shard |] in
     if c >= 0 then begin
       t.conns <- { id = c; req = Buffer.create 128 } :: t.conns;
       accept_loop ()

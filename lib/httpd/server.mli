@@ -9,12 +9,17 @@
 
 type t
 
-val component : unit -> Cubicle.Builder.component
-(** The NGINX cubicle (named "NGINX"); load it with the net stack. *)
+val component : ?workers:int -> unit -> Cubicle.Builder.component
+(** The NGINX cubicle (named "NGINX"); load it with the net stack.
+    [workers] (default 1) sizes the heap for that many concurrent
+    SO_REUSEPORT-style workers ({!start} once per shard). *)
 
-val start : Libos.Boot.system -> t
+val start : ?shard:int -> Libos.Boot.system -> t
 (** Resolve cids, allocate buffers, open the listening socket. Must run
-    after boot. *)
+    after boot. [shard] (default 0) is the LWIP accept shard / NETDEV
+    ring this worker drives — boot the stack with
+    [Boot.net_stack ~nrings:n] and start one worker per shard to serve
+    traffic concurrently across simulated cores. *)
 
 val poll : t -> int
 (** Accept pending connections and serve every complete request

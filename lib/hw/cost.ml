@@ -34,22 +34,53 @@ let default_model =
 type t = {
   mutable cycles : int;
   mutable mem_bytes : int;
+  mutable per_core : int array;  (* per-core share of [cycles]; always sums to it *)
+  mutable cur_core : int;
   model : model;
   attrib : Telemetry.Attrib.t;
 }
 
 let create ?(model = default_model) () =
-  { cycles = 0; mem_bytes = 0; model; attrib = Telemetry.Attrib.create () }
+  {
+    cycles = 0;
+    mem_bytes = 0;
+    per_core = [| 0 |];
+    cur_core = 0;
+    model;
+    attrib = Telemetry.Attrib.create ();
+  }
 
 let reset t =
   t.cycles <- 0;
   t.mem_bytes <- 0;
+  Array.fill t.per_core 0 (Array.length t.per_core) 0;
   Telemetry.Attrib.reset t.attrib
 
 let attrib t = t.attrib
 
-let[@inline] charge_cat t cat n =
+let set_core t core =
+  if core < 0 then invalid_arg "Cost.set_core: negative core id";
+  let n = Array.length t.per_core in
+  if core >= n then begin
+    let a = Array.make (core + 1) 0 in
+    Array.blit t.per_core 0 a 0 n;
+    t.per_core <- a
+  end;
+  t.cur_core <- core;
+  Telemetry.Attrib.set_core t.attrib core
+
+let core t = t.cur_core
+let ncores t = Array.length t.per_core
+let core_cycles t core = if core >= 0 && core < Array.length t.per_core then t.per_core.(core) else 0
+
+(* [cur_core < Array.length per_core] is maintained by [set_core], so
+   the unsafe accesses below stay in bounds. *)
+let[@inline] bump t n =
   t.cycles <- t.cycles + n;
+  Array.unsafe_set t.per_core t.cur_core (Array.unsafe_get t.per_core t.cur_core + n)
+
+let[@inline] charge_cat t cat n =
+  bump t n;
   Telemetry.Attrib.charge t.attrib cat n
 
 let[@inline] charge t n = charge_cat t Telemetry.Attrib.Other n
@@ -57,7 +88,7 @@ let[@inline] charge t n = charge_cat t Telemetry.Attrib.Other n
 let[@inline] charge_mem t len =
   t.mem_bytes <- t.mem_bytes + len;
   let c = t.model.mem_op + (((len + 7) lsr 3) * t.model.mem_word) in
-  t.cycles <- t.cycles + c;
+  bump t c;
   Telemetry.Attrib.charge t.attrib Telemetry.Attrib.Memcpy c
 
 let cycles t = t.cycles

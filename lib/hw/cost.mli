@@ -32,6 +32,13 @@ val default_model : model
 type t = {
   mutable cycles : int;
   mutable mem_bytes : int;  (** total bytes moved, for reporting *)
+  mutable per_core : int array;
+      (** per-core cycle counters: each charge lands on the current
+          core's counter as well as [cycles], so the per-core counters
+          always sum exactly to [cycles]. On an N-core run the makespan
+          is the {e maximum} per-core counter, which is what the SMP
+          scaling curve measures. *)
+  mutable cur_core : int;
   model : model;
   attrib : Telemetry.Attrib.t;
       (** attribution sink: every charge is billed to the currently
@@ -43,9 +50,19 @@ type t = {
 val create : ?model:model -> unit -> t
 
 val reset : t -> unit
-(** Also resets the attribution table (its total must track [cycles]). *)
+(** Also resets the per-core counters and the attribution table (their
+    totals must track [cycles]). *)
 
 val attrib : t -> Telemetry.Attrib.t
+
+val set_core : t -> int -> unit
+(** Route subsequent charges to [core]'s counter (growing the array on
+    demand) and move the attribution table's core plane with it. Called
+    by [Hw.Cpu.set_core]; never charges cycles itself. *)
+
+val core : t -> int
+val ncores : t -> int
+val core_cycles : t -> int -> int
 
 val charge : t -> int -> unit
 (** [charge t cycles] adds raw cycles, attributed to category

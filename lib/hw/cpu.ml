@@ -1,46 +1,73 @@
+(* Each simulated core owns its own PKRU register and software TLB (as
+   the real hardware does); memory, page table and the cycle/telemetry
+   sinks are shared. Execution is still one host thread: the scheduler
+   interleaves thread slices and calls [set_core] before each, which
+   swaps the architectural per-core state and routes cycle charges and
+   events to that core's counters/track. *)
+
+type core_state = {
+  tlb : Tlb.t;
+  mutable pkru : Pkru.t;
+}
+
 type t = {
   mem : Phys_mem.t;
   pt : Page_table.t;
   cost : Cost.t;
-  tlb : Tlb.t;
   bus : Telemetry.Bus.t;
-  mutable pkru : Pkru.t;
+  cores : core_state array;
+  mutable cur : core_state;  (* == cores.(cur_core); cached for the fast path *)
+  mutable cur_core : int;
   mutable mpk_enabled : bool;
   mutable exec_follows_access : bool;
   mutable handler : handler option;
   mutable in_handler : bool;
   mutable wrpkru_count : int;
   mutable fault_count : int;
+  mutable shootdowns : int;  (* TLB invalidations delivered to remote cores *)
 }
 
 and handler = t -> Fault.t -> bool
 
-let create ?(mem_bytes = 64 * 1024 * 1024) ?model () =
+let create ?(mem_bytes = 64 * 1024 * 1024) ?(ncores = 1) ?model () =
+  if ncores < 1 then invalid_arg "Cpu.create: ncores must be >= 1";
   let mem = Phys_mem.create mem_bytes in
   let pt = Page_table.create (Phys_mem.npages mem) in
-  let tlb = Tlb.create (Phys_mem.npages mem) in
+  let cores =
+    Array.init ncores (fun _ ->
+        { tlb = Tlb.create (Phys_mem.npages mem); pkru = Pkru.all_allow })
+  in
   let cost = Cost.create ?model () in
   let bus = Telemetry.Bus.create ~now:(fun () -> Cost.cycles cost) () in
+  let t =
+    {
+      mem;
+      pt;
+      cost;
+      bus;
+      cores;
+      cur = cores.(0);
+      cur_core = 0;
+      mpk_enabled = false;
+      exec_follows_access = false;
+      handler = None;
+      in_handler = false;
+      wrpkru_count = 0;
+      fault_count = 0;
+      shootdowns = 0;
+    }
+  in
   (* Any page-table mutation — monitor retag, loader perm change, a
-     test poking the table directly — drops the cached decision. *)
+     test poking the table directly — drops the cached decision on
+     every core: the cross-core TLB shootdown. Remote deliveries are
+     counted so the bench can report shootdown traffic. *)
   Page_table.set_hook pt (fun p ->
-      Tlb.invalidate_page tlb p;
+      Array.iter (fun c -> Tlb.invalidate_page c.tlb p) t.cores;
+      if Array.length t.cores > 1 then
+        t.shootdowns <- t.shootdowns + Array.length t.cores - 1;
       if Telemetry.Bus.tracing bus then
         Telemetry.Bus.emit bus (Telemetry.Event.Tlb Telemetry.Event.Invalidate));
-  {
-    mem;
-    pt;
-    cost;
-    tlb;
-    bus;
-    pkru = Pkru.all_allow;
-    mpk_enabled = false;
-    exec_follows_access = false;
-    handler = None;
-    in_handler = false;
-    wrpkru_count = 0;
-    fault_count = 0;
-  }
+  t
 
 let mem t = t.mem
 let bus t = t.bus
@@ -49,41 +76,53 @@ let[@inline] emit_tlb_event t op =
   if t.bus.Telemetry.Bus.tracing then Telemetry.Bus.emit t.bus (Telemetry.Event.Tlb op)
 let page_table t = t.pt
 let cost t = t.cost
-let tlb t = t.tlb
-let tlb_enabled t = Tlb.enabled t.tlb
-let set_tlb_enabled t b = Tlb.set_enabled t.tlb b
+let tlb t = t.cur.tlb
+let tlb_enabled t = Tlb.enabled t.cur.tlb
+let set_tlb_enabled t b = Array.iter (fun c -> Tlb.set_enabled c.tlb b) t.cores
 let npages t = Phys_mem.npages t.mem
 let set_handler t h = t.handler <- h
 let mpk_enabled t = t.mpk_enabled
 
+let ncores t = Array.length t.cores
+let core_id t = t.cur_core
+let shootdown_count t = t.shootdowns
+
+let set_core t c =
+  if c < 0 || c >= Array.length t.cores then
+    invalid_arg (Printf.sprintf "Cpu.set_core: no core %d (machine has %d)" c (ncores t));
+  t.cur_core <- c;
+  t.cur <- t.cores.(c);
+  Cost.set_core t.cost c;
+  Telemetry.Bus.set_core t.bus c
+
+let flush_all_tlbs t =
+  Array.iter (fun c -> Tlb.flush c.tlb) t.cores;
+  emit_tlb_event t Telemetry.Event.Flush
+
 let set_mpk_enabled t b =
-  if b <> t.mpk_enabled then begin
-    Tlb.flush t.tlb;
-    emit_tlb_event t Telemetry.Event.Flush
-  end;
+  if b <> t.mpk_enabled then flush_all_tlbs t;
   t.mpk_enabled <- b
 
 let exec_follows_access t = t.exec_follows_access
 
 let set_exec_follows_access t b =
-  if b <> t.exec_follows_access then begin
-    Tlb.flush t.tlb;
-    emit_tlb_event t Telemetry.Event.Flush
-  end;
+  if b <> t.exec_follows_access then flush_all_tlbs t;
   t.exec_follows_access <- b
 
-let pkru t = t.pkru
+let pkru t = t.cur.pkru
 
 let wrpkru t v =
   Cost.charge_cat t.cost Telemetry.Attrib.Mpk t.cost.model.wrpkru;
   t.wrpkru_count <- t.wrpkru_count + 1;
-  if v <> t.pkru then begin
-    Tlb.flush t.tlb;
+  (* PKRU is core-local state: writing it flushes only this core's
+     cached decisions; the other cores' registers are untouched. *)
+  if v <> t.cur.pkru then begin
+    Tlb.flush t.cur.tlb;
     emit_tlb_event t Telemetry.Event.Flush
   end;
   if t.bus.Telemetry.Bus.tracing then
     Telemetry.Bus.emit t.bus (Telemetry.Event.Pkru_write { value = v });
-  t.pkru <- v
+  t.cur.pkru <- v
 
 let wrpkru_count t = t.wrpkru_count
 let fault_count t = t.fault_count
@@ -97,13 +136,13 @@ let check_page t page (access : Fault.access) : Fault.t option =
   else if not t.mpk_enabled then None
   else
     match access with
-    | Fault.Read -> if Pkru.can_read t.pkru key then None else mk Fault.Key_perm
-    | Fault.Write -> if Pkru.can_write t.pkru key then None else mk Fault.Key_perm
+    | Fault.Read -> if Pkru.can_read t.cur.pkru key then None else mk Fault.Key_perm
+    | Fault.Write -> if Pkru.can_write t.cur.pkru key then None else mk Fault.Key_perm
     | Fault.Exec ->
         (* Stock MPK does not check instruction fetch against PKRU; the
            paper's hardware modification makes access-disable imply
            no-execute. *)
-        if t.exec_follows_access && not (Pkru.can_read t.pkru key) then mk Fault.Key_perm
+        if t.exec_follows_access && not (Pkru.can_read t.cur.pkru key) then mk Fault.Key_perm
         else None
 
 let ev_access : Fault.access -> Telemetry.Event.access = function
@@ -147,22 +186,23 @@ let deliver_fault t fault =
    never cached, and no simulated cycles are charged on either path, so
    fault behaviour and cycle counts are identical with the TLB off. *)
 let rec ensure_page t page access ~addr =
-  if Tlb.probe t.tlb page access then begin
-    Tlb.record_hit t.tlb;
+  let tlb = t.cur.tlb in
+  if Tlb.probe tlb page access then begin
+    Tlb.record_hit tlb;
     emit_tlb_event t Telemetry.Event.Hit
   end
   else begin
-    Tlb.record_miss t.tlb;
-    if Tlb.enabled t.tlb then emit_tlb_event t Telemetry.Event.Miss;
+    Tlb.record_miss tlb;
+    if Tlb.enabled tlb then emit_tlb_event t Telemetry.Event.Miss;
     match check_page t page access with
-    | None -> Tlb.fill t.tlb page access
+    | None -> Tlb.fill tlb page access
     | Some f -> (
         let f = { f with Fault.addr } in
         if deliver_fault t f then
           (* Retry once after resolution; if the handler did not actually
              fix the permission this raises. *)
           match check_page t page access with
-          | None -> Tlb.fill t.tlb page access
+          | None -> Tlb.fill tlb page access
           | Some f' -> Fault.violation { f' with Fault.addr }
         else Fault.violation f)
   end
@@ -180,15 +220,16 @@ and check_range t addr len access =
   end
 
 (* Accessor fast path: the whole access lies in one page whose decision
-   is cached-allowed. One offset test, one array load, one generation
-   compare — everything [check_range] would establish is implied: the
-   cached allow proves presence, page perms and key permission (kept
-   current by invalidation), and a live entry proves the page is within
-   physical memory. [bit] is the {!Tlb} allow bit of the access kind
-   (1 = Read, 2 = Write, 4 = Exec); the probe is open-coded on the
-   exposed TLB representation to keep this call-free. *)
+   is cached-allowed in the current core's TLB. One offset test, one
+   array load, one generation compare — everything [check_range] would
+   establish is implied: the cached allow proves presence, page perms
+   and key permission (kept current by invalidation), and a live entry
+   proves the page is within physical memory. [bit] is the {!Tlb} allow
+   bit of the access kind (1 = Read, 2 = Write, 4 = Exec); the probe is
+   open-coded on the exposed TLB representation to keep this
+   call-free. *)
 let[@inline] fast t a len bit =
-  let tlb = t.tlb in
+  let tlb = t.cur.tlb in
   tlb.Tlb.enabled
   && a >= 0
   && len >= 0

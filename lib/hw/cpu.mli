@@ -4,9 +4,16 @@
     Every load/store performed by library OS components and applications
     goes through the checked accessors here, so MPK protection faults
     (and CubicleOS's trap-and-map resolution) are actually exercised.
-    The machine models a single hardware thread, matching Unikraft's
-    model of user-level threads multiplexed onto one host thread
-    (paper §8).
+
+    The machine models [ncores] simulated cores multiplexed onto one
+    host thread: each core owns its own PKRU register and software TLB
+    (as the real hardware does) while memory, page table and cycle
+    accounting are shared. The SMP scheduler calls {!set_core} before
+    every thread slice, swapping the architectural per-core state and
+    routing cycle charges and events to that core's counters. With the
+    default single core this is exactly the pre-SMP machine, matching
+    Unikraft's model of user-level threads multiplexed onto one host
+    thread (paper §8).
 
     A registered {e fault handler} (CubicleOS's monitor) is invoked on a
     protection violation; if it returns [true] the faulting access is
@@ -16,9 +23,30 @@ type t
 
 type handler = t -> Fault.t -> bool
 
-val create : ?mem_bytes:int -> ?model:Cost.model -> unit -> t
-(** [create ()] builds a machine with (default) 64 MiB of memory, every
-    page absent, PKRU fully permissive, MPK checking off. *)
+val create : ?mem_bytes:int -> ?ncores:int -> ?model:Cost.model -> unit -> t
+(** [create ()] builds a machine with (default) 64 MiB of memory and one
+    core, every page absent, every core's PKRU fully permissive, MPK
+    checking off. Raises [Invalid_argument] for [ncores < 1]. *)
+
+val ncores : t -> int
+
+val core_id : t -> int
+(** The currently executing core (0 until {!set_core} moves it). *)
+
+val set_core : t -> int -> unit
+(** Switch execution to core [c]: subsequent accesses check against that
+    core's PKRU and TLB, cycle charges land on its counter
+    ([Cost.set_core]) and events on its bus track ([Bus.set_core]).
+    Free of simulated cycles — the scheduler models parallelism by
+    interleaving slices, and wall-clock per-core time is read back from
+    [Cost.core_cycles]. Raises [Invalid_argument] for an out-of-range
+    core. *)
+
+val shootdown_count : t -> int
+(** TLB invalidations delivered to {e remote} cores: every page-table
+    mutation invalidates the page on all cores (the shootdown
+    protocol), and each non-local delivery counts here. Always 0 on a
+    single-core machine. *)
 
 val mem : t -> Phys_mem.t
 val page_table : t -> Page_table.t
@@ -33,19 +61,24 @@ val bus : t -> Telemetry.Bus.t
     off by default and never charges cycles: simulated cycle / fault /
     wrpkru counts are bit-identical with tracing on or off. *)
 
-(** {1 Software TLB} — amortises the per-access permission walk, as
-    real MPK hardware does through the TLB. Wall-clock only: simulated
-    cycle counts, fault counts and wrpkru counts are identical with the
-    TLB on or off. Invalidation is automatic: page-table mutations
-    invalidate per page (via {!Page_table.set_hook}); [wrpkru],
-    [set_mpk_enabled] and [set_exec_follows_access] flush globally. *)
+(** {1 Software TLB} — one per core; amortises the per-access
+    permission walk, as real MPK hardware does through the TLB.
+    Wall-clock only: simulated cycle counts, fault counts and wrpkru
+    counts are identical with the TLB on or off. Invalidation is
+    automatic: page-table mutations invalidate per page on {e every}
+    core (cross-core shootdown, via {!Page_table.set_hook}); [wrpkru]
+    flushes the writing core only; [set_mpk_enabled] and
+    [set_exec_follows_access] flush all cores. *)
 
 val tlb : t -> Tlb.t
+(** The current core's TLB. *)
+
 val tlb_enabled : t -> bool
 
 val set_tlb_enabled : t -> bool -> unit
-(** Off forces every access down the full-walk slow path (used by the
-    benchmark harness to measure the TLB's wall-clock effect). *)
+(** Applies to every core. Off forces every access down the full-walk
+    slow path (used by the benchmark harness to measure the TLB's
+    wall-clock effect). *)
 
 val set_handler : t -> handler option -> unit
 
@@ -60,12 +93,15 @@ val set_exec_follows_access : t -> bool -> unit
     the page-table X bit is set (tag-wide no-execute; §5.5). *)
 
 val pkru : t -> Pkru.t
+(** The current core's PKRU register. *)
 
 val wrpkru : t -> Pkru.t -> unit
-(** Privileged from the simulation's point of view: only trusted
-    CubicleOS code (trampolines, monitor) may call this; the loader's
-    binary scan is what prevents untrusted components from reaching it.
-    Charges the wrpkru cycle cost and counts invocations. *)
+(** Write the {e current core's} PKRU (the register is core-local, so
+    this flushes only that core's TLB). Privileged from the
+    simulation's point of view: only trusted CubicleOS code
+    (trampolines, monitor) may call this; the loader's binary scan is
+    what prevents untrusted components from reaching it. Charges the
+    wrpkru cycle cost and counts invocations. *)
 
 val wrpkru_count : t -> int
 val fault_count : t -> int

@@ -50,12 +50,12 @@ let fs_stack ?(protection = Types.Full) ?policy ?virtualise ?(merge_fs = false)
     fatfs = None;
   }
 
-let net_stack ?(protection = Types.Full) ?policy ?virtualise
+let net_stack ?(protection = Types.Full) ?policy ?virtualise ?ncores ?(nrings = 1)
     ?(mem_bytes = 128 * 1024 * 1024) ?(extra = []) () =
-  let mon = Monitor.create ~mem_bytes ?policy ?virtualise ~protection () in
+  let mon = Monitor.create ~mem_bytes ?ncores ?policy ?virtualise ~protection () in
   let plat_state, ramfs_state, comps = base_components ~merge_fs:false in
-  let netdev_state, netdev = Netdev.make () in
-  let lwip_state, lwip = Lwip.make () in
+  let netdev_state, netdev = Netdev.make ~nrings () in
+  let lwip_state, lwip = Lwip.make ~nshards:nrings () in
   let built =
     Builder.build mon (comps @ [ (netdev, Types.Isolated); (lwip, Types.Isolated) ] @ extra)
   in

@@ -35,12 +35,17 @@ val net_stack :
   ?protection:Cubicle.Types.protection ->
   ?policy:Cubicle.Monitor.policy ->
   ?virtualise:bool ->
+  ?ncores:int ->
+  ?nrings:int ->
   ?mem_bytes:int ->
   ?extra:(Cubicle.Builder.component * Cubicle.Types.kind) list ->
   unit ->
   system
 (** Full network stack: the NGINX deployment of Figure 5 (8 isolated
-    cubicles once the application is added). *)
+    cubicles once the application is added). [ncores] sizes the
+    simulated machine (default 1); [nrings] (default 1) shards NETDEV
+    and the LWIP accept path so one httpd worker per ring can serve
+    traffic concurrently on an SMP machine. *)
 
 val fat_stack :
   ?protection:Cubicle.Types.protection ->

@@ -73,25 +73,37 @@ type conn = {
   mutable unacked : int;  (* bytes sent since the last modelled ack *)
 }
 
+(* The stack can run [nshards] independent accept shards (SO_REUSEPORT
+   style): each shard drives its own NETDEV ring through its own
+   staging page and keeps its own accept backlog, so N httpd workers
+   can pump frames concurrently without sharing any LWIP buffer. A
+   connection's shard is [conn_id mod nshards] — the host bridge
+   steers frames accordingly (RSS by connection id). *)
 type state = {
+  nshards : int;
   mutable listening : bool;
   conns : (int, conn) Hashtbl.t;
-  pending_accept : int Queue.t;
+  pending_accept : int Queue.t array;  (* one backlog per shard *)
   mutable netdev_cid : Types.cid;
-  mutable rx_staging : int;  (* page for incoming frames, windowed to NETDEV *)
-  mutable staging_wid : Types.wid;
+  rx_staging : int array;  (* per-shard page for incoming frames, windowed to NETDEV *)
+  staging_wids : Types.wid array;
 }
 
-(* Pull every pending frame out of NETDEV into per-connection segment
-   queues. Runs inside accept/recv/send, like lwIP's input pump. *)
-let pump state ctx =
+let nshards state = state.nshards
+let shard_of_conn state conn_id = conn_id mod state.nshards
+
+(* Pull every pending frame out of one NETDEV ring into per-connection
+   segment queues. Runs inside accept/recv/send, like lwIP's input
+   pump. *)
+let pump state ctx shard =
+  let staging = state.rx_staging.(shard) in
   let rec loop () =
-    let n = Api.call ctx "netdev_rx" [| state.rx_staging; Sysdefs.mtu |] in
+    let n = Api.call ctx "netdev_rx" [| staging; Sysdefs.mtu; shard |] in
     if n > 0 then begin
-      let conn_id = Api.read_u32 ctx state.rx_staging in
-      let kind = Api.read_u8 ctx (state.rx_staging + 4) in
-      let seq = Api.read_u32 ctx (state.rx_staging + 5) in
-      let len = Api.read_u16 ctx (state.rx_staging + 9) in
+      let conn_id = Api.read_u32 ctx staging in
+      let kind = Api.read_u8 ctx (staging + 4) in
+      let seq = Api.read_u32 ctx (staging + 5) in
+      let len = Api.read_u16 ctx (staging + 9) in
       (match kind with
       | 0 (* syn *) ->
           if state.listening && not (Hashtbl.mem state.conns conn_id) then begin
@@ -106,7 +118,7 @@ let pump state ctx =
                 closed = false;
                 unacked = 0;
               };
-            Queue.push conn_id state.pending_accept
+            Queue.push conn_id state.pending_accept.(shard)
           end
       | 1 (* data *) -> (
           match Hashtbl.find_opt state.conns conn_id with
@@ -118,8 +130,7 @@ let pump state ctx =
               if seq >= c.next_rx_seq && not (Hashtbl.mem c.parked seq) then begin
                 let pbuf = Api.call ctx "uk_palloc" [| 1 |] in
                 ignore
-                  (Api.call ctx "memcpy"
-                     [| pbuf; state.rx_staging + Sysdefs.frame_header; len |]);
+                  (Api.call ctx "memcpy" [| pbuf; staging + Sysdefs.frame_header; len |]);
                 Hashtbl.replace c.parked seq { pbuf; off = 0; len };
                 let rec deliver () =
                   match Hashtbl.find_opt c.parked c.next_rx_seq with
@@ -146,14 +157,21 @@ let listen_fn state _ctx (_args : int array) =
   state.listening <- true;
   Sysdefs.ok
 
-let accept_fn state ctx (_args : int array) =
-  pump state ctx;
-  if Queue.is_empty state.pending_accept then Sysdefs.eagain
-  else Queue.pop state.pending_accept
+(* [lwip_accept(shard?)]: pump that shard's ring and pop its backlog;
+   the shard argument defaults to 0, so single-shard callers are
+   unchanged. *)
+let accept_fn state ctx (args : int array) =
+  let shard = if Array.length args > 0 then args.(0) else 0 in
+  if shard < 0 || shard >= state.nshards then Sysdefs.einval
+  else begin
+    pump state ctx shard;
+    if Queue.is_empty state.pending_accept.(shard) then Sysdefs.eagain
+    else Queue.pop state.pending_accept.(shard)
+  end
 
 let recv_fn state ctx (args : int array) =
   let conn_id = args.(0) and buf = args.(1) and maxlen = args.(2) in
-  pump state ctx;
+  pump state ctx (shard_of_conn state conn_id);
   match Hashtbl.find_opt state.conns conn_id with
   | None -> Sysdefs.ebadf
   | Some c ->
@@ -172,7 +190,8 @@ let recv_fn state ctx (args : int array) =
       end
 
 (* Send one segment: pbuf from ALLOC, header + payload copy, window it
-   to NETDEV, transmit, tear the window down, free the pbuf. *)
+   to NETDEV, transmit on the connection's ring, tear the window down,
+   free the pbuf. *)
 let send_segment state ctx ~conn_id ~seq ~src ~len =
   let pbuf = Api.call ctx "uk_palloc" [| 1 |] in
   Api.write_u32 ctx pbuf conn_id;
@@ -183,14 +202,17 @@ let send_segment state ctx ~conn_id ~seq ~src ~len =
   let wid = Api.window_init ctx ~klass:Mm.Page_meta.Heap in
   Api.window_add ctx wid ~ptr:pbuf ~size:Hw.Addr.page_size;
   Api.window_open ctx wid state.netdev_cid;
-  let r = Api.call ctx "netdev_tx" [| pbuf; Sysdefs.frame_header + len |] in
+  let r =
+    Api.call ctx "netdev_tx"
+      [| pbuf; Sysdefs.frame_header + len; shard_of_conn state conn_id |]
+  in
   Api.window_destroy ctx wid;
   ignore (Api.call ctx "uk_pfree" [| pbuf |]);
   r
 
 let send_fn state ctx (args : int array) =
   let conn_id = args.(0) and buf = args.(1) and len = args.(2) in
-  pump state ctx;
+  pump state ctx (shard_of_conn state conn_id);
   match Hashtbl.find_opt state.conns conn_id with
   | None -> Sysdefs.ebadf
   | Some c ->
@@ -222,33 +244,51 @@ let close_fn state ctx (args : int array) =
   | None -> Sysdefs.ebadf
   | Some c ->
       c.closed <- true;
-      (* fin frame, via the staging buffer *)
-      Api.write_u32 ctx state.rx_staging args.(0);
-      Api.write_u8 ctx (state.rx_staging + 4) 2;
-      Api.write_u32 ctx (state.rx_staging + 5) c.next_tx_seq;
-      Api.write_u16 ctx (state.rx_staging + 9) 0;
-      ignore (Api.call ctx "netdev_tx" [| state.rx_staging; Sysdefs.frame_header |]);
+      (* fin frame, via the connection's shard staging buffer *)
+      let shard = shard_of_conn state args.(0) in
+      let staging = state.rx_staging.(shard) in
+      Api.write_u32 ctx staging args.(0);
+      Api.write_u8 ctx (staging + 4) 2;
+      Api.write_u32 ctx (staging + 5) c.next_tx_seq;
+      Api.write_u16 ctx (staging + 9) 0;
+      ignore (Api.call ctx "netdev_tx" [| staging; Sysdefs.frame_header; shard |]);
       Hashtbl.remove state.conns args.(0);
       Sysdefs.ok
 
 let init state ctx =
   state.netdev_cid <- Api.cid_of ctx "NETDEV";
-  state.rx_staging <- Api.alloc_pages ctx 1 ~kind:Mm.Page_meta.Heap;
-  (* standing window: NETDEV fills the staging page on netdev_rx and
-     reads fin frames from it on netdev_tx *)
-  state.staging_wid <- Api.window_init ctx ~klass:Mm.Page_meta.Heap;
-  Api.window_add ctx state.staging_wid ~ptr:state.rx_staging ~size:Hw.Addr.page_size;
-  Api.window_open ctx state.staging_wid state.netdev_cid
+  (* one standing window per shard plus a transient tx window — extend
+     the heap descriptor array past its initial 8 slots if needed
+     (paper §5.3: descriptor arrays are fixed-size, extended on
+     request) *)
+  let rec ensure cap need =
+    if cap < need then begin
+      Api.window_table_extend ctx ~klass:Mm.Page_meta.Heap;
+      ensure (2 * cap) need
+    end
+  in
+  ensure 8 (state.nshards + 2);
+  for shard = 0 to state.nshards - 1 do
+    state.rx_staging.(shard) <- Api.alloc_pages ctx 1 ~kind:Mm.Page_meta.Heap;
+    (* standing window per shard: NETDEV fills the staging page on
+       netdev_rx and reads fin frames from it on netdev_tx *)
+    let wid = Api.window_init ctx ~klass:Mm.Page_meta.Heap in
+    Api.window_add ctx wid ~ptr:state.rx_staging.(shard) ~size:Hw.Addr.page_size;
+    Api.window_open ctx wid state.netdev_cid;
+    state.staging_wids.(shard) <- wid
+  done
 
-let make () =
+let make ?(nshards = 1) () =
+  if nshards < 1 then invalid_arg "Lwip.make: nshards must be >= 1";
   let state =
     {
+      nshards;
       listening = false;
       conns = Hashtbl.create 16;
-      pending_accept = Queue.create ();
+      pending_accept = Array.init nshards (fun _ -> Queue.create ());
       netdev_cid = -1;
-      rx_staging = 0;
-      staging_wid = 0;
+      rx_staging = Array.make nshards 0;
+      staging_wids = Array.make nshards 0;
     }
   in
   (* rx pump: drain frames from NETDEV into the standing staging page,
@@ -281,20 +321,22 @@ let make () =
         ];
     ]
   in
+  (* one staging page + standing window per shard; shard 0 keeps the
+     historical names so single-shard summaries are unchanged *)
+  let init_iface =
+    List.concat
+      (List.init nshards (fun i ->
+           let buf = if i = 0 then "rx_staging" else Printf.sprintf "rx_staging%d" i in
+           let win = if i = 0 then "staging_wid" else Printf.sprintf "staging_wid%d" i in
+           [
+             Iface.Alloc { buf; bytes = 4096 };
+             Iface.Window_add { win; buf = Iface.Local buf; bytes = 4096; standing = true };
+             Iface.Window_open { win; peer = "NETDEV" };
+           ]))
+  in
   let iface =
     [
-      Iface.fundecl "__init"
-        [
-          Iface.Alloc { buf = "rx_staging"; bytes = 4096 };
-          Iface.Window_add
-            {
-              win = "staging_wid";
-              buf = Iface.Local "rx_staging";
-              bytes = 4096;
-              standing = true;
-            };
-          Iface.Window_open { win = "staging_wid"; peer = "NETDEV" };
-        ];
+      Iface.fundecl "__init" init_iface;
       Iface.fundecl "lwip_listen" [];
       Iface.fundecl "lwip_accept" pump_iface;
       Iface.fundecl ~derefs:[ 1 ] "lwip_recv"
@@ -315,7 +357,7 @@ let make () =
     ]
   in
   let comp =
-    Builder.component "LWIP" ~code_ops:2048 ~heap_pages:32 ~stack_pages:4
+    Builder.component "LWIP" ~code_ops:2048 ~heap_pages:(32 + nshards) ~stack_pages:4
       ~init:(init state) ~iface
       ~exports:
         [

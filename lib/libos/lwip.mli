@@ -14,11 +14,21 @@
 
 type state
 
-val make : unit -> state * Cubicle.Builder.component
-(** Exports: [lwip_listen(port)], [lwip_accept()] → conn id or -EAGAIN,
-    [lwip_recv(conn,buf,maxlen)] → n (0 = nothing pending, -EBADF on
-    closed+drained), [lwip_send(conn,buf,len)] → n,
-    [lwip_close(conn)]. *)
+val make : ?nshards:int -> unit -> state * Cubicle.Builder.component
+(** Exports: [lwip_listen(port)], [lwip_accept(shard?)] → conn id or
+    -EAGAIN, [lwip_recv(conn,buf,maxlen)] → n (0 = nothing pending,
+    -EBADF on closed+drained), [lwip_send(conn,buf,len)] → n,
+    [lwip_close(conn)].
+
+    [nshards] (default 1) gives the stack that many independent accept
+    shards, SO_REUSEPORT style: shard [s] drives NETDEV ring [s]
+    through its own staging page and keeps its own accept backlog, so N
+    SMP httpd workers can pump frames concurrently. A connection
+    belongs to shard [conn mod nshards] (RSS by connection id — the
+    host bridge must steer frames accordingly); [lwip_accept]'s
+    optional argument selects the shard to pump and pop (default 0). *)
+
+val nshards : state -> int
 
 (** {1 Host-side frame protocol (used by test clients / siege)} *)
 

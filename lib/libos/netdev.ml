@@ -1,61 +1,82 @@
 open Cubicle
 
-type state = {
+(* One receive/transmit ring pair per core (the SO_REUSEPORT-style
+   sharding the SMP httpd uses); each ring owns its own DMA staging
+   page so concurrent workers never share a slot. *)
+type ring = {
   host_to_dev : bytes Queue.t;
   dev_to_host : bytes Queue.t;
   mutable ring_base : int;  (* one page used as the DMA staging slot *)
+}
+
+type state = {
+  rings : ring array;
   mutable tx_frames : int;
   mutable rx_frames : int;
 }
 
+let nrings state = Array.length state.rings
+
 let charge_frame ctx =
   Hw.Cost.charge (Monitor.cost ctx.Monitor.mon) Sysdefs.nic_frame_cycles
 
+(* The optional third argument selects the ring; the single-ring
+   callers keep passing [| buf; len |]. *)
+let ring_of (args : int array) = if Array.length args > 2 then args.(2) else 0
+
 let tx_fn state ctx (args : int array) =
-  let buf = args.(0) and len = args.(1) in
-  if len <= 0 || len > Sysdefs.mtu then Sysdefs.einval
+  let buf = args.(0) and len = args.(1) and r = ring_of args in
+  if len <= 0 || len > Sysdefs.mtu || r < 0 || r >= nrings state then Sysdefs.einval
   else begin
+    let ring = state.rings.(r) in
     (* caller buffer -> ring slot (checked: needs the caller's window),
        then the "DMA engine" moves the slot out to the wire. *)
-    Api.memcpy ctx ~dst:state.ring_base ~src:buf ~len;
-    let frame = Hw.Cpu.priv_read_bytes ctx.Monitor.cpu state.ring_base len in
-    Queue.push frame state.dev_to_host;
+    Api.memcpy ctx ~dst:ring.ring_base ~src:buf ~len;
+    let frame = Hw.Cpu.priv_read_bytes ctx.Monitor.cpu ring.ring_base len in
+    Queue.push frame ring.dev_to_host;
     charge_frame ctx;
     state.tx_frames <- state.tx_frames + 1;
     Sysdefs.ok
   end
 
 let rx_fn state ctx (args : int array) =
-  let buf = args.(0) and maxlen = args.(1) in
-  if Queue.is_empty state.host_to_dev then 0
-  else begin
-    let frame = Queue.pop state.host_to_dev in
-    let len = Bytes.length frame in
-    if len > maxlen then Sysdefs.einval
+  let buf = args.(0) and maxlen = args.(1) and r = ring_of args in
+  if r < 0 || r >= nrings state then Sysdefs.einval
+  else
+    let ring = state.rings.(r) in
+    if Queue.is_empty ring.host_to_dev then 0
     else begin
-      (* wire -> ring slot (DMA), then ring slot -> caller buffer *)
-      Hw.Cpu.priv_write_bytes ctx.Monitor.cpu state.ring_base frame;
-      Api.memcpy ctx ~dst:buf ~src:state.ring_base ~len;
-      charge_frame ctx;
-      state.rx_frames <- state.rx_frames + 1;
-      len
+      let frame = Queue.pop ring.host_to_dev in
+      let len = Bytes.length frame in
+      if len > maxlen then Sysdefs.einval
+      else begin
+        (* wire -> ring slot (DMA), then ring slot -> caller buffer *)
+        Hw.Cpu.priv_write_bytes ctx.Monitor.cpu ring.ring_base frame;
+        Api.memcpy ctx ~dst:buf ~src:ring.ring_base ~len;
+        charge_frame ctx;
+        state.rx_frames <- state.rx_frames + 1;
+        len
+      end
     end
-  end
 
-let init state ctx = state.ring_base <- Api.alloc_pages ctx 1 ~kind:Mm.Page_meta.Heap
+let init state ctx =
+  Array.iter
+    (fun ring -> ring.ring_base <- Api.alloc_pages ctx 1 ~kind:Mm.Page_meta.Heap)
+    state.rings
 
-let make () =
+let make ?(nrings = 1) () =
+  if nrings < 1 then invalid_arg "Netdev.make: nrings must be >= 1";
   let state =
     {
-      host_to_dev = Queue.create ();
-      dev_to_host = Queue.create ();
-      ring_base = 0;
+      rings =
+        Array.init nrings (fun _ ->
+            { host_to_dev = Queue.create (); dev_to_host = Queue.create (); ring_base = 0 });
       tx_frames = 0;
       rx_frames = 0;
     }
   in
   let comp =
-    Builder.component "NETDEV" ~code_ops:640 ~heap_pages:4 ~stack_pages:2
+    Builder.component "NETDEV" ~code_ops:640 ~heap_pages:(4 + nrings) ~stack_pages:2
       ~init:(init state)
       ~iface:
         [
@@ -72,13 +93,18 @@ let make () =
   in
   (state, comp)
 
-let host_inject state frame = Queue.push frame state.host_to_dev
+let host_inject ?(ring = 0) state frame =
+  if ring < 0 || ring >= nrings state then invalid_arg "Netdev.host_inject: no such ring";
+  Queue.push frame state.rings.(ring).host_to_dev
 
 let host_collect state =
   let acc = ref [] in
-  while not (Queue.is_empty state.dev_to_host) do
-    acc := Queue.pop state.dev_to_host :: !acc
-  done;
+  Array.iter
+    (fun ring ->
+      while not (Queue.is_empty ring.dev_to_host) do
+        acc := Queue.pop ring.dev_to_host :: !acc
+      done)
+    state.rings;
   List.rev !acc
 
 let tx_frames state = state.tx_frames

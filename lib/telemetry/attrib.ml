@@ -21,31 +21,52 @@ let cat_name = function
   | Ipc -> "ipc"
   | Other -> "other"
 
+(* The table is keyed core x cubicle x category. The hot path still
+   touches exactly one cached row: [cur_row == cores.(cur_core).(cur)],
+   refreshed whenever either coordinate moves. The pre-SMP API (rows,
+   row, total, ...) sums across cores, so single-core callers see the
+   same numbers as before. *)
 type t = {
-  mutable rows : int array array;  (* cubicle id -> per-category cycles *)
+  mutable cores : int array array array;  (* core -> cubicle id -> per-category cycles *)
+  mutable cur_core : int;
   mutable cur : int;
-  mutable cur_row : int array;  (* == rows.(cur); cached for the hot path *)
+  mutable cur_row : int array;  (* == cores.(cur_core).(cur); cached for the hot path *)
 }
 
 let initial_rows = 8
+let fresh_rows n = Array.init n (fun _ -> Array.make ncat 0)
 
 let create () =
-  let rows = Array.init initial_rows (fun _ -> Array.make ncat 0) in
-  { rows; cur = 0; cur_row = rows.(0) }
+  let rows = fresh_rows initial_rows in
+  { cores = [| rows |]; cur_core = 0; cur = 0; cur_row = rows.(0) }
 
-let grow t cid =
-  let n = Array.length t.rows in
-  let n' = max (cid + 1) (2 * n) in
-  let rows = Array.init n' (fun i -> if i < n then t.rows.(i) else Array.make ncat 0) in
-  t.rows <- rows
+let grow_rows t core cid =
+  let rows = t.cores.(core) in
+  let n = Array.length rows in
+  if cid >= n then begin
+    let n' = max (cid + 1) (2 * n) in
+    t.cores.(core) <- Array.init n' (fun i -> if i < n then rows.(i) else Array.make ncat 0)
+  end
 
 let set_current t cid =
   if cid < 0 then invalid_arg "Attrib.set_current: negative cubicle id";
-  if cid >= Array.length t.rows then grow t cid;
+  grow_rows t t.cur_core cid;
   t.cur <- cid;
-  t.cur_row <- t.rows.(cid)
+  t.cur_row <- t.cores.(t.cur_core).(cid)
+
+let set_core t core =
+  if core < 0 then invalid_arg "Attrib.set_core: negative core id";
+  let n = Array.length t.cores in
+  if core >= n then
+    t.cores <-
+      Array.init (core + 1) (fun i -> if i < n then t.cores.(i) else fresh_rows initial_rows);
+  t.cur_core <- core;
+  grow_rows t core t.cur;
+  t.cur_row <- t.cores.(core).(t.cur)
 
 let current t = t.cur
+let core t = t.cur_core
+let ncores t = Array.length t.cores
 
 let[@inline] charge t cat n =
   let i = cat_index cat in
@@ -53,24 +74,66 @@ let[@inline] charge t cat n =
 
 let row_total r = Array.fold_left ( + ) 0 r
 
+let nrows t = Array.fold_left (fun acc rows -> max acc (Array.length rows)) 0 t.cores
+
 let cycles t ~cid cat =
-  if cid >= 0 && cid < Array.length t.rows then t.rows.(cid).(cat_index cat) else 0
+  if cid < 0 then 0
+  else
+    let i = cat_index cat in
+    Array.fold_left
+      (fun acc rows -> if cid < Array.length rows then acc + rows.(cid).(i) else acc)
+      0 t.cores
 
 let row t ~cid =
-  if cid >= 0 && cid < Array.length t.rows then Array.copy t.rows.(cid)
-  else Array.make ncat 0
+  let r = Array.make ncat 0 in
+  if cid >= 0 then
+    Array.iter
+      (fun rows ->
+        if cid < Array.length rows then
+          Array.iteri (fun i v -> r.(i) <- r.(i) + v) rows.(cid))
+      t.cores;
+  r
 
 let rows t =
   let acc = ref [] in
-  for cid = Array.length t.rows - 1 downto 0 do
-    if row_total t.rows.(cid) > 0 then acc := (cid, Array.copy t.rows.(cid)) :: !acc
+  for cid = nrows t - 1 downto 0 do
+    let r = row t ~cid in
+    if row_total r > 0 then acc := (cid, r) :: !acc
   done;
   !acc
 
-let total t = Array.fold_left (fun acc r -> acc + row_total r) 0 t.rows
+let total t =
+  Array.fold_left
+    (fun acc rows -> Array.fold_left (fun acc r -> acc + row_total r) acc rows)
+    0 t.cores
 
 let category_total t cat =
   let i = cat_index cat in
-  Array.fold_left (fun acc r -> acc + r.(i)) 0 t.rows
+  Array.fold_left
+    (fun acc rows -> Array.fold_left (fun acc r -> acc + r.(i)) acc rows)
+    0 t.cores
 
-let reset t = Array.iter (fun r -> Array.fill r 0 ncat 0) t.rows
+(* Per-core views, used by the SMP scheduler and bench to show one
+   attribution table per simulated core. *)
+
+let core_row t ~core ~cid =
+  if core >= 0 && core < Array.length t.cores && cid >= 0 && cid < Array.length t.cores.(core)
+  then Array.copy t.cores.(core).(cid)
+  else Array.make ncat 0
+
+let core_rows t ~core =
+  if core < 0 || core >= Array.length t.cores then []
+  else begin
+    let rows = t.cores.(core) in
+    let acc = ref [] in
+    for cid = Array.length rows - 1 downto 0 do
+      if row_total rows.(cid) > 0 then acc := (cid, Array.copy rows.(cid)) :: !acc
+    done;
+    !acc
+  end
+
+let core_total t ~core =
+  if core < 0 || core >= Array.length t.cores then 0
+  else Array.fold_left (fun acc r -> acc + row_total r) 0 t.cores.(core)
+
+let reset t = Array.iter (fun rows -> Array.iter (fun r -> Array.fill r 0 ncat 0) rows) t.cores

@@ -32,8 +32,8 @@ val cat_name : category -> string
 type t
 
 val create : unit -> t
-(** All cycles are billed to cubicle 0 (the monitor) until
-    {!set_current} says otherwise. *)
+(** All cycles are billed to cubicle 0 (the monitor) on core 0 until
+    {!set_current} / {!set_core} say otherwise. *)
 
 val set_current : t -> int -> unit
 (** [set_current t cid] — subsequent charges are billed to [cid]. The
@@ -41,20 +41,41 @@ val set_current : t -> int -> unit
 
 val current : t -> int
 
+val set_core : t -> int -> unit
+(** [set_core t core] — subsequent charges are billed to [core]'s plane
+    of the table (still under the current cubicle). The scheduler moves
+    this on every slice via [Hw.Cpu.set_core]; the table grows on
+    demand. *)
+
+val core : t -> int
+
+val ncores : t -> int
+(** Number of core planes the table has grown to (>= 1). *)
+
 val charge : t -> category -> int -> unit
 (** Bill [n] cycles; allocation-free hot path. *)
 
 val cycles : t -> cid:int -> category -> int
 val row : t -> cid:int -> int array
-(** A copy of one cubicle's per-category cycles, indexed by {!cat_index}. *)
+(** A copy of one cubicle's per-category cycles summed across all cores,
+    indexed by {!cat_index}. *)
 
 val rows : t -> (int * int array) list
-(** All cubicles with non-zero totals, ascending cubicle id. *)
+(** All cubicles with non-zero totals (summed across cores), ascending
+    cubicle id. *)
 
 val total : t -> int
-(** Sum over all rows; equals [Hw.Cost.cycles] of the machine this sink
-    is attached to. *)
+(** Sum over all rows and all cores; equals [Hw.Cost.cycles] of the
+    machine this sink is attached to. *)
 
 val category_total : t -> category -> int
+
+(** {1 Per-core views} — the core dimension of the table. The invariant
+    extends per core: [core_total t ~core] equals the machine's
+    per-core cycle counter, and the core totals sum to {!total}. *)
+
+val core_row : t -> core:int -> cid:int -> int array
+val core_rows : t -> core:int -> (int * int array) list
+val core_total : t -> core:int -> int
 
 val reset : t -> unit

@@ -1,9 +1,15 @@
-type entry = { at : int; ev : Event.t }
+type entry = { at : int; core : int; seq : int; ev : Event.t }
 
 type t = {
   mutable tracing : bool;
   mutable now : unit -> int;
-  ring : entry Ring.t;
+  ring_capacity : int;
+  (* one event track per simulated core; a chatty core can only evict
+     its own history. [seq] is the global emission order, so merging
+     the tracks reproduces the exact interleaving. *)
+  mutable rings : entry Ring.t array;
+  mutable cur_core : int;
+  mutable seq : int;
   (* event-plane sampling: keep 1 in [every] emissions (1 = keep all).
      [countdown] is the distance to the next kept event. *)
   mutable every : int;
@@ -26,12 +32,16 @@ type t = {
 }
 
 let default_capacity = 65536
+let dummy_entry = { at = 0; core = 0; seq = 0; ev = Event.Mark "" }
 
 let create ?(capacity = default_capacity) ?(now = fun () -> 0) () =
   {
     tracing = false;
     now;
-    ring = Ring.create ~capacity ~dummy:{ at = 0; ev = Event.Mark "" };
+    ring_capacity = capacity;
+    rings = [| Ring.create ~capacity ~dummy:dummy_entry |];
+    cur_core = 0;
+    seq = 0;
     every = 1;
     countdown = 1;
     sampled_out = 0;
@@ -50,6 +60,19 @@ let set_now t f = t.now <- f
 let tracing t = t.tracing
 let set_tracing t b = t.tracing <- b
 
+let set_core t core =
+  if core < 0 then invalid_arg "Bus.set_core: negative core id";
+  let n = Array.length t.rings in
+  if core >= n then
+    t.rings <-
+      Array.init (core + 1) (fun i ->
+          if i < n then t.rings.(i)
+          else Ring.create ~capacity:t.ring_capacity ~dummy:dummy_entry);
+  t.cur_core <- core
+
+let core t = t.cur_core
+let ncores t = Array.length t.rings
+
 let set_sampling t ~every =
   if every < 1 then invalid_arg "Bus.set_sampling: every must be >= 1";
   t.every <- every;
@@ -66,25 +89,38 @@ let[@inline] emit t ev =
     t.countdown <- t.countdown - 1;
     if t.countdown <= 0 then begin
       t.countdown <- t.every;
-      let e = { at = t.now (); ev } in
-      Ring.push t.ring e;
+      let e = { at = t.now (); core = t.cur_core; seq = t.seq; ev } in
+      t.seq <- t.seq + 1;
+      Ring.push (Array.unsafe_get t.rings t.cur_core) e;
       match t.sink with None -> () | Some f -> f e
     end
     else t.sampled_out <- t.sampled_out + 1
   end
 
-let events t = Ring.to_list t.ring
-let iter_events f t = Ring.iter f t.ring
-let captured t = Ring.length t.ring
-let dropped t = Ring.dropped t.ring
-let total_emitted t = Ring.total t.ring
+let sum f t = Array.fold_left (fun acc r -> acc + f r) 0 t.rings
+
+let events t =
+  match t.rings with
+  | [| r |] -> Ring.to_list r
+  | rings ->
+      Array.to_list rings
+      |> List.concat_map Ring.to_list
+      |> List.sort (fun (a : entry) (b : entry) -> compare a.seq b.seq)
+
+let iter_events f t =
+  match t.rings with [| r |] -> Ring.iter f r | _ -> List.iter f (events t)
+
+let captured t = sum Ring.length t
+let dropped t = sum Ring.dropped t
+let total_emitted t = sum Ring.total t
 
 let clear_ring t =
-  Ring.clear t.ring;
+  Array.iter Ring.clear t.rings;
+  t.seq <- 0;
   t.sampled_out <- 0;
   t.countdown <- 1
 
-let capacity t = Ring.capacity t.ring
+let capacity t = t.ring_capacity
 
 (* --- counter plane ------------------------------------------------------ *)
 

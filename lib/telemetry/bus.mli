@@ -26,12 +26,20 @@
     cycles, so tracing on vs off (sampled or streamed or neither) is
     bit-identical in simulated time. *)
 
-type entry = { at : int;  (** simulated cycles at emission *) ev : Event.t }
+type entry = {
+  at : int;  (** simulated cycles at emission *)
+  core : int;  (** simulated core that emitted it *)
+  seq : int;  (** global emission order across cores *)
+  ev : Event.t;
+}
 
 type t = {
   mutable tracing : bool;
   mutable now : unit -> int;
-  ring : entry Ring.t;
+  ring_capacity : int;
+  mutable rings : entry Ring.t array;
+  mutable cur_core : int;
+  mutable seq : int;
   mutable every : int;
   mutable countdown : int;
   mutable sampled_out : int;
@@ -62,6 +70,18 @@ val set_now : t -> (unit -> int) -> unit
 val tracing : t -> bool
 val set_tracing : t -> bool -> unit
 
+val set_core : t -> int -> unit
+(** Route subsequent emissions to [core]'s event track (one {!Ring} per
+    simulated core, each of {!capacity} entries, created on demand) —
+    a chatty core can only evict its own history. Moved by
+    [Hw.Cpu.set_core]; everything below that reads "the ring" sums or
+    merges the per-core tracks. *)
+
+val core : t -> int
+
+val ncores : t -> int
+(** Number of event tracks the bus has grown to (>= 1). *)
+
 val set_sampling : t -> every:int -> unit
 (** Keep 1 in [every] event-plane emissions ([every = 1] keeps all; the
     emission after a call to this function is always kept, so sampling
@@ -90,7 +110,9 @@ val emit : t -> Event.t -> unit
     may be kept. *)
 
 val events : t -> entry list
-(** Ring contents, oldest first. *)
+(** All per-core tracks merged back into global emission order
+    (ascending [seq]); with one core this is just the ring contents,
+    oldest first. *)
 
 val iter_events : (entry -> unit) -> t -> unit
 val captured : t -> int
@@ -98,9 +120,11 @@ val dropped : t -> int
 val total_emitted : t -> int
 
 val clear_ring : t -> unit
-(** Also resets {!sampled_out} and the sampling countdown. *)
+(** Clears every core's track; also resets {!sampled_out}, the global
+    sequence counter and the sampling countdown. *)
 
 val capacity : t -> int
+(** Per-core track capacity. *)
 
 (** {1 Counter plane} — always on; the sites below both bump the
     aggregate and (when tracing) emit the corresponding event. Sites

@@ -22,15 +22,16 @@ let buf_add_json_string b s =
     s;
   Buffer.add_char b '"'
 
-(* One trace_event object. [ph] "B"/"E" nest duration slices (the
-   machine models a single hardware thread, so one track nests
-   correctly); everything else is an instant event. *)
-let add_trace_obj b ~name ~cat ~ph ~ts ~args =
+(* One trace_event object. [ph] "B"/"E" nest duration slices; each
+   simulated core is its own track ([tid] = core + 1), so slices nest
+   per core and the trace viewer shows one lane per core. Everything
+   else is an instant event on its core's lane. *)
+let add_trace_obj b ~name ~cat ~ph ~ts ~tid ~args =
   Buffer.add_string b "{\"name\":";
   buf_add_json_string b name;
   Buffer.add_string b ",\"cat\":";
   buf_add_json_string b cat;
-  Buffer.add_string b (Printf.sprintf ",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":1" ph ts);
+  Buffer.add_string b (Printf.sprintf ",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":%d" ph ts tid);
   (match ph with "i" -> Buffer.add_string b ",\"s\":\"t\"" | _ -> ());
   (match args with
   | [] -> ()
@@ -55,7 +56,9 @@ module Stream = struct
     names : int -> string;
     cycles_per_us : float;
     scratch : Buffer.t;  (* per-entry formatting buffer, reused *)
-    mutable open_slices : string list;  (* syms of open "B" slices, innermost first *)
+    stacks : (int, string list) Hashtbl.t;
+        (* per-core open "B" slices, innermost first: slices nest per
+           track, so each core keeps its own stack *)
     mutable last_ts : float;
     mutable finished : bool;
   }
@@ -72,7 +75,7 @@ module Stream = struct
       names;
       cycles_per_us;
       scratch = Buffer.create 512;
-      open_slices = [];
+      stacks = Hashtbl.create 4;
       last_ts = 0.;
       finished = false;
     }
@@ -81,31 +84,34 @@ module Stream = struct
     t.write (Buffer.contents t.scratch);
     Buffer.clear t.scratch
 
-  let entry t { Bus.at; ev } =
+  let stack t core = Option.value ~default:[] (Hashtbl.find_opt t.stacks core)
+
+  let entry t { Bus.at; core; ev; _ } =
     if t.finished then invalid_arg "Export.Stream.entry: stream already finished";
     let b = t.scratch in
     let names = t.names in
     let ts = float_of_int at /. t.cycles_per_us in
     t.last_ts <- ts;
+    let tid = core + 1 in
     let obj ~name ~cat ~ph ~args =
       Buffer.add_string b ",\n";
-      add_trace_obj b ~name ~cat ~ph ~ts ~args
+      add_trace_obj b ~name ~cat ~ph ~ts ~tid ~args
     in
     let instant ?(cat = "event") name args = obj ~name ~cat ~ph:"i" ~args in
     (match ev with
     | Event.Call { caller; callee; sym } ->
-        t.open_slices <- sym :: t.open_slices;
+        Hashtbl.replace t.stacks core (sym :: stack t core);
         obj ~name:sym ~cat:"call" ~ph:"B"
           ~args:[ ("caller", jstr (names caller)); ("callee", jstr (names callee)) ]
     | Event.Return { sym; _ } -> (
         (* An "E" whose "B" predates the trace (ring wrapped, trace
            started mid-call, or the "B" was sampled out) would corrupt
            slice nesting in Perfetto: only emit it while a slice is
-           open. *)
-        match t.open_slices with
+           open on this core's track. *)
+        match stack t core with
         | [] -> ()
         | _ :: rest ->
-            t.open_slices <- rest;
+            Hashtbl.replace t.stacks core rest;
             obj ~name:sym ~cat:"call" ~ph:"E" ~args:[])
     | Event.Shared_call { caller; sym } ->
         instant ~cat:"call" ("shared:" ^ sym) [ ("caller", jstr (names caller)) ]
@@ -142,21 +148,26 @@ module Stream = struct
     | Event.Mark s -> instant ~cat:"mark" ("mark:" ^ s) []);
     flush t
 
-  let open_slices t = List.length t.open_slices
+  let open_slices t = Hashtbl.fold (fun _ syms acc -> acc + List.length syms) t.stacks 0
 
   let finish t =
     if not t.finished then begin
       t.finished <- true;
       let b = t.scratch in
       (* Close slices still open at capture (call in flight, or its "E"
-         was sampled out) at the last seen timestamp, innermost first,
-         so the emitted "B"s all nest. *)
+         was sampled out) at the last seen timestamp, innermost first
+         per core track, so the emitted "B"s all nest. *)
+      let cores = Hashtbl.fold (fun core _ acc -> core :: acc) t.stacks [] in
       List.iter
-        (fun sym ->
-          Buffer.add_string b ",\n";
-          add_trace_obj b ~name:sym ~cat:"call" ~ph:"E" ~ts:t.last_ts ~args:[])
-        t.open_slices;
-      t.open_slices <- [];
+        (fun core ->
+          List.iter
+            (fun sym ->
+              Buffer.add_string b ",\n";
+              add_trace_obj b ~name:sym ~cat:"call" ~ph:"E" ~ts:t.last_ts ~tid:(core + 1)
+                ~args:[])
+            (stack t core))
+        (List.sort compare cores);
+      Hashtbl.reset t.stacks;
       Buffer.add_string b "]}\n";
       flush t
     end
@@ -172,33 +183,44 @@ let trace_json ?process_name ~names ~cycles_per_us entries =
 (* Folded stacks: attribute the simulated cycles elapsed between
    consecutive events to the call stack in effect before each event.
    Frames are "CUBICLE:sym"; the root frame collects time outside any
-   traced cross-cubicle call. *)
+   traced cross-cubicle call. Each core keeps its own stack (its root
+   frame is "<root>@coreN" for cores past 0, so a single-core trace is
+   unchanged); the cycles between two merged events go to the core that
+   was executing — the one emitting the later event. *)
 let folded_stacks ?(root = "main") ?until ~names entries =
   let tbl = Hashtbl.create 64 in
   let bump key dt =
     if dt > 0 then
       Hashtbl.replace tbl key (dt + Option.value ~default:0 (Hashtbl.find_opt tbl key))
   in
-  let stack = ref [ root ] (* top first *) in
+  let stacks = Hashtbl.create 4 (* core -> stack, top first *) in
+  let stack_of core =
+    match Hashtbl.find_opt stacks core with
+    | Some st -> st
+    | None -> [ (if core = 0 then root else Printf.sprintf "%s@core%d" root core) ]
+  in
   let key_of st = String.concat ";" (List.rev st) in
   let last = ref (match entries with { Bus.at; _ } :: _ -> at | [] -> 0) in
+  let last_core = ref 0 in
   List.iter
-    (fun { Bus.at; ev } ->
-      bump (key_of !stack) (at - !last);
+    (fun { Bus.at; core; ev; _ } ->
+      bump (key_of (stack_of core)) (at - !last);
       last := at;
+      last_core := core;
       match ev with
       | Event.Call { callee; sym; _ } ->
-          stack := Printf.sprintf "%s:%s" (names callee) sym :: !stack
+          Hashtbl.replace stacks core
+            (Printf.sprintf "%s:%s" (names callee) sym :: stack_of core)
       | Event.Return _ -> (
-          match !stack with
-          | _ :: (_ :: _ as rest) -> stack := rest
+          match stack_of core with
+          | _ :: (_ :: _ as rest) -> Hashtbl.replace stacks core rest
           | _ -> () (* unbalanced return (trace started mid-call): keep root *))
       | _ -> ())
     entries;
   (* The tail: cycles between the last event and capture belong to the
      stack in effect there — without this the end of every run vanished
      from flamegraphs. *)
-  (match until with Some u -> bump (key_of !stack) (u - !last) | None -> ());
+  (match until with Some u -> bump (key_of (stack_of !last_core)) (u - !last) | None -> ());
   let lines =
     Hashtbl.fold (fun k v acc -> Printf.sprintf "%s %d" k v :: acc) tbl []
     |> List.sort compare

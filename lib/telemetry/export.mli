@@ -53,12 +53,12 @@ val trace_json :
   string
 (** Chrome [trace_event] JSON (the ["traceEvents"] array form), loadable
     in [chrome://tracing] or Perfetto. Trampoline {!Event.Call} /
-    {!Event.Return} pairs become nested duration slices on one track
-    (the machine is single-threaded); faults, retags, PKRU writes,
-    window/TLB/scheduler/pager activity become instant events with their
-    payloads under ["args"]. Timestamps are simulated cycles divided by
-    [cycles_per_us]. Orphan end-events are dropped and still-open
-    slices closed at the end, exactly as {!Stream} does. *)
+    {!Event.Return} pairs become nested duration slices on their core's
+    track (tid = core + 1, one lane per simulated core); faults, retags,
+    PKRU writes, window/TLB/scheduler/pager activity become instant
+    events with their payloads under ["args"]. Timestamps are simulated
+    cycles divided by [cycles_per_us]. Orphan end-events are dropped and
+    still-open slices closed at the end, exactly as {!Stream} does. *)
 
 val folded_stacks :
   ?root:string -> ?until:int -> names:(int -> string) -> Bus.entry list -> string

@@ -514,7 +514,7 @@ let test_stream_live_sink_matches_ring () =
     (String.length streamed <= String.length full
     && String.sub full 0 (String.length streamed) = streamed)
 
-let entry at ev = { Telemetry.Bus.at; ev }
+let entry ?(core = 0) at ev = { Telemetry.Bus.at; core; seq = 0; ev }
 
 let test_stream_orphan_return_dropped () =
   let names cid = "C" ^ string_of_int cid in
