@@ -1487,6 +1487,180 @@ let smp ?(out = "BENCH_smp.json") ?golden ?write_golden () =
   | None -> ());
   match golden with Some path -> smp_check_golden path json | None -> ()
 
+(* --- sendfile: zero-copy vs copy serving -> BENCH_zerocopy.json -------------------- *)
+
+(* The tentpole measurement: serve the same file over the same request
+   sequence with the pread+send copy path and with the vfs_sendfile
+   grant-and-forward path, and decompose both into attribution
+   categories per request. The zero-copy path must cut the memcpy
+   share by at least 5x (only response headers and 11-byte frame
+   headers still move through the simulated memory); everything is
+   deterministic, so the whole decomposition is golden-checked. *)
+
+let zc_requests = 32
+let zc_file_size = 64 * 1024
+
+type zc_row = {
+  zc_mode : string;
+  zc_total : int;  (* cycles over the serving phase *)
+  zc_cats : (Telemetry.Attrib.category * int) list;
+  zc_faults : int;
+  zc_window_ops : int;
+}
+
+let zc_run ~zerocopy =
+  let app = Httpd.Server.component () in
+  let sys =
+    Libos.Boot.net_stack ~mem_bytes:(256 * 1024 * 1024) ~extra:[ (app, Types.Isolated) ] ()
+  in
+  let mon = sys.Libos.Boot.mon in
+  let path = Printf.sprintf "/f%d.bin" zc_file_size in
+  let body = String.init zc_file_size (fun i -> Char.chr (32 + (i * 131 mod 95))) in
+  Libos.Boot.populate sys ~as_app:"NGINX" [ (path, body) ];
+  let server = Httpd.Server.start ~zerocopy sys in
+  let siege = Httpd.Siege.make sys server in
+  let cost = Monitor.cost mon in
+  let attrib = cost.Hw.Cost.attrib in
+  let stats = Monitor.stats mon in
+  let cat c = Telemetry.Attrib.category_total attrib c in
+  let mode = if zerocopy then "zerocopy" else "copy" in
+  let cycles0 = Hw.Cost.cycles cost in
+  let cats0 = List.map (fun c -> (c, cat c)) Telemetry.Attrib.categories in
+  let faults0 = Stats.faults stats in
+  let wops0 = Stats.window_ops stats in
+  for req = 1 to zc_requests do
+    let r = Httpd.Siege.fetch siege path in
+    if r.Httpd.Siege.status <> 200 || r.Httpd.Siege.body <> body then begin
+      fprintf "FATAL: sendfile (%s): request %d got status %d, %d body bytes (want 200, %d)\n"
+        mode req r.Httpd.Siege.status
+        (String.length r.Httpd.Siege.body)
+        zc_file_size;
+      exit 1
+    end
+  done;
+  (* the sum-to-total invariant must hold on the full timeline *)
+  if Telemetry.Attrib.total attrib <> Hw.Cost.cycles cost then begin
+    fprintf "FATAL: sendfile (%s): attribution total %d <> Cost.cycles %d\n" mode
+      (Telemetry.Attrib.total attrib) (Hw.Cost.cycles cost);
+    exit 1
+  end;
+  let row =
+    {
+      zc_mode = mode;
+      zc_total = Hw.Cost.cycles cost - cycles0;
+      zc_cats =
+        List.map
+          (fun c -> (c, cat c - List.assoc c cats0))
+          Telemetry.Attrib.categories;
+      zc_faults = Stats.faults stats - faults0;
+      zc_window_ops = Stats.window_ops stats - wops0;
+    }
+  in
+  (* and the serving-phase deltas must decompose exactly too *)
+  if List.fold_left (fun acc (_, v) -> acc + v) 0 row.zc_cats <> row.zc_total then begin
+    fprintf "FATAL: sendfile (%s): category deltas do not sum to the cycle delta\n" mode;
+    exit 1
+  end;
+  row
+
+let zc_json_rows rows =
+  List.concat_map
+    (fun r ->
+      let key f = Printf.sprintf "%s.%s" r.zc_mode f in
+      [
+        (key "total_cycles", r.zc_total);
+        (key "cycles_per_req", r.zc_total / zc_requests);
+        (key "faults", r.zc_faults);
+        (key "window_ops", r.zc_window_ops);
+      ]
+      @ List.map
+          (fun (c, v) ->
+            (key (Telemetry.Attrib.cat_name c ^ "_cycles_per_req"), v / zc_requests))
+          r.zc_cats)
+    rows
+
+let zc_check_golden path rows =
+  if not (Sys.file_exists path) then begin
+    Printf.printf
+      "GOLDEN FILE MISSING: %s\nGenerate it with:\n\
+      \  dune exec bench/main.exe -- sendfile --write-golden %s\n"
+      path path;
+    exit 1
+  end;
+  let golden = read_flat_json path in
+  let drift = ref [] in
+  List.iter
+    (fun (key, v) ->
+      match List.assoc_opt key golden with
+      | Some g when g = v -> ()
+      | Some g -> drift := Printf.sprintf "%s: golden %d, measured %d" key g v :: !drift
+      | None -> drift := Printf.sprintf "%s: missing from golden file" key :: !drift)
+    rows;
+  List.iter
+    (fun (key, _) ->
+      if not (List.mem_assoc key rows) then
+        drift := Printf.sprintf "%s: in golden file but not measured" key :: !drift)
+    golden;
+  if !drift <> [] then begin
+    fprintf "\nGOLDEN ZEROCOPY DRIFT vs %s:\n" path;
+    List.iter (fprintf "  %s\n") (List.rev !drift);
+    fprintf
+      "If the drift is an intentional cost-model or stack change, recalibrate with:\n\
+      \  dune exec bench/main.exe -- sendfile --write-golden %s\n"
+      path;
+    exit 1
+  end;
+  fprintf "\ngolden check OK: zero-copy decomposition matches %s\n" path
+
+let sendfile ?(out = "BENCH_zerocopy.json") ?golden ?write_golden () =
+  heading
+    (Printf.sprintf "Zero-copy sendfile: %d requests for a %d KiB file, copy vs grant-and-forward"
+       zc_requests (zc_file_size / 1024));
+  let rows = [ zc_run ~zerocopy:false; zc_run ~zerocopy:true ] in
+  fprintf "%-20s" "per request";
+  List.iter (fun r -> fprintf "%14s" r.zc_mode) rows;
+  fprintf "%10s\n" "ratio";
+  let per_req v = v / zc_requests in
+  List.iter
+    (fun c ->
+      fprintf "%-20s" (Telemetry.Attrib.cat_name c ^ " cycles");
+      List.iter (fun r -> fprintf "%14d" (per_req (List.assoc c r.zc_cats))) rows;
+      match rows with
+      | [ copy; zc ] ->
+          let cv = List.assoc c copy.zc_cats and zv = List.assoc c zc.zc_cats in
+          if zv > 0 then fprintf "%9.2fx\n" (float_of_int cv /. float_of_int zv)
+          else fprintf "%10s\n" "-"
+      | _ -> fprintf "\n")
+    Telemetry.Attrib.categories;
+  fprintf "%-20s" "total cycles";
+  List.iter (fun r -> fprintf "%14d" (per_req r.zc_total)) rows;
+  fprintf "\n%-20s" "faults";
+  List.iter (fun r -> fprintf "%14d" r.zc_faults) rows;
+  fprintf "\n%-20s" "window ops";
+  List.iter (fun r -> fprintf "%14d" r.zc_window_ops) rows;
+  fprintf "\n";
+  (match rows with
+  | [ copy; zc ] ->
+      let cm = List.assoc Telemetry.Attrib.Memcpy copy.zc_cats in
+      let zm = List.assoc Telemetry.Attrib.Memcpy zc.zc_cats in
+      if zm <= 0 || cm < 5 * zm then begin
+        fprintf "FATAL: memcpy cycles/request %d (copy) vs %d (zero-copy): below the 5x floor\n"
+          (cm / zc_requests) (zm / zc_requests);
+        exit 1
+      end;
+      fprintf "memcpy floor OK: %.1fx fewer data-copy cycles on the zero-copy path\n"
+        (float_of_int cm /. float_of_int zm)
+  | _ -> ());
+  let json = zc_json_rows rows in
+  write_flat_json out json;
+  fprintf "wrote %s\n" out;
+  (match write_golden with
+  | Some path ->
+      write_flat_json path json;
+      fprintf "wrote golden zero-copy decomposition to %s\n" path
+  | None -> ());
+  match golden with Some path -> zc_check_golden path json | None -> ()
+
 (* --- driver ---------------------------------------------------------------------- *)
 
 let () =
@@ -1541,6 +1715,13 @@ let () =
       ?golden:(if List.mem "smp" targets then List.assoc_opt "--golden" flags else None)
       ?write_golden:
         (if List.mem "smp" targets then List.assoc_opt "--write-golden" flags else None)
+      ();
+  if want "sendfile" then
+    sendfile
+      ?out:(if List.mem "sendfile" targets then List.assoc_opt "--out" flags else None)
+      ?golden:(if List.mem "sendfile" targets then List.assoc_opt "--golden" flags else None)
+      ?write_golden:
+        (if List.mem "sendfile" targets then List.assoc_opt "--write-golden" flags else None)
       ();
   if want "analyze" then
     analyze

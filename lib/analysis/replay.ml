@@ -81,7 +81,9 @@ let feed ?(core = 0) t (ev : Telemetry.Event.t) =
               (fun (p, _) ->
                 if (not !removed) && p = ptr then (removed := true; false) else true)
               w.ranges
-      | Telemetry.Event.Open | Telemetry.Event.Open_dedicated ->
+      | Telemetry.Event.Open | Telemetry.Event.Forward | Telemetry.Event.Open_dedicated ->
+          (* a forward is emitted against the owner's window, so the
+             mirror treats it as the owner opening for one more peer *)
           if peer >= 0 then w.opened <- ISet.add peer w.opened
       | Telemetry.Event.Close | Telemetry.Event.Close_dedicated ->
           if peer >= 0 then w.opened <- ISet.remove peer w.opened

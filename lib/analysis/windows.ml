@@ -213,7 +213,10 @@ let check (p : Ir.program) =
                 | None -> state
                 | Some w -> SMap.add win { w with grants = SMap.remove b w.grants } state)
             | Iface.Window_remove _ -> state
-            | Iface.Window_open { win; peer } -> (
+            | Iface.Window_open { win; peer } | Iface.Window_forward { win; peer } -> (
+                (* a forward extends the open set exactly like an open by
+                   the owner (the monitor emits it against the owner's
+                   window) *)
                 match SMap.find_opt win state with
                 | None ->
                     SMap.add win

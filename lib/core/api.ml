@@ -8,6 +8,11 @@ let window_open (c : ctx) wid other = Monitor.window_open c.mon c.self wid other
 let window_close (c : ctx) wid other = Monitor.window_close c.mon c.self wid other
 let window_close_all (c : ctx) wid = Monitor.window_close_all c.mon c.self wid
 let window_destroy (c : ctx) wid = Monitor.window_destroy c.mon c.self wid
+let window_add_ranges (c : ctx) wid ranges = Monitor.window_add_ranges c.mon c.self wid ranges
+let window_open_many (c : ctx) wid peers = Monitor.window_open_many c.mon c.self wid peers
+
+let window_forward (c : ctx) ~owner wid other =
+  Monitor.window_forward c.mon c.self ~owner wid other
 let call (c : ctx) sym args = Monitor.call c.mon ~caller:c.self sym args
 let cid_of (c : ctx) name = Monitor.lookup_cubicle c.mon name
 let self (c : ctx) = c.self

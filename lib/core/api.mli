@@ -17,6 +17,18 @@ val window_close : ctx -> Types.wid -> Types.cid -> unit
 val window_close_all : ctx -> Types.wid -> unit
 val window_destroy : ctx -> Types.wid -> unit
 
+val window_add_ranges : ctx -> Types.wid -> (int * int) list -> unit
+(** Batched [window_add] over a list of [(ptr, size)] grants: one
+    monitor crossing, atomic validation, one Add event per range. *)
+
+val window_open_many : ctx -> Types.wid -> Types.cid list -> unit
+(** Batched [window_open] over a list of peers. *)
+
+val window_forward : ctx -> owner:Types.cid -> Types.wid -> Types.cid -> unit
+(** Grant-and-forward: extend a window of [owner] — already open for
+    the caller — to a third cubicle down the call chain (§5.6 nested
+    chains, sendfile fast path). *)
+
 (** {1 Cross-cubicle calls} *)
 
 val call : ctx -> string -> int array -> int

@@ -7,6 +7,7 @@ type stmt =
   | Window_add of { win : string; buf : buf; bytes : int; standing : bool }
   | Window_remove of { win : string; buf : buf }
   | Window_open of { win : string; peer : string }
+  | Window_forward of { win : string; peer : string }
   | Window_close of { win : string; peer : string }
   | Window_close_all of { win : string }
   | Window_destroy of { win : string }
@@ -36,6 +37,8 @@ let pp_stmt ppf = function
         (if standing then " (standing)" else "")
   | Window_remove { win; buf } -> Format.fprintf ppf "window_remove %s -> %a" win pp_buf buf
   | Window_open { win; peer } -> Format.fprintf ppf "window_open %s for %s" win peer
+  | Window_forward { win; peer } ->
+      Format.fprintf ppf "window_forward %s to %s" win peer
   | Window_close { win; peer } -> Format.fprintf ppf "window_close %s for %s" win peer
   | Window_close_all { win } -> Format.fprintf ppf "window_close_all %s" win
   | Window_destroy { win } -> Format.fprintf ppf "window_destroy %s" win

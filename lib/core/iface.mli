@@ -41,6 +41,11 @@ type stmt =
   | Window_open of { win : string; peer : string }
       (** [peer] is a component name, or ["*"] for a grantee resolved
           dynamically (callback registration). *)
+  | Window_forward of { win : string; peer : string }
+      (** Grant-and-forward: [win] — already open for this component or
+          opened by it — is extended to [peer] further down the call
+          chain ({!Cubicle.Api.window_forward}). The coverage pass
+          treats it exactly like {!Window_open}. *)
   | Window_close of { win : string; peer : string }
   | Window_close_all of { win : string }
   | Window_destroy of { win : string }

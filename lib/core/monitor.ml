@@ -557,6 +557,11 @@ let free_pages t cid base =
       | None -> ());
       if mpk_on t then Hw.Cost.charge_cat (cost t) Telemetry.Attrib.Mpk (n * (cost t).model.pkey_set);
       for p = page to page + n - 1 do
+        (* scrub contents so the next owner cannot read stale data —
+           same guarantee destroy_cubicle gives for whole-cubicle
+           teardown, extended to individual page returns *)
+        Hw.Cpu.priv_write_bytes t.m_cpu (Hw.Addr.base_of_page p)
+          (Bytes.make Hw.Addr.page_size '\000');
         Mm.Page_meta.release t.meta ~page:p;
         Hw.Cpu.unmap_page t.m_cpu p
       done;
@@ -597,11 +602,9 @@ let window_table_extend t cid ~klass =
 
 let find_window t cid wid = Window.find (get t cid).windows wid
 
-let window_add t cid wid ~ptr ~size =
-  charge_window_op t;
-  let w = find_window t cid wid in
-  (* Windows may only carry memory the caller owns, of the window's
-     data class. *)
+(* Windows may only carry memory the caller owns, of the window's
+   data class. *)
+let check_range_owned t cid (w : Window.t) wid ~ptr ~size =
   let first = Hw.Addr.page_of ptr and last = Hw.Addr.page_of (ptr + size - 1) in
   for p = first to last do
     (match Mm.Page_meta.owner t.meta p with
@@ -615,8 +618,13 @@ let window_add t cid wid ~ptr ~size =
           (Mm.Page_meta.kind_to_string k) wid
           (Mm.Page_meta.kind_to_string w.Window.klass)
     | None -> Types.error "window_add: page %d has no class" p
-  done;
-  Window.add_range w ~ptr ~size;
+  done
+
+let window_add t cid wid ~ptr ~size =
+  charge_window_op t;
+  let w = find_window t cid wid in
+  check_range_owned t cid w wid ~ptr ~size;
+  Window.add_range (get t cid).windows w ~ptr ~size;
   emit_window t cid Telemetry.Event.Add ~wid ~ptr ~size ()
 
 let window_remove t cid wid ~ptr =
@@ -629,7 +637,7 @@ let window_remove t cid wid ~ptr =
     | Some r -> r.size
     | None -> 0
   in
-  Window.remove_range w ~ptr;
+  Window.remove_range (get t cid).windows w ~ptr;
   emit_window t cid Telemetry.Event.Remove ~wid ~ptr ~size ()
 
 let retag_window_pages t w ~to_key =
@@ -675,6 +683,69 @@ let window_destroy t cid wid =
   let c = get t cid in
   Window.destroy c.windows (find_window t cid wid);
   emit_window t cid Telemetry.Event.Destroy ~wid ()
+
+(* --- batched window ops + grant-and-forward (sendfile fast path) ------- *)
+
+(* A batched call pays one monitor crossing (one window_op charge) plus
+   a small per-extra-descriptor cost, instead of n full crossings. *)
+let charge_batch_extra t n =
+  if t.protection <> Types.None_ && n > 1 then
+    Hw.Cost.charge_cat (cost t) Telemetry.Attrib.Window (2 * (n - 1))
+
+(* Atomic batch: every range is validated before any is granted, so a
+   bad descriptor in the middle cannot leave a half-applied batch. One
+   Add event per range keeps the replay mirror and counters exact. *)
+let window_add_ranges t cid wid ranges =
+  if ranges = [] then Types.error "window_add_ranges: empty range list";
+  charge_window_op t;
+  charge_batch_extra t (List.length ranges);
+  let w = find_window t cid wid in
+  List.iter (fun (ptr, size) -> check_range_owned t cid w wid ~ptr ~size) ranges;
+  List.iter
+    (fun (ptr, size) ->
+      Window.add_range (get t cid).windows w ~ptr ~size;
+      emit_window t cid Telemetry.Event.Add ~wid ~ptr ~size ())
+    ranges
+
+let window_open_many t cid wid peers =
+  if peers = [] then Types.error "window_open_many: empty peer list";
+  charge_window_op t;
+  charge_batch_extra t (List.length peers);
+  List.iter
+    (fun other ->
+      if other = cid then Types.error "window_open: cannot open a window to oneself";
+      ignore (get t other))
+    peers;
+  let w = find_window t cid wid in
+  List.iter
+    (fun other ->
+      Window.open_for w other;
+      if mpk_on t && t.policy.mapping = `Eager_on_open then
+        retag_window_pages t w ~to_key:(phys_of t (get t other)))
+    peers;
+  List.iter (fun other -> emit_window t cid Telemetry.Event.Open ~wid ~peer:other ()) peers
+
+(* Grant-and-forward: a cubicle that already holds [owner]'s window
+   open for it may extend the grant to a third cubicle further down the
+   call chain, without bouncing control back to the owner (paper §5.6
+   requires windows opened for every cubicle in a nested chain ahead of
+   time — the forward is the monitor-mediated way to do that from the
+   middle of the chain). The event is emitted against the owner's
+   window so the replay mirror sees the owner's ACL grow, exactly as if
+   the owner had opened it. *)
+let window_forward t cid ~owner wid other =
+  charge_window_op t;
+  if other = owner then
+    Types.error "window_forward: cubicle %d already owns window %d" other wid;
+  ignore (get t other);
+  let w = find_window t owner wid in
+  if cid <> owner && not (Window.is_open_for w cid) then
+    Types.error "window_forward: window %d of cubicle %d is not open for forwarder %d" wid
+      owner cid;
+  Window.open_for w other;
+  if mpk_on t && t.policy.mapping = `Eager_on_open then
+    retag_window_pages t w ~to_key:(phys_of t (get t other));
+  emit_window t owner Telemetry.Event.Forward ~wid ~peer:other ()
 
 (* Explicit grant check (CubiCheck): does [cid] hold a live window open
    for [peer] whose ranges cover the whole [ptr, ptr+size) span? The

@@ -154,6 +154,23 @@ val window_close : t -> Types.cid -> Types.wid -> Types.cid -> unit
 val window_close_all : t -> Types.cid -> Types.wid -> unit
 val window_destroy : t -> Types.cid -> Types.wid -> unit
 
+val window_add_ranges : t -> Types.cid -> Types.wid -> (int * int) list -> unit
+(** Batched {!window_add}: one monitor crossing amortised over a list
+    of [(ptr, size)] grants. Every range is validated before any is
+    applied (atomic batch); one Add event is still emitted per range so
+    replay mirrors and counters stay exact. Raises {!Types.Error} on an
+    empty list. *)
+
+val window_open_many : t -> Types.cid -> Types.wid -> Types.cid list -> unit
+(** Batched {!window_open}: one monitor crossing amortised over a list
+    of peers. All peers are validated before any open is applied. *)
+
+val window_forward : t -> Types.cid -> owner:Types.cid -> Types.wid -> Types.cid -> unit
+(** Grant-and-forward: the calling cubicle, which must already hold
+    window [wid] of [owner] open for itself, extends the grant to a
+    third cubicle further down the call chain (sendfile fast path). The
+    Window event is emitted against the owner's window. *)
+
 val window_grants : t -> Types.cid -> peer:Types.cid -> ptr:int -> size:int -> bool
 (** Explicit byte-exact grant check: [cid] holds a live window open for
     [peer] whose ranges cover the whole [ptr, ptr+size) span (possibly

@@ -26,6 +26,12 @@ type table = {
   mutable stack_cap : int;
   mutable heap_cap : int;
   mutable code_cap : int;
+  (* Page-indexed ACL lookup: (class, page) -> windows with a range
+     touching that page. Standing sendfile grants make the fault-path
+     lookup hot; the index replaces the linear array scan while
+     charging exactly what the scan would have (the inspected count is
+     recomputed as the winner's array position). *)
+  index : (Mm.Page_meta.kind * int, t list ref) Hashtbl.t;
 }
 
 let initial_capacity = 8
@@ -43,6 +49,7 @@ let create_table ~owner ~ncubicles =
     stack_cap = initial_capacity;
     heap_cap = initial_capacity;
     code_cap = initial_capacity;
+    index = Hashtbl.create 64;
   }
 
 let owner t = t.tbl_owner
@@ -106,22 +113,53 @@ let find table wid =
 
 let check_alive w = if not w.alive then Types.error "window %d was destroyed" w.wid
 
-let add_range w ~ptr ~size =
+let range_touches_page r p =
+  Hw.Addr.page_of r.ptr <= p && p <= Hw.Addr.page_of (r.ptr + r.size - 1)
+
+let index_range table w r =
+  for p = Hw.Addr.page_of r.ptr to Hw.Addr.page_of (r.ptr + r.size - 1) do
+    let key = (w.klass, p) in
+    match Hashtbl.find_opt table.index key with
+    | Some bucket -> if not (List.memq w !bucket) then bucket := w :: !bucket
+    | None -> Hashtbl.replace table.index key (ref [ w ])
+  done
+
+(* Drop [w] from the bucket of every page of [r] that no remaining
+   range of [w] still touches. *)
+let unindex_range table w r =
+  for p = Hw.Addr.page_of r.ptr to Hw.Addr.page_of (r.ptr + r.size - 1) do
+    if not (List.exists (fun r' -> range_touches_page r' p) w.ranges) then begin
+      let key = (w.klass, p) in
+      match Hashtbl.find_opt table.index key with
+      | None -> ()
+      | Some bucket -> (
+          bucket := List.filter (fun w' -> w' != w) !bucket;
+          match !bucket with [] -> Hashtbl.remove table.index key | _ -> ())
+    end
+  done
+
+let add_range table w ~ptr ~size =
   check_alive w;
   if size <= 0 then Types.error "window %d: non-positive range size %d" w.wid size;
-  w.ranges <- { ptr; size } :: w.ranges
+  let r = { ptr; size } in
+  w.ranges <- r :: w.ranges;
+  index_range table w r
 
-let remove_range w ~ptr =
+let remove_range table w ~ptr =
   check_alive w;
   (* Exactly one range per remove: two add_range calls with the same
      base (and possibly different sizes) are two grants, and a single
      remove must not revoke both. *)
+  let removed = ref None in
   let rec drop_one = function
     | [] -> Types.error "window %d: no range starts at 0x%x" w.wid ptr
-    | r :: rest when r.ptr = ptr -> rest
+    | r :: rest when r.ptr = ptr ->
+        removed := Some r;
+        rest
     | r :: rest -> r :: drop_one rest
   in
-  w.ranges <- drop_one w.ranges
+  w.ranges <- drop_one w.ranges;
+  match !removed with None -> () | Some r -> unindex_range table w r
 
 let open_for w cid =
   check_alive w;
@@ -137,9 +175,11 @@ let close_all w =
 
 let destroy table w =
   check_alive w;
+  let old_ranges = w.ranges in
   w.alive <- false;
   w.ranges <- [];
   Bitset.clear w.opened;
+  List.iter (fun r -> unindex_range table w r) old_ranges;
   set_arr table w.klass (List.filter (fun w' -> w'.wid <> w.wid) (arr_of table w.klass))
 
 let is_open_for w cid = w.alive && Bitset.mem w.opened cid
@@ -170,13 +210,36 @@ let covered_prefix w ~ptr ~size =
 
 let covers w ~ptr ~size = size > 0 && covered_prefix w ~ptr ~size >= size
 
-let search table ~klass ~addr =
+(* Reference linear scan of the descriptor array (the paper's §5.3
+   step ❸). Kept as the oracle the page index must agree with. *)
+let search_linear table ~klass ~addr =
   let rec scan inspected = function
     | [] -> None
     | w :: rest ->
         if contains w addr then Some (w, inspected + 1) else scan (inspected + 1) rest
   in
   scan 0 (arr_of table klass)
+
+(* Page-indexed lookup, bit-identical to [search_linear]: descriptor
+   arrays are newest-first with strictly descending (never reused)
+   wids, so the linear scan's winner is the containing window with the
+   largest wid, and the charged "inspected" count is that window's
+   1-based array position. *)
+let search table ~klass ~addr =
+  match Hashtbl.find_opt table.index (klass, Hw.Addr.page_of addr) with
+  | None -> None
+  | Some bucket -> (
+      match List.filter (fun w -> contains w addr) !bucket with
+      | [] -> None
+      | first :: rest ->
+          let w =
+            List.fold_left (fun best w' -> if w'.wid > best.wid then w' else best) first rest
+          in
+          let rec pos i = function
+            | [] -> Types.error "window index: wid %d missing from its array" w.wid
+            | w' :: tl -> if w' == w then i else pos (i + 1) tl
+          in
+          Some (w, pos 1 (arr_of table klass)))
 
 let set_dedicated_key w k =
   check_alive w;

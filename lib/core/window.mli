@@ -6,10 +6,12 @@
     currently open for. Window 0 is implicit (a cubicle always accesses
     its own memory) and is not represented here.
 
-    The monitor's trap-and-map handler performs a linear search through
-    the descriptor array for the faulting page's class — cheap because
-    cubicles hold few windows at a time (all but one cubicle in the
-    paper's evaluation have fewer than ten). *)
+    The monitor's trap-and-map handler looks up the faulting page in a
+    per-table page index (standing sendfile grants make the ACL lookup
+    hot); the result — including the charged "descriptors inspected"
+    count — is bit-identical to the paper's linear search through the
+    descriptor array for the faulting page's class, which is kept as
+    {!search_linear} for differential testing. *)
 
 type range = { ptr : int; size : int }
 
@@ -44,11 +46,14 @@ val extend : table -> Mm.Page_meta.kind -> unit
 val find : table -> Types.wid -> t
 (** Raises {!Types.Error} for an unknown or destroyed wid. *)
 
-val add_range : t -> ptr:int -> size:int -> unit
-val remove_range : t -> ptr:int -> unit
+val add_range : table -> t -> ptr:int -> size:int -> unit
+(** Adds a grant and enters its pages into the table's page index. *)
+
+val remove_range : table -> t -> ptr:int -> unit
 (** Removes exactly one range starting at [ptr] (the most recently
-    added, if several share a base). Raises {!Types.Error} if no range
-    starts at [ptr]. *)
+    added, if several share a base) and unindexes any page no other
+    range of the window still touches. Raises {!Types.Error} if no
+    range starts at [ptr]. *)
 
 val open_for : t -> Types.cid -> unit
 val close_for : t -> Types.cid -> unit
@@ -76,9 +81,14 @@ val covers : t -> ptr:int -> size:int -> bool
     and this predicate make the full-span check explicit. *)
 
 val search : table -> klass:Mm.Page_meta.kind -> addr:int -> (t * int) option
-(** Linear search of one descriptor array for a live window containing
-    [addr]; also returns the number of descriptors inspected so the
-    monitor can charge search cost. *)
+(** Page-indexed lookup of a live window containing [addr]; also
+    returns the number of descriptors a linear scan would have
+    inspected so the monitor can charge the same search cost. The
+    result is bit-identical to {!search_linear}. *)
+
+val search_linear : table -> klass:Mm.Page_meta.kind -> addr:int -> (t * int) option
+(** The original linear search of one descriptor array — the oracle
+    {!search} is differentially tested against. *)
 
 val set_dedicated_key : t -> int option -> unit
 

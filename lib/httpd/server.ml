@@ -11,6 +11,7 @@ type t = {
   shard : int;  (* the LWIP accept shard / NETDEV ring this worker drives *)
   req_buf : int;  (* page for request bytes *)
   file_buf : int;  (* chunk buffer for file data and response headers *)
+  zerocopy : bool;  (* serve file bodies via vfs_sendfile instead of pread+send *)
   mutable conns : conn list;
   mutable served : int;
 }
@@ -88,6 +89,14 @@ let iface =
                      @ send_chunk);
                    Iface.Call { sym = "vfs_close"; ptr_args = [] };
                  ];
+                 (* 200, zero-copy mode: the body never enters NGINX —
+                    the file system streams it via vfs_sendfile (no
+                    pointer crosses, only fd/conn/len/off scalars) *)
+                 [
+                   Iface.Call { sym = "vfs_size"; ptr_args = [] };
+                   Iface.Call { sym = "vfs_sendfile"; ptr_args = [] };
+                   Iface.Call { sym = "vfs_close"; ptr_args = [] };
+                 ];
                  (* error response: headers only *)
                  send_chunk;
                ];
@@ -104,7 +113,7 @@ let component ?(workers = 1) () =
   Builder.component ~code_ops:2048 ~heap_pages:(16 + (16 * workers)) ~stack_pages:4
     ~iface "NGINX"
 
-let start ?(shard = 0) sys =
+let start ?(shard = 0) ?(zerocopy = false) sys =
   let ctx = Libos.Boot.app_ctx sys "NGINX" in
   (* each worker holds two persistent Fileio windows (path + data) plus
      transient net windows; extend the heap descriptor array (initially
@@ -124,7 +133,7 @@ let start ?(shard = 0) sys =
      shard argument to accept is what splits the backlog *)
   let r = Api.call ctx "lwip_listen" [| 80 |] in
   if r <> 0 then Types.error "nginx: listen failed (%d)" r;
-  { ctx; fio; lwip_cid; shard; req_buf; file_buf; conns = []; served = 0 }
+  { ctx; fio; lwip_cid; shard; req_buf; file_buf; zerocopy; conns = []; served = 0 }
 
 let with_lwip_window t ~ptr ~size f =
   let wid = Api.window_init t.ctx ~klass:Mm.Page_meta.Heap in
@@ -155,19 +164,28 @@ let serve_file t conn_id ~meth ~keep_alive path =
     send_string t conn_id
       (Http.response_header ~content_type:(Http.mime_type path) ~keep_alive ~status:200
          ~content_length:size ());
-    if meth <> "HEAD" then begin
-      let rec stream off =
-        if off < size then begin
-          let want = min chunk_size (size - off) in
-          let n = Libos.Fileio.pread t.fio ~fd ~buf:t.file_buf ~len:want ~off in
-          if n <= 0 then Types.error "nginx: pread returned %d" n;
-          let sent = send t conn_id ~ptr:t.file_buf ~len:n in
-          if sent <> n then Types.error "nginx: short send (%d/%d)" sent n;
-          stream (off + n)
+    if meth <> "HEAD" then
+      if t.zerocopy then begin
+        (* fast path: the body goes fs → net by grant-and-forward; no
+           byte of it ever lands in file_buf *)
+        if size > 0 then begin
+          let n = Libos.Fileio.sendfile t.fio ~fd ~conn:conn_id ~len:size ~off:0 in
+          if n <> size then Types.error "nginx: sendfile returned %d/%d" n size
         end
-      in
-      stream 0
-    end;
+      end
+      else begin
+        let rec stream off =
+          if off < size then begin
+            let want = min chunk_size (size - off) in
+            let n = Libos.Fileio.pread t.fio ~fd ~buf:t.file_buf ~len:want ~off in
+            if n <= 0 then Types.error "nginx: pread returned %d" n;
+            let sent = send t conn_id ~ptr:t.file_buf ~len:n in
+            if sent <> n then Types.error "nginx: short send (%d/%d)" sent n;
+            stream (off + n)
+          end
+        in
+        stream 0
+      end;
     ignore (Libos.Fileio.close_file t.fio fd);
     if not keep_alive then ignore (Api.call t.ctx "lwip_close" [| conn_id |]);
     t.served <- t.served + 1;

@@ -14,12 +14,15 @@ val component : ?workers:int -> unit -> Cubicle.Builder.component
     [workers] (default 1) sizes the heap for that many concurrent
     SO_REUSEPORT-style workers ({!start} once per shard). *)
 
-val start : ?shard:int -> Libos.Boot.system -> t
+val start : ?shard:int -> ?zerocopy:bool -> Libos.Boot.system -> t
 (** Resolve cids, allocate buffers, open the listening socket. Must run
     after boot. [shard] (default 0) is the LWIP accept shard / NETDEV
     ring this worker drives — boot the stack with
     [Boot.net_stack ~nrings:n] and start one worker per shard to serve
-    traffic concurrently across simulated cores. *)
+    traffic concurrently across simulated cores. [zerocopy] (default
+    false) serves file bodies through [vfs_sendfile] — the file system
+    grants its chunk pages to LWIP and forwards the grant to NETDEV, so
+    no body byte is ever copied into the server's buffer. *)
 
 val poll : t -> int
 (** Accept pending connections and serve every complete request

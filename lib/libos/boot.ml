@@ -11,10 +11,10 @@ type system = {
   fatfs : Fatfs.state option;
 }
 
-let base_components ~merge_fs =
+let base_components ~merge_fs ?(sendfile = false) () =
   let plat_state, plat = Plat.make () in
-  let ramfs_state, ramfs = Ramfs.make () in
-  let vfs = Vfscore.component () in
+  let ramfs_state, ramfs = Ramfs.make ~sendfile () in
+  let vfs = Vfscore.component ~sendfile () in
   let fs_comps =
     if merge_fs then
       (* Figure 9a: the virtual file system module with the built-in
@@ -37,7 +37,7 @@ let base_components ~merge_fs =
 let fs_stack ?(protection = Types.Full) ?policy ?virtualise ?(merge_fs = false)
     ?(mem_bytes = 64 * 1024 * 1024) ?(extra = []) () =
   let mon = Monitor.create ~mem_bytes ?policy ?virtualise ~protection () in
-  let plat_state, ramfs_state, comps = base_components ~merge_fs in
+  let plat_state, ramfs_state, comps = base_components ~merge_fs () in
   let built = Builder.build mon (comps @ extra) in
   {
     mon;
@@ -53,7 +53,9 @@ let fs_stack ?(protection = Types.Full) ?policy ?virtualise ?(merge_fs = false)
 let net_stack ?(protection = Types.Full) ?policy ?virtualise ?ncores ?(nrings = 1)
     ?(mem_bytes = 128 * 1024 * 1024) ?(extra = []) () =
   let mon = Monitor.create ~mem_bytes ?ncores ?policy ?virtualise ~protection () in
-  let plat_state, ramfs_state, comps = base_components ~merge_fs:false in
+  (* network stacks always carry the zero-copy sendfile path: the
+     fs-side summaries it adds name LWIP/NETDEV, which exist here *)
+  let plat_state, ramfs_state, comps = base_components ~merge_fs:false ~sendfile:true () in
   let netdev_state, netdev = Netdev.make ~nrings () in
   let lwip_state, lwip = Lwip.make ~nshards:nrings () in
   let built =

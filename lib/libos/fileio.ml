@@ -29,14 +29,22 @@ let with_path t path f =
   f t.path_buf len
 
 let with_window t ~ptr ~size f =
-  Api.window_add t.ctx t.data_wid ~ptr ~size;
-  Api.window_open t.ctx t.data_wid t.vfs_cid;
-  if t.backend_cid <> t.vfs_cid then Api.window_open t.ctx t.data_wid t.backend_cid;
-  Fun.protect
-    ~finally:(fun () ->
-      Api.window_close_all t.ctx t.data_wid;
-      Api.window_remove t.ctx t.data_wid ~ptr)
-    f
+  let teardown () =
+    Api.window_close_all t.ctx t.data_wid;
+    Api.window_remove t.ctx t.data_wid ~ptr
+  in
+  (* the setup itself can fail halfway (e.g. the backend cubicle is
+     gone when the second open runs): roll the partial grant back
+     before re-raising, or the range and the VFSCORE open leak into
+     every later use of the shared data window *)
+  (try
+     Api.window_add t.ctx t.data_wid ~ptr ~size;
+     Api.window_open t.ctx t.data_wid t.vfs_cid;
+     if t.backend_cid <> t.vfs_cid then Api.window_open t.ctx t.data_wid t.backend_cid
+   with e ->
+     (try teardown () with _ -> ());
+     raise e);
+  Fun.protect ~finally:teardown f
 
 let open_file t path ~create =
   with_path t path (fun p len ->
@@ -51,6 +59,10 @@ let pread t ~fd ~buf ~len ~off =
 let pwrite t ~fd ~buf ~len ~off =
   with_window t ~ptr:buf ~size:len (fun () ->
       Api.call t.ctx "vfs_pwrite" [| fd; buf; len; off |])
+
+(* Zero-copy: no caller buffer, hence no window to manage — the file
+   system grants its own chunk pages to the network stack. *)
+let sendfile t ~fd ~conn ~len ~off = Api.call t.ctx "vfs_sendfile" [| fd; conn; len; off |]
 
 let file_size t fd = Api.call t.ctx "vfs_size" [| fd |]
 let truncate t ~fd ~size = Api.call t.ctx "vfs_truncate" [| fd; size |]

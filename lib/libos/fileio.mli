@@ -27,6 +27,14 @@ val pread : t -> fd:int -> buf:int -> len:int -> off:int -> int
     window is managed internally. *)
 
 val pwrite : t -> fd:int -> buf:int -> len:int -> off:int -> int
+
+val sendfile : t -> fd:int -> conn:int -> len:int -> off:int -> int
+(** Zero-copy [vfs_sendfile]: stream [len] bytes of the file at [off]
+    to LWIP connection [conn] without staging them in a caller buffer
+    (requires a stack booted with the sendfile path, e.g.
+    {!Boot.net_stack}). Returns the byte count sent or a negative
+    errno. *)
+
 val file_size : t -> int -> int
 val truncate : t -> fd:int -> size:int -> int
 val fsync : t -> int -> int

@@ -87,6 +87,10 @@ type state = {
   mutable netdev_cid : Types.cid;
   rx_staging : int array;  (* per-shard page for incoming frames, windowed to NETDEV *)
   staging_wids : Types.wid array;
+  (* (owner, wid) pairs already forwarded to NETDEV on the zero-copy
+     send path; wids are never reused, so one forward per grant window
+     is enough for the lifetime of the stack *)
+  forwarded : (Types.cid * Types.wid, unit) Hashtbl.t;
 }
 
 let nshards state = state.nshards
@@ -239,6 +243,56 @@ let send_fn state ctx (args : int array) =
         loop 0
       end
 
+(* Zero-copy send: the payload stays in the caller's (file system's)
+   pages, reachable through the grant window [owner_wid] the caller
+   opened for LWIP. LWIP forwards that grant once to NETDEV
+   (grant-and-forward, §5.6 nested chains), writes the 11-byte frame
+   header into its own shard staging page — already standing-windowed
+   to NETDEV — and hands NETDEV the (header, payload-span) pair to
+   gather straight onto the wire. No payload byte is ever memcpy'd by
+   the network stack. *)
+let send_zc_fn state ctx (args : int array) =
+  let conn_id = args.(0) and src = args.(1) and len = args.(2) and owner_wid = args.(3) in
+  let shard = shard_of_conn state conn_id in
+  pump state ctx shard;
+  match Hashtbl.find_opt state.conns conn_id with
+  | None -> Sysdefs.ebadf
+  | Some c ->
+      if c.closed then Sysdefs.ebadf
+      else begin
+        let owner = ctx.Monitor.caller in
+        if not (Hashtbl.mem state.forwarded (owner, owner_wid)) then begin
+          Api.window_forward ctx ~owner owner_wid state.netdev_cid;
+          Hashtbl.replace state.forwarded (owner, owner_wid) ()
+        end;
+        let hdr = state.rx_staging.(shard) + 2048 in
+        let rec loop sent =
+          if sent >= len then sent
+          else begin
+            let n = min Sysdefs.mss (len - sent) in
+            let seq = c.next_tx_seq in
+            c.next_tx_seq <- seq + 1;
+            Api.write_u32 ctx hdr conn_id;
+            Api.write_u8 ctx (hdr + 4) 1;
+            Api.write_u32 ctx (hdr + 5) seq;
+            Api.write_u16 ctx (hdr + 9) n;
+            (match
+               Api.call ctx "netdev_tx_gather"
+                 [| hdr; Sysdefs.frame_header; src + sent; n; shard |]
+             with
+            | r when r < 0 -> Types.error "lwip: netdev_tx_gather failed (%d)" r
+            | _ -> ());
+            c.unacked <- c.unacked + n;
+            if c.unacked >= Sysdefs.send_buffer then begin
+              Hw.Cost.charge (Monitor.cost ctx.Monitor.mon) Sysdefs.rtt_stall_cycles;
+              c.unacked <- 0
+            end;
+            loop (sent + n)
+          end
+        in
+        loop 0
+      end
+
 let close_fn state ctx (args : int array) =
   match Hashtbl.find_opt state.conns args.(0) with
   | None -> Sysdefs.ebadf
@@ -289,6 +343,7 @@ let make ?(nshards = 1) () =
       netdev_cid = -1;
       rx_staging = Array.make nshards 0;
       staging_wids = Array.make nshards 0;
+      forwarded = Hashtbl.create 8;
     }
   in
   (* rx pump: drain frames from NETDEV into the standing staging page,
@@ -346,6 +401,27 @@ let make ?(nshards = 1) () =
             Iface.Branch [ [ Iface.Call { sym = "uk_pfree"; ptr_args = [] } ]; [] ];
           ]);
       Iface.fundecl ~derefs:[ 1 ] "lwip_send" (pump_iface @ send_iface);
+      (* zero-copy send: LWIP itself never dereferences the payload
+         (arg 1) — it forwards the span to NETDEV's gather transmit,
+         with the frame header staged in the standing rx_staging
+         window. The grant forward is modelled by the caller's summary
+         (the window belongs to the file system, not to LWIP). *)
+      Iface.fundecl "lwip_send_zc"
+        (pump_iface
+        @ [
+            Iface.Loop
+              [
+                Iface.Call
+                  {
+                    sym = "netdev_tx_gather";
+                    ptr_args =
+                      [
+                        (0, Iface.Local "rx_staging", Sysdefs.frame_header);
+                        (2, Iface.Param 1, 0);
+                      ];
+                  };
+              ];
+          ]);
       Iface.fundecl "lwip_close"
         [
           Iface.Call
@@ -365,6 +441,7 @@ let make ?(nshards = 1) () =
           { Monitor.sym = "lwip_accept"; fn = accept_fn state; stack_bytes = 0 };
           { Monitor.sym = "lwip_recv"; fn = recv_fn state; stack_bytes = 0 };
           { Monitor.sym = "lwip_send"; fn = send_fn state; stack_bytes = 0 };
+          { Monitor.sym = "lwip_send_zc"; fn = send_zc_fn state; stack_bytes = 0 };
           { Monitor.sym = "lwip_close"; fn = close_fn state; stack_bytes = 0 };
         ]
   in

@@ -39,6 +39,45 @@ let tx_fn state ctx (args : int array) =
     Sysdefs.ok
   end
 
+(* Scatter-gather transmit for the zero-copy sendfile path: the caller
+   hands a tiny header (its own staging page) and a payload span it does
+   NOT own — the payload lives in pages the file system granted through
+   a forwarded window. The header is copied into the ring slot (checked,
+   charged); the payload is only *touched* once per page through the
+   checked access path — driving the trap-and-map faults and the
+   Window_access telemetry the attribution and replay planes rely on —
+   and then gathered off those pages by the DMA engine without any
+   charged memcpy. *)
+let tx_gather_fn state ctx (args : int array) =
+  let hdr = args.(0)
+  and hdr_len = args.(1)
+  and payload = args.(2)
+  and plen = args.(3)
+  and r = if Array.length args > 4 then args.(4) else 0 in
+  if
+    hdr_len <= 0 || plen <= 0
+    || hdr_len + plen > Sysdefs.mtu
+    || r < 0
+    || r >= nrings state
+  then Sysdefs.einval
+  else begin
+    let ring = state.rings.(r) in
+    Api.memcpy ctx ~dst:ring.ring_base ~src:hdr ~len:hdr_len;
+    (* one checked touch per payload page: window enforcement (and its
+       cost) stays exact, the bulk bytes are never copied by the CPU *)
+    for p = Hw.Addr.page_of payload to Hw.Addr.page_of (payload + plen - 1) do
+      ignore (Api.read_u8 ctx (max payload (Hw.Addr.base_of_page p)))
+    done;
+    let frame = Bytes.create (hdr_len + plen) in
+    Bytes.blit (Hw.Cpu.priv_read_bytes ctx.Monitor.cpu ring.ring_base hdr_len) 0 frame 0
+      hdr_len;
+    Bytes.blit (Hw.Cpu.priv_read_bytes ctx.Monitor.cpu payload plen) 0 frame hdr_len plen;
+    Queue.push frame ring.dev_to_host;
+    charge_frame ctx;
+    state.tx_frames <- state.tx_frames + 1;
+    Sysdefs.ok
+  end
+
 let rx_fn state ctx (args : int array) =
   let buf = args.(0) and maxlen = args.(1) and r = ring_of args in
   if r < 0 || r >= nrings state then Sysdefs.einval
@@ -84,11 +123,15 @@ let make ?(nrings = 1) () =
              into the ring slot, rx fills it from the slot *)
           Iface.fundecl ~derefs:[ 0 ] "netdev_tx" [];
           Iface.fundecl ~derefs:[ 0 ] "netdev_rx" [];
+          (* gather tx dereferences both the header (arg 0) and the
+             granted payload span (arg 2) *)
+          Iface.fundecl ~derefs:[ 0; 2 ] "netdev_tx_gather" [];
         ]
       ~exports:
         [
           { Monitor.sym = "netdev_tx"; fn = tx_fn state; stack_bytes = 0 };
           { Monitor.sym = "netdev_rx"; fn = rx_fn state; stack_bytes = 0 };
+          { Monitor.sym = "netdev_tx_gather"; fn = tx_gather_fn state; stack_bytes = 0 };
         ]
   in
   (state, comp)

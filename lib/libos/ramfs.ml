@@ -13,6 +13,12 @@ type state = {
   by_name : (string, file) Hashtbl.t;
   by_ino : (int, file) Hashtbl.t;
   mutable next_ino : int;
+  (* zero-copy sendfile: one standing heap window carrying every chunk
+     page granted to the network stack, created lazily on the first
+     sendfile. [granted] tracks the chunk addresses currently in the
+     window so each page is granted once and revoked before free. *)
+  mutable sf_wid : int;  (* -1 until the first sendfile *)
+  granted : (int, unit) Hashtbl.t;
 }
 
 let read_path ctx ptr len = Api.read_string ctx ptr len
@@ -99,6 +105,67 @@ let pwrite_fn state ctx (args : int array) =
 
 let size_fn state _ctx (args : int array) = with_ino state args.(0) (fun f -> f.size)
 
+(* Revoke a chunk's sendfile grant (if any) before the page goes back
+   to the allocator: a freed page must never stay reachable through a
+   standing window. *)
+let revoke_chunk state ctx addr =
+  if state.sf_wid >= 0 && Hashtbl.mem state.granted addr then begin
+    Api.window_remove ctx state.sf_wid ~ptr:addr;
+    Hashtbl.remove state.granted addr
+  end
+
+(* Zero-copy sendfile: grant the chunk pages backing [off, off+len) to
+   the network stack through the standing sendfile window (batched —
+   one monitor crossing for the whole span) and stream the bytes with
+   lwip_send_zc, which forwards the grant to NETDEV. No payload byte is
+   copied by RAMFS. *)
+let sendfile_fn state ctx (args : int array) =
+  let ino, len, off = read_iodesc ctx args.(0) in
+  let conn = args.(1) in
+  with_ino state ino (fun file ->
+      if off >= file.size then 0
+      else begin
+        let len = min len (file.size - off) in
+        if len <= 0 then 0
+        else begin
+          if state.sf_wid < 0 then begin
+            let wid = Api.window_init ctx ~klass:Mm.Page_meta.Heap in
+            Api.window_open_many ctx wid [ Api.cid_of ctx "LWIP" ];
+            state.sf_wid <- wid
+          end;
+          (* materialise holes: a granted page must exist (the page-cache
+             fill a real sendfile would do) *)
+          ensure_chunks state ctx file ((off + len + chunk_size - 1) / chunk_size);
+          let first = off / chunk_size and last = (off + len - 1) / chunk_size in
+          let fresh = ref [] in
+          for ci = first to last do
+            let addr = file.chunks.(ci) in
+            if not (Hashtbl.mem state.granted addr) then begin
+              Hashtbl.replace state.granted addr ();
+              fresh := (addr, chunk_size) :: !fresh
+            end
+          done;
+          (match List.rev !fresh with
+          | [] -> ()
+          | ranges -> Api.window_add_ranges ctx state.sf_wid ranges);
+          let rec step done_ =
+            if done_ >= len then done_
+            else begin
+              let pos = off + done_ in
+              let ci = pos / chunk_size and coff = pos mod chunk_size in
+              let n = min (len - done_) (chunk_size - coff) in
+              let r =
+                Api.call ctx "lwip_send_zc"
+                  [| conn; file.chunks.(ci) + coff; n; state.sf_wid |]
+              in
+              if r <> n then Types.error "ramfs: short zero-copy send (%d/%d)" r n;
+              step (done_ + n)
+            end
+          in
+          step 0
+        end
+      end)
+
 let truncate_fn state ctx (args : int array) =
   with_ino state args.(0) (fun file ->
       let new_size = args.(1) in
@@ -108,14 +175,17 @@ let truncate_fn state ctx (args : int array) =
         Array.iteri
           (fun i addr ->
             if i >= keep && addr <> 0 then begin
+              revoke_chunk state ctx addr;
               ignore (Api.call ctx "uk_pfree" [| addr |]);
               file.chunks.(i) <- 0
             end)
           file.chunks;
         (* zero the tail of the boundary chunk so a later extension
-           reads zeroes, not stale bytes (POSIX truncate semantics) *)
+           reads zeroes, not stale bytes (POSIX truncate semantics).
+           The boundary chunk may not exist: a sparse file extended by
+           truncate has fewer allocated chunks than its size implies *)
         let coff = new_size mod chunk_size in
-        if coff > 0 && keep >= 1 && file.chunks.(keep - 1) <> 0 then
+        if coff > 0 && keep >= 1 && keep <= Array.length file.chunks && file.chunks.(keep - 1) <> 0 then
           ignore
             (Api.call ctx "memset" [| file.chunks.(keep - 1) + coff; chunk_size - coff; 0 |])
       end;
@@ -131,7 +201,13 @@ let unlink_fn state ctx (args : int array) =
   match Hashtbl.find_opt state.by_name path with
   | None -> Sysdefs.enoent
   | Some file ->
-      Array.iter (fun addr -> if addr <> 0 then ignore (Api.call ctx "uk_pfree" [| addr |])) file.chunks;
+      Array.iter
+        (fun addr ->
+          if addr <> 0 then begin
+            revoke_chunk state ctx addr;
+            ignore (Api.call ctx "uk_pfree" [| addr |])
+          end)
+        file.chunks;
       Hashtbl.remove state.by_name path;
       Hashtbl.remove state.by_ino file.ino;
       Sysdefs.ok
@@ -146,7 +222,11 @@ let rename_fn state ctx (args : int array) =
       | Some target when target.ino <> file.ino ->
           (* rename over an existing file replaces it *)
           Array.iter
-            (fun addr -> if addr <> 0 then ignore (Api.call ctx "uk_pfree" [| addr |]))
+            (fun addr ->
+              if addr <> 0 then begin
+                revoke_chunk state ctx addr;
+                ignore (Api.call ctx "uk_pfree" [| addr |])
+              end)
             target.chunks;
           Hashtbl.remove state.by_ino target.ino
       | _ -> ());
@@ -159,53 +239,104 @@ let init _state ctx =
   (* fill in VFSCORE's callback table, interposed through trampolines *)
   ignore (Api.call ctx "vfs_register_backend" [| 1 |])
 
-let make () =
-  let state = { by_name = Hashtbl.create 64; by_ino = Hashtbl.create 64; next_ino = 1 } in
+let make ?(sendfile = false) () =
+  let state =
+    {
+      by_name = Hashtbl.create 64;
+      by_ino = Hashtbl.create 64;
+      next_ino = 1;
+      sf_wid = -1;
+      granted = Hashtbl.create 64;
+    }
+  in
+  (* when the sendfile path is compiled in, every chunk free first
+     revokes the page's standing grant *)
+  let free_loop =
+    Iface.Loop
+      ((if sendfile then
+          [ Iface.Window_remove { win = "sf_win"; buf = Iface.Local "file_chunks" } ]
+        else [])
+      @ [ Iface.Call { sym = "uk_pfree"; ptr_args = [] } ])
+  in
+  let zc_iface =
+    if not sendfile then []
+    else
+      [
+        (* grant-and-forward: chunk pages enter the standing sf_win,
+           opened for LWIP, which forwards the grant to NETDEV before
+           the gather transmit touches the payload *)
+        Iface.fundecl ~derefs:[ 0 ] "ramfs_sendfile"
+          [
+            Iface.Loop [ Iface.Call { sym = "uk_palloc"; ptr_args = [] } ];
+            Iface.Window_add
+              {
+                win = "sf_win";
+                buf = Iface.Local "file_chunks";
+                bytes = chunk_size;
+                standing = true;
+              };
+            Iface.Window_open { win = "sf_win"; peer = "LWIP" };
+            Iface.Window_forward { win = "sf_win"; peer = "NETDEV" };
+            Iface.Loop
+              [
+                Iface.Call
+                  {
+                    sym = "lwip_send_zc";
+                    ptr_args = [ (1, Iface.Local "file_chunks", chunk_size) ];
+                  };
+              ];
+          ];
+      ]
+  in
+  let zc_exports =
+    if not sendfile then []
+    else [ { Monitor.sym = "ramfs_sendfile"; fn = sendfile_fn state; stack_bytes = 0 } ]
+  in
   let comp =
     Builder.component "RAMFS" ~code_ops:768 ~heap_pages:8 ~stack_pages:4 ~init:(init state)
       ~iface:
-        [
-          Iface.fundecl "__init"
-            [ Iface.Call { sym = "vfs_register_backend"; ptr_args = [] } ];
-          Iface.fundecl ~derefs:[ 0 ] "ramfs_lookup" [];
-          Iface.fundecl ~derefs:[ 0 ] "ramfs_create" [];
-          (* data ops read the iodesc (arg 0) and copy through the
-             caller's buffer (arg 1) via shared libc, running with this
-             cubicle's privileges *)
-          Iface.fundecl ~derefs:[ 0; 1 ] "ramfs_pread"
-            [ Iface.Loop [ Iface.Call { sym = "memcpy"; ptr_args = [] } ] ];
-          Iface.fundecl ~derefs:[ 0; 1 ] "ramfs_pwrite"
-            [
-              Iface.Loop
-                [
-                  Iface.Call { sym = "uk_palloc"; ptr_args = [] };
-                  Iface.Call { sym = "memcpy"; ptr_args = [] };
-                ];
-            ];
-          Iface.fundecl "ramfs_size" [];
-          Iface.fundecl "ramfs_truncate"
-            [
-              Iface.Loop [ Iface.Call { sym = "uk_pfree"; ptr_args = [] } ];
-              Iface.Branch [ [ Iface.Call { sym = "memset"; ptr_args = [] } ]; [] ];
-            ];
-          Iface.fundecl "ramfs_fsync" [];
-          Iface.fundecl ~derefs:[ 0 ] "ramfs_unlink"
-            [ Iface.Loop [ Iface.Call { sym = "uk_pfree"; ptr_args = [] } ] ];
-          Iface.fundecl ~derefs:[ 0; 2 ] "ramfs_rename"
-            [ Iface.Loop [ Iface.Call { sym = "uk_pfree"; ptr_args = [] } ] ];
-        ]
+        ([
+           Iface.fundecl "__init"
+             [ Iface.Call { sym = "vfs_register_backend"; ptr_args = [] } ];
+           Iface.fundecl ~derefs:[ 0 ] "ramfs_lookup" [];
+           Iface.fundecl ~derefs:[ 0 ] "ramfs_create" [];
+           (* data ops read the iodesc (arg 0) and copy through the
+              caller's buffer (arg 1) via shared libc, running with this
+              cubicle's privileges *)
+           Iface.fundecl ~derefs:[ 0; 1 ] "ramfs_pread"
+             [ Iface.Loop [ Iface.Call { sym = "memcpy"; ptr_args = [] } ] ];
+           Iface.fundecl ~derefs:[ 0; 1 ] "ramfs_pwrite"
+             [
+               Iface.Loop
+                 [
+                   Iface.Call { sym = "uk_palloc"; ptr_args = [] };
+                   Iface.Call { sym = "memcpy"; ptr_args = [] };
+                 ];
+             ];
+           Iface.fundecl "ramfs_size" [];
+           Iface.fundecl "ramfs_truncate"
+             [
+               free_loop;
+               Iface.Branch [ [ Iface.Call { sym = "memset"; ptr_args = [] } ]; [] ];
+             ];
+           Iface.fundecl "ramfs_fsync" [];
+           Iface.fundecl ~derefs:[ 0 ] "ramfs_unlink" [ free_loop ];
+           Iface.fundecl ~derefs:[ 0; 2 ] "ramfs_rename" [ free_loop ];
+         ]
+        @ zc_iface)
       ~exports:
-        [
-          { Monitor.sym = "ramfs_lookup"; fn = lookup_fn state; stack_bytes = 0 };
-          { Monitor.sym = "ramfs_create"; fn = create_fn state; stack_bytes = 0 };
-          { Monitor.sym = "ramfs_pread"; fn = pread_fn state; stack_bytes = 0 };
-          { Monitor.sym = "ramfs_pwrite"; fn = pwrite_fn state; stack_bytes = 0 };
-          { Monitor.sym = "ramfs_size"; fn = size_fn state; stack_bytes = 0 };
-          { Monitor.sym = "ramfs_truncate"; fn = truncate_fn state; stack_bytes = 0 };
-          { Monitor.sym = "ramfs_fsync"; fn = fsync_fn state; stack_bytes = 0 };
-          { Monitor.sym = "ramfs_unlink"; fn = unlink_fn state; stack_bytes = 0 };
-          { Monitor.sym = "ramfs_rename"; fn = rename_fn state; stack_bytes = 16 };
-        ]
+        ([
+           { Monitor.sym = "ramfs_lookup"; fn = lookup_fn state; stack_bytes = 0 };
+           { Monitor.sym = "ramfs_create"; fn = create_fn state; stack_bytes = 0 };
+           { Monitor.sym = "ramfs_pread"; fn = pread_fn state; stack_bytes = 0 };
+           { Monitor.sym = "ramfs_pwrite"; fn = pwrite_fn state; stack_bytes = 0 };
+           { Monitor.sym = "ramfs_size"; fn = size_fn state; stack_bytes = 0 };
+           { Monitor.sym = "ramfs_truncate"; fn = truncate_fn state; stack_bytes = 0 };
+           { Monitor.sym = "ramfs_fsync"; fn = fsync_fn state; stack_bytes = 0 };
+           { Monitor.sym = "ramfs_unlink"; fn = unlink_fn state; stack_bytes = 0 };
+           { Monitor.sym = "ramfs_rename"; fn = rename_fn state; stack_bytes = 16 };
+         ]
+        @ zc_exports)
   in
   (state, comp)
 

@@ -10,11 +10,19 @@
 
 type state
 
-val make : unit -> state * Cubicle.Builder.component
+val make : ?sendfile:bool -> unit -> state * Cubicle.Builder.component
 (** Exports (the fs_ops callback table registered with VFSCORE):
     [ramfs_lookup], [ramfs_create], [ramfs_pread], [ramfs_pwrite],
     [ramfs_size], [ramfs_truncate], [ramfs_fsync], [ramfs_unlink],
-    [ramfs_rename]. *)
+    [ramfs_rename].
+
+    [sendfile] (default false) additionally exports
+    [ramfs_sendfile(iodesc, conn)]: the zero-copy fast path that grants
+    the file's chunk pages to LWIP through a standing window (batched
+    adds, one monitor crossing per span) and streams them with
+    [lwip_send_zc], which forwards the grant to NETDEV. Only enable on
+    stacks that load the network components — the interface summary
+    names LWIP/NETDEV and [lwip_send_zc]. *)
 
 val file_count : state -> int
 val total_bytes : state -> int

@@ -8,6 +8,7 @@ type state = {
   mutable backend : backend option;
   fds : (int, open_file) Hashtbl.t;
   mutable next_fd : int;
+  mutable free_fds : int list;  (* closed fds, reused before next_fd grows *)
   mutable path_buf : int;  (* two half-page staging slots *)
   mutable path_wid : Types.wid;
 }
@@ -71,8 +72,18 @@ let open_fn state ctx (args : int array) =
   in
   if ino < 0 then ino
   else begin
-    let fd = state.next_fd in
-    state.next_fd <- state.next_fd + 1;
+    (* reuse a recycled fd number before growing the table: a soak run
+       of open/close cycles must not exhaust the fd-number space *)
+    let fd =
+      match state.free_fds with
+      | fd :: rest ->
+          state.free_fds <- rest;
+          fd
+      | [] ->
+          let fd = state.next_fd in
+          state.next_fd <- state.next_fd + 1;
+          fd
+    in
     Hashtbl.replace state.fds fd { ino };
     fd
   end
@@ -83,6 +94,7 @@ let with_fd state fd f =
 let close_fn state _ctx (args : int array) =
   if Hashtbl.mem state.fds args.(0) then begin
     Hashtbl.remove state.fds args.(0);
+    state.free_fds <- args.(0) :: state.free_fds;
     Sysdefs.ok
   end
   else Sysdefs.ebadf
@@ -101,6 +113,14 @@ let pread_fn state ctx (args : int array) =
   with_fd state args.(0) (fun o ->
       let desc = stage_iodesc state ctx ~ino:o.ino ~len:args.(2) ~off:args.(3) in
       Api.call ctx (bsym state "pread") [| desc; args.(1) |])
+
+(* sendfile(fd, conn, len, off): stage the iodesc exactly like pread,
+   but the data never comes back — the backend grants the backing pages
+   to the network stack and streams them out (zero-copy fast path). *)
+let sendfile_fn state ctx (args : int array) =
+  with_fd state args.(0) (fun o ->
+      let desc = stage_iodesc state ctx ~ino:o.ino ~len:args.(2) ~off:args.(3) in
+      Api.call ctx (bsym state "sendfile") [| desc; args.(1) |])
 
 let pwrite_fn state ctx (args : int array) =
   with_fd state args.(0) (fun o ->
@@ -140,10 +160,18 @@ let init state ctx =
    dynamic backend caller is modelled as an init-time open to peer "*"
    (documented soundness caveat: the summary cannot name a cubicle that
    only exists at runtime). *)
-let iface ~backend =
+let iface ~backend ~sendfile =
   let b s = backend ^ "_" ^ s in
   let staged ~arg ~bytes = (arg, Iface.Local "path_staging", bytes) in
-  [
+  (if not sendfile then []
+   else
+     [
+       (* the iodesc goes through the staging window; no data buffer
+          crosses here at all (the backend grants its own pages) *)
+       Iface.fundecl "vfs_sendfile"
+         [ Iface.Call { sym = b "sendfile"; ptr_args = [ staged ~arg:0 ~bytes:1040 ] } ];
+     ])
+  @ [
     Iface.fundecl "__init"
       [
         Iface.Alloc { buf = "path_staging"; bytes = 4096 };
@@ -189,14 +217,23 @@ let iface ~backend =
       ];
   ]
 
-let component ?(backend = "ramfs") () =
+let component ?(backend = "ramfs") ?(sendfile = false) () =
   let state =
-    { backend = None; fds = Hashtbl.create 32; next_fd = 3; path_buf = 0; path_wid = 0 }
+    {
+      backend = None;
+      fds = Hashtbl.create 32;
+      next_fd = 3;
+      free_fds = [];
+      path_buf = 0;
+      path_wid = 0;
+    }
   in
   Builder.component "VFSCORE" ~code_ops:1024 ~heap_pages:8 ~stack_pages:4
-    ~init:(init state) ~iface:(iface ~backend)
+    ~init:(init state) ~iface:(iface ~backend ~sendfile)
     ~exports:
-      [
+      ((if not sendfile then []
+        else [ { Monitor.sym = "vfs_sendfile"; fn = wrap sendfile_fn state; stack_bytes = 0 } ])
+      @ [
         { Monitor.sym = "vfs_register_backend"; fn = register_backend_fn state; stack_bytes = 0 };
         { Monitor.sym = "vfs_backend_cid"; fn = backend_cid_fn state; stack_bytes = 0 };
         { Monitor.sym = "vfs_open"; fn = wrap open_fn state; stack_bytes = 0 };
@@ -209,4 +246,4 @@ let component ?(backend = "ramfs") () =
         { Monitor.sym = "vfs_unlink"; fn = wrap unlink_fn state; stack_bytes = 0 };
         { Monitor.sym = "vfs_exists"; fn = wrap exists_fn state; stack_bytes = 0 };
         { Monitor.sym = "vfs_rename"; fn = wrap rename_fn state; stack_bytes = 16 };
-      ]
+      ])

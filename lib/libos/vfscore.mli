@@ -15,12 +15,18 @@
     its buffer window for both VFSCORE's and the backend's cubicles
     ahead of the call (the paper's rule for nested calls, §5.6). *)
 
-val component : ?backend:string -> unit -> Cubicle.Builder.component
+val component : ?backend:string -> ?sendfile:bool -> unit -> Cubicle.Builder.component
 (** [backend] is the symbol prefix the CubiCheck interface summary
     names for backend calls ([_lookup], [_pread], …) — ["ramfs"] by
     default, ["fatfs"] for the persistent-disk stack. The runtime
     dispatch is unaffected (the real prefix is fixed by whichever
     backend registers).
+
+    [sendfile] (default false) additionally exports
+    [vfs_sendfile(fd, conn, len, off)]: the fd's inode/length/offset are
+    staged as an io descriptor, and the backend streams the bytes to the
+    network stack zero-copy (no data buffer crosses VFSCORE). Enable
+    only on stacks whose backend exports [<backend>_sendfile].
 
     Exports:
     - [vfs_register_backend(tag)] — backend self-registration

@@ -7,6 +7,7 @@ type window_op =
   | Add
   | Remove
   | Open
+  | Forward
   | Close
   | Close_all
   | Destroy
@@ -55,6 +56,7 @@ let window_op_name = function
   | Add -> "add"
   | Remove -> "remove"
   | Open -> "open"
+  | Forward -> "forward"
   | Close -> "close"
   | Close_all -> "close_all"
   | Destroy -> "destroy"

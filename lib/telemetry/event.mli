@@ -19,6 +19,7 @@ type window_op =
   | Add
   | Remove
   | Open
+  | Forward  (** a holder of the window extended the grant to a third cubicle *)
   | Close
   | Close_all
   | Destroy

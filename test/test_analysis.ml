@@ -248,16 +248,16 @@ let test_leak_partial_on_branch () =
 let test_window_covers () =
   let tbl = Window.create_table ~owner:1 ~ncubicles:4 in
   let w = Window.init tbl ~klass:Mm.Page_meta.Heap in
-  Window.add_range w ~ptr:0x1000 ~size:16;
+  Window.add_range tbl w ~ptr:0x1000 ~size:16;
   check_bool "exact" true (Window.covers w ~ptr:0x1000 ~size:16);
   check_bool "prefix" true (Window.covers w ~ptr:0x1000 ~size:10);
   check_bool "partial (regression)" false (Window.covers w ~ptr:0x1000 ~size:32);
   check_int "covered prefix" 16 (Window.covered_prefix w ~ptr:0x1000 ~size:32);
   (* adjacent ranges stitch *)
-  Window.add_range w ~ptr:0x1010 ~size:16;
+  Window.add_range tbl w ~ptr:0x1010 ~size:16;
   check_bool "stitched" true (Window.covers w ~ptr:0x1000 ~size:32);
   (* a hole breaks coverage *)
-  Window.add_range w ~ptr:0x1030 ~size:16;
+  Window.add_range tbl w ~ptr:0x1030 ~size:16;
   check_bool "hole" false (Window.covers w ~ptr:0x1000 ~size:64);
   check_int "stops at hole" 32 (Window.covered_prefix w ~ptr:0x1000 ~size:64);
   check_bool "zero size" false (Window.covers w ~ptr:0x1000 ~size:0)

@@ -56,7 +56,7 @@ let test_bitset () =
 let test_window_table () =
   let tbl = Window.create_table ~owner:1 ~ncubicles:8 in
   let w = Window.init tbl ~klass:Mm.Page_meta.Heap in
-  Window.add_range w ~ptr:0x1000 ~size:64;
+  Window.add_range tbl w ~ptr:0x1000 ~size:64;
   check_bool "contains" true (Window.contains w 0x1020);
   check_bool "not contains" false (Window.contains w 0x1040);
   Window.open_for w 3;
@@ -81,13 +81,13 @@ let test_window_destroy () =
 let test_window_remove_range () =
   let tbl = Window.create_table ~owner:1 ~ncubicles:8 in
   let w = Window.init tbl ~klass:Mm.Page_meta.Heap in
-  Window.add_range w ~ptr:0x1000 ~size:64;
-  Window.add_range w ~ptr:0x2000 ~size:64;
-  Window.remove_range w ~ptr:0x1000;
+  Window.add_range tbl w ~ptr:0x1000 ~size:64;
+  Window.add_range tbl w ~ptr:0x2000 ~size:64;
+  Window.remove_range tbl w ~ptr:0x1000;
   check_bool "first gone" false (Window.contains w 0x1000);
   check_bool "second stays" true (Window.contains w 0x2000);
   check_bool "remove unknown errors" true
-    (is_error (fun () -> Window.remove_range w ~ptr:0x9999))
+    (is_error (fun () -> Window.remove_range tbl w ~ptr:0x9999))
 
 (* Regression: two grants sharing a base address are two ranges, and one
    remove_range must revoke exactly one of them (it used to delete every
@@ -95,15 +95,100 @@ let test_window_remove_range () =
 let test_window_remove_range_duplicates () =
   let tbl = Window.create_table ~owner:1 ~ncubicles:8 in
   let w = Window.init tbl ~klass:Mm.Page_meta.Heap in
-  Window.add_range w ~ptr:0x1000 ~size:64;
-  Window.add_range w ~ptr:0x1000 ~size:4096;
-  Window.remove_range w ~ptr:0x1000;
+  Window.add_range tbl w ~ptr:0x1000 ~size:64;
+  Window.add_range tbl w ~ptr:0x1000 ~size:4096;
+  Window.remove_range tbl w ~ptr:0x1000;
   check_bool "one grant remains" true (Window.contains w 0x1000);
   check_int "exactly one range left" 1 (List.length w.Window.ranges);
-  Window.remove_range w ~ptr:0x1000;
+  Window.remove_range tbl w ~ptr:0x1000;
   check_bool "second remove revokes the other" false (Window.contains w 0x1000);
   check_bool "third remove errors" true
-    (is_error (fun () -> Window.remove_range w ~ptr:0x1000))
+    (is_error (fun () -> Window.remove_range tbl w ~ptr:0x1000))
+
+(* --- batched window ops & grant forwarding ----------------------------------- *)
+
+let test_window_add_ranges_batch () =
+  let mon, foo, bar = mk_system () in
+  let ctx = Monitor.ctx_for mon foo in
+  let a = Api.malloc_page_aligned ctx 4096 in
+  let b = Api.malloc_page_aligned ctx 4096 in
+  let c = Api.malloc_page_aligned ctx 4096 in
+  let wid = Api.window_init ctx ~klass:Mm.Page_meta.Heap in
+  let stats = Monitor.stats mon in
+  let before = Stats.window_ops stats in
+  Api.window_add_ranges ctx wid [ (a, 4096); (b, 4096); (c, 4096) ];
+  check_int "one monitor crossing for three grants" 1 (Stats.window_ops stats - before);
+  Api.window_open ctx wid bar;
+  register_bar mon bar;
+  (* all three pages really are granted *)
+  List.iter (fun p -> ignore (Monitor.call mon ~caller:foo "bar" [| p; 0 |])) [ a; b; c ];
+  check_bool "empty batch rejected" true
+    (is_error (fun () -> Api.window_add_ranges ctx wid []))
+
+let test_window_add_ranges_atomic () =
+  (* one bad range rejects the whole batch: nothing is granted *)
+  let mon, foo, _ = mk_system () in
+  let ctx = Monitor.ctx_for mon foo in
+  let a = Api.malloc_page_aligned ctx 4096 in
+  let wid = Api.window_init ctx ~klass:Mm.Page_meta.Heap in
+  check_bool "batch with unowned range rejected" true
+    (is_error (fun () -> Api.window_add_ranges ctx wid [ (a, 4096); (0x10, 64) ]));
+  let w = Window.find (Monitor.windows_of mon foo) wid in
+  check_int "no range leaked from rejected batch" 0 (List.length w.Window.ranges)
+
+let test_window_open_many () =
+  let mon, foo, bar = mk_system () in
+  let baz =
+    Monitor.create_cubicle mon ~name:"BAZ" ~kind:Types.Isolated ~heap_pages:4 ~stack_pages:1
+  in
+  let ctx = Monitor.ctx_for mon foo in
+  let a = Api.malloc_page_aligned ctx 4096 in
+  let wid = Api.window_init ctx ~klass:Mm.Page_meta.Heap in
+  Api.window_add ctx wid ~ptr:a ~size:4096;
+  let stats = Monitor.stats mon in
+  let before = Stats.window_ops stats in
+  Api.window_open_many ctx wid [ bar; baz ];
+  check_int "one monitor crossing for two opens" 1 (Stats.window_ops stats - before);
+  let w = Window.find (Monitor.windows_of mon foo) wid in
+  check_bool "open for both peers" true (Window.is_open_for w bar && Window.is_open_for w baz);
+  check_bool "self in peer list rejected" true
+    (is_error (fun () -> Api.window_open_many ctx wid [ foo ]))
+
+let test_window_forward () =
+  let mon, foo, bar = mk_system () in
+  let baz =
+    Monitor.create_cubicle mon ~name:"BAZ" ~kind:Types.Isolated ~heap_pages:4 ~stack_pages:1
+  in
+  Monitor.register_exports mon baz
+    [
+      {
+        Monitor.sym = "baz_touch";
+        fn = (fun ctx args -> Api.read_u8 ctx args.(0));
+        stack_bytes = 0;
+      };
+    ];
+  let ctx_foo = Monitor.ctx_for mon foo in
+  let ctx_bar = Monitor.ctx_for mon bar in
+  let buf = Api.malloc_page_aligned ctx_foo 4096 in
+  let wid = Api.window_init ctx_foo ~klass:Mm.Page_meta.Heap in
+  Api.window_add ctx_foo wid ~ptr:buf ~size:4096;
+  (* a holder can only forward a window that is open for it *)
+  check_bool "non-holder cannot forward" true
+    (is_error (fun () -> Api.window_forward ctx_bar ~owner:foo wid baz));
+  Api.window_open ctx_foo wid bar;
+  check_bool "forward to the owner rejected" true
+    (is_error (fun () -> Api.window_forward ctx_bar ~owner:foo wid foo));
+  Api.window_forward ctx_bar ~owner:foo wid baz;
+  let w = Window.find (Monitor.windows_of mon foo) wid in
+  check_bool "grant extended to third party" true (Window.is_open_for w baz);
+  (* and the third party can really touch the owner's page *)
+  check_int "baz reads through forwarded grant" 0 (Monitor.call mon ~caller:foo "baz_touch" [| buf |]);
+  (* the owner can also forward its own window directly *)
+  let quux =
+    Monitor.create_cubicle mon ~name:"QUUX" ~kind:Types.Isolated ~heap_pages:4 ~stack_pages:1
+  in
+  Api.window_forward ctx_foo ~owner:foo wid quux;
+  check_bool "owner self-forward opens" true (Window.is_open_for w quux)
 
 (* --- spatial isolation ------------------------------------------------------ *)
 
@@ -713,8 +798,72 @@ let prop_scan_catches_planted =
       List.exists (fun h -> h.Hw.Instr.offset = pos && h.what = "wrpkru")
         (Hw.Instr.scan_forbidden b))
 
+let prop_search_index_matches_linear =
+  (* Differential test for the page-indexed ACL lookup: after any
+     sequence of window create / grant / revoke / destroy operations,
+     [search] must agree with the original linear scan on both the
+     winning wid and the charged "descriptors inspected" count, and
+     [covers] must agree with a per-byte [contains] sweep. *)
+  QCheck.Test.make ~count:300 ~name:"window: page index = linear search (wid & inspected)"
+    QCheck.(
+      list_of_size (Gen.int_range 1 60)
+        (quad (int_bound 3) (int_bound 7) (int_bound 31) (int_bound 8)))
+    (fun script ->
+      let tbl = Window.create_table ~owner:1 ~ncubicles:4 in
+      let windows = ref [] in
+      let pick i =
+        match !windows with [] -> None | l -> Some (List.nth l (i mod List.length l))
+      in
+      List.iter
+        (fun (op, wi, page, sz) ->
+          (* sub-page granularity on purpose: ranges share pages, span
+             several, start mid-page *)
+          let ptr = 0x1000 + (page * 1024) and size = 1 + (sz * 700) in
+          let ignoring f = try f () with Types.Error _ -> () in
+          match op with
+          | 0 ->
+              if List.length !windows < 12 then
+                ignoring (fun () ->
+                    windows := Window.init tbl ~klass:Mm.Page_meta.Heap :: !windows)
+          | 1 -> (
+              match pick wi with
+              | Some w -> ignoring (fun () -> Window.add_range tbl w ~ptr ~size)
+              | None -> ())
+          | 2 -> (
+              match pick wi with
+              | Some w -> ignoring (fun () -> Window.remove_range tbl w ~ptr)
+              | None -> ())
+          | _ -> (
+              match pick wi with
+              | Some w -> ignoring (fun () -> Window.destroy tbl w)
+              | None -> ()))
+        script;
+      let norm = Option.map (fun ((w : Window.t), n) -> (w.Window.wid, n)) in
+      let searches_agree = ref true in
+      for a = 0 to 100 do
+        let addr = 0x1000 + (a * 512) in
+        if
+          norm (Window.search tbl ~klass:Mm.Page_meta.Heap ~addr)
+          <> norm (Window.search_linear tbl ~klass:Mm.Page_meta.Heap ~addr)
+        then searches_agree := false
+      done;
+      let naive_covers w ~ptr ~size =
+        let rec go a = a >= ptr + size || (Window.contains w a && go (a + 1)) in
+        go ptr
+      in
+      let covers_agree =
+        List.for_all
+          (fun (w : Window.t) ->
+            List.for_all
+              (fun (ptr, size) -> Window.covers w ~ptr ~size = naive_covers w ~ptr ~size)
+              [ (0x1000, 1); (0x1400, 512); (0x2000, 3000); (0x5000, 1024) ])
+          (Window.live_windows tbl)
+      in
+      !searches_agree && covers_agree)
+
 let qsuite =
-  List.map QCheck_alcotest.to_alcotest [ prop_window_acl; prop_scan_catches_planted ]
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_window_acl; prop_scan_catches_planted; prop_search_index_matches_linear ]
 
 let () =
   Alcotest.run "cubicle-core"
@@ -727,6 +876,10 @@ let () =
           Alcotest.test_case "remove range" `Quick test_window_remove_range;
           Alcotest.test_case "remove one of duplicate grants" `Quick
             test_window_remove_range_duplicates;
+          Alcotest.test_case "batched add" `Quick test_window_add_ranges_batch;
+          Alcotest.test_case "batched add atomic" `Quick test_window_add_ranges_atomic;
+          Alcotest.test_case "batched open" `Quick test_window_open_many;
+          Alcotest.test_case "grant forwarding" `Quick test_window_forward;
         ] );
       ( "isolation",
         [

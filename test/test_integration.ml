@@ -243,9 +243,21 @@ let run_fs_script fio ops =
          Hashtbl.mem reference (name i) = Libos.Fileio.exists fio (name i))
        [ 0; 1; 2; 3; 4 ]
 
+let fs_op_print op =
+  let e = String.escaped in
+  match op with
+  | Op_write (i, s) -> Printf.sprintf "write(%d,%S)" i (e s)
+  | Op_append (i, s) -> Printf.sprintf "append(%d,%S)" i (e s)
+  | Op_delete i -> Printf.sprintf "delete(%d)" i
+  | Op_rename (a, b) -> Printf.sprintf "rename(%d,%d)" a b
+  | Op_read i -> Printf.sprintf "read(%d)" i
+  | Op_truncate (i, n) -> Printf.sprintf "truncate(%d,%d)" i n
+
 let prop_ramfs_matches_reference =
   QCheck.Test.make ~count:25 ~name:"ramfs: random op scripts match a reference model"
-    (QCheck.make QCheck.Gen.(list_size (int_range 1 25) fs_op_gen))
+    (QCheck.make
+       ~print:(fun ops -> String.concat "; " (List.map fs_op_print ops))
+       QCheck.Gen.(list_size (int_range 1 25) fs_op_gen))
     (fun ops ->
       let app = Builder.component ~heap_pages:128 ~stack_pages:2 "APP" in
       let sys = Libos.Boot.fs_stack ~protection:Types.Full ~extra:[ (app, Types.Isolated) ] () in

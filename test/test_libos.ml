@@ -12,6 +12,10 @@ let is_violation f = match f () with
   | _ -> false
   | exception Hw.Fault.Violation _ -> true
 
+let is_error f = match f () with
+  | _ -> false
+  | exception Types.Error _ -> true
+
 let app_component () = Builder.component ~heap_pages:64 ~stack_pages:4 "APP"
 
 let boot_fs ?protection ?merge_fs () =
@@ -347,6 +351,59 @@ let test_netdev_counts_frames () =
   ignore (Api.call ctx "lwip_accept" [||]);
   check_int "rx counted" 1 (Libos.Netdev.rx_frames netdev)
 
+(* --- fileio window/fd hygiene ------------------------------------------------- *)
+
+let test_with_window_rollback_on_failed_setup () =
+  (* Regression: with_window's setup can fail halfway — the range is
+     added and the VFSCORE open done, then the backend open fails (the
+     backend cubicle is gone). The partial grant used to leak into
+     every later use of the shared data window; it must be rolled
+     back. *)
+  let sys = boot_fs () in
+  let ctx = Libos.Boot.app_ctx sys "APP" in
+  let fio = Libos.Fileio.make ctx in
+  let fd = Libos.Fileio.open_file fio "/f" ~create:true in
+  let buf = Api.malloc_page_aligned ctx 4096 in
+  let ramfs_cid = Api.cid_of ctx "RAMFS" in
+  Monitor.destroy_cubicle sys.Libos.Boot.mon ramfs_cid;
+  let is_err () =
+    is_error (fun () -> ignore (Libos.Fileio.pread fio ~fd ~buf ~len:64 ~off:0))
+  in
+  check_bool "pread raises" true (is_err ());
+  check_bool "second attempt raises too" true (is_err ());
+  let tbl = Monitor.windows_of sys.Libos.Boot.mon ctx.Monitor.self in
+  let grants_over_buf =
+    List.concat_map
+      (fun w -> List.filter (fun r -> r.Window.ptr = buf) w.Window.ranges)
+      (Window.live_windows tbl)
+  in
+  check_int "no leaked grant over the buffer" 0 (List.length grants_over_buf);
+  check_bool "no window left open for VFSCORE beyond the path window" true
+    (List.length
+       (List.filter
+          (fun w -> Window.is_open_for w (Api.cid_of ctx "VFSCORE"))
+          (Window.live_windows tbl))
+    <= 1)
+
+let test_fd_table_reuse () =
+  (* Regression: closed descriptors go on a free list instead of the
+     table growing forever under open/close churn. *)
+  let sys = boot_fs () in
+  let fio = Libos.Fileio.make (Libos.Boot.app_ctx sys "APP") in
+  List.iter (fun p -> Libos.Fileio.write_file fio p "x") [ "/a"; "/b" ];
+  let fd1 = Libos.Fileio.open_file fio "/a" ~create:false in
+  let fd2 = Libos.Fileio.open_file fio "/b" ~create:false in
+  check_bool "distinct fds" true (fd1 <> fd2);
+  ignore (Libos.Fileio.close_file fio fd1);
+  let fd3 = Libos.Fileio.open_file fio "/b" ~create:false in
+  check_int "closed slot recycled" fd1 fd3;
+  for _ = 1 to 100 do
+    let fd = Libos.Fileio.open_file fio "/a" ~create:false in
+    ignore (Libos.Fileio.close_file fio fd)
+  done;
+  let fd4 = Libos.Fileio.open_file fio "/a" ~create:false in
+  check_bool "churn does not grow the table" true (fd4 <= fd2 + 1)
+
 (* --- populate helper ------------------------------------------------------------ *)
 
 let test_populate () =
@@ -395,6 +452,9 @@ let () =
           Alcotest.test_case "bad fd" `Quick test_bad_fd;
           Alcotest.test_case "merged fs" `Quick test_merged_fs_stack;
           Alcotest.test_case "fig2 edges" `Quick test_fig2_call_edges;
+          Alcotest.test_case "with_window rollback" `Quick
+            test_with_window_rollback_on_failed_setup;
+          Alcotest.test_case "fd table reuse" `Quick test_fd_table_reuse;
         ] );
       ( "services",
         [
