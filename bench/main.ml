@@ -302,9 +302,9 @@ let latency_check_golden path ~n rows =
   end;
   fprintf "\ngolden check OK: per-edge latency percentiles match %s\n" path
 
-let fig6 ?(n = 150) ?(attrib = false) ?(latency = false) ?(lat_out = "BENCH_latency.json")
-    ?golden ?write_golden () =
-  let latency = latency || golden <> None || write_golden <> None in
+let fig6 ?(n = 150) ?(attrib = false) ?(latency = false) ?(hdr = false)
+    ?(lat_out = "BENCH_latency.json") ?golden ?write_golden () =
+  let latency = latency || hdr || golden <> None || write_golden <> None in
   heading "Figure 6: SQLite speedtest1 query execution times (simulated ms)";
   let configs =
     [
@@ -384,6 +384,32 @@ let fig6 ?(n = 150) ?(attrib = false) ?(latency = false) ?(lat_out = "BENCH_late
     in
     write_flat_json lat_out rows;
     fprintf "\nwrote %s\n" lat_out;
+    if hdr then begin
+      (* HdrHistogram-compatible percentile dump, loadable by hdr-plot
+         and the HdrHistogram plotFiles viewer: one section per
+         cross-cubicle edge of the full-protection run *)
+      let hdr_out =
+        (if Filename.check_suffix lat_out ".json" then Filename.chop_suffix lat_out ".json"
+         else lat_out)
+        ^ ".hdr"
+      in
+      let mon = snd (List.assoc "CubicleOS" full_runs) in
+      let bus = Monitor.bus mon in
+      (match Telemetry.Bus.latency bus with
+      | None -> ()
+      | Some lat ->
+          let cname cid =
+            try Monitor.cubicle_name mon cid with _ -> Printf.sprintf "C%d" cid
+          in
+          let oc = open_out hdr_out in
+          List.iter
+            (fun ((caller, callee), h) ->
+              Printf.fprintf oc "#[Edge: %s->%s]\n%s\n" (cname caller) (cname callee)
+                (Telemetry.Export.hdr h))
+            (Telemetry.Latency.edges lat);
+          close_out oc;
+          fprintf "wrote HdrHistogram percentile dump to %s\n" hdr_out)
+    end;
     (match write_golden with
     | Some path ->
         write_flat_json path rows;
@@ -1132,10 +1158,48 @@ let traced_replay sys workload =
   Telemetry.Bus.set_sink bus None;
   let entries = List.rev !acc in
   Analysis.Replay.run r entries;
-  (Analysis.Replay.findings r, List.length entries)
+  (* the same trace also feeds summary inference: per-edge access modes
+     cross-checked against the hand-written Iface summaries *)
+  let inf = Analysis.Infer.create () in
+  Analysis.Infer.run inf entries;
+  (Analysis.Replay.findings r, inf, List.length entries)
+
+(* The inference gate's own regression: a deliberately weakened summary
+   (all declared accesses dropped) must fail the cross-check, exactly
+   like a stale golden file. *)
+let weaken_summary (prog : Analysis.Ir.program) ~comp ~sym =
+  {
+    prog with
+    Analysis.Ir.comps =
+      List.map
+        (fun (c : Analysis.Ir.comp) ->
+          if c.Analysis.Ir.name <> comp then c
+          else
+            {
+              c with
+              Analysis.Ir.iface =
+                List.map
+                  (fun (fd : Iface.fundecl) ->
+                    if fd.Iface.fd_sym = sym then
+                      Iface.fundecl ~derefs:[] ~writes:[] sym fd.Iface.fd_body
+                    else fd)
+                  c.Analysis.Ir.iface;
+            })
+        prog.Analysis.Ir.comps;
+  }
+
+let default_baseline = "bench/analysis_baseline.json"
 
 let analyze ?(out = "ANALYSIS.json") ?baseline ?write_baseline () =
   heading "CubiCheck: static isolation analysis + trace-driven dynamic detectors";
+  (* fail closed: without an explicit --baseline, diff against the
+     checked-in baseline when present so a regression still exits
+     non-zero; only a missing file falls through to zero-tolerance *)
+  let baseline =
+    match baseline with
+    | Some _ -> baseline
+    | None -> if Sys.file_exists default_baseline then Some default_baseline else None
+  in
   let shipped = ref [] in
   let record label fs =
     fprintf "\n[%s] %d finding(s)\n" label (List.length fs);
@@ -1160,7 +1224,7 @@ let analyze ?(out = "ANALYSIS.json") ?baseline ?write_baseline () =
   record "static: net_stack + NGINX (the Fig. 7 deployment)"
     (Analysis.Static.run_built net_sys.Libos.Boot.built);
   (* dynamic plane: replay real traced workloads through the ACL mirror *)
-  let fs_dyn, fs_events =
+  let fs_dyn, fs_inf, fs_events =
     traced_replay fs_sys (fun () ->
         let os =
           Minidb.Os_iface.cubicleos (Libos.Fileio.make (Libos.Boot.app_ctx fs_sys "APP"))
@@ -1171,7 +1235,7 @@ let analyze ?(out = "ANALYSIS.json") ?baseline ?write_baseline () =
     (Printf.sprintf "dynamic: speedtest1 (n=4) replayed through the window mirror, %d events"
        fs_events)
     fs_dyn;
-  let net_dyn, net_events =
+  let net_dyn, net_inf, net_events =
     traced_replay net_sys (fun () ->
         let server = Httpd.Server.start net_sys in
         let siege = Httpd.Siege.make net_sys server in
@@ -1187,6 +1251,46 @@ let analyze ?(out = "ANALYSIS.json") ?baseline ?write_baseline () =
   record
     (Printf.sprintf "dynamic: httpd GET + pipelined requests replayed, %d events" net_events)
     net_dyn;
+  (* inference plane: trace-derived summaries vs the hand-written ones —
+     a summary claiming less than the trace observed is stale *)
+  let fs_prog = Analysis.Ir.of_built fs_sys.Libos.Boot.built in
+  let net_prog = Analysis.Ir.of_built net_sys.Libos.Boot.built in
+  let describe label inf prog =
+    let obs = Analysis.Infer.observations inf prog in
+    fprintf "\n[%s] %d traced interface edge(s):\n" label (List.length obs);
+    List.iter
+      (fun (o : Analysis.Infer.observation) ->
+        if o.Analysis.Infer.o_sym <> Analysis.Infer.toplevel_sym then
+          fprintf "  %s.%s %s %s\n" o.Analysis.Infer.o_comp o.Analysis.Infer.o_sym
+            (match (o.Analysis.Infer.o_read, o.Analysis.Infer.o_write) with
+            | _, true -> "writes"
+            | true, false -> "reads"
+            | false, false -> "touches")
+            o.Analysis.Infer.o_owner)
+      obs
+  in
+  describe "infer: fs stack" fs_inf fs_prog;
+  record "cross-check: trace-derived vs hand-written summaries (fs stack)"
+    (Analysis.Infer.check fs_inf fs_prog);
+  describe "infer: net stack" net_inf net_prog;
+  record "cross-check: trace-derived vs hand-written summaries (net stack)"
+    (Analysis.Infer.check net_inf net_prog);
+  (* the gate's own regression: a deliberately stale summary must fail.
+     The net trace observes ramfs_pread writing the app's read buffer;
+     dropping that claim from the summary must trip the cross-check. *)
+  let stale = weaken_summary net_prog ~comp:"RAMFS" ~sym:"ramfs_pread" in
+  let stale_caught =
+    List.exists
+      (fun f -> f.Analysis.Report.key = "summary:write:RAMFS.ramfs_pread")
+      (Analysis.Infer.check net_inf stale)
+  in
+  if not stale_caught then begin
+    fprintf
+      "\nFATAL: stale-summary self-test: weakening RAMFS.ramfs_pread went uncaught — \
+       the inference cross-check is not gating\n";
+    exit 1
+  end;
+  fprintf "\nstale-summary self-test OK: a weakened RAMFS.ramfs_pread summary fails the gate\n";
   (* the seeded violations: the analyzer's own regression harness — one
      deliberately broken example per detector, each of which must trip *)
   let scenarios = Analysis.Seeded.all () in
@@ -1252,7 +1356,9 @@ let analyze ?(out = "ANALYSIS.json") ?baseline ?write_baseline () =
     fail := true
   end;
   if !fail then exit 1;
-  fprintf "\nanalyze OK: shipped stacks hold the window discipline, all %d seeded violations caught\n"
+  fprintf
+    "\nanalyze OK: shipped stacks hold the window discipline, trace-derived summaries \
+     cross-check clean, all %d seeded violations caught\n"
     (List.length scenarios)
 
 (* --- smp: multi-core throughput scaling -> BENCH_smp.json ------------------------- *)
@@ -1295,6 +1401,17 @@ let smp_run ~ncores =
   let path = Printf.sprintf "/f%d.bin" smp_file_size in
   Libos.Boot.populate sys ~as_app:"NGINX" [ (path, String.make smp_file_size 'x') ];
   let workers = Array.init ncores (fun shard -> Httpd.Server.start ~shard sys) in
+  (* online race gate: the ACL mirror rides the telemetry bus for the
+     whole serving phase, judging every foreign access as it happens.
+     Bus sinks are tracing-gated and charge no simulated cycles, so the
+     golden scaling curve is unaffected. *)
+  let bus = Monitor.bus mon in
+  let name_of cid = try Monitor.cubicle_name mon cid with _ -> Printf.sprintf "C%d" cid in
+  let mirror = Analysis.Replay.create ~name_of in
+  Analysis.Replay.seed_from_monitor mirror mon;
+  Telemetry.Bus.clear_ring bus;
+  Telemetry.Bus.set_sink bus (Some (Analysis.Replay.online_sink mirror));
+  Telemetry.Bus.set_tracing bus true;
   let per_shard = Array.make ncores 0 in
   for conn = 1 to smp_conns do
     let ring = conn mod ncores in
@@ -1349,6 +1466,15 @@ let smp_run ~ncores =
       exit 1
     end
   done;
+  Telemetry.Bus.set_tracing bus false;
+  Telemetry.Bus.set_sink bus None;
+  (match Analysis.Replay.findings mirror with
+  | [] -> ()
+  | violations ->
+      fprintf "FATAL: smp %d cores: online race sink flagged %d violation(s):\n" ncores
+        (List.length violations);
+      Analysis.Report.print_table Format.std_formatter violations;
+      exit 1);
   let served = Array.fold_left (fun acc w -> acc + Httpd.Server.requests_served w) 0 workers in
   if served <> smp_conns then begin
     fprintf "FATAL: smp %d cores: served %d of %d requests\n" ncores served smp_conns;
@@ -1477,6 +1603,7 @@ let smp ?(out = "BENCH_smp.json") ?golden ?write_golden () =
           end)
     [ (2, 170); (4, 300) ];
   fprintf "scaling floors OK: >=1.70x at 2 cores, >=3.00x at 4 cores\n";
+  fprintf "race sink OK: online window mirror saw zero violations on every soak\n";
   let json = smp_json_rows rows in
   write_flat_json out json;
   fprintf "wrote %s\n" out;
@@ -1668,11 +1795,11 @@ let () =
   (* flags with a value: --out FILE, --golden FILE, --write-golden FILE,
      --folded FILE, --sample N, --n N, --repeats N, --lat-out FILE,
      --baseline FILE, --write-baseline FILE; boolean flags: --attrib,
-     --latency, --stream — matched before the generic rule so they
-     never swallow the following token *)
+     --latency, --stream, --hdr — matched before the generic rule so
+     they never swallow the following token *)
   let rec split_flags targets flags = function
     | [] -> (List.rev targets, List.rev flags)
-    | (("--attrib" | "--latency" | "--stream") as flag) :: rest ->
+    | (("--attrib" | "--latency" | "--stream" | "--hdr") as flag) :: rest ->
         split_flags targets ((flag, "true") :: flags) rest
     | flag :: value :: rest when String.length flag > 2 && String.sub flag 0 2 = "--" ->
         split_flags targets ((flag, value) :: flags) rest
@@ -1688,6 +1815,7 @@ let () =
   if want "fig5" then fig5 ();
   if want "fig6" then
     fig6 ?n:(int_flag "--n") ~attrib:(bool_flag "--attrib") ~latency:(bool_flag "--latency")
+      ~hdr:(bool_flag "--hdr")
       ?lat_out:(List.assoc_opt "--lat-out" flags)
       ?golden:(if List.mem "fig6" targets then List.assoc_opt "--golden" flags else None)
       ?write_golden:

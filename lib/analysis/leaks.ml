@@ -10,11 +10,14 @@ module SMap = Map.Make (String)
 
    Status lattice: [Live_all] — the grant is live on every path;
    [Live_some] — live on at least one path. End-of-body [Live_all] is a
-   High finding, [Live_some] a Medium one (some path cleans up). *)
+   High finding, [Live_some] a Medium one (some path cleans up).
+   Read-only leaks are demoted one severity (High→Medium, Medium→Info):
+   a leaked R grant discloses the buffer but cannot be used to corrupt
+   it, so RW leaks must sort first. *)
 
 type status = Live_all | Live_some
 
-type state = status SMap.t  (* "win\x00buf" -> status *)
+type state = (status * bool (* rw *)) SMap.t  (* "win\x00buf" -> status *)
 
 let key win buf =
   let b = match buf with Iface.Param i -> Printf.sprintf "arg%d" i | Iface.Local s -> s in
@@ -31,8 +34,9 @@ let join (a : state) (b : state) =
   SMap.merge
     (fun _ x y ->
       match (x, y) with
-      | Some Live_all, Some Live_all -> Some Live_all
-      | Some _, _ | _, Some _ -> Some Live_some
+      | Some (Live_all, r1), Some (Live_all, r2) -> Some (Live_all, r1 || r2)
+      | Some (_, r1), Some (_, r2) -> Some (Live_some, r1 || r2)
+      | (Some (_, r), None | None, Some (_, r)) -> Some (Live_some, r)
       | None, None -> None)
     a b
 
@@ -40,8 +44,8 @@ let rec exec (state : state) stmts =
   List.fold_left
     (fun (state : state) (s : Iface.stmt) ->
       match s with
-      | Iface.Window_add { win; buf; standing; _ } ->
-          if standing then state else SMap.add (key win buf) Live_all state
+      | Iface.Window_add { win; buf; standing; rw; _ } ->
+          if standing then state else SMap.add (key win buf) (Live_all, rw) state
       | Iface.Window_remove { win; buf } -> SMap.remove (key win buf) state
       | Iface.Window_destroy { win } ->
           SMap.filter (fun k _ -> not (String.length k > String.length win
@@ -67,23 +71,29 @@ let check (p : Ir.program) =
           let here = Printf.sprintf "%s.%s" c.Ir.name fd.Iface.fd_sym in
           let out = exec SMap.empty fd.Iface.fd_body in
           SMap.iter
-            (fun k st ->
+            (fun k (st, rw) ->
               let severity, tag =
-                match st with
-                | Live_all -> (Report.High, "leak")
-                | Live_some -> (Report.Medium, "leak:partial")
+                match (st, rw) with
+                | Live_all, true -> (Report.High, "leak")
+                | Live_some, true -> (Report.Medium, "leak:partial")
+                (* R-only leaks demoted: disclosure, not corruption *)
+                | Live_all, false -> (Report.Medium, "leak")
+                | Live_some, false -> (Report.Info, "leak:partial")
               in
               findings :=
                 Report.make ~pass:"leak" ~severity ~plane:Report.Static
                   ~component:c.Ir.name
                   ~detail:
                     (Printf.sprintf
-                       "%s leaves grant %s live %s — the peer retains access after \
+                       "%s leaves %s grant %s live %s — the peer retains %s after \
                         return"
-                       here (pretty k)
+                       here
+                       (if rw then "RW" else "read-only")
+                       (pretty k)
                        (match st with
                        | Live_all -> "on every path"
-                       | Live_some -> "on some path"))
+                       | Live_some -> "on some path")
+                       (if rw then "write access" else "read access"))
                   ~key:(Printf.sprintf "%s:%s:%s" tag here (pretty k))
                 :: !findings)
             out)

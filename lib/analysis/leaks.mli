@@ -4,6 +4,9 @@
     [Window_destroy] on some path before the export returns. Grants
     declared [standing] (deliberate long-lived staging windows) are
     exempt. [High] when the grant survives every path, [Medium] when
-    only some. Applies to [__init] bodies too. *)
+    only some; read-only grants are demoted one severity ([Medium] /
+    [Info]) — a leaked R grant discloses the buffer but cannot corrupt
+    it, so RW leaks always report above R leaks. Applies to [__init]
+    bodies too. *)
 
 val check : Ir.program -> Report.finding list

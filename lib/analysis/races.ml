@@ -58,7 +58,8 @@ let crossing ?(core = 0) t =
   grow t core;
   t.crossings.(core) <- t.seq
 
-let access ?(core = 0) t ~cid ~owner ~page ~(access : Telemetry.Event.access) ~covered =
+let access ?(core = 0) ?(write_allowed = true) t ~cid ~owner ~page
+    ~(access : Telemetry.Event.access) ~covered =
   t.seq <- t.seq + 1;
   if not covered then
     add t
@@ -71,7 +72,21 @@ let access ?(core = 0) t ~cid ~owner ~page ~(access : Telemetry.Event.access) ~c
               (t.name_of cid)
               (match access with Telemetry.Event.Write -> "wrote" | _ -> "read")
               (t.name_of owner))
-         ~key:(Printf.sprintf "uac:%s->%s" (t.name_of cid) (t.name_of owner)));
+         ~key:(Printf.sprintf "uac:%s->%s" (t.name_of cid) (t.name_of owner)))
+  else if access = Telemetry.Event.Write && not write_allowed then
+    (* the silent half of R-only enforcement: a peer that *read* first
+       holds the page at its own key (lazy trap-and-map grants full RW
+       per key), so this write never faulted — only the mirror sees
+       that every covering grant is read-only *)
+    add t
+      (Report.make ~pass:"write-through-ro" ~severity:Report.Critical
+         ~plane:Report.Dynamic ~component:(t.name_of cid)
+         ~detail:
+           (Printf.sprintf
+              "%s wrote a page of %s whose covering grants are all read-only — \
+               the page was retagged on an earlier read, so MPK never faults"
+              (t.name_of cid) (t.name_of owner))
+         ~key:(Printf.sprintf "wro:%s->%s" (t.name_of cid) (t.name_of owner)));
   (match access with
   | Telemetry.Event.Write -> (
       (match Hashtbl.find_opt t.last_write page with

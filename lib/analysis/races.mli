@@ -17,6 +17,7 @@ val crossing : ?core:int -> t -> unit
 
 val access :
   ?core:int ->
+  ?write_allowed:bool ->
   t ->
   cid:int ->
   owner:int ->
@@ -25,11 +26,14 @@ val access :
   covered:bool ->
   unit
 (** One checked access by [cid] on [core] (default 0) to a page owned by
-    [owner]. [covered] is the replay mirror's verdict. Uncovered access
-    → [Critical] use-after-close; same-page writes from two cubicles on
-    one core with no crossing between them → [High] race; same-page
-    writes from two cubicles on {e different} cores → [High] race
-    unconditionally (cross-core interleaving has no happens-before
-    edge). *)
+    [owner]. [covered] and [write_allowed] (default [true]) are the
+    replay mirror's verdicts. Uncovered access → [Critical]
+    use-after-close; a covered write with [write_allowed = false] —
+    every covering grant is read-only, the page was retagged on an
+    earlier read so MPK never faults — → [Critical] write-through-ro;
+    same-page writes from two cubicles on one core with no crossing
+    between them → [High] race; same-page writes from two cubicles on
+    {e different} cores → [High] race unconditionally (cross-core
+    interleaving has no happens-before edge). *)
 
 val findings : t -> Report.finding list

@@ -10,9 +10,11 @@ module ISet = Set.Make (Int)
    exactly where causal revocation (paper §5.6) and missing
    happens-before edges hide. *)
 
+type mrange = { r_ptr : int; r_size : int; mutable r_rw : bool }
+
 type mwin = {
   owner : int;
-  mutable ranges : (int * int) list;  (* (ptr, size) *)
+  mutable ranges : mrange list;
   mutable opened : ISet.t;
   mutable alive : bool;
 }
@@ -31,26 +33,36 @@ let seed_from_monitor t mon =
         Hashtbl.replace t.wins (cid, w.Window.wid)
           {
             owner = cid;
-            ranges = List.map (fun (r : Window.range) -> (r.ptr, r.size)) w.Window.ranges;
+            ranges =
+              List.map
+                (fun (r : Window.range) ->
+                  { r_ptr = r.ptr; r_size = r.size; r_rw = r.perm = Window.RW })
+                w.Window.ranges;
             opened = ISet.of_list (Bitset.elements w.Window.opened);
             alive = true;
           })
       (Window.live_windows (Monitor.windows_of mon cid))
   done
 
-let covered t ~owner ~page ~cid =
+let range_touches_page r page =
+  r.r_size > 0
+  && Hw.Addr.page_of r.r_ptr <= page
+  && page <= Hw.Addr.page_of (r.r_ptr + r.r_size - 1)
+
+(* Judge one page access against the mirrored ACLs: [covered] — some
+   live window of [owner], open for [cid], has a range touching the
+   page; [write_allowed] — some such range is RW. (Enforcement is per
+   page, like the monitor's retag granularity.) *)
+let judge t ~owner ~page ~cid =
   Hashtbl.fold
-    (fun (o, _) w acc ->
-      acc
-      || o = owner && w.alive
-         && ISet.mem cid w.opened
-         && List.exists
-              (fun (ptr, size) ->
-                size > 0
-                && Hw.Addr.page_of ptr <= page
-                && page <= Hw.Addr.page_of (ptr + size - 1))
-              w.ranges)
-    t.wins false
+    (fun (o, _) w ((cov, wr) as acc) ->
+      if (cov && wr) || o <> owner || (not w.alive) || not (ISet.mem cid w.opened) then acc
+      else
+        List.fold_left
+          (fun (cov, wr) r ->
+            if range_touches_page r page then (true, wr || r.r_rw) else (cov, wr))
+          acc w.ranges)
+    t.wins (false, false)
 
 let get_win t owner wid =
   match Hashtbl.find_opt t.wins (owner, wid) with
@@ -66,21 +78,30 @@ let feed ?(core = 0) t (ev : Telemetry.Event.t) =
      edges on the core they run on *)
   | Telemetry.Event.Call _ | Telemetry.Event.Return _ | Telemetry.Event.Sched_switch _ ->
       Races.crossing ~core t.races
-  | Telemetry.Event.Window { cid; op; wid; peer; ptr; size } -> (
+  | Telemetry.Event.Window { cid; op; wid; peer; ptr; size; rw } -> (
       let w = get_win t cid wid in
       match op with
       | Telemetry.Event.Init -> w.ranges <- []; w.opened <- ISet.empty; w.alive <- true
       | Telemetry.Event.Extend -> ()
-      | Telemetry.Event.Add -> w.ranges <- (ptr, size) :: w.ranges
+      | Telemetry.Event.Add -> w.ranges <- { r_ptr = ptr; r_size = size; r_rw = rw } :: w.ranges
       | Telemetry.Event.Remove ->
           (* remove the first range rooted at ptr, mirroring
              Window.remove_range *)
           let removed = ref false in
           w.ranges <-
             List.filter
-              (fun (p, _) ->
-                if (not !removed) && p = ptr then (removed := true; false) else true)
+              (fun r ->
+                if (not !removed) && r.r_ptr = ptr then (removed := true; false) else true)
               w.ranges
+      | Telemetry.Event.Downgrade ->
+          (* downgrade the first range rooted at ptr, mirroring
+             Window.downgrade_range *)
+          let rec first = function
+            | [] -> ()
+            | r :: _ when r.r_ptr = ptr -> r.r_rw <- false
+            | _ :: rest -> first rest
+          in
+          first w.ranges
       | Telemetry.Event.Open | Telemetry.Event.Forward | Telemetry.Event.Open_dedicated ->
           (* a forward is emitted against the owner's window, so the
              mirror treats it as the owner opening for one more peer *)
@@ -90,14 +111,21 @@ let feed ?(core = 0) t (ev : Telemetry.Event.t) =
       | Telemetry.Event.Close_all -> w.opened <- ISet.empty
       | Telemetry.Event.Destroy -> w.alive <- false)
   | Telemetry.Event.Window_access { cid; owner; page; access } ->
-      Races.access ~core t.races ~cid ~owner ~page ~access
-        ~covered:(covered t ~owner ~page ~cid)
+      let covered, write_allowed = judge t ~owner ~page ~cid in
+      Races.access ~core t.races ~cid ~owner ~page ~access ~covered ~write_allowed
   | _ -> ()
 
 let run t entries =
   List.iter
     (fun (e : Telemetry.Bus.entry) -> feed ~core:e.Telemetry.Bus.core t e.Telemetry.Bus.ev)
     entries
+
+(* The online race gate: attach with [Bus.set_sink bus (Some
+   (Replay.online_sink t))] and the mirror runs concurrently with the
+   workload, judging each access as it is emitted — no ring capacity
+   limit, no post-hoc replay. Sinks are tracing-gated and never charge
+   simulated cycles, so the soak's performance goldens are unaffected. *)
+let online_sink t (e : Telemetry.Bus.entry) = feed ~core:e.Telemetry.Bus.core t e.Telemetry.Bus.ev
 
 let findings t = Races.findings t.races
 

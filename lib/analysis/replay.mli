@@ -24,6 +24,14 @@ val feed : ?core:int -> t -> Telemetry.Event.t -> unit
 val run : t -> Telemetry.Bus.entry list -> unit
 (** [run t entries] feeds each entry with its recorded core. *)
 
+val online_sink : t -> Telemetry.Bus.entry -> unit
+(** The online race gate ({!Races} judged live): attach with
+    [Bus.set_sink bus (Some (Replay.online_sink t))] and the mirror
+    runs concurrently with the workload instead of replaying a captured
+    ring — no ring-capacity limit. Bus sinks are tracing-gated and
+    charge no simulated cycles, so performance goldens are unaffected.
+    Read the verdicts with {!findings} when the workload is done. *)
+
 val findings : t -> Report.finding list
 
 val of_bus :

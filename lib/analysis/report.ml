@@ -8,6 +8,7 @@ type finding = {
   component : string;
   detail : string;
   key : string;
+  count : int;
 }
 
 let severity_name = function
@@ -20,7 +21,7 @@ let severity_rank = function Critical -> 0 | High -> 1 | Medium -> 2 | Info -> 3
 let plane_name = function Static -> "static" | Dynamic -> "dynamic"
 
 let make ~pass ~severity ~plane ~component ~detail ~key =
-  { pass; severity; plane; component; detail; key }
+  { pass; severity; plane; component; detail; key; count = 1 }
 
 (* Stable order for tables, JSON and diffs: severity first, then key. *)
 let sort fs =
@@ -31,14 +32,24 @@ let sort fs =
       | c -> c)
     fs
 
+(* Identical findings (same key) collapse to the first occurrence, with
+   [count] summed — "RAMFS leaked its chunk window (x12)" instead of
+   twelve rows. [baseline_counts] sums counts, so the baseline is
+   invariant under dedup. *)
 let dedup fs =
-  let seen = Hashtbl.create 32 in
-  List.filter
+  let totals = Hashtbl.create 32 in
+  List.iter
     (fun f ->
-      if Hashtbl.mem seen f.key then false
+      Hashtbl.replace totals f.key
+        (f.count + Option.value ~default:0 (Hashtbl.find_opt totals f.key)))
+    fs;
+  let seen = Hashtbl.create 32 in
+  List.filter_map
+    (fun f ->
+      if Hashtbl.mem seen f.key then None
       else begin
         Hashtbl.replace seen f.key ();
-        true
+        Some { f with count = Hashtbl.find totals f.key }
       end)
     fs
 
@@ -50,9 +61,10 @@ let print_table ppf fs =
         "COMPONENT" "DETAIL";
       List.iter
         (fun f ->
-          Format.fprintf ppf "  %-8s  %-7s  %-15s  %-10s  %s@."
+          Format.fprintf ppf "  %-8s  %-7s  %-15s  %-10s  %s%s@."
             (String.uppercase_ascii (severity_name f.severity))
-            (plane_name f.plane) f.pass f.component f.detail)
+            (plane_name f.plane) f.pass f.component f.detail
+            (if f.count > 1 then Printf.sprintf " (x%d)" f.count else ""))
         fs
 
 let json_escape s =
@@ -80,11 +92,11 @@ let to_json ?(extra = []) fs =
       Buffer.add_string b
         (Printf.sprintf
            "\n    {\"pass\": \"%s\", \"severity\": \"%s\", \"plane\": \"%s\", \
-            \"component\": \"%s\", \"detail\": \"%s\", \"key\": \"%s\"}"
+            \"component\": \"%s\", \"detail\": \"%s\", \"key\": \"%s\", \"count\": %d}"
            (json_escape f.pass)
            (severity_name f.severity)
            (plane_name f.plane) (json_escape f.component) (json_escape f.detail)
-           (json_escape f.key)))
+           (json_escape f.key) f.count))
     (sort fs);
   Buffer.add_string b "\n  ]\n}\n";
   Buffer.contents b
@@ -96,7 +108,8 @@ let to_json ?(extra = []) fs =
 let baseline_counts fs =
   let tbl = Hashtbl.create 32 in
   List.iter
-    (fun f -> Hashtbl.replace tbl f.key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl f.key)))
+    (fun f ->
+      Hashtbl.replace tbl f.key (f.count + Option.value ~default:0 (Hashtbl.find_opt tbl f.key)))
     fs;
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
 

@@ -15,6 +15,7 @@ type finding = {
   component : string;  (** source component the fix belongs to *)
   detail : string;  (** human-readable one-liner *)
   key : string;  (** stable dedup / baseline key *)
+  count : int;  (** occurrences collapsed by {!dedup}; [make] sets 1 *)
 }
 
 val severity_name : severity -> string
@@ -36,7 +37,9 @@ val sort : finding list -> finding list
 (** Severity-major, key-minor — the canonical order everywhere. *)
 
 val dedup : finding list -> finding list
-(** Keep the first finding per key (input order). *)
+(** Keep the first finding per key (input order), with [count] summed
+    over all occurrences of that key. {!baseline_counts} sums counts,
+    so a baseline computed before and after [dedup] is identical. *)
 
 val print_table : Format.formatter -> finding list -> unit
 

@@ -3,8 +3,9 @@ open Cubicle
 (* Deliberately-broken examples, one per detector. Each scenario names
    the pass and severity it must trip; the bench `analyze` command and
    the test suite both assert that CubiCheck catches every one. The
-   static three are synthetic IR programs; the dynamic two run real
-   monitor workloads under tracing and replay the event stream. *)
+   static four are synthetic IR programs; the dynamic four run real
+   monitor workloads under tracing, judged by replay or by the online
+   bus sink. *)
 
 type scenario = {
   sc_name : string;
@@ -85,7 +86,7 @@ let leaked_window () =
               [
                 Iface.Alloc { buf = "req"; bytes = 128 };
                 Iface.Window_add
-                  { win = "w"; buf = Iface.Local "req"; bytes = 128; standing = false };
+                  { win = "w"; buf = Iface.Local "req"; bytes = 128; standing = false; rw = true };
                 Iface.Window_open { win = "w"; peer = "SERVER" };
                 Iface.Call
                   { sym = "srv_process"; ptr_args = [ (0, Iface.Local "req", 128) ] };
@@ -96,13 +97,50 @@ let leaked_window () =
         ( "SERVER",
           Types.Isolated,
           [ "srv_process" ],
-          [ Iface.fundecl ~derefs:[ 0 ] "srv_process" [] ] );
+          (* writes: the RW grant is justified, so only the leak fires *)
+          [ Iface.fundecl ~derefs:[ 0 ] ~writes:[ 0 ] "srv_process" [] ] );
       ]
   in
   {
     sc_name = "leaked-window";
     expect_pass = "leak";
     expect_severity = Report.High;
+    findings = Static.run p;
+  }
+
+(* 4. A callee that writes through a pointer argument whose covering
+   grant is read-only. Statically provable: lazy trap-and-map retags
+   the page on the callee's first *read*, so the later write never
+   faults — the analyzer is the only thing that can see it. *)
+let ro_write () =
+  let p =
+    Ir.make
+      [
+        ( "CLIENT",
+          Types.Isolated,
+          [ "client_main" ],
+          [
+            Iface.fundecl "client_main"
+              [
+                Iface.Alloc { buf = "req"; bytes = 128 };
+                Iface.Window_add
+                  { win = "w"; buf = Iface.Local "req"; bytes = 128; standing = false; rw = false };
+                Iface.Window_open { win = "w"; peer = "SERVER" };
+                Iface.Call
+                  { sym = "srv_fill"; ptr_args = [ (0, Iface.Local "req", 128) ] };
+                Iface.Window_remove { win = "w"; buf = Iface.Local "req" };
+              ];
+          ] );
+        ( "SERVER",
+          Types.Isolated,
+          [ "srv_fill" ],
+          [ Iface.fundecl ~derefs:[ 0 ] ~writes:[ 0 ] "srv_fill" [] ] );
+      ]
+  in
+  {
+    sc_name = "write-through-ro-static";
+    expect_pass = "coverage";
+    expect_severity = Report.Critical;
     findings = Static.run p;
   }
 
@@ -123,7 +161,7 @@ let replay_bus mon bus =
   Telemetry.Bus.set_tracing bus false;
   Replay.of_bus bus ~name_of:(Monitor.cubicle_name mon)
 
-(* 4. Two peers write the same granted page with no trampoline crossing
+(* 5. Two peers write the same granted page with no trampoline crossing
    between the writes: no happens-before edge, a window race. *)
 let write_race () =
   let mon, a, b, c, bus = mk_dynamic () in
@@ -145,7 +183,7 @@ let write_race () =
     findings = replay_bus mon bus;
   }
 
-(* 5. A peer writes after the owner closed the window: under causal
+(* 6. A peer writes after the owner closed the window: under causal
    revocation (§5.6) the page still carries the peer's tag, so the
    write never faults — only the replay mirror sees it. *)
 let use_after_close () =
@@ -173,7 +211,7 @@ let use_after_close () =
     findings = replay_bus mon bus;
   }
 
-(* 6. Two peers write the same granted page from different cores. A
+(* 7. Two peers write the same granted page from different cores. A
    trampoline crossing separates the writes — on one core that is a
    happens-before edge and would suppress the race (scenario 4 relies
    on exactly that rule) — but the cores interleave concurrently, so
@@ -205,12 +243,43 @@ let cross_core_race () =
     findings = replay_bus mon bus;
   }
 
+(* 8. The dynamic twin of scenario 4, caught by the *online* sink: the
+   peer reads first (trap-and-map retags the page to the peer's key,
+   which grants full RW), then writes through the R-only grant — MPK
+   never faults, only the live mirror attached to the bus sees it. *)
+let write_through_ro () =
+  let mon, a, b, _c, bus = mk_dynamic () in
+  let mirror = Replay.create ~name_of:(Monitor.cubicle_name mon) in
+  Telemetry.Bus.set_sink bus (Some (Replay.online_sink mirror));
+  let actx = Monitor.ctx_for mon a in
+  let buf =
+    Monitor.run_as mon a (fun () -> Api.malloc_page_aligned actx Hw.Addr.page_size)
+  in
+  Monitor.run_as mon a (fun () ->
+      let wid = Api.window_init actx ~klass:Mm.Page_meta.Heap in
+      Api.window_add actx ~perm:Window.R wid ~ptr:buf ~size:Hw.Addr.page_size;
+      Api.window_open actx wid b);
+  (* first access is a READ: trap-and-map retags the page to PEER1 *)
+  ignore (Monitor.run_as mon b (fun () -> Api.read_u8 (Monitor.ctx_for mon b) buf));
+  (* the write through the R-only grant succeeds silently at runtime *)
+  Monitor.run_as mon b (fun () -> Api.write_u8 (Monitor.ctx_for mon b) buf 0x77);
+  Telemetry.Bus.set_sink bus None;
+  Telemetry.Bus.set_tracing bus false;
+  {
+    sc_name = "write-through-ro-online";
+    expect_pass = "write-through-ro";
+    expect_severity = Report.Critical;
+    findings = Replay.findings mirror;
+  }
+
 let all () =
   [
     missing_trampoline ();
     uncovered_pointer ();
     leaked_window ();
+    ro_write ();
     write_race ();
     use_after_close ();
     cross_core_race ();
+    write_through_ro ();
   ]

@@ -5,15 +5,21 @@ module SMap = Map.Make (String)
 
 (* --- interprocedural accessors --------------------------------------- *)
 
-(* accessors (sym, idx) = the components that may dereference the [idx]th
+(* accessors (sym, idx) = the components that may touch the [idx]th
    argument of [sym], transitively: the owner itself when the summary
-   declares the deref, plus — when the owner forwards the argument as a
+   declares the access, plus — when the owner forwards the argument as a
    pointer to another call — the accessors of the forwarded position.
    Forwarding to a *shared* component adds the forwarder itself: shared
    code executes with the caller's privileges, so its dereferences are
    the forwarder's for isolation purposes (e.g. RAMFS handing an
-   application buffer to the shared libc memcpy). *)
-let accessors (p : Ir.program) =
+   application buffer to the shared libc memcpy).
+
+   The fixpoint is computed twice with different seeds: once for any
+   dereference ([fd_derefs] ∪ [fd_writes]) and once for writes only
+   ([fd_writes]); for the write flavour a forward into shared code only
+   counts when the shared declaration writes that position (memcpy
+   writes arg 0 but merely reads arg 1). *)
+let accessors_gen ~self_positions ~shared_forward (p : Ir.program) =
   let tbl : (string * int, SSet.t) Hashtbl.t = Hashtbl.create 64 in
   let get k = Option.value ~default:SSet.empty (Hashtbl.find_opt tbl k) in
   let changed = ref true in
@@ -36,7 +42,8 @@ let accessors (p : Ir.program) =
                 | Iface.Param idx -> (
                     match Ir.owner_of p s2 with
                     | Some o2 when o2.Ir.kind = Types.Shared ->
-                        update (sym, idx) (SSet.singleton owner)
+                        if shared_forward o2 s2 j then
+                          update (sym, idx) (SSet.singleton owner)
                     | Some _ -> update (sym, idx) (get (s2, j))
                     | None -> ())
                 | Iface.Local _ -> ())
@@ -54,17 +61,37 @@ let accessors (p : Ir.program) =
           (fun (fd : Iface.fundecl) ->
             List.iter
               (fun idx -> update (fd.Iface.fd_sym, idx) (SSet.singleton c.Ir.name))
-              fd.Iface.fd_derefs;
+              (self_positions fd);
             walk_stmts c.Ir.name fd.Iface.fd_sym fd.Iface.fd_body)
           c.Ir.iface)
       p.Ir.comps
   done;
   fun sym idx -> get (sym, idx)
 
+let accessors p =
+  accessors_gen
+    ~self_positions:(fun fd -> fd.Iface.fd_derefs @ fd.Iface.fd_writes)
+    ~shared_forward:(fun _ _ _ -> true)
+    p
+
+let write_accessors p =
+  accessors_gen
+    ~self_positions:(fun fd -> fd.Iface.fd_writes)
+    ~shared_forward:(fun o2 s2 j ->
+      match Ir.summary o2 s2 with
+      | Some fd -> List.mem j fd.Iface.fd_writes
+      | None -> false)
+    p
+
 (* --- must-state over window facts ------------------------------------ *)
 
+type grant = { any_bytes : int; rw_bytes : int }
+(* granted bytes for a buffer: through any grant, and through RW grants
+   only (0 = no RW grant — writes through the window would be rejected
+   or, worse, silently succeed on a read-first-retagged page). *)
+
 type win = {
-  grants : int SMap.t;  (* local buffer name -> granted bytes (max) *)
+  grants : grant SMap.t;  (* local buffer name -> granted bytes (max) *)
   opened : SSet.t;  (* peer component names; "*" = any *)
 }
 
@@ -75,7 +102,14 @@ let join_win a b =
     grants =
       SMap.merge
         (fun _ x y ->
-          match (x, y) with Some n, Some m -> Some (min n m) | _ -> None)
+          match (x, y) with
+          | Some g, Some h ->
+              Some
+                {
+                  any_bytes = min g.any_bytes h.any_bytes;
+                  rw_bytes = min g.rw_bytes h.rw_bytes;
+                }
+          | _ -> None)
         a.grants b.grants;
     opened = SSet.inter a.opened b.opened;
   }
@@ -111,6 +145,7 @@ let alloc_sizes (c : Ir.comp) =
 
 let check (p : Ir.program) =
   let acc = accessors p in
+  let wacc = write_accessors p in
   let findings = ref [] in
   let add f = findings := f :: !findings in
   let trusted name =
@@ -119,6 +154,11 @@ let check (p : Ir.program) =
   List.iter
     (fun (c : Ir.comp) ->
       let sizes = alloc_sizes c in
+      (* over-privilege lint state: every RW Local grant site in this
+         component, minus the buffers some external accessor actually
+         writes through *)
+      let rw_grant_sites : (string * string, string) Hashtbl.t = Hashtbl.create 8 in
+      let written_bufs : (string, unit) Hashtbl.t = Hashtbl.create 8 in
       let check_call state here sym ptr_args =
         match Ir.owner_of p sym with
         | None -> ()  (* unresolved: the callgraph pass owns that finding *)
@@ -133,22 +173,28 @@ let check (p : Ir.program) =
                       if bytes > 0 then bytes
                       else Option.value ~default:0 (Hashtbl.find_opt sizes b)
                     in
-                    let accs =
-                      acc sym j |> SSet.remove c.Ir.name
-                      |> SSet.filter (fun d -> not (trusted d))
+                    let external_only s =
+                      s |> SSet.remove c.Ir.name |> SSet.filter (fun d -> not (trusted d))
                     in
+                    let accs = external_only (acc sym j) in
+                    let waccs = external_only (wacc sym j) in
+                    if not (SSet.is_empty waccs) then Hashtbl.replace written_bufs b ();
                     SSet.iter
                       (fun d ->
                         (* best grant for [b] among windows open for [d] *)
                         let granted = ref (-1) and open_best = ref (-1) in
+                        let open_best_rw = ref (-1) in
                         SMap.iter
                           (fun _ w ->
                             match SMap.find_opt b w.grants with
                             | None -> ()
-                            | Some n ->
-                                granted := max !granted n;
-                                if SSet.mem d w.opened || SSet.mem "*" w.opened then
-                                  open_best := max !open_best n)
+                            | Some g ->
+                                granted := max !granted g.any_bytes;
+                                if SSet.mem d w.opened || SSet.mem "*" w.opened then begin
+                                  open_best := max !open_best g.any_bytes;
+                                  if g.rw_bytes > 0 then
+                                    open_best_rw := max !open_best_rw g.rw_bytes
+                                end)
                           state;
                         if !granted < 0 then
                           add
@@ -172,17 +218,43 @@ let check (p : Ir.program) =
                                     here b sym j d)
                                ~key:
                                  (Printf.sprintf "coverage:not-open:%s:%s:%d:%s" here sym j d))
-                        else if needed > 0 && !open_best < needed then
-                          add
-                            (Report.make ~pass:"coverage" ~severity:Report.High
-                               ~plane:Report.Static ~component:c.Ir.name
-                               ~detail:
-                                 (Printf.sprintf
-                                    "%s passes %s to %s (arg %d): grant covers %d of %d \
-                                     bytes — %s faults at byte %d"
-                                    here b sym j !open_best needed d !open_best)
-                               ~key:
-                                 (Printf.sprintf "coverage:partial:%s:%s:%d:%s" here sym j d)))
+                        else begin
+                          if needed > 0 && !open_best < needed then
+                            add
+                              (Report.make ~pass:"coverage" ~severity:Report.High
+                                 ~plane:Report.Static ~component:c.Ir.name
+                                 ~detail:
+                                   (Printf.sprintf
+                                      "%s passes %s to %s (arg %d): grant covers %d of %d \
+                                       bytes — %s faults at byte %d"
+                                      here b sym j !open_best needed d !open_best)
+                                 ~key:
+                                   (Printf.sprintf "coverage:partial:%s:%s:%d:%s" here sym j d));
+                          (* permission check: a write-accessor needs the
+                             span reachable through RW grants; an R-only
+                             path is the silent write-through-RO hole
+                             (read-first retag means MPK never faults) *)
+                          if
+                            SSet.mem d waccs
+                            && (!open_best_rw < 0
+                               || (needed > 0 && !open_best_rw < needed))
+                          then
+                            add
+                              (Report.make ~pass:"coverage" ~severity:Report.Critical
+                                 ~plane:Report.Static ~component:c.Ir.name
+                                 ~detail:
+                                   (Printf.sprintf
+                                      "%s passes %s to %s (arg %d) which %s writes, but \
+                                       the covering grant is read-only%s — the write \
+                                       never faults after a read-first retag"
+                                      here b sym j d
+                                      (if !open_best_rw < 0 then ""
+                                       else
+                                         Printf.sprintf " past byte %d of %d" !open_best_rw
+                                           needed))
+                                 ~key:
+                                   (Printf.sprintf "coverage:ro-write:%s:%s:%d:%s" here sym j d))
+                        end)
                       accs)
               ptr_args
       in
@@ -194,19 +266,28 @@ let check (p : Ir.program) =
             | Iface.Call { sym; ptr_args } ->
                 check_call state here sym ptr_args;
                 state
-            | Iface.Window_add { win; buf = Iface.Local b; bytes; _ } ->
+            | Iface.Window_add { win; buf = Iface.Local b; bytes; rw; _ } ->
                 let size =
                   if bytes > 0 then bytes
                   else Option.value ~default:0 (Hashtbl.find_opt sizes b)
                 in
+                if rw then Hashtbl.replace rw_grant_sites (win, b) here;
                 let w =
                   Option.value
                     ~default:{ grants = SMap.empty; opened = SSet.empty }
                     (SMap.find_opt win state)
                 in
-                SMap.add win
-                  { w with grants = SMap.add b (max size (Option.value ~default:0 (SMap.find_opt b w.grants))) w.grants }
-                  state
+                let prev =
+                  Option.value ~default:{ any_bytes = 0; rw_bytes = 0 }
+                    (SMap.find_opt b w.grants)
+                in
+                let g =
+                  {
+                    any_bytes = max size prev.any_bytes;
+                    rw_bytes = (if rw then max size prev.rw_bytes else prev.rw_bytes);
+                  }
+                in
+                SMap.add win { w with grants = SMap.add b g w.grants } state
             | Iface.Window_add _ -> state  (* Param-rooted grants: not representable *)
             | Iface.Window_remove { win; buf = Iface.Local b } -> (
                 match SMap.find_opt win state with
@@ -256,6 +337,22 @@ let check (p : Ir.program) =
               (exec
                  (Printf.sprintf "%s.%s" c.Ir.name fd.Iface.fd_sym)
                  init_state fd.Iface.fd_body))
-        c.Ir.iface)
+        c.Ir.iface;
+      (* BULKHEAD-style least-privilege lint: an RW grant whose buffer
+         no external component ever writes through should have been
+         granted read-only *)
+      Hashtbl.iter
+        (fun (win, b) here ->
+          if not (Hashtbl.mem written_bufs b) then
+            add
+              (Report.make ~pass:"over-privilege" ~severity:Report.Medium
+                 ~plane:Report.Static ~component:c.Ir.name
+                 ~detail:
+                   (Printf.sprintf
+                      "%s grants %s through %s read-write, but no peer ever writes \
+                       through it — grant R instead (least privilege)"
+                      here b win)
+                 ~key:(Printf.sprintf "overpriv:%s:%s/%s" c.Ir.name win b)))
+        rw_grant_sites)
     p.Ir.comps;
   Report.dedup (List.rev !findings)

@@ -2,13 +2,18 @@ type ctx = Monitor.ctx
 
 let window_init (c : ctx) ~klass = Monitor.window_init c.mon c.self ~klass
 let window_table_extend (c : ctx) ~klass = Monitor.window_table_extend c.mon c.self ~klass
-let window_add (c : ctx) wid ~ptr ~size = Monitor.window_add c.mon c.self wid ~ptr ~size
+let window_add (c : ctx) ?perm wid ~ptr ~size =
+  Monitor.window_add c.mon c.self ?perm wid ~ptr ~size
+
 let window_remove (c : ctx) wid ~ptr = Monitor.window_remove c.mon c.self wid ~ptr
+let window_downgrade (c : ctx) wid ~ptr = Monitor.window_downgrade c.mon c.self wid ~ptr
 let window_open (c : ctx) wid other = Monitor.window_open c.mon c.self wid other
 let window_close (c : ctx) wid other = Monitor.window_close c.mon c.self wid other
 let window_close_all (c : ctx) wid = Monitor.window_close_all c.mon c.self wid
 let window_destroy (c : ctx) wid = Monitor.window_destroy c.mon c.self wid
-let window_add_ranges (c : ctx) wid ranges = Monitor.window_add_ranges c.mon c.self wid ranges
+
+let window_add_ranges (c : ctx) ?perm wid ranges =
+  Monitor.window_add_ranges c.mon c.self ?perm wid ranges
 let window_open_many (c : ctx) wid peers = Monitor.window_open_many c.mon c.self wid peers
 
 let window_forward (c : ctx) ~owner wid other =

@@ -10,16 +10,27 @@ type ctx = Monitor.ctx
 
 val window_init : ctx -> klass:Mm.Page_meta.kind -> Types.wid
 val window_table_extend : ctx -> klass:Mm.Page_meta.kind -> unit
-val window_add : ctx -> Types.wid -> ptr:int -> size:int -> unit
+val window_add : ctx -> ?perm:Window.perm -> Types.wid -> ptr:int -> size:int -> unit
+(** Grant a range through the window, optionally read-only
+    ([~perm:Window.R]; default [RW]). *)
+
 val window_remove : ctx -> Types.wid -> ptr:int -> unit
+
+val window_downgrade : ctx -> Types.wid -> ptr:int -> unit
+(** Downgrade the grant rooted at [ptr] to read-only in place. Causal
+    semantics (§5.6): only the ACL narrows — pages a peer already holds
+    stay writable until they migrate back. No upgrade path; re-grant
+    with {!window_add} to widen. *)
+
 val window_open : ctx -> Types.wid -> Types.cid -> unit
 val window_close : ctx -> Types.wid -> Types.cid -> unit
 val window_close_all : ctx -> Types.wid -> unit
 val window_destroy : ctx -> Types.wid -> unit
 
-val window_add_ranges : ctx -> Types.wid -> (int * int) list -> unit
+val window_add_ranges : ctx -> ?perm:Window.perm -> Types.wid -> (int * int) list -> unit
 (** Batched [window_add] over a list of [(ptr, size)] grants: one
-    monitor crossing, atomic validation, one Add event per range. *)
+    monitor crossing, atomic validation, one Add event per range, all
+    carrying [perm] (default [RW]). *)
 
 val window_open_many : ctx -> Types.wid -> Types.cid list -> unit
 (** Batched [window_open] over a list of peers. *)

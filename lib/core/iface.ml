@@ -4,7 +4,7 @@ type stmt =
   | Alloc of { buf : string; bytes : int }
   | Call of { sym : string; ptr_args : (int * buf * int) list }
   | Direct_call of { sym : string }
-  | Window_add of { win : string; buf : buf; bytes : int; standing : bool }
+  | Window_add of { win : string; buf : buf; bytes : int; standing : bool; rw : bool }
   | Window_remove of { win : string; buf : buf }
   | Window_open of { win : string; peer : string }
   | Window_forward of { win : string; peer : string }
@@ -14,10 +14,17 @@ type stmt =
   | Branch of stmt list list
   | Loop of stmt list
 
-type fundecl = { fd_sym : string; fd_derefs : int list; fd_body : stmt list }
+type fundecl = {
+  fd_sym : string;
+  fd_derefs : int list;
+  fd_writes : int list;
+  fd_body : stmt list;
+}
+
 type t = fundecl list
 
-let fundecl ?(derefs = []) sym body = { fd_sym = sym; fd_derefs = derefs; fd_body = body }
+let fundecl ?(derefs = []) ?(writes = []) sym body =
+  { fd_sym = sym; fd_derefs = derefs; fd_writes = writes; fd_body = body }
 
 let pp_buf ppf = function
   | Param i -> Format.fprintf ppf "arg%d" i
@@ -32,8 +39,9 @@ let pp_stmt ppf = function
            (fun ppf (i, b, n) -> Format.fprintf ppf "#%d=%a[%d]" i pp_buf b n))
         ptr_args
   | Direct_call { sym } -> Format.fprintf ppf "direct_call %s" sym
-  | Window_add { win; buf; bytes; standing } ->
-      Format.fprintf ppf "window_add %s <- %a[%d]%s" win pp_buf buf bytes
+  | Window_add { win; buf; bytes; standing; rw } ->
+      Format.fprintf ppf "window_add %s <- %a[%d]%s%s" win pp_buf buf bytes
+        (if rw then "" else " ro")
         (if standing then " (standing)" else "")
   | Window_remove { win; buf } -> Format.fprintf ppf "window_remove %s -> %a" win pp_buf buf
   | Window_open { win; peer } -> Format.fprintf ppf "window_open %s for %s" win peer

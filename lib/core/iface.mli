@@ -33,10 +33,14 @@ type stmt =
   | Direct_call of { sym : string }
       (** An escape hatch: control transfer that does {e not} go through
           the trampoline/symbol table. Always flagged by CubiCheck. *)
-  | Window_add of { win : string; buf : buf; bytes : int; standing : bool }
+  | Window_add of { win : string; buf : buf; bytes : int; standing : bool; rw : bool }
       (** Grant [bytes] bytes of [buf] through window [win]. [standing]
           marks a deliberately permanent grant (e.g. a registration-time
-          staging buffer) the leak pass must not report. *)
+          staging buffer) the leak pass must not report. [rw] is the
+          grant permission: [false] declares a read-only grant
+          ([Api.window_add ~perm:Window.R]) — the coverage pass flags
+          writes reachable through it, and the leak pass reports R-only
+          leaks one severity below RW leaks. *)
   | Window_remove of { win : string; buf : buf }
   | Window_open of { win : string; peer : string }
       (** [peer] is a component name, or ["*"] for a grantee resolved
@@ -60,6 +64,11 @@ type fundecl = {
       (** argument positions this export dereferences (reads or writes
           through) — what turns a caller's integer into a {e pointer}
           obligation *)
+  fd_writes : int list;
+      (** the subset of {!fd_derefs} this export {e writes} through —
+          the per-pointer-arg access mode the permission-aware coverage
+          pass checks against grant permissions. Positions listed here
+          but not in [fd_derefs] are still treated as dereferenced. *)
   fd_body : stmt list;
 }
 
@@ -69,7 +78,9 @@ type t = fundecl list
     CubiCheck treats missing summaries as an explicit soundness caveat
     (see DESIGN.md). *)
 
-val fundecl : ?derefs:int list -> string -> stmt list -> fundecl
+val fundecl : ?derefs:int list -> ?writes:int list -> string -> stmt list -> fundecl
+(** [fundecl ~derefs ~writes sym body]; [writes] (default none) lists
+    the argument positions written through. *)
 
 val pp_buf : Format.formatter -> buf -> unit
 val pp_stmt : Format.formatter -> stmt -> unit

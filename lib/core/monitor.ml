@@ -235,7 +235,20 @@ let handle_fault t (fault : Hw.Fault.t) =
                              short in practice (§5.3 step ❸). *)
                           Hw.Cost.charge_cat (Hw.Cpu.cost t.m_cpu) Telemetry.Attrib.Window
                             (2 * inspected);
-                          if Window.is_open_for w cur then begin
+                          (* A write through an R-only grant is denied
+                             with the full Key_perm pricing already paid
+                             (acl_check + descriptor walk): the window
+                             was found, the permission says no. Note the
+                             asymmetry with lazy trap-and-map: a peer
+                             that READ first got the page retagged to
+                             its key, so its later write never faults —
+                             that silent hole is the online race sink's
+                             job (CubiCheck), not the fault handler's. *)
+                          if
+                            Window.is_open_for w cur
+                            && (fault.access <> Hw.Fault.Write
+                               || Window.writable w ~addr:fault.addr)
+                          then begin
                             retag t page ~to_key:cur_key;
                             true
                           end
@@ -581,9 +594,9 @@ let charge_window_op t =
       Stats.count_window_op t.stats;
       Hw.Cost.charge_cat (cost t) Telemetry.Attrib.Window (cost t).model.window_op
 
-let emit_window t cid op ?(wid = -1) ?(peer = -1) ?(ptr = 0) ?(size = 0) () =
+let emit_window t cid op ?(wid = -1) ?(peer = -1) ?(ptr = 0) ?(size = 0) ?(rw = true) () =
   if t.protection <> Types.None_ then
-    emit t (Telemetry.Event.Window { cid; op; wid; peer; ptr; size })
+    emit t (Telemetry.Event.Window { cid; op; wid; peer; ptr; size; rw })
 
 let window_init t cid ~klass =
   charge_window_op t;
@@ -620,12 +633,29 @@ let check_range_owned t cid (w : Window.t) wid ~ptr ~size =
     | None -> Types.error "window_add: page %d has no class" p
   done
 
-let window_add t cid wid ~ptr ~size =
+let window_add t cid ?(perm = Window.RW) wid ~ptr ~size =
   charge_window_op t;
   let w = find_window t cid wid in
   check_range_owned t cid w wid ~ptr ~size;
-  Window.add_range (get t cid).windows w ~ptr ~size;
-  emit_window t cid Telemetry.Event.Add ~wid ~ptr ~size ()
+  Window.add_range (get t cid).windows w ~perm ~ptr ~size;
+  emit_window t cid Telemetry.Event.Add ~wid ~ptr ~size ~rw:(perm = Window.RW) ()
+
+(* Permission downgrade RW -> R of an existing grant, in place. Under
+   causal tag consistency this only narrows the ACL the fault handler
+   (and the replay mirror) consults: a peer holding a stale RW-era
+   mapping keeps writing until the page migrates back — the same lazy
+   window the paper accepts for revocation (§5.6), and exactly what the
+   online race sink watches for. *)
+let window_downgrade t cid wid ~ptr =
+  charge_window_op t;
+  let w = find_window t cid wid in
+  let size =
+    match List.find_opt (fun (r : Window.range) -> r.ptr = ptr) w.Window.ranges with
+    | Some r -> r.size
+    | None -> 0
+  in
+  Window.downgrade_range w ~ptr;
+  emit_window t cid Telemetry.Event.Downgrade ~wid ~ptr ~size ~rw:false ()
 
 let window_remove t cid wid ~ptr =
   charge_window_op t;
@@ -695,7 +725,7 @@ let charge_batch_extra t n =
 (* Atomic batch: every range is validated before any is granted, so a
    bad descriptor in the middle cannot leave a half-applied batch. One
    Add event per range keeps the replay mirror and counters exact. *)
-let window_add_ranges t cid wid ranges =
+let window_add_ranges t cid ?(perm = Window.RW) wid ranges =
   if ranges = [] then Types.error "window_add_ranges: empty range list";
   charge_window_op t;
   charge_batch_extra t (List.length ranges);
@@ -703,8 +733,8 @@ let window_add_ranges t cid wid ranges =
   List.iter (fun (ptr, size) -> check_range_owned t cid w wid ~ptr ~size) ranges;
   List.iter
     (fun (ptr, size) ->
-      Window.add_range (get t cid).windows w ~ptr ~size;
-      emit_window t cid Telemetry.Event.Add ~wid ~ptr ~size ())
+      Window.add_range (get t cid).windows w ~perm ~ptr ~size;
+      emit_window t cid Telemetry.Event.Add ~wid ~ptr ~size ~rw:(perm = Window.RW) ())
     ranges
 
 let window_open_many t cid wid peers =
@@ -748,11 +778,12 @@ let window_forward t cid ~owner wid other =
   emit_window t owner Telemetry.Event.Forward ~wid ~peer:other ()
 
 (* Explicit grant check (CubiCheck): does [cid] hold a live window open
-   for [peer] whose ranges cover the whole [ptr, ptr+size) span? The
-   byte-exact complement to the page-granular trap-and-map path. *)
-let window_grants t cid ~peer ~ptr ~size =
+   for [peer] whose ranges cover the whole [ptr, ptr+size) span, with
+   permission for [access] (default Read)? The byte-exact complement to
+   the page-granular trap-and-map path. *)
+let window_grants ?(access = Window.Read) t cid ~peer ~ptr ~size =
   List.exists
-    (fun w -> Window.is_open_for w peer && Window.covers w ~ptr ~size)
+    (fun w -> Window.is_open_for w peer && Window.covers w ~access ~ptr ~size)
     (Window.live_windows (get t cid).windows)
 
 let alloc_dedicated_key t =

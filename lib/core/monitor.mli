@@ -144,22 +144,38 @@ val window_init : t -> Types.cid -> klass:Mm.Page_meta.kind -> Types.wid
     — call {!window_table_extend} first (paper §5.3). *)
 
 val window_table_extend : t -> Types.cid -> klass:Mm.Page_meta.kind -> unit
-val window_add : t -> Types.cid -> Types.wid -> ptr:int -> size:int -> unit
+
+val window_add :
+  t -> Types.cid -> ?perm:Window.perm -> Types.wid -> ptr:int -> size:int -> unit
 (** Checks that every page the range touches is owned by the caller and
-    matches the window's data class. *)
+    matches the window's data class. [perm] (default [RW]) is the
+    grant's permission; an [R] grant lets peers read but makes a
+    {e first-touch} write fault a priced rejection. (Under lazy
+    trap-and-map a peer that read first holds the page at its own key,
+    so its later writes never fault — the online race sink catches
+    those.) *)
 
 val window_remove : t -> Types.cid -> Types.wid -> ptr:int -> unit
+
+val window_downgrade : t -> Types.cid -> Types.wid -> ptr:int -> unit
+(** Downgrade the grant rooted at [ptr] to read-only in place (emits a
+    [Downgrade] window event). Causal semantics: only the ACL narrows;
+    stale RW-era mappings persist until the page migrates back. There
+    is no upgrade — re-grant with {!window_add} instead, so widenings
+    are always visible window ops. *)
+
 val window_open : t -> Types.cid -> Types.wid -> Types.cid -> unit
 val window_close : t -> Types.cid -> Types.wid -> Types.cid -> unit
 val window_close_all : t -> Types.cid -> Types.wid -> unit
 val window_destroy : t -> Types.cid -> Types.wid -> unit
 
-val window_add_ranges : t -> Types.cid -> Types.wid -> (int * int) list -> unit
+val window_add_ranges :
+  t -> Types.cid -> ?perm:Window.perm -> Types.wid -> (int * int) list -> unit
 (** Batched {!window_add}: one monitor crossing amortised over a list
-    of [(ptr, size)] grants. Every range is validated before any is
-    applied (atomic batch); one Add event is still emitted per range so
-    replay mirrors and counters stay exact. Raises {!Types.Error} on an
-    empty list. *)
+    of [(ptr, size)] grants, all carrying [perm] (default [RW]). Every
+    range is validated before any is applied (atomic batch); one Add
+    event is still emitted per range so replay mirrors and counters
+    stay exact. Raises {!Types.Error} on an empty list. *)
 
 val window_open_many : t -> Types.cid -> Types.wid -> Types.cid list -> unit
 (** Batched {!window_open}: one monitor crossing amortised over a list
@@ -171,13 +187,21 @@ val window_forward : t -> Types.cid -> owner:Types.cid -> Types.wid -> Types.cid
     third cubicle further down the call chain (sendfile fast path). The
     Window event is emitted against the owner's window. *)
 
-val window_grants : t -> Types.cid -> peer:Types.cid -> ptr:int -> size:int -> bool
+val window_grants :
+  ?access:Window.access ->
+  t ->
+  Types.cid ->
+  peer:Types.cid ->
+  ptr:int ->
+  size:int ->
+  bool
 (** Explicit byte-exact grant check: [cid] holds a live window open for
     [peer] whose ranges cover the whole [ptr, ptr+size) span (possibly
-    stitched from several grants). The trap-and-map path only ever
-    tests the single faulting address, so a too-short grant used to
-    surface as a mid-copy fault; this is the full-span predicate the
-    CubiCheck coverage pass and the regression tests rely on. *)
+    stitched from several grants) with permission for [access] (default
+    [Read]). The trap-and-map path only ever tests the single faulting
+    address, so a too-short grant used to surface as a mid-copy fault;
+    this is the full-span predicate the CubiCheck coverage pass and the
+    regression tests rely on. *)
 
 val observe_access : t -> addr:int -> len:int -> access:Telemetry.Event.access -> unit
 (** Emit {!Telemetry.Event.Window_access} for each page of

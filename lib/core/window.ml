@@ -1,4 +1,16 @@
-type range = { ptr : int; size : int }
+(* A grant's permission: the paper's windows are all-or-nothing, but
+   least-privilege compartmentalization (BULKHEAD-style) wants the
+   owner to say "this peer may read, not write". [R] vs [RW] lives on
+   the range, not the window, so one window can mix read-only staging
+   ranges with writable data ranges. *)
+type perm = R | RW
+
+type access = Read | Write
+
+let perm_allows p (a : access) =
+  match (p, a) with RW, _ -> true | R, Read -> true | R, Write -> false
+
+type range = { ptr : int; size : int; mutable perm : perm }
 
 type t = {
   wid : Types.wid;
@@ -138,12 +150,27 @@ let unindex_range table w r =
     end
   done
 
-let add_range table w ~ptr ~size =
+let add_range ?(perm = RW) table w ~ptr ~size =
   check_alive w;
   if size <= 0 then Types.error "window %d: non-positive range size %d" w.wid size;
-  let r = { ptr; size } in
+  let r = { ptr; size; perm } in
   w.ranges <- r :: w.ranges;
   index_range table w r
+
+(* In-place permission downgrade RW -> R of the (newest) grant rooted
+   at [ptr]. Downgrading is always safe for the peer (it can only lose
+   write access); upgrading R -> RW is deliberately not provided — the
+   owner re-grants instead, so a widening is always a visible,
+   auditable window op. The page index is untouched: the range still
+   spans the same pages. *)
+let downgrade_range w ~ptr =
+  check_alive w;
+  let rec first = function
+    | [] -> Types.error "window %d: no range starts at 0x%x" w.wid ptr
+    | r :: _ when r.ptr = ptr -> r.perm <- R
+    | _ :: rest -> first rest
+  in
+  first w.ranges
 
 let remove_range table w ~ptr =
   check_alive w;
@@ -189,8 +216,10 @@ let contains w addr =
 
 (* Byte-exact span coverage: walk forward from [ptr], at each position
    jumping to the end of any range containing it, until no range makes
-   progress. Handles spans stitched together from several grants. *)
-let covered_prefix w ~ptr ~size =
+   progress. Handles spans stitched together from several grants. Only
+   ranges whose permission allows [access] participate — a Write span
+   must be stitched entirely from RW grants; an R hole breaks it. *)
+let covered_prefix ?(access = Read) w ~ptr ~size =
   if (not w.alive) || size <= 0 then 0
   else begin
     let pos = ref ptr and limit = ptr + size in
@@ -199,7 +228,7 @@ let covered_prefix w ~ptr ~size =
       progressed := false;
       List.iter
         (fun r ->
-          if !pos >= r.ptr && !pos < r.ptr + r.size then begin
+          if perm_allows r.perm access && !pos >= r.ptr && !pos < r.ptr + r.size then begin
             pos := min limit (r.ptr + r.size);
             progressed := true
           end)
@@ -208,7 +237,16 @@ let covered_prefix w ~ptr ~size =
     !pos - ptr
   end
 
-let covers w ~ptr ~size = size > 0 && covered_prefix w ~ptr ~size >= size
+let covers ?(access = Read) w ~ptr ~size =
+  size > 0 && covered_prefix ~access w ~ptr ~size >= size
+
+(* The fault path's permission check: is a write to [addr] through this
+   window backed by some RW grant? ([contains] stays access-agnostic —
+   the search must still find the window so the denial is priced like
+   the paper's Key_perm fault: descriptor walk charged, then reject.) *)
+let writable w ~addr =
+  w.alive
+  && List.exists (fun r -> r.perm = RW && addr >= r.ptr && addr < r.ptr + r.size) w.ranges
 
 (* Reference linear scan of the descriptor array (the paper's §5.3
    step ❸). Kept as the oracle the page index must agree with. *)

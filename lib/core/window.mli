@@ -13,7 +13,21 @@
     descriptor array for the faulting page's class, which is kept as
     {!search_linear} for differential testing. *)
 
-type range = { ptr : int; size : int }
+type perm = R | RW
+(** A grant's permission. [R] lets the peer read the range; [RW] also
+    lets it write. Permission lives on the range, not the window, so
+    one window can mix read-only staging ranges with writable data
+    ranges. There is no write-only or exec grant: windows share data,
+    and exec stays forbidden on foreign pages (paper §5.4). *)
+
+type access = Read | Write
+(** What a peer is trying to do through the window. *)
+
+val perm_allows : perm -> access -> bool
+(** The permission lattice: [RW] allows everything, [R] allows only
+    [Read]. *)
+
+type range = { ptr : int; size : int; mutable perm : perm }
 
 type t = private {
   wid : Types.wid;
@@ -46,8 +60,16 @@ val extend : table -> Mm.Page_meta.kind -> unit
 val find : table -> Types.wid -> t
 (** Raises {!Types.Error} for an unknown or destroyed wid. *)
 
-val add_range : table -> t -> ptr:int -> size:int -> unit
-(** Adds a grant and enters its pages into the table's page index. *)
+val add_range : ?perm:perm -> table -> t -> ptr:int -> size:int -> unit
+(** Adds a grant and enters its pages into the table's page index.
+    [perm] defaults to [RW] (the paper's all-or-nothing grant). *)
+
+val downgrade_range : t -> ptr:int -> unit
+(** Downgrade the (newest) grant rooted at [ptr] to [R] in place.
+    Downgrading is always safe for the peer — it can only lose write
+    access; widening R back to RW is deliberately not provided (the
+    owner re-grants instead, so a widening is always a visible window
+    op). Raises {!Types.Error} if no range starts at [ptr]. *)
 
 val remove_range : table -> t -> ptr:int -> unit
 (** Removes exactly one range starting at [ptr] (the most recently
@@ -67,18 +89,27 @@ val contains : t -> int -> bool
     (the monitor retags whole pages), which is why the paper tells
     developers to align shared structures. *)
 
-val covered_prefix : t -> ptr:int -> size:int -> int
+val covered_prefix : ?access:access -> t -> ptr:int -> size:int -> int
 (** How many bytes of the span [\[ptr, ptr+size)] are covered by the
     window's ranges, starting at [ptr] — possibly stitched together
     from several grants. A partially covering grant returns the exact
-    byte offset at which a peer's access would fault at runtime. *)
+    byte offset at which a peer's access would fault at runtime. Only
+    ranges allowing [access] (default [Read]) participate: a [Write]
+    span must be stitched entirely from [RW] grants. *)
 
-val covers : t -> ptr:int -> size:int -> bool
+val covers : ?access:access -> t -> ptr:int -> size:int -> bool
 (** Explicit size check on overlap: the {e whole} span is granted, not
     merely its first byte. The runtime's trap-and-map only ever tests
     single faulting addresses, so a too-short grant used to surface as
     a fault halfway through a peer's copy; CubiCheck's coverage pass
-    and this predicate make the full-span check explicit. *)
+    and this predicate make the full-span check explicit. [access]
+    defaults to [Read]. *)
+
+val writable : t -> addr:int -> bool
+(** Whether a write to [addr] through this window is backed by some
+    [RW] grant — the fault path's permission check. {!contains} stays
+    access-agnostic so an R-only write fault is still {e found} (and
+    its descriptor walk priced) before being rejected. *)
 
 val search : table -> klass:Mm.Page_meta.kind -> addr:int -> (t * int) option
 (** Page-indexed lookup of a live window containing [addr]; also

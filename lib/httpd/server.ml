@@ -23,16 +23,18 @@ type t = {
    for LWIP, and per-chunk windows over [file_buf] — to VFSCORE+RAMFS
    for the pread, to LWIP for the send. *)
 let iface =
-  let lwip_window buf stmts =
+  let lwip_window ~rw buf stmts =
     [
-      Iface.Window_add { win = "net_win"; buf = Iface.Local buf; bytes = 0; standing = false };
+      Iface.Window_add
+        { win = "net_win"; buf = Iface.Local buf; bytes = 0; standing = false; rw };
       Iface.Window_open { win = "net_win"; peer = "LWIP" };
     ]
     @ stmts
     @ [ Iface.Window_destroy { win = "net_win" } ]
   in
+  (* send path: LWIP only reads the response bytes *)
   let send_chunk =
-    lwip_window "file_buf"
+    lwip_window ~rw:false "file_buf"
       [ Iface.Call { sym = "lwip_send"; ptr_args = [ (1, Iface.Local "file_buf", 0) ] } ]
   in
   [
@@ -41,7 +43,13 @@ let iface =
         Iface.Call { sym = "vfs_backend_cid"; ptr_args = [] };
         Iface.Alloc { buf = "path_buf"; bytes = 512 };
         Iface.Window_add
-          { win = "path_wid"; buf = Iface.Local "path_buf"; bytes = 512; standing = true };
+          {
+            win = "path_wid";
+            buf = Iface.Local "path_buf";
+            bytes = 512;
+            standing = true;
+            rw = false;
+          };
         Iface.Window_open { win = "path_wid"; peer = "VFSCORE" };
         Iface.Alloc { buf = "req_buf"; bytes = 4096 };
         Iface.Alloc { buf = "file_buf"; bytes = chunk_size };
@@ -53,7 +61,8 @@ let iface =
         Iface.Loop
           ([
              Iface.Loop
-               (lwip_window "req_buf"
+               (* RW: LWIP writes the request bytes into req_buf *)
+               (lwip_window ~rw:true "req_buf"
                   [
                     Iface.Call
                       { sym = "lwip_recv"; ptr_args = [ (1, Iface.Local "req_buf", 4096) ] };
@@ -74,6 +83,7 @@ let iface =
                             buf = Iface.Local "file_buf";
                             bytes = 0;
                             standing = false;
+                            rw = true;
                           };
                         Iface.Window_open { win = "data_win"; peer = "VFSCORE" };
                         Iface.Window_open { win = "data_win"; peer = "RAMFS" };
@@ -135,14 +145,15 @@ let start ?(shard = 0) ?(zerocopy = false) sys =
   if r <> 0 then Types.error "nginx: listen failed (%d)" r;
   { ctx; fio; lwip_cid; shard; req_buf; file_buf; zerocopy; conns = []; served = 0 }
 
-let with_lwip_window t ~ptr ~size f =
+let with_lwip_window ?(perm = Window.RW) t ~ptr ~size f =
   let wid = Api.window_init t.ctx ~klass:Mm.Page_meta.Heap in
-  Api.window_add t.ctx wid ~ptr ~size;
+  Api.window_add t.ctx ~perm wid ~ptr ~size;
   Api.window_open t.ctx wid t.lwip_cid;
   Fun.protect ~finally:(fun () -> Api.window_destroy t.ctx wid) f
 
 let send t conn_id ~ptr ~len =
-  with_lwip_window t ~ptr ~size:len (fun () ->
+  (* LWIP only reads the response bytes it segments onto the wire *)
+  with_lwip_window ~perm:Window.R t ~ptr ~size:len (fun () ->
       Api.call t.ctx "lwip_send" [| conn_id; ptr; len |])
 
 let send_string t conn_id s =

@@ -14,8 +14,9 @@ let make ctx =
   let backend_cid = Api.call ctx "vfs_backend_cid" [||] in
   let path_buf = Api.malloc_page_aligned ctx 512 in
   let path_wid = Api.window_init ctx ~klass:Mm.Page_meta.Heap in
-  Api.window_add ctx path_wid ~ptr:path_buf ~size:512;
-  (* paths are read by VFSCORE only (it re-stages them for the backend) *)
+  (* paths are read by VFSCORE only (it re-stages them for the backend),
+     so the standing grant is read-only *)
+  Api.window_add ctx ~perm:Window.R path_wid ~ptr:path_buf ~size:512;
   Api.window_open ctx path_wid vfs_cid;
   let data_wid = Api.window_init ctx ~klass:Mm.Page_meta.Heap in
   { ctx; vfs_cid; backend_cid; path_buf; path_wid; data_wid }
@@ -28,7 +29,7 @@ let with_path t path f =
   Api.write_string t.ctx t.path_buf path;
   f t.path_buf len
 
-let with_window t ~ptr ~size f =
+let with_window ?(perm = Window.RW) t ~ptr ~size f =
   let teardown () =
     Api.window_close_all t.ctx t.data_wid;
     Api.window_remove t.ctx t.data_wid ~ptr
@@ -38,7 +39,7 @@ let with_window t ~ptr ~size f =
      before re-raising, or the range and the VFSCORE open leak into
      every later use of the shared data window *)
   (try
-     Api.window_add t.ctx t.data_wid ~ptr ~size;
+     Api.window_add t.ctx ~perm t.data_wid ~ptr ~size;
      Api.window_open t.ctx t.data_wid t.vfs_cid;
      if t.backend_cid <> t.vfs_cid then Api.window_open t.ctx t.data_wid t.backend_cid
    with e ->
@@ -57,7 +58,8 @@ let pread t ~fd ~buf ~len ~off =
       Api.call t.ctx "vfs_pread" [| fd; buf; len; off |])
 
 let pwrite t ~fd ~buf ~len ~off =
-  with_window t ~ptr:buf ~size:len (fun () ->
+  (* the backend only reads the source buffer on the write path *)
+  with_window ~perm:Window.R t ~ptr:buf ~size:len (fun () ->
       Api.call t.ctx "vfs_pwrite" [| fd; buf; len; off |])
 
 (* Zero-copy: no caller buffer, hence no window to manage — the file

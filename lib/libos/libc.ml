@@ -23,8 +23,8 @@ let strnlen_fn ctx (args : int array) =
    forwards a pointer here. *)
 let iface =
   [
-    Iface.fundecl ~derefs:[ 0; 1 ] "memcpy" [];
-    Iface.fundecl ~derefs:[ 0 ] "memset" [];
+    Iface.fundecl ~derefs:[ 0; 1 ] ~writes:[ 0 ] "memcpy" [];
+    Iface.fundecl ~derefs:[ 0 ] ~writes:[ 0 ] "memset" [];
     Iface.fundecl ~derefs:[ 0; 1 ] "memcmp" [];
     Iface.fundecl ~derefs:[ 0 ] "strnlen" [];
   ]

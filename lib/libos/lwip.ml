@@ -204,7 +204,8 @@ let send_segment state ctx ~conn_id ~seq ~src ~len =
   Api.write_u16 ctx (pbuf + 9) len;
   ignore (Api.call ctx "memcpy" [| pbuf + Sysdefs.frame_header; src; len |]);
   let wid = Api.window_init ctx ~klass:Mm.Page_meta.Heap in
-  Api.window_add ctx wid ~ptr:pbuf ~size:Hw.Addr.page_size;
+  (* NETDEV only reads the pbuf on its way to the wire *)
+  Api.window_add ctx ~perm:Window.R wid ~ptr:pbuf ~size:Hw.Addr.page_size;
   Api.window_open ctx wid state.netdev_cid;
   let r =
     Api.call ctx "netdev_tx"
@@ -368,7 +369,13 @@ let make ?(nshards = 1) () =
           Iface.Call { sym = "uk_palloc"; ptr_args = [] };
           Iface.Call { sym = "memcpy"; ptr_args = [] };
           Iface.Window_add
-            { win = "tx_win"; buf = Iface.Local "pbuf"; bytes = 4096; standing = false };
+            {
+              win = "tx_win";
+              buf = Iface.Local "pbuf";
+              bytes = 4096;
+              standing = false;
+              rw = false;
+            };
           Iface.Window_open { win = "tx_win"; peer = "NETDEV" };
           Iface.Call { sym = "netdev_tx"; ptr_args = [ (0, Iface.Local "pbuf", 4096) ] };
           Iface.Window_destroy { win = "tx_win" };
@@ -385,7 +392,9 @@ let make ?(nshards = 1) () =
            let win = if i = 0 then "staging_wid" else Printf.sprintf "staging_wid%d" i in
            [
              Iface.Alloc { buf; bytes = 4096 };
-             Iface.Window_add { win; buf = Iface.Local buf; bytes = 4096; standing = true };
+             (* stays RW: NETDEV fills the staging page on netdev_rx *)
+             Iface.Window_add
+               { win; buf = Iface.Local buf; bytes = 4096; standing = true; rw = true };
              Iface.Window_open { win; peer = "NETDEV" };
            ]))
   in
@@ -394,7 +403,7 @@ let make ?(nshards = 1) () =
       Iface.fundecl "__init" init_iface;
       Iface.fundecl "lwip_listen" [];
       Iface.fundecl "lwip_accept" pump_iface;
-      Iface.fundecl ~derefs:[ 1 ] "lwip_recv"
+      Iface.fundecl ~derefs:[ 1 ] ~writes:[ 1 ] "lwip_recv"
         (pump_iface
         @ [
             Iface.Call { sym = "memcpy"; ptr_args = [] };

@@ -122,7 +122,7 @@ let make ?(nrings = 1) () =
           (* both sides copy through the caller's buffer: tx reads it
              into the ring slot, rx fills it from the slot *)
           Iface.fundecl ~derefs:[ 0 ] "netdev_tx" [];
-          Iface.fundecl ~derefs:[ 0 ] "netdev_rx" [];
+          Iface.fundecl ~derefs:[ 0 ] ~writes:[ 0 ] "netdev_rx" [];
           (* gather tx dereferences both the header (arg 0) and the
              granted payload span (arg 2) *)
           Iface.fundecl ~derefs:[ 0; 2 ] "netdev_tx_gather" [];

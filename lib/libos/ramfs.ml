@@ -145,9 +145,17 @@ let sendfile_fn state ctx (args : int array) =
               fresh := (addr, chunk_size) :: !fresh
             end
           done;
+          (* grant the fresh chunk pages (batched), then downgrade each
+             grant to read-only: the network stack only ever reads file
+             chunks on the transmit path, so a compromised LWIP/NETDEV
+             must not be able to scribble into the page cache through
+             the standing window. The downgrade is a priced window op
+             per fresh chunk; already-granted chunks stay R for free. *)
           (match List.rev !fresh with
           | [] -> ()
-          | ranges -> Api.window_add_ranges ctx state.sf_wid ranges);
+          | ranges ->
+              Api.window_add_ranges ctx state.sf_wid ranges;
+              List.iter (fun (ptr, _) -> Api.window_downgrade ctx state.sf_wid ~ptr) ranges);
           let rec step done_ =
             if done_ >= len then done_
             else begin
@@ -274,6 +282,7 @@ let make ?(sendfile = false) () =
                 buf = Iface.Local "file_chunks";
                 bytes = chunk_size;
                 standing = true;
+                rw = false;
               };
             Iface.Window_open { win = "sf_win"; peer = "LWIP" };
             Iface.Window_forward { win = "sf_win"; peer = "NETDEV" };
@@ -303,7 +312,7 @@ let make ?(sendfile = false) () =
            (* data ops read the iodesc (arg 0) and copy through the
               caller's buffer (arg 1) via shared libc, running with this
               cubicle's privileges *)
-           Iface.fundecl ~derefs:[ 0; 1 ] "ramfs_pread"
+           Iface.fundecl ~derefs:[ 0; 1 ] ~writes:[ 1 ] "ramfs_pread"
              [ Iface.Loop [ Iface.Call { sym = "memcpy"; ptr_args = [] } ] ];
            Iface.fundecl ~derefs:[ 0; 1 ] "ramfs_pwrite"
              [

@@ -152,7 +152,9 @@ let rename_fn state ctx (args : int array) =
 let init state ctx =
   state.path_buf <- Api.malloc_page_aligned ctx 4096;
   state.path_wid <- Api.window_init ctx ~klass:Mm.Page_meta.Heap;
-  Api.window_add ctx state.path_wid ~ptr:state.path_buf ~size:4096
+  (* read-only standing grant: VFSCORE fills its own staging slots; the
+     backend only ever reads paths and io descriptors through them *)
+  Api.window_add ctx ~perm:Window.R state.path_wid ~ptr:state.path_buf ~size:4096
 
 (* CubiCheck summary. The backend is registered at runtime, so the
    callee prefix is a parameter ([ramfs] by default, [fatfs] for the
@@ -176,7 +178,13 @@ let iface ~backend ~sendfile =
       [
         Iface.Alloc { buf = "path_staging"; bytes = 4096 };
         Iface.Window_add
-          { win = "path_wid"; buf = Iface.Local "path_staging"; bytes = 4096; standing = true };
+          {
+            win = "path_wid";
+            buf = Iface.Local "path_staging";
+            bytes = 4096;
+            standing = true;
+            rw = false;
+          };
         Iface.Window_open { win = "path_wid"; peer = "*" };
       ];
     Iface.fundecl "vfs_register_backend" [];

@@ -11,6 +11,7 @@ type window_op =
   | Close
   | Close_all
   | Destroy
+  | Downgrade
   | Open_dedicated
   | Close_dedicated
 
@@ -36,7 +37,15 @@ type t =
   | Shared_call of { caller : int; sym : string }
   | Guard_fetch of { cid : int; sym : string }
   | Rejected of { cid : int }
-  | Window of { cid : int; op : window_op; wid : int; peer : int; ptr : int; size : int }
+  | Window of {
+      cid : int;
+      op : window_op;
+      wid : int;
+      peer : int;
+      ptr : int;
+      size : int;
+      rw : bool;  (** grant permission: [false] for read-only [Add] ranges *)
+    }
   | Window_access of { cid : int; owner : int; page : int; access : access }
   | Tlb of tlb_op
   | Sched_switch of { tid : int; cid : int }
@@ -60,6 +69,7 @@ let window_op_name = function
   | Close -> "close"
   | Close_all -> "close_all"
   | Destroy -> "destroy"
+  | Downgrade -> "downgrade"
   | Open_dedicated -> "open_dedicated"
   | Close_dedicated -> "close_dedicated"
 
@@ -110,10 +120,11 @@ let pp ppf ev =
   | Shared_call { caller; sym } -> Format.fprintf ppf "shared %s (caller %d)" sym caller
   | Guard_fetch { cid; sym } -> Format.fprintf ppf "guard_fetch %s (cubicle %d)" sym cid
   | Rejected { cid } -> Format.fprintf ppf "rejected (cubicle %d)" cid
-  | Window { cid; op; wid; peer; ptr; size } ->
+  | Window { cid; op; wid; peer; ptr; size; rw } ->
       Format.fprintf ppf "window %s wid=%d (cubicle %d)" (window_op_name op) wid cid;
       if peer >= 0 then Format.fprintf ppf " peer=%d" peer;
-      if size > 0 then Format.fprintf ppf " ptr=0x%x size=%d" ptr size
+      if size > 0 then Format.fprintf ppf " ptr=0x%x size=%d" ptr size;
+      if not rw then Format.fprintf ppf " ro"
   | Window_access { cid; owner; page; access } ->
       Format.fprintf ppf "window_access %s page=%d (cubicle %d -> owner %d)"
         (access_name access) page cid owner

@@ -23,6 +23,7 @@ type window_op =
   | Close
   | Close_all
   | Destroy
+  | Downgrade  (** an RW grant downgraded to read-only in place *)
   | Open_dedicated
   | Close_dedicated
 
@@ -53,13 +54,23 @@ type t =
   | Guard_fetch of { cid : int; sym : string }
       (** Instruction fetch of a trampoline guard entry. *)
   | Rejected of { cid : int }  (** A caught CFI / isolation violation. *)
-  | Window of { cid : int; op : window_op; wid : int; peer : int; ptr : int; size : int }
+  | Window of {
+      cid : int;
+      op : window_op;
+      wid : int;
+      peer : int;
+      ptr : int;
+      size : int;
+      rw : bool;
+    }
       (** A window ACL operation that succeeded. [wid] identifies the
           window within the owner; [peer] is the grantee for
           open/close-style ops (-1 otherwise); [ptr]/[size] carry the
-          range for add/remove (0 otherwise). Rich enough that an
-          offline consumer (the CubiCheck replay plane) can mirror the
-          full window ACL state. *)
+          range for add/remove (0 otherwise); [rw] is the grant's
+          permission for [Add] ([false] = read-only; [true] and
+          meaningless for non-grant ops). Rich enough that an offline
+          consumer (the CubiCheck replay plane) can mirror the full
+          window ACL state, permissions included. *)
   | Window_access of { cid : int; owner : int; page : int; access : access }
       (** A checked memory access by [cid] touching a page owned by a
           {e different} cubicle — the raw material for the replay

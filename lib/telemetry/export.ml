@@ -130,12 +130,13 @@ module Stream = struct
         instant ~cat:"fault" "retag" [ ("page", jint page); ("to_key", jint to_key) ]
     | Event.Pkru_write { value } -> instant ~cat:"mpk" "wrpkru" [ ("pkru", jint value) ]
     | Event.Rejected { cid } -> instant ~cat:"fault" "rejected" [ ("cubicle", jstr (names cid)) ]
-    | Event.Window { cid; op; wid; peer; ptr; size } ->
+    | Event.Window { cid; op; wid; peer; ptr; size; rw } ->
         instant ~cat:"window"
           ("window:" ^ Event.window_op_name op)
           ([ ("cubicle", jstr (names cid)); ("wid", jint wid) ]
           @ (if peer >= 0 then [ ("peer", jstr (names peer)) ] else [])
-          @ if size > 0 then [ ("ptr", jint ptr); ("size", jint size) ] else [])
+          @ (if size > 0 then [ ("ptr", jint ptr); ("size", jint size) ] else [])
+          @ if rw then [] else [ ("perm", jstr "r") ])
     | Event.Window_access { cid; owner; page; access } ->
         instant ~cat:"window"
           ("window_access:" ^ Event.access_name access)
@@ -178,6 +179,55 @@ let trace_json ?process_name ~names ~cycles_per_us entries =
   let st = Stream.create ?process_name ~names ~cycles_per_us ~write:(Buffer.add_string b) () in
   List.iter (Stream.entry st) entries;
   Stream.finish st;
+  Buffer.contents b
+
+(* HdrHistogram percentile-distribution text (the format written by
+   HistogramLogProcessor / expected by hdr-plot and
+   hdrhistogram.github.io/HdrHistogram/plotFiles.html): one cumulative
+   row per non-empty bucket, then the summary footer. StdDeviation is
+   computed over bucket lower bounds — the same ~6% quantisation the
+   histogram itself has. *)
+let hdr h =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "       Value     Percentile TotalCount 1/(1-Percentile)\n\n";
+  let total = Hist.count h in
+  if total > 0 then begin
+    let ftotal = float_of_int total in
+    let seen = ref 0 in
+    Hist.iter_buckets
+      (fun ~low ~count ->
+        seen := !seen + count;
+        let q = float_of_int !seen /. ftotal in
+        (* the last row reports the exact tracked maximum and omits
+           1/(1-q), exactly as HdrHistogram prints its final line *)
+        if !seen = total then
+          Buffer.add_string b
+            (Printf.sprintf "%12.3f %14.12f %10d\n"
+               (float_of_int (Hist.max_value h))
+               1.0 !seen)
+        else
+          Buffer.add_string b
+            (Printf.sprintf "%12.3f %14.12f %10d %14.2f\n" (float_of_int low) q !seen
+               (1. /. (1. -. q))))
+      h;
+    let mean = Hist.mean h in
+    let var = ref 0. in
+    Hist.iter_buckets
+      (fun ~low ~count ->
+        let d = float_of_int low -. mean in
+        var := !var +. (float_of_int count *. d *. d))
+      h;
+    let nbuckets = ref 0 in
+    Hist.iter_buckets (fun ~low:_ ~count:_ -> incr nbuckets) h;
+    Buffer.add_string b
+      (Printf.sprintf "#[Mean    = %12.3f, StdDeviation   = %12.3f]\n" mean
+         (sqrt (!var /. ftotal)));
+    Buffer.add_string b
+      (Printf.sprintf "#[Max     = %12.3f, Total count    = %10d]\n"
+         (float_of_int (Hist.max_value h))
+         total);
+    Buffer.add_string b (Printf.sprintf "#[Buckets = %12d, SubBuckets     = %10d]\n" !nbuckets 16)
+  end;
   Buffer.contents b
 
 (* Folded stacks: attribute the simulated cycles elapsed between

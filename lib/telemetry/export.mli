@@ -60,6 +60,14 @@ val trace_json :
     cycles divided by [cycles_per_us]. Orphan end-events are dropped and
     still-open slices closed at the end, exactly as {!Stream} does. *)
 
+val hdr : Hist.t -> string
+(** HdrHistogram-compatible percentile-distribution text (the
+    ["Value Percentile TotalCount 1/(1-Percentile)"] table plus the
+    [#\[Mean/Max/Buckets\]] footer), loadable by hdr-plot and the
+    HdrHistogram plotFiles web viewer. One cumulative row per non-empty
+    bucket from {!Hist.iter_buckets}; the final row reports the exact
+    tracked maximum at percentile 1.0. Empty histogram → header only. *)
+
 val folded_stacks :
   ?root:string -> ?until:int -> names:(int -> string) -> Bus.entry list -> string
 (** Folded-stacks text ("frame;frame;frame cycles" per line, suitable

@@ -14,15 +14,15 @@ let fundecl = Iface.fundecl
 
 (* --- little program builders ------------------------------------------ *)
 
-let server ?(derefs = [ 0 ]) () =
-  ("SERVER", Types.Isolated, [ "srv" ], [ fundecl ~derefs "srv" [] ])
+let server ?(derefs = [ 0 ]) ?(writes = []) () =
+  ("SERVER", Types.Isolated, [ "srv" ], [ fundecl ~derefs ~writes "srv" [] ])
 
 let client body = ("CLIENT", Types.Isolated, [ "main" ], [ fundecl "main" body ])
 
 let clean_body ?(bytes = 128) () =
   [
     Iface.Alloc { buf = "req"; bytes };
-    Iface.Window_add { win = "w"; buf = Iface.Local "req"; bytes; standing = false };
+    Iface.Window_add { win = "w"; buf = Iface.Local "req"; bytes; standing = false; rw = false };
     Iface.Window_open { win = "w"; peer = "SERVER" };
     Iface.Call { sym = "srv"; ptr_args = [ (0, Iface.Local "req", bytes) ] };
     Iface.Window_close { win = "w"; peer = "SERVER" };
@@ -94,7 +94,8 @@ let test_coverage_not_open () =
   let body =
     [
       Iface.Alloc { buf = "req"; bytes = 128 };
-      Iface.Window_add { win = "w"; buf = Iface.Local "req"; bytes = 128; standing = false };
+      Iface.Window_add
+        { win = "w"; buf = Iface.Local "req"; bytes = 128; standing = false; rw = false };
       Iface.Call { sym = "srv"; ptr_args = [ (0, Iface.Local "req", 128) ] };
       Iface.Window_remove { win = "w"; buf = Iface.Local "req" };
     ]
@@ -108,7 +109,8 @@ let test_coverage_partial () =
   let body =
     [
       Iface.Alloc { buf = "req"; bytes = 128 };
-      Iface.Window_add { win = "w"; buf = Iface.Local "req"; bytes = 64; standing = false };
+      Iface.Window_add
+        { win = "w"; buf = Iface.Local "req"; bytes = 64; standing = false; rw = false };
       Iface.Window_open { win = "w"; peer = "SERVER" };
       Iface.Call { sym = "srv"; ptr_args = [ (0, Iface.Local "req", 128) ] };
       Iface.Window_remove { win = "w"; buf = Iface.Local "req" };
@@ -129,7 +131,7 @@ let test_coverage_branch_intersection () =
         [
           [
             Iface.Window_add
-              { win = "w"; buf = Iface.Local "req"; bytes = 128; standing = false };
+              { win = "w"; buf = Iface.Local "req"; bytes = 128; standing = false; rw = false };
             Iface.Window_open { win = "w"; peer = "SERVER" };
           ];
           [];
@@ -148,7 +150,7 @@ let test_coverage_init_seeds_exports () =
         [
           Iface.Alloc { buf = "staging"; bytes = 4096 };
           Iface.Window_add
-            { win = "w"; buf = Iface.Local "staging"; bytes = 4096; standing = true };
+            { win = "w"; buf = Iface.Local "staging"; bytes = 4096; standing = true; rw = false };
           Iface.Window_open { win = "w"; peer = "SERVER" };
         ];
       fundecl "main"
@@ -172,7 +174,8 @@ let test_coverage_transitive_accessor () =
   let body_open_for peer =
     [
       Iface.Alloc { buf = "req"; bytes = 128 };
-      Iface.Window_add { win = "w"; buf = Iface.Local "req"; bytes = 128; standing = false };
+      Iface.Window_add
+        { win = "w"; buf = Iface.Local "req"; bytes = 128; standing = false; rw = false };
       Iface.Window_open { win = "w"; peer };
       Iface.Call { sym = "fwd"; ptr_args = [ (0, Iface.Local "req", 128) ] };
       Iface.Window_remove { win = "w"; buf = Iface.Local "req" };
@@ -188,6 +191,54 @@ let test_coverage_transitive_accessor () =
   in
   check_bool "server grant has no SERVER finding" false
     (List.mem "coverage:not-open:CLIENT.main:fwd:0:SERVER" (keys fs_server))
+
+let test_coverage_ro_write () =
+  (* the callee writes through arg 0, but the covering grant is R-only:
+     the write never faults at runtime (read-first retag), so the
+     static pass must flag it Critical *)
+  let fs =
+    Windows.check (Ir.make [ client (clean_body ()); server ~writes:[ 0 ] () ])
+  in
+  check_int "one finding" 1 (List.length fs);
+  let f = List.hd fs in
+  check_bool "critical" true (f.Report.severity = Report.Critical);
+  check_bool "key" true (f.Report.key = "coverage:ro-write:CLIENT.main:srv:0:SERVER")
+
+let test_coverage_rw_grant_allows_write () =
+  (* same program with an RW grant: no finding at all *)
+  let body =
+    [
+      Iface.Alloc { buf = "req"; bytes = 128 };
+      Iface.Window_add
+        { win = "w"; buf = Iface.Local "req"; bytes = 128; standing = false; rw = true };
+      Iface.Window_open { win = "w"; peer = "SERVER" };
+      Iface.Call { sym = "srv"; ptr_args = [ (0, Iface.Local "req", 128) ] };
+      Iface.Window_close { win = "w"; peer = "SERVER" };
+      Iface.Window_remove { win = "w"; buf = Iface.Local "req" };
+    ]
+  in
+  check_int "no findings" 0
+    (List.length (Windows.check (Ir.make [ client body; server ~writes:[ 0 ] () ])))
+
+let test_overprivilege_lint () =
+  (* an RW grant nobody ever writes through: Medium least-privilege
+     lint — it should have been granted R *)
+  let body =
+    [
+      Iface.Alloc { buf = "req"; bytes = 128 };
+      Iface.Window_add
+        { win = "w"; buf = Iface.Local "req"; bytes = 128; standing = false; rw = true };
+      Iface.Window_open { win = "w"; peer = "SERVER" };
+      Iface.Call { sym = "srv"; ptr_args = [ (0, Iface.Local "req", 128) ] };
+      Iface.Window_close { win = "w"; peer = "SERVER" };
+      Iface.Window_remove { win = "w"; buf = Iface.Local "req" };
+    ]
+  in
+  let fs = Windows.check (Ir.make [ client body; server () ]) in
+  check_int "one finding" 1 (List.length fs);
+  let f = List.hd fs in
+  check_bool "medium" true (f.Report.severity = Report.Medium);
+  check_bool "key" true (f.Report.key = "overpriv:CLIENT:w/req")
 
 let test_coverage_shared_callee_exempt () =
   (* calls into shared code run with the caller's privileges: no window
@@ -209,7 +260,8 @@ let test_leak_flagged () =
   let body =
     [
       Iface.Alloc { buf = "req"; bytes = 128 };
-      Iface.Window_add { win = "w"; buf = Iface.Local "req"; bytes = 128; standing = false };
+      Iface.Window_add
+        { win = "w"; buf = Iface.Local "req"; bytes = 128; standing = false; rw = true };
     ]
   in
   let fs = Leaks.check (Ir.make [ client body ]) in
@@ -220,7 +272,8 @@ let test_leak_flagged () =
 let test_leak_destroy_clean () =
   let body =
     [
-      Iface.Window_add { win = "w"; buf = Iface.Local "req"; bytes = 128; standing = false };
+      Iface.Window_add
+        { win = "w"; buf = Iface.Local "req"; bytes = 128; standing = false; rw = true };
       Iface.Window_destroy { win = "w" };
     ]
   in
@@ -228,20 +281,41 @@ let test_leak_destroy_clean () =
 
 let test_leak_standing_exempt () =
   let body =
-    [ Iface.Window_add { win = "w"; buf = Iface.Local "req"; bytes = 128; standing = true } ]
+    [
+      Iface.Window_add
+        { win = "w"; buf = Iface.Local "req"; bytes = 128; standing = true; rw = true };
+    ]
   in
   check_int "no findings" 0 (List.length (Leaks.check (Ir.make [ client body ])))
 
 let test_leak_partial_on_branch () =
   let body =
     [
-      Iface.Window_add { win = "w"; buf = Iface.Local "req"; bytes = 128; standing = false };
+      Iface.Window_add
+        { win = "w"; buf = Iface.Local "req"; bytes = 128; standing = false; rw = true };
       Iface.Branch [ [ Iface.Window_remove { win = "w"; buf = Iface.Local "req" } ]; [] ];
     ]
   in
   let fs = Leaks.check (Ir.make [ client body ]) in
   check_int "one finding" 1 (List.length fs);
   check_bool "medium" true ((List.hd fs).Report.severity = Report.Medium)
+
+let test_leak_ro_demoted () =
+  (* a leaked read-only grant is disclosure, not corruption: one
+     severity below the RW leak *)
+  let body rw =
+    [
+      Iface.Alloc { buf = "req"; bytes = 128 };
+      Iface.Window_add { win = "w"; buf = Iface.Local "req"; bytes = 128; standing = false; rw };
+    ]
+  in
+  let sev rw =
+    match Leaks.check (Ir.make [ client (body rw) ]) with
+    | [ f ] -> f.Report.severity
+    | fs -> Alcotest.failf "expected 1 finding, got %d" (List.length fs)
+  in
+  check_bool "RW leak high" true (sev true = Report.High);
+  check_bool "R leak medium" true (sev false = Report.Medium)
 
 (* --- window grant semantics (byte-exact coverage) ----------------------- *)
 
@@ -260,7 +334,20 @@ let test_window_covers () =
   Window.add_range tbl w ~ptr:0x1030 ~size:16;
   check_bool "hole" false (Window.covers w ~ptr:0x1000 ~size:64);
   check_int "stops at hole" 32 (Window.covered_prefix w ~ptr:0x1000 ~size:64);
-  check_bool "zero size" false (Window.covers w ~ptr:0x1000 ~size:0)
+  check_bool "zero size" false (Window.covers w ~ptr:0x1000 ~size:0);
+  (* permissions: RW grants satisfy Write spans; a downgrade (or a
+     born-R grant) stops Write coverage exactly where RW coverage ends *)
+  check_bool "rw covers write" true (Window.covers ~access:Window.Write w ~ptr:0x1000 ~size:32);
+  Window.downgrade_range w ~ptr:0x1010;
+  check_bool "read still stitched" true (Window.covers ~access:Window.Read w ~ptr:0x1000 ~size:32);
+  check_bool "write broken by downgrade" false
+    (Window.covers ~access:Window.Write w ~ptr:0x1000 ~size:32);
+  check_int "write prefix stops at R" 16
+    (Window.covered_prefix ~access:Window.Write w ~ptr:0x1000 ~size:32);
+  Window.add_range ~perm:Window.R tbl w ~ptr:0x1050 ~size:16;
+  check_bool "born-R readable" true (Window.covers ~access:Window.Read w ~ptr:0x1050 ~size:16);
+  check_bool "born-R not writable" false
+    (Window.covers ~access:Window.Write w ~ptr:0x1050 ~size:16)
 
 let test_monitor_window_grants () =
   let mon = Monitor.create ~protection:Types.Full () in
@@ -283,6 +370,40 @@ let test_monitor_window_grants () =
   check_bool "partial" false (Monitor.window_grants mon a ~peer:b ~ptr:buf ~size:64);
   Api.window_close ctx wid b;
   check_bool "closed" false (Monitor.window_grants mon a ~peer:b ~ptr:buf ~size:32)
+
+let test_monitor_ro_write_rejected () =
+  (* a DIRECT first-touch write through an R-only grant is the fault
+     path's job: the window is found, the permission says no. Only the
+     read-first retag makes later writes silent (next test). *)
+  let mon = Monitor.create ~protection:Types.Full () in
+  let a =
+    Monitor.create_cubicle mon ~name:"A" ~kind:Types.Isolated ~heap_pages:8 ~stack_pages:2
+  in
+  let b =
+    Monitor.create_cubicle mon ~name:"B" ~kind:Types.Isolated ~heap_pages:4 ~stack_pages:1
+  in
+  let ctx = Monitor.ctx_for mon a in
+  let buf = Monitor.run_as mon a (fun () -> Api.malloc_page_aligned ctx Hw.Addr.page_size) in
+  Monitor.run_as mon a (fun () ->
+      let wid = Api.window_init ctx ~klass:Mm.Page_meta.Heap in
+      Api.window_add ctx ~perm:Window.R wid ~ptr:buf ~size:Hw.Addr.page_size;
+      Api.window_open ctx wid b);
+  check_bool "read granted" true
+    (Monitor.window_grants ~access:Window.Read mon a ~peer:b ~ptr:buf ~size:16);
+  check_bool "write not granted" false
+    (Monitor.window_grants ~access:Window.Write mon a ~peer:b ~ptr:buf ~size:16);
+  let bctx = Monitor.ctx_for mon b in
+  check_bool "first-touch write faults" true
+    (match Monitor.run_as mon b (fun () -> Api.write_u8 bctx buf 0x99) with
+    | () -> false
+    | exception Hw.Fault.Violation _ -> true);
+  (* ...but after a READ retags the page to B's key, the same write
+     sails through: MPK grants full RW per key. That silent hole is
+     what the online race sink exists for. *)
+  ignore (Monitor.run_as mon b (fun () -> Api.read_u8 bctx buf));
+  Monitor.run_as mon b (fun () -> Api.write_u8 bctx buf 0x99);
+  check_int "silent write landed" 0x99
+    (Monitor.run_as mon a (fun () -> Api.read_u8 ctx buf))
 
 (* --- dynamic plane ------------------------------------------------------ *)
 
@@ -307,17 +428,51 @@ let test_replay_mirror_tracks_acl () =
   let t = Replay.create ~name_of:(Printf.sprintf "C%d") in
   let page = 16 in
   let ptr = page * Hw.Addr.page_size in
-  Replay.feed t (Telemetry.Event.Window { cid = 1; op = Telemetry.Event.Init; wid = 0; peer = -1; ptr = 0; size = 0 });
-  Replay.feed t (Telemetry.Event.Window { cid = 1; op = Telemetry.Event.Add; wid = 0; peer = -1; ptr; size = 64 });
-  Replay.feed t (Telemetry.Event.Window { cid = 1; op = Telemetry.Event.Open; wid = 0; peer = 2; ptr = 0; size = 0 });
+  Replay.feed t (Telemetry.Event.Window { cid = 1; op = Telemetry.Event.Init; wid = 0; peer = -1; ptr = 0; size = 0; rw = true });
+  Replay.feed t (Telemetry.Event.Window { cid = 1; op = Telemetry.Event.Add; wid = 0; peer = -1; ptr; size = 64; rw = true });
+  Replay.feed t (Telemetry.Event.Window { cid = 1; op = Telemetry.Event.Open; wid = 0; peer = 2; ptr = 0; size = 0; rw = true });
   Replay.feed t (Telemetry.Event.Window_access { cid = 2; owner = 1; page; access = Telemetry.Event.Write });
   check_int "covered access ok" 0 (List.length (Replay.findings t));
-  Replay.feed t (Telemetry.Event.Window { cid = 1; op = Telemetry.Event.Close; wid = 0; peer = 2; ptr = 0; size = 0 });
+  Replay.feed t (Telemetry.Event.Window { cid = 1; op = Telemetry.Event.Close; wid = 0; peer = 2; ptr = 0; size = 0; rw = true });
   Replay.feed t (Telemetry.Event.Window_access { cid = 2; owner = 1; page; access = Telemetry.Event.Write });
   let fs = Replay.findings t in
   check_int "one finding" 1 (List.length fs);
   check_bool "use-after-close" true ((List.hd fs).Report.pass = "use-after-close");
   check_bool "critical" true ((List.hd fs).Report.severity = Report.Critical)
+
+let test_replay_write_through_ro () =
+  (* R-only grant: reads judge clean, a write is flagged even though
+     the runtime never faulted *)
+  let t = Replay.create ~name_of:(Printf.sprintf "C%d") in
+  let page = 16 in
+  let ptr = page * Hw.Addr.page_size in
+  Replay.feed t (Telemetry.Event.Window { cid = 1; op = Telemetry.Event.Init; wid = 0; peer = -1; ptr = 0; size = 0; rw = true });
+  Replay.feed t (Telemetry.Event.Window { cid = 1; op = Telemetry.Event.Add; wid = 0; peer = -1; ptr; size = 64; rw = false });
+  Replay.feed t (Telemetry.Event.Window { cid = 1; op = Telemetry.Event.Open; wid = 0; peer = 2; ptr = 0; size = 0; rw = true });
+  Replay.feed t (Telemetry.Event.Window_access { cid = 2; owner = 1; page; access = Telemetry.Event.Read });
+  check_int "read ok" 0 (List.length (Replay.findings t));
+  Replay.feed t (Telemetry.Event.Window_access { cid = 2; owner = 1; page; access = Telemetry.Event.Write });
+  let fs = Replay.findings t in
+  check_int "one finding" 1 (List.length fs);
+  check_bool "write-through-ro" true ((List.hd fs).Report.pass = "write-through-ro");
+  check_bool "critical" true ((List.hd fs).Report.severity = Report.Critical)
+
+let test_replay_downgrade_tracked () =
+  (* an RW grant downgraded mid-trace: writes before the downgrade are
+     legal, writes after are flagged *)
+  let t = Replay.create ~name_of:(Printf.sprintf "C%d") in
+  let page = 16 in
+  let ptr = page * Hw.Addr.page_size in
+  Replay.feed t (Telemetry.Event.Window { cid = 1; op = Telemetry.Event.Init; wid = 0; peer = -1; ptr = 0; size = 0; rw = true });
+  Replay.feed t (Telemetry.Event.Window { cid = 1; op = Telemetry.Event.Add; wid = 0; peer = -1; ptr; size = 64; rw = true });
+  Replay.feed t (Telemetry.Event.Window { cid = 1; op = Telemetry.Event.Open; wid = 0; peer = 2; ptr = 0; size = 0; rw = true });
+  Replay.feed t (Telemetry.Event.Window_access { cid = 2; owner = 1; page; access = Telemetry.Event.Write });
+  check_int "write before downgrade ok" 0 (List.length (Replay.findings t));
+  Replay.feed t (Telemetry.Event.Window { cid = 1; op = Telemetry.Event.Downgrade; wid = 0; peer = -1; ptr; size = 0; rw = false });
+  Replay.feed t (Telemetry.Event.Window_access { cid = 2; owner = 1; page; access = Telemetry.Event.Write });
+  let fs = Replay.findings t in
+  check_int "one finding" 1 (List.length fs);
+  check_bool "write-through-ro" true ((List.hd fs).Report.pass = "write-through-ro")
 
 (* --- seeded broken examples --------------------------------------------- *)
 
@@ -336,7 +491,12 @@ let test_seeded_static_exactly_one () =
   List.iter
     (fun (sc : Seeded.scenario) ->
       check_int (sc.Seeded.sc_name ^ " finding count") 1 (List.length sc.Seeded.findings))
-    [ Seeded.missing_trampoline (); Seeded.uncovered_pointer (); Seeded.leaked_window () ]
+    [
+      Seeded.missing_trampoline ();
+      Seeded.uncovered_pointer ();
+      Seeded.leaked_window ();
+      Seeded.ro_write ();
+    ]
 
 (* --- report / baseline --------------------------------------------------- *)
 
@@ -350,6 +510,22 @@ let test_baseline_diff () =
   let fresh, resolved = Report.diff_baseline ~baseline:[ ("a", 1); ("c", 1) ] fs in
   check_bool "fresh" true (fresh = [ ("b", 1) ]);
   check_bool "resolved" true (resolved = [ ("c", 1) ])
+
+let test_dedup_counts () =
+  let f key =
+    Report.make ~pass:"leak" ~severity:Report.High ~plane:Report.Static ~component:"X"
+      ~detail:"d" ~key
+  in
+  let fs = [ f "a"; f "b"; f "a"; f "a" ] in
+  (match Report.dedup fs with
+  | [ x; y ] ->
+      check_bool "order kept" true (x.Report.key = "a" && y.Report.key = "b");
+      check_int "a collapsed to 3" 3 x.Report.count;
+      check_int "b stays 1" 1 y.Report.count
+  | ds -> Alcotest.failf "expected 2 deduped findings, got %d" (List.length ds));
+  (* the baseline is invariant under dedup: counts are summed, not lost *)
+  check_bool "baseline invariant" true
+    (Report.baseline_counts fs = Report.baseline_counts (Report.dedup fs))
 
 (* --- shipped stacks analyse clean ---------------------------------------- *)
 
@@ -396,7 +572,13 @@ let build_case (size, use_destroy, close_first, pad, inj) =
       | _ ->
           [
             Iface.Window_add
-              { win = "w"; buf = Iface.Local "req"; bytes = grant_bytes; standing = false };
+              {
+                win = "w";
+                buf = Iface.Local "req";
+                bytes = grant_bytes;
+                standing = false;
+                rw = false;
+              };
           ])
     @ (match inj with
       | Drop_open | Drop_grant -> []
@@ -434,7 +616,97 @@ let prop_injection =
       | None -> fs = []
       | Some k -> List.length fs = 1 && (List.hd fs).Report.key = k)
 
-let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_injection ]
+(* Differential: [Window.covers ~access] / [covered_prefix ~access]
+   must agree with a naive per-byte sweep over the range list, for
+   random scripts of R/RW grants, downgrades and revocations. *)
+
+type wop = W_grant of int * int * bool | W_down of int | W_revoke of int
+
+let gen_wscript =
+  QCheck.Gen.(
+    let op =
+      frequency
+        [
+          ( 3,
+            let* off = int_range 0 31 in
+            let* len = int_range 1 8 in
+            let* rw = bool in
+            return (W_grant (off, len, rw)) );
+          (1, map (fun o -> W_down o) (int_range 0 31));
+          (1, map (fun o -> W_revoke o) (int_range 0 31));
+        ]
+    in
+    let* n = int_range 0 14 in
+    list_size (return n) op)
+
+let prop_covers_reference =
+  QCheck.Test.make ~count:300
+    ~name:"window: covers ~access agrees with a per-byte reference sweep"
+    (QCheck.make gen_wscript)
+    (fun script ->
+      let base = 0x4000 in
+      let tbl = Window.create_table ~owner:1 ~ncubicles:4 in
+      let w = Window.init tbl ~klass:Mm.Page_meta.Heap in
+      (* reference: newest-first range list; down/revoke hit the newest
+         range rooted at ptr, mirroring the Window implementation *)
+      let ranges = ref [] in
+      List.iter
+        (fun op ->
+          match op with
+          | W_grant (off, len, rw) ->
+              let ptr = base + (off * 16) and size = len * 16 in
+              Window.add_range ~perm:(if rw then Window.RW else Window.R) tbl w ~ptr ~size;
+              ranges := (ptr, size, ref rw) :: !ranges
+          | W_down off -> (
+              let ptr = base + (off * 16) in
+              match List.find_opt (fun (p, _, _) -> p = ptr) !ranges with
+              | None -> ()
+              | Some (_, _, rw) ->
+                  Window.downgrade_range w ~ptr;
+                  rw := false)
+          | W_revoke off ->
+              let ptr = base + (off * 16) in
+              if List.exists (fun (p, _, _) -> p = ptr) !ranges then begin
+                Window.remove_range tbl w ~ptr;
+                let removed = ref false in
+                ranges :=
+                  List.filter
+                    (fun (p, _, _) ->
+                      if (not !removed) && p = ptr then (
+                        removed := true;
+                        false)
+                      else true)
+                    !ranges
+              end)
+        script;
+      let byte_ok access b =
+        List.exists
+          (fun (p, s, rw) -> p <= b && b < p + s && (access = Window.Read || !rw))
+          !ranges
+      in
+      let ref_prefix access ptr size =
+        let n = ref 0 in
+        (try
+           for b = ptr to ptr + size - 1 do
+             if byte_ok access b then incr n else raise Exit
+           done
+         with Exit -> ());
+        !n
+      in
+      let queries = [ (0, 4); (2, 8); (4, 2); (8, 16); (16, 8); (24, 12); (30, 4) ] in
+      List.for_all
+        (fun access ->
+          List.for_all
+            (fun (qoff, qlen) ->
+              let ptr = base + (qoff * 16) and size = qlen * 16 in
+              Window.covered_prefix ~access w ~ptr ~size = ref_prefix access ptr size
+              && Window.covers ~access w ~ptr ~size
+                 = (size > 0 && ref_prefix access ptr size >= size))
+            queries)
+        [ Window.Read; Window.Write ])
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest [ prop_injection; prop_covers_reference ]
 
 let () =
   Alcotest.run "analysis"
@@ -456,6 +728,9 @@ let () =
           Alcotest.test_case "branch intersection" `Quick test_coverage_branch_intersection;
           Alcotest.test_case "init seeds exports" `Quick test_coverage_init_seeds_exports;
           Alcotest.test_case "transitive accessor" `Quick test_coverage_transitive_accessor;
+          Alcotest.test_case "ro write" `Quick test_coverage_ro_write;
+          Alcotest.test_case "rw grant allows write" `Quick test_coverage_rw_grant_allows_write;
+          Alcotest.test_case "over-privilege lint" `Quick test_overprivilege_lint;
           Alcotest.test_case "shared callee exempt" `Quick test_coverage_shared_callee_exempt;
         ] );
       ( "leaks",
@@ -464,11 +739,13 @@ let () =
           Alcotest.test_case "destroy clean" `Quick test_leak_destroy_clean;
           Alcotest.test_case "standing exempt" `Quick test_leak_standing_exempt;
           Alcotest.test_case "partial on branch" `Quick test_leak_partial_on_branch;
+          Alcotest.test_case "ro demoted" `Quick test_leak_ro_demoted;
         ] );
       ( "grant semantics",
         [
           Alcotest.test_case "covers" `Quick test_window_covers;
           Alcotest.test_case "monitor grants" `Quick test_monitor_window_grants;
+          Alcotest.test_case "ro write rejected" `Quick test_monitor_ro_write_rejected;
         ] );
       ( "dynamic",
         [
@@ -476,6 +753,8 @@ let () =
             test_replay_crossing_suppresses_race;
           Alcotest.test_case "race detected" `Quick test_replay_race_detected;
           Alcotest.test_case "mirror tracks acl" `Quick test_replay_mirror_tracks_acl;
+          Alcotest.test_case "write through ro" `Quick test_replay_write_through_ro;
+          Alcotest.test_case "downgrade tracked" `Quick test_replay_downgrade_tracked;
         ] );
       ( "seeded",
         [
@@ -483,7 +762,10 @@ let () =
           Alcotest.test_case "static exactly one" `Quick test_seeded_static_exactly_one;
         ] );
       ( "report",
-        [ Alcotest.test_case "baseline diff" `Quick test_baseline_diff ] );
+        [
+          Alcotest.test_case "baseline diff" `Quick test_baseline_diff;
+          Alcotest.test_case "dedup counts" `Quick test_dedup_counts;
+        ] );
       ( "stacks",
         [
           Alcotest.test_case "fs stack clean" `Quick test_fs_stack_clean;

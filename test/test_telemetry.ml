@@ -396,6 +396,65 @@ let prop_hist_quantisation =
       let p = Telemetry.Hist.percentile h 0.5 in
       p <= v && float_of_int (v - p) <= Float.max 1. (float_of_int v /. 16.))
 
+let test_export_hdr () =
+  (* empty histogram: header only, no rows, no footer *)
+  let empty = Telemetry.Export.hdr (Telemetry.Hist.create ()) in
+  check_bool "empty has header" true
+    (String.length empty > 0
+    && String.sub empty 0 12 = "       Value");
+  check_int "empty has one line" 2 (List.length (String.split_on_char '\n' empty) - 1);
+  let h = Telemetry.Hist.create () in
+  List.iter (Telemetry.Hist.add h) [ 3; 700; 41; 90_000; 41; 8; 555_555; 64 ];
+  let out = Telemetry.Export.hdr h in
+  let lines = String.split_on_char '\n' out in
+  let rows =
+    List.filter
+      (fun l -> String.length l > 0 && l.[0] = ' ' && String.trim l <> "" && l.[7] <> 'V')
+      lines
+  in
+  (* one cumulative row per non-empty bucket; 8 distinct-bucket samples
+     minus the two 41s sharing a bucket *)
+  check_int "one row per non-empty bucket" 7 (List.length rows);
+  (* cumulative TotalCount is monotone and ends at the sample count *)
+  let counts =
+    List.map
+      (fun l ->
+        match String.split_on_char ' ' l |> List.filter (fun s -> s <> "") with
+        | _value :: _q :: total :: _ -> int_of_string total
+        | _ -> Alcotest.fail ("unparseable hdr row: " ^ l))
+      rows
+  in
+  let last = ref 0 in
+  List.iter
+    (fun c ->
+      check_bool "TotalCount monotone" true (c > !last);
+      last := c)
+    counts;
+  check_int "final TotalCount is the sample count" (Telemetry.Hist.count h) !last;
+  (* the final row reports the exact tracked maximum at percentile 1.0 *)
+  let final = List.nth rows (List.length rows - 1) in
+  (match String.split_on_char ' ' final |> List.filter (fun s -> s <> "") with
+  | value :: q :: _ ->
+      check_bool "final value is max" true
+        (float_of_string value = float_of_int (Telemetry.Hist.max_value h));
+      check_bool "final percentile is 1.0" true (float_of_string q = 1.0)
+  | _ -> Alcotest.fail "unparseable final hdr row");
+  (* footer carries Max / Total count matching the histogram *)
+  check_bool "footer mean" true
+    (List.exists (fun l -> String.length l > 7 && String.sub l 0 7 = "#[Mean ") lines);
+  let max_line =
+    List.find (fun l -> String.length l > 6 && String.sub l 0 6 = "#[Max ") lines
+  in
+  check_bool "footer max and total" true
+    (let parts =
+       String.split_on_char ' ' max_line |> List.filter (fun s -> s <> "")
+     in
+     List.exists
+       (fun p ->
+         p = Printf.sprintf "%.3f," (float_of_int (Telemetry.Hist.max_value h)))
+       parts
+     && List.exists (fun p -> p = Printf.sprintf "%d]" (Telemetry.Hist.count h)) parts)
+
 (* --- event-plane sampling ------------------------------------------------- *)
 
 let test_bus_sampling () =
@@ -604,6 +663,7 @@ let () =
       ( "export",
         [
           Alcotest.test_case "chrome trace json" `Quick test_export_trace_json;
+          Alcotest.test_case "hdr percentile dump" `Quick test_export_hdr;
           Alcotest.test_case "folded stacks" `Quick test_export_folded;
           Alcotest.test_case "folded ~until attributes the tail" `Quick
             test_folded_until_tail;
