@@ -43,15 +43,16 @@ let table2 () =
   let mon = sys.Libos.Boot.mon in
   fprintf "  %-10s %-9s %-4s %8s %9s  exports\n" "component" "kind" "key" "exports"
     "heap(KiB)";
-  for cid = 0 to Monitor.ncubicles mon - 1 do
-    let exports = Monitor.exports_of mon cid in
-    fprintf "  %-10s %-9s %-4d %8d %9d  %s\n" (Monitor.cubicle_name mon cid)
-      (Types.kind_to_string (Monitor.cubicle_kind mon cid))
-      (Monitor.cubicle_key mon cid) (List.length exports)
-      (Monitor.cubicle_heap_bytes mon cid / 1024)
-      (String.concat "," (List.filteri (fun i _ -> i < 4) exports)
-      ^ if List.length exports > 4 then ",…" else "")
-  done
+  List.iter
+    (fun cid ->
+      let exports = Monitor.exports_of mon cid in
+      fprintf "  %-10s %-9s %-4d %8d %9d  %s\n" (Monitor.cubicle_name mon cid)
+        (Types.kind_to_string (Monitor.cubicle_kind mon cid))
+        (Monitor.cubicle_key mon cid) (List.length exports)
+        (Monitor.cubicle_heap_bytes mon cid / 1024)
+        (String.concat "," (List.filteri (fun i _ -> i < 4) exports)
+        ^ if List.length exports > 4 then ",…" else ""))
+    (Monitor.live_cids mon)
 
 (* --- Figures 5 and 8: cubicle call-count graphs ---------------------------- *)
 
@@ -467,12 +468,8 @@ let fig7 ?(repeats = 3) ?(latency = false) ?(lat_out = "BENCH_latency.json") () 
         | None -> ()
         | Some lat ->
             let cid_of name =
-              let rec go i =
-                if i >= Monitor.ncubicles mon then None
-                else if Monitor.cubicle_name mon i = name then Some i
-                else go (i + 1)
-              in
-              go 0
+              if Monitor.cubicle_exists mon name then Some (Monitor.lookup_cubicle mon name)
+              else None
             in
             List.iter
               (fun (c1, c2) ->
@@ -1788,6 +1785,234 @@ let sendfile ?(out = "BENCH_zerocopy.json") ?golden ?write_golden () =
   | None -> ());
   match golden with Some path -> zc_check_golden path json | None -> ()
 
+(* --- keys: key virtualisation under multi-tenant pressure -> BENCH_keys.json ------ *)
+
+(* The key-pressure curve: one FS+WEB cubicle pair per tenant behind a
+   shared gateway, scaled 8 -> 256 tenants over the same 14 physical
+   MPK tags. Round-robin traffic touches every tenant in turn, so each
+   request faults the tenant's keys back in and evicts someone else's
+   — the key multiplexer's LRU at full churn. Before serving, every
+   fourth tenant is torn down and respawned so recycled cids and
+   virtual keys carry live traffic. Responses are checked byte-for-byte
+   against a host-side oracle and against a no-protection run of the
+   same workload (no keys, hence no evictions), the online race mirror
+   rides the whole serving phase, and the Keymux attribution category
+   must decompose exactly into fault-ins, page retags and shootdowns
+   priced at the model's rates. *)
+
+let keys_steps = [ 8; 32; 64; 128; 256 ]
+let keys_rounds = 2
+
+type keys_row = {
+  k_tenants : int;
+  k_cubicles : int;
+  k_requests : int;
+  k_total : int;  (* cycles over the serving phase *)
+  k_fault_ins : int;
+  k_evictions : int;
+  k_retag_pages : int;
+  k_shootdowns : int;
+}
+
+let keys_req ~tenant ~round =
+  let off = ((tenant * 7) + (round * 13)) mod 256 in
+  let len = 64 + (((tenant * 31) + round) mod 192) in
+  (off, len)
+
+let keys_serve sys ~tenants ~check =
+  let responses = ref [] in
+  for round = 0 to keys_rounds - 1 do
+    for i = 1 to tenants do
+      let off, len = keys_req ~tenant:i ~round in
+      let r = Httpd.Tenant.request sys ~tenant:i ~off ~len in
+      if check && r <> Httpd.Tenant.expected ~tenant:i ~off ~len then begin
+        fprintf "FATAL: keys: tenant %d round %d: response differs from the oracle\n" i round;
+        exit 1
+      end;
+      responses := r :: !responses
+    done
+  done;
+  List.rev !responses
+
+let keys_boot ?protection ?virtualise tenants =
+  let sys = Httpd.Tenant.boot ?protection ?virtualise () in
+  for i = 1 to tenants do
+    Httpd.Tenant.spawn sys i
+  done;
+  (* lifecycle churn: every fourth tenant dies and comes back, so its
+     respawn serves through a recycled cid and virtual key *)
+  let i = ref 1 in
+  while !i <= tenants do
+    Httpd.Tenant.teardown sys !i;
+    Httpd.Tenant.spawn sys !i;
+    i := !i + 4
+  done;
+  sys
+
+let keys_run ~tenants =
+  let sys = keys_boot ~virtualise:true tenants in
+  let mon = Httpd.Tenant.mon sys in
+  let cost = Monitor.cost mon in
+  let km =
+    match Monitor.keymux mon with
+    | Some km -> km
+    | None ->
+        fprintf "FATAL: keys: monitor booted without a key multiplexer\n";
+        exit 1
+  in
+  let cubicles = List.length (Monitor.live_cids mon) in
+  (* online race gate over the serving phase, as in the smp bench *)
+  let bus = Monitor.bus mon in
+  let name_of cid = try Monitor.cubicle_name mon cid with _ -> Printf.sprintf "C%d" cid in
+  let mirror = Analysis.Replay.create ~name_of in
+  Analysis.Replay.seed_from_monitor mirror mon;
+  Telemetry.Bus.clear_ring bus;
+  Telemetry.Bus.set_sink bus (Some (Analysis.Replay.online_sink mirror));
+  Telemetry.Bus.set_tracing bus true;
+  let st = Hw.Keymux.stats km in
+  let c0 = Hw.Cost.cycles cost in
+  let f0 = st.Hw.Keymux.fault_ins
+  and e0 = st.Hw.Keymux.evictions
+  and r0 = st.Hw.Keymux.retag_pages
+  and s0 = st.Hw.Keymux.key_shootdowns in
+  let responses = keys_serve sys ~tenants ~check:true in
+  Telemetry.Bus.set_tracing bus false;
+  Telemetry.Bus.set_sink bus None;
+  (match Analysis.Replay.findings mirror with
+  | [] -> ()
+  | violations ->
+      fprintf "FATAL: keys %d tenants: online race sink flagged %d violation(s):\n" tenants
+        (List.length violations);
+      Analysis.Report.print_table Format.std_formatter violations;
+      exit 1);
+  (* whole-run pricing invariant: every cycle in the Keymux category is
+     a fault-in, a page retag or a PKRU shootdown at the model's exact
+     rates — nothing else may bill the virtualisation layer *)
+  let model = cost.Hw.Cost.model in
+  let priced =
+    (st.Hw.Keymux.fault_ins * model.Hw.Cost.key_reassign)
+    + (st.Hw.Keymux.retag_pages * model.Hw.Cost.pkey_set)
+    + (st.Hw.Keymux.key_shootdowns * model.Hw.Cost.wrpkru)
+  in
+  let km_total = Telemetry.Attrib.category_total cost.Hw.Cost.attrib Telemetry.Attrib.Keymux in
+  if km_total <> priced then begin
+    fprintf
+      "FATAL: keys %d tenants: Keymux category %d cycles, but %d fault-ins + %d retags + %d \
+       shootdowns price to %d\n"
+      tenants km_total st.Hw.Keymux.fault_ins st.Hw.Keymux.retag_pages
+      st.Hw.Keymux.key_shootdowns priced;
+    exit 1
+  end;
+  (* no-eviction baseline: the same spawn/churn/request schedule with
+     protection off must produce byte-identical responses. Virtual keys
+     are still allocated (they are unlimited) but with MPK off they are
+     never resolved, so no key is ever faulted in or evicted. *)
+  let base =
+    keys_serve (keys_boot ~protection:Types.None_ ~virtualise:true tenants) ~tenants ~check:false
+  in
+  if base <> responses then begin
+    fprintf "FATAL: keys %d tenants: responses differ from the no-protection baseline\n" tenants;
+    exit 1
+  end;
+  {
+    k_tenants = tenants;
+    k_cubicles = cubicles;
+    k_requests = List.length responses;
+    k_total = Hw.Cost.cycles cost - c0;
+    k_fault_ins = st.Hw.Keymux.fault_ins - f0;
+    k_evictions = st.Hw.Keymux.evictions - e0;
+    k_retag_pages = st.Hw.Keymux.retag_pages - r0;
+    k_shootdowns = st.Hw.Keymux.key_shootdowns - s0;
+  }
+
+let keys_json_rows rows =
+  List.concat_map
+    (fun r ->
+      let key f = Printf.sprintf "keys%d.%s" r.k_tenants f in
+      [
+        (key "cubicles", r.k_cubicles);
+        (key "requests", r.k_requests);
+        (key "total_cycles", r.k_total);
+        (key "cycles_per_req", r.k_total / r.k_requests);
+        (key "fault_ins", r.k_fault_ins);
+        (key "evictions", r.k_evictions);
+        (key "retag_pages", r.k_retag_pages);
+        (key "shootdowns", r.k_shootdowns);
+      ])
+    rows
+
+let keys_check_golden path rows =
+  if not (Sys.file_exists path) then begin
+    Printf.printf
+      "GOLDEN FILE MISSING: %s\nGenerate it with:\n\
+      \  dune exec bench/main.exe -- keys --write-golden %s\n"
+      path path;
+    exit 1
+  end;
+  let golden = read_flat_json path in
+  let drift = ref [] in
+  List.iter
+    (fun (key, v) ->
+      match List.assoc_opt key golden with
+      | Some g when g = v -> ()
+      | Some g -> drift := Printf.sprintf "%s: golden %d, measured %d" key g v :: !drift
+      | None -> drift := Printf.sprintf "%s: missing from golden file" key :: !drift)
+    rows;
+  List.iter
+    (fun (key, _) ->
+      if not (List.mem_assoc key rows) then
+        drift := Printf.sprintf "%s: in golden file but not measured" key :: !drift)
+    golden;
+  if !drift <> [] then begin
+    fprintf "\nGOLDEN KEYS DRIFT vs %s:\n" path;
+    List.iter (fprintf "  %s\n") (List.rev !drift);
+    fprintf
+      "If the drift is an intentional cost-model, keymux or lifecycle change,\n\
+       recalibrate with:\n\
+      \  dune exec bench/main.exe -- keys --write-golden %s\n"
+      path;
+    exit 1
+  end;
+  fprintf "\ngolden check OK: key-pressure curve matches %s\n" path
+
+let keys ?(out = "BENCH_keys.json") ?golden ?write_golden () =
+  heading
+    (Printf.sprintf
+       "Key-pressure: %d..%d tenants (2 cubicles each + gateway) over 14 physical MPK tags"
+       (List.hd keys_steps)
+       (List.nth keys_steps (List.length keys_steps - 1)));
+  let rows = List.map (fun n -> keys_run ~tenants:n) keys_steps in
+  fprintf "%8s %9s %9s %14s %10s %10s %10s %11s\n" "tenants" "cubicles" "requests" "cyc/req"
+    "fault-ins" "evictions" "retags" "shootdowns";
+  List.iter
+    (fun r ->
+      fprintf "%8d %9d %9d %14d %10d %10d %10d %11d\n" r.k_tenants r.k_cubicles r.k_requests
+        (r.k_total / r.k_requests) r.k_fault_ins r.k_evictions r.k_retag_pages r.k_shootdowns)
+    rows;
+  let top = List.nth rows (List.length rows - 1) in
+  if top.k_cubicles < 256 then begin
+    fprintf "FATAL: keys: top step ran %d concurrent cubicles, need >= 256\n" top.k_cubicles;
+    exit 1
+  end;
+  if top.k_evictions <= (List.hd rows).k_evictions then begin
+    fprintf "FATAL: keys: eviction count did not grow with tenant count (%d -> %d)\n"
+      (List.hd rows).k_evictions top.k_evictions;
+    exit 1
+  end;
+  fprintf "scale floor OK: %d concurrent cubicles multiplexed over 14 physical tags\n"
+    top.k_cubicles;
+  fprintf "byte-identity OK: every response matches the oracle and the no-protection baseline\n";
+  fprintf "race sink OK: online window mirror saw zero violations at every step\n";
+  let json = keys_json_rows rows in
+  write_flat_json out json;
+  fprintf "wrote %s\n" out;
+  (match write_golden with
+  | Some path ->
+      write_flat_json path json;
+      fprintf "wrote golden key-pressure curve to %s\n" path
+  | None -> ());
+  match golden with Some path -> keys_check_golden path json | None -> ()
+
 (* --- driver ---------------------------------------------------------------------- *)
 
 let () =
@@ -1850,6 +2075,13 @@ let () =
       ?golden:(if List.mem "sendfile" targets then List.assoc_opt "--golden" flags else None)
       ?write_golden:
         (if List.mem "sendfile" targets then List.assoc_opt "--write-golden" flags else None)
+      ();
+  if want "keys" then
+    keys
+      ?out:(if List.mem "keys" targets then List.assoc_opt "--out" flags else None)
+      ?golden:(if List.mem "keys" targets then List.assoc_opt "--golden" flags else None)
+      ?write_golden:
+        (if List.mem "keys" targets then List.assoc_opt "--write-golden" flags else None)
       ();
   if want "analyze" then
     analyze

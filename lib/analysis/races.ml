@@ -58,6 +58,17 @@ let crossing ?(core = 0) t =
   grow t core;
   t.crossings.(core) <- t.seq
 
+let key_alias t ~cid ~owner ~phys =
+  add t
+    (Report.make ~pass:"key-alias" ~severity:Report.Critical ~plane:Report.Dynamic
+       ~component:(t.name_of cid)
+       ~detail:
+         (Printf.sprintf
+            "%s reached a page of %s through physical tag %d, recycled from %s by an \
+             eviction that never retagged the pages — the stale tag aliases two cubicles"
+            (t.name_of cid) (t.name_of owner) phys (t.name_of owner))
+       ~key:(Printf.sprintf "alias:%s->%s:%d" (t.name_of cid) (t.name_of owner) phys))
+
 let access ?(core = 0) ?(write_allowed = true) t ~cid ~owner ~page
     ~(access : Telemetry.Event.access) ~covered =
   t.seq <- t.seq + 1;

@@ -36,4 +36,11 @@ val access :
     {e different} cores → [High] race unconditionally (cross-core
     interleaving has no happens-before edge). *)
 
+val key_alias : t -> cid:int -> owner:int -> phys:int -> unit
+(** [cid] reached a page of [owner] through physical tag [phys], which
+    tag virtualisation evicted from [owner] and rebound to [cid] — but
+    the eviction never retagged [owner]'s pages, so the recycled tag
+    aliases both cubicles. Always [Critical]: a correct eviction walk
+    makes this unreachable, so one firing means the scrub is broken. *)
+
 val findings : t -> Report.finding list

@@ -21,28 +21,46 @@ type mwin = {
 
 type t = {
   wins : (int * int, mwin) Hashtbl.t;  (* (owner, wid) -> window *)
+  phys_cid : (int, int) Hashtbl.t;  (* physical tag -> cubicle bound to it *)
+  last_phys : (int, int) Hashtbl.t;  (* evicted cubicle -> tag it lost *)
   races : Races.t;
 }
 
-let create ~name_of = { wins = Hashtbl.create 32; races = Races.create ~name_of }
+let create ~name_of =
+  {
+    wins = Hashtbl.create 32;
+    phys_cid = Hashtbl.create 16;
+    last_phys = Hashtbl.create 16;
+    races = Races.create ~name_of;
+  }
 
 let seed_from_monitor t mon =
-  for cid = 0 to Monitor.ncubicles mon - 1 do
-    List.iter
-      (fun (w : Window.t) ->
-        Hashtbl.replace t.wins (cid, w.Window.wid)
-          {
-            owner = cid;
-            ranges =
-              List.map
-                (fun (r : Window.range) ->
-                  { r_ptr = r.ptr; r_size = r.size; r_rw = r.perm = Window.RW })
-                w.Window.ranges;
-            opened = ISet.of_list (Bitset.elements w.Window.opened);
-            alive = true;
-          })
-      (Window.live_windows (Monitor.windows_of mon cid))
-  done
+  List.iter
+    (fun cid ->
+      List.iter
+        (fun (w : Window.t) ->
+          Hashtbl.replace t.wins (cid, w.Window.wid)
+            {
+              owner = cid;
+              ranges =
+                List.map
+                  (fun (r : Window.range) ->
+                    { r_ptr = r.ptr; r_size = r.size; r_rw = r.perm = Window.RW })
+                  w.Window.ranges;
+              opened = ISet.of_list (Bitset.elements w.Window.opened);
+              alive = true;
+            })
+        (Window.live_windows (Monitor.windows_of mon cid)))
+    (Monitor.live_cids mon);
+  match Monitor.keymux mon with
+  | None -> ()
+  | Some km ->
+      List.iter
+        (fun (phys, vkey) ->
+            match Hw.Keymux.cid_of_vkey km vkey with
+            | Some cid -> Hashtbl.replace t.phys_cid phys cid
+            | None -> ())
+        (Hw.Keymux.residents km)
 
 let range_touches_page r page =
   r.r_size > 0
@@ -110,9 +128,23 @@ let feed ?(core = 0) t (ev : Telemetry.Event.t) =
           if peer >= 0 then w.opened <- ISet.remove peer w.opened
       | Telemetry.Event.Close_all -> w.opened <- ISet.empty
       | Telemetry.Event.Destroy -> w.alive <- false)
-  | Telemetry.Event.Window_access { cid; owner; page; access } ->
+  (* The virtual->physical key plane: residency moves with fault-ins
+     and evictions so a recycled tag can be told apart from a live
+     grant. A correct eviction retags the victim's pages, so an
+     uncovered access that lines up with a recycled binding means the
+     scrub was skipped — the key-alias hole, invisible to MPK. *)
+  | Telemetry.Event.Key_fault_in { cid; phys; _ } ->
+      Hashtbl.replace t.phys_cid phys cid;
+      Hashtbl.remove t.last_phys cid
+  | Telemetry.Event.Key_evict { cid; phys; _ } ->
+      Hashtbl.remove t.phys_cid phys;
+      Hashtbl.replace t.last_phys cid phys
+  | Telemetry.Event.Window_access { cid; owner; page; access } -> (
       let covered, write_allowed = judge t ~owner ~page ~cid in
-      Races.access ~core t.races ~cid ~owner ~page ~access ~covered ~write_allowed
+      match Hashtbl.find_opt t.last_phys owner with
+      | Some p when (not covered) && Hashtbl.find_opt t.phys_cid p = Some cid ->
+          Races.key_alias t.races ~cid ~owner ~phys:p
+      | _ -> Races.access ~core t.races ~cid ~owner ~page ~access ~covered ~write_allowed)
   | _ -> ()
 
 let run t entries =

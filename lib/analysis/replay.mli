@@ -5,7 +5,13 @@
     feeding {!Races}. Because the mirror tracks the ACL the monitor
     {e intended} — not the lazily-retagged MPK tags — it sees exactly
     the accesses that causal revocation (paper §5.6) lets through
-    silently. *)
+    silently.
+
+    Under tag virtualisation the mirror also consumes [Key_fault_in] /
+    [Key_evict] events to shadow the virtual->physical key map: an
+    uncovered access whose owner lost its tag to the accessor is
+    reported as a [key-alias] (recycled tag, eviction scrub skipped)
+    rather than a use-after-close. *)
 
 open Cubicle
 
@@ -14,7 +20,8 @@ type t
 val create : name_of:(int -> string) -> t
 
 val seed_from_monitor : t -> Monitor.t -> unit
-(** Prime the mirror with the live window state, for traces that start
+(** Prime the mirror with the live window state (and, with
+    [~virtualise], the current key residency), for traces that start
     mid-run (after boot-time grants were already emitted or dropped). *)
 
 val feed : ?core:int -> t -> Telemetry.Event.t -> unit

@@ -3,7 +3,7 @@ open Cubicle
 (* Deliberately-broken examples, one per detector. Each scenario names
    the pass and severity it must trip; the bench `analyze` command and
    the test suite both assert that CubiCheck catches every one. The
-   static four are synthetic IR programs; the dynamic four run real
+   static four are synthetic IR programs; the dynamic five run real
    monitor workloads under tracing, judged by replay or by the online
    bus sink. *)
 
@@ -272,6 +272,42 @@ let write_through_ro () =
     findings = Replay.findings mirror;
   }
 
+(* 9. Tag virtualisation with the eviction scrub skipped: OWNER's
+   physical tag is evicted and recycled to ACCESSOR, but (in the buggy
+   world this scenario simulates) OWNER's pages were never retagged —
+   so ACCESSOR's own tag now opens OWNER's memory and MPK cannot fault.
+   The real keymux does retag, so the access itself is synthesized as a
+   raw [Window_access] on the bus; the eviction/fault-in telemetry
+   around it is genuine, and the replay mirror's key plane connects the
+   two into a key-alias verdict. *)
+let key_alias () =
+  let mon = Monitor.create ~virtualise:true ~protection:Types.Full () in
+  let bus = Monitor.bus mon in
+  Telemetry.Bus.clear_ring bus;
+  Telemetry.Bus.set_tracing bus true;
+  let mk name =
+    Monitor.create_cubicle mon ~name ~kind:Types.Isolated ~heap_pages:2 ~stack_pages:1
+  in
+  (* OWNER binds first; 13 fillers occupy the rest of the 14-tag pool;
+     ACCESSOR's fault-in then evicts the LRU resident — OWNER — and
+     recycles its tag. *)
+  let owner = mk "OWNER" in
+  for i = 1 to 13 do
+    ignore (mk (Printf.sprintf "FILLER%d" i))
+  done;
+  let accessor = mk "ACCESSOR" in
+  ignore (Monitor.cubicle_key mon accessor);
+  let page = Hw.Addr.page_of (Monitor.stack_base mon owner) in
+  Telemetry.Bus.emit bus
+    (Telemetry.Event.Window_access
+       { cid = accessor; owner; page; access = Telemetry.Event.Read });
+  {
+    sc_name = "key-alias";
+    expect_pass = "key-alias";
+    expect_severity = Report.Critical;
+    findings = replay_bus mon bus;
+  }
+
 let all () =
   [
     missing_trampoline ();
@@ -282,4 +318,5 @@ let all () =
     use_after_close ();
     cross_core_race ();
     write_through_ro ();
+    key_alias ();
   ]

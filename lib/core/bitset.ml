@@ -1,8 +1,16 @@
-type t = { mutable bits : int; universe : int }
+(* One flat word array, 63 bits per word: the single-int representation
+   capped the system at 62 cubicles, which key virtualisation blows
+   straight past (hundreds of tenant cubicles over 15 physical tags).
+   Still O(1) add/remove/mem; the word count is fixed at table-creation
+   time, as the paper fixes the bitmask size at deployment time. *)
+
+let bits_per_word = 63
+
+type t = { bits : int array; universe : int }
 
 let empty n =
-  if n < 0 || n > 62 then invalid_arg "Bitset.empty: universe must be 0..62";
-  { bits = 0; universe = n }
+  if n < 0 then invalid_arg "Bitset.empty: negative universe";
+  { bits = Array.make ((n + bits_per_word - 1) / bits_per_word) 0; universe = n }
 
 let check t i =
   if i < 0 || i >= t.universe then
@@ -10,27 +18,29 @@ let check t i =
 
 let add t i =
   check t i;
-  t.bits <- t.bits lor (1 lsl i)
+  let w = i / bits_per_word in
+  t.bits.(w) <- t.bits.(w) lor (1 lsl (i mod bits_per_word))
 
 let remove t i =
   check t i;
-  t.bits <- t.bits land lnot (1 lsl i)
+  let w = i / bits_per_word in
+  t.bits.(w) <- t.bits.(w) land lnot (1 lsl (i mod bits_per_word))
 
 let mem t i =
   check t i;
-  t.bits land (1 lsl i) <> 0
+  t.bits.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
 
-let clear t = t.bits <- 0
-let is_empty t = t.bits = 0
+let clear t = Array.fill t.bits 0 (Array.length t.bits) 0
+let is_empty t = Array.for_all (fun w -> w = 0) t.bits
 
 let cardinal t =
   let rec count b acc = if b = 0 then acc else count (b lsr 1) (acc + (b land 1)) in
-  count t.bits 0
+  Array.fold_left (fun acc w -> count w acc) 0 t.bits
 
 let elements t =
   let acc = ref [] in
   for i = t.universe - 1 downto 0 do
-    if t.bits land (1 lsl i) <> 0 then acc := i :: !acc
+    if t.bits.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0 then acc := i :: !acc
   done;
   !acc
 

@@ -34,9 +34,9 @@ let merge name comps =
 
 type built = {
   mon : Monitor.t;
-  cids : (string * Types.cid) list;
+  mutable cids : (string * Types.cid) list;
   trampolines : Trampoline.t;
-  ifaces : (string * Iface.t) list;
+  mutable ifaces : (string * Iface.t) list;
 }
 
 exception Undeclared_export of string * string
@@ -88,3 +88,52 @@ let cid built name =
   match List.assoc_opt name built.cids with
   | Some c -> c
   | None -> Types.error "builder: unknown component %s" name
+
+(* Dynamic spawn: the runtime counterpart of [build] — load more
+   components into the running system, extend the trampoline table and
+   run the newcomers' initialisers. [callers] names already-live
+   cubicles that will call into the new exports; they receive guard
+   entries for the fresh symbols alongside the spawned cubicles. *)
+let spawn ?(callers = []) built comps =
+  List.iter (fun (c, _) -> check_exports c) comps;
+  let fresh =
+    List.map
+      (fun (c, kind) ->
+        let img =
+          Loader.image_of_ops ~name:c.name ~data_bytes:c.data_bytes ~ops:c.code_ops ()
+        in
+        let loaded =
+          Loader.load built.mon img ~kind ~heap_pages:c.heap_pages
+            ~stack_pages:c.stack_pages ~exports:c.exports
+        in
+        (c.name, loaded.Loader.cid))
+      comps
+  in
+  let syms =
+    List.concat_map
+      (fun (c, kind) ->
+        match kind with
+        | Types.Isolated | Types.Trusted ->
+            List.map (fun (e : Monitor.export_spec) -> e.sym) c.exports
+        | Types.Shared -> [])
+      comps
+  in
+  Trampoline.extend built.trampolines ~syms ~cids:(List.map snd fresh @ callers);
+  built.cids <- built.cids @ fresh;
+  built.ifaces <- built.ifaces @ List.map (fun (c, _) -> (c.name, c.iface)) comps;
+  List.iter
+    (fun (c, _) ->
+      let cid = List.assoc c.name fresh in
+      Monitor.run_as built.mon cid (fun () -> c.init (Monitor.ctx_for built.mon cid)))
+    comps;
+  fresh
+
+let unload built names =
+  List.iter
+    (fun name ->
+      let c = cid built name in
+      Trampoline.forget_cubicle built.trampolines c;
+      Monitor.destroy_cubicle built.mon c;
+      built.cids <- List.filter (fun (n, _) -> n <> name) built.cids;
+      built.ifaces <- List.filter (fun (n, _) -> n <> name) built.ifaces)
+    names

@@ -47,11 +47,12 @@ val merge : string -> component list -> component
 
 type built = {
   mon : Monitor.t;
-  cids : (string * Types.cid) list;
+  mutable cids : (string * Types.cid) list;
   trampolines : Trampoline.t;
-  ifaces : (string * Iface.t) list;
+  mutable ifaces : (string * Iface.t) list;
       (** per-component interface summaries, in declaration order —
-          the input to [Analysis.Ir.of_built] *)
+          the input to [Analysis.Ir.of_built]. Both lists grow on
+          {!spawn} and shrink on {!unload}. *)
 }
 
 exception Undeclared_export of string * string
@@ -61,3 +62,22 @@ val build : Monitor.t -> (component * Types.kind) list -> built
 (** Load all components, install trampolines, run initialisers. *)
 
 val cid : built -> string -> Types.cid
+
+val spawn :
+  ?callers:Types.cid list ->
+  built ->
+  (component * Types.kind) list ->
+  (string * Types.cid) list
+(** Load more components into a running system: the cubicle lifecycle's
+    birth half. Checks exports, loads each component, extends the
+    trampoline table (thunks for the new symbols; guard entries for the
+    spawned isolated cubicles and for each cubicle in [callers]), runs
+    initialisers in declaration order, and returns the fresh
+    [(name, cid)] pairs. Component names must not collide with live
+    cubicles ({!Types.Error} from the monitor if they do). *)
+
+val unload : built -> string list -> unit
+(** Tear the named components down: drop their guard entries, then
+    {!Monitor.destroy_cubicle} each (exports unregistered, pages
+    scrubbed and released, key and cid recycled). The names must not be
+    executing at the time of the call. *)

@@ -39,17 +39,15 @@ type t = {
   protection : Types.protection;
   policy : policy;
   stats : Stats.t;
-  mutable cubicles : cubicle list;  (* newest first; small *)
+  cubs : (Types.cid, cubicle) Hashtbl.t;
+  by_name : (string, Types.cid) Hashtbl.t;
+  mutable next_cid : Types.cid;
+  mutable free_cids : Types.cid list;  (* cids recycled by destroy_cubicle *)
   symbols : (string, export) Hashtbl.t;
   mutable next_key : int;
   mutable free_keys : int list;  (* returned dedicated window tags *)
   virtualise : bool;  (* libmpk-style tag virtualisation (paper §8) *)
-  mutable next_vkey : int;  (* virtual keys are >= 16 *)
-  vphys : (int, int) Hashtbl.t;  (* virtual key -> physical key *)
-  phys_owner : int array;  (* physical key -> virtual key or -1 *)
-  phys_used : int array;  (* physical key -> lru tick *)
-  mutable vtick : int;
-  mutable tag_evictions : int;
+  keymux : Hw.Keymux.t option;  (* Some iff [virtualise] *)
   mutable cur : Types.cid;
   mutable page_allocs : (int * int) list;  (* (base page, npages) per cubicle-page alloc *)
   cubicle_runs : (Types.cid, (int * int) list ref) Hashtbl.t;  (* every page run per cubicle *)
@@ -84,74 +82,26 @@ let[@inline] emit t ev =
   if b.Telemetry.Bus.tracing then Telemetry.Bus.emit b ev
 
 let get t cid =
-  match List.find_opt (fun c -> c.cid = cid) t.cubicles with
+  match Hashtbl.find_opt t.cubs cid with
   | Some c -> c
   | None -> Types.error "no cubicle with id %d" cid
 
 let mpk_on t = match t.protection with Types.Mpk | Types.Full -> true | _ -> false
 
 (* libmpk-style tag virtualisation: a cubicle's key may be virtual
-   (>= 16); it is mapped on demand to one of the 14 physical keys,
-   evicting the least recently used virtual key when none is free.
-   Eviction scrubs the evicted cubicle's pages back to the monitor key
-   (each a charged pkey write) so a reassigned physical key can never
-   leak access — this scrubbing is the virtualisation cost the paper
-   alludes to when it points at libmpk. *)
-let rec phys_of t (c : cubicle) =
-  if c.key < Hw.Pkru.nkeys then begin
-    (* a real (non-virtual) key *)
-    if c.key >= 1 && c.key < shared_key then begin
-      t.vtick <- t.vtick + 1;
-      t.phys_used.(c.key) <- t.vtick
-    end;
-    c.key
-  end
-  else
-    match Hashtbl.find_opt t.vphys c.key with
-    | Some phys ->
-        t.vtick <- t.vtick + 1;
-        t.phys_used.(phys) <- t.vtick;
-        phys
-    | None ->
-        let phys =
-          (* a free slot, or evict the least recently used *)
-          let free = ref (-1) in
-          for k = shared_key - 1 downto 1 do
-            if t.phys_owner.(k) = -1 && not (Hashtbl.fold (fun _ p acc -> acc || p = k) t.vphys false)
-               && k >= t.next_key
-            then free := k
-          done;
-          if !free >= 0 then !free
-          else begin
-            let victim = ref (-1) in
-            for k = 1 to shared_key - 1 do
-              if t.phys_owner.(k) >= 0
-                 && (!victim < 0 || t.phys_used.(k) < t.phys_used.(!victim))
-              then victim := k
-            done;
-            if !victim < 0 then Types.error "tag virtualisation: no evictable physical key";
-            let evicted_vkey = t.phys_owner.(!victim) in
-            Hashtbl.remove t.vphys evicted_vkey;
-            t.tag_evictions <- t.tag_evictions + 1;
-            (* scrub the evicted cubicle's pages *)
-            (match List.find_opt (fun c' -> c'.key = evicted_vkey) t.cubicles with
-            | Some evicted ->
-                List.iter
-                  (fun page ->
-                    if Hw.Cpu.page_key t.m_cpu page = !victim then
-                      Hw.Cpu.set_page_key t.m_cpu page monitor_key)
-                  (Mm.Page_meta.owned_by t.meta evicted.cid)
-            | None -> ());
-            !victim
-          end
-        in
-        Hashtbl.replace t.vphys c.key phys;
-        t.phys_owner.(phys) <- c.key;
-        t.vtick <- t.vtick + 1;
-        t.phys_used.(phys) <- t.vtick;
-        phys
+   (>= 16); {!Hw.Keymux} maps it on demand to one of the 14 physical
+   tags, evicting the least recently used binding when none is free.
+   The eviction hook installed in [create] walks the evicted cubicle's
+   pages back to the monitor tag so a reassigned physical key can never
+   leak access — this scrubbing (plus per-core PKRU shootdowns and the
+   libmpk reassignment cost, both priced inside Keymux) is the
+   virtualisation cost the paper alludes to when it points at libmpk. *)
+let phys_of t (c : cubicle) =
+  match t.keymux with
+  | Some km when Hw.Keymux.is_virtual c.key -> Hw.Keymux.phys_of km c.key
+  | _ -> c.key
 
-and cub_key t cid = phys_of t (get t cid)
+let cub_key t cid = phys_of t (get t cid)
 
 (* PKRU for an executing cubicle: its own tag, the shared tag, and any
    dedicated window tags it has been granted. Ordinary windowed pages
@@ -205,6 +155,15 @@ let handle_fault t (fault : Hw.Fault.t) =
             end
             else
             let cur_key = phys_of t (get t cur) in
+            (* Fault-driven key fault-in (tag virtualisation): [phys_of]
+               above may have just re-bound the cubicle's virtual key —
+               possibly to a different physical tag than the one in the
+               active PKRU, if the binding was evicted mid-call. Refresh
+               the register, or the retag below would not make the retry
+               pass. Never fires without virtualisation: an executing
+               cubicle's PKRU always contains its own physical tag. *)
+            if not (Hw.Pkru.can_read (Hw.Cpu.pkru t.m_cpu) cur_key) then
+              Hw.Cpu.wrpkru t.m_cpu (pkru_for t cur);
             if owner_cid = cur then begin
               (* The cubicle touches its own page, currently tagged for a
                  peer because of a past window access (causal tag
@@ -279,23 +238,49 @@ let create ?(mem_bytes = 64 * 1024 * 1024) ?ncores ?model ?(policy = default_pol
       protection;
       policy;
       stats = Stats.of_bus ~tlb:(Hw.Cpu.tlb cpu) (Hw.Cpu.bus cpu);
-      cubicles = [];
+      cubs = Hashtbl.create 64;
+      by_name = Hashtbl.create 64;
+      next_cid = monitor_cid + 1;
+      free_cids = [];
       symbols = Hashtbl.create 256;
       next_key = 1;
       free_keys = [];
       virtualise;
-      next_vkey = 16;
-      vphys = Hashtbl.create 16;
-      phys_owner = Array.make 16 (-1);
-      phys_used = Array.make 16 0;
-      vtick = 0;
-      tag_evictions = 0;
+      keymux = (if virtualise then Some (Hw.Keymux.create cpu) else None);
       cur = monitor_cid;
       page_allocs = [];
       cubicle_runs = Hashtbl.create 32;
-      max_cubicles = 62;
+      max_cubicles = 1024;
     }
   in
+  (* Eviction = walk the victim's still-resident pages back to the
+     monitor tag. Priced per page under the Keymux category (the same
+     pkey_mprotect cost as any runtime key write, but billed to the
+     virtualisation layer rather than plain Mpk), billed to whichever
+     cubicle's fault-in forced the eviction. The page-table hook fires
+     the cross-core TLB shootdowns; Keymux itself scrubs the evicted
+     tag from every core's PKRU and prices those wrpkrus. *)
+  (match t.keymux with
+  | Some km ->
+      Hw.Keymux.set_evict_hook km
+        (Some
+           (fun ~cid ~vkey:_ ~phys ->
+             let cost = Hw.Cpu.cost cpu in
+             let pt = Hw.Cpu.page_table cpu in
+             let count = ref 0 in
+             if Hashtbl.mem t.cubs cid then
+               List.iter
+                 (fun page ->
+                   if Hw.Page_table.key pt page = phys then begin
+                     Hw.Cost.charge_cat cost Telemetry.Attrib.Keymux
+                       cost.Hw.Cost.model.Hw.Cost.pkey_set;
+                     Hw.Page_table.set_key pt page monitor_key;
+                     emit t (Telemetry.Event.Retag { page; to_key = monitor_key });
+                     incr count
+                   end)
+                 (Mm.Page_meta.owned_by t.meta cid);
+             !count))
+  | None -> ());
   (* Monitor's own pages: present, trusted key. *)
   for p = 0 to monitor_reserved_pages - 1 do
     Hw.Cpu.map_page cpu p Hw.Page_table.perm_rw ~key:monitor_key
@@ -315,7 +300,8 @@ let create ?(mem_bytes = 64 * 1024 * 1024) ?ncores ?model ?(policy = default_pol
       extra_keys = [];
     }
   in
-  t.cubicles <- [ mon_cubicle ];
+  Hashtbl.replace t.cubs monitor_cid mon_cubicle;
+  Hashtbl.replace t.by_name mon_cubicle.name monitor_cid;
   if mpk_on t then begin
     Hw.Cpu.set_mpk_enabled cpu true;
     Hw.Cpu.set_exec_follows_access cpu true;
@@ -336,38 +322,68 @@ let alloc_owned_pages t cid n ~kind ~perm =
   | None -> Hashtbl.replace t.cubicle_runs cid (ref [ (page, n) ]));
   Hw.Addr.base_of_page page
 
+(* Scrub, unmap and return every page run recorded for [cid]. Shared
+   between destroy_cubicle and create_cubicle's failure rollback. *)
+let release_runs t cid =
+  (match Hashtbl.find_opt t.cubicle_runs cid with
+  | Some runs ->
+      List.iter
+        (fun (page, n) ->
+          for p = page to page + n - 1 do
+            (* scrub contents so the next owner cannot read stale data *)
+            Hw.Cpu.priv_write_bytes t.m_cpu (Hw.Addr.base_of_page p)
+              (Bytes.make Hw.Addr.page_size '\000');
+            Mm.Page_meta.release t.meta ~page:p;
+            Hw.Cpu.unmap_page t.m_cpu p
+          done;
+          t.page_allocs <- List.filter (fun (p, _) -> p <> page) t.page_allocs;
+          Mm.Page_alloc.free t.palloc page)
+        !runs;
+      Hashtbl.remove t.cubicle_runs cid
+  | None -> ())
+
 let create_cubicle t ~name ~kind ~heap_pages ~stack_pages =
-  if List.exists (fun c -> c.name = name) t.cubicles then
-    Types.error "cubicle %s already exists" name;
-  let cid = List.length t.cubicles in
-  if cid >= t.max_cubicles then Types.error "too many cubicles";
+  if Hashtbl.mem t.by_name name then Types.error "cubicle %s already exists" name;
+  let cid =
+    match t.free_cids with
+    | c :: rest ->
+        t.free_cids <- rest;
+        c
+    | [] ->
+        if t.next_cid >= t.max_cubicles then Types.error "too many cubicles";
+        let c = t.next_cid in
+        t.next_cid <- c + 1;
+        c
+  in
+  let undo_cid () =
+    if cid = t.next_cid - 1 then t.next_cid <- cid else t.free_cids <- cid :: t.free_cids
+  in
   let key =
     match kind with
     | Types.Trusted -> monitor_key
     | Types.Shared -> shared_key
-    | Types.Isolated ->
-        if t.virtualise then begin
-          (* virtual key: mapped to a physical key on demand *)
-          let vk = t.next_vkey in
-          t.next_vkey <- t.next_vkey + 1;
-          vk
-        end
-        else begin
-          match t.free_keys with
-          | k :: rest ->
-              t.free_keys <- rest;
-              k
-          | [] ->
-              if t.next_key >= shared_key then
-                Types.error
-                  "out of MPK protection keys (15 in use); enable tag virtualisation \
-                   (libmpk-style) to run more isolated cubicles"
-              else begin
-                let k = t.next_key in
-                t.next_key <- t.next_key + 1;
+    | Types.Isolated -> (
+        match t.keymux with
+        | Some km ->
+            (* virtual key: bound to a physical tag on demand *)
+            Hw.Keymux.alloc km ~cid
+        | None -> (
+            match t.free_keys with
+            | k :: rest ->
+                t.free_keys <- rest;
                 k
-              end
-        end
+            | [] ->
+                if t.next_key >= shared_key then begin
+                  undo_cid ();
+                  Types.error
+                    "out of MPK protection keys (15 in use); enable tag virtualisation \
+                     (libmpk-style) to run more isolated cubicles"
+                end
+                else begin
+                  let k = t.next_key in
+                  t.next_key <- t.next_key + 1;
+                  k
+                end))
   in
   let cub =
     {
@@ -384,23 +400,51 @@ let create_cubicle t ~name ~kind ~heap_pages ~stack_pages =
       extra_keys = [];
     }
   in
-  t.cubicles <- cub :: t.cubicles;
-  let stack_base =
-    if stack_pages > 0 then alloc_owned_pages t cid stack_pages ~kind:Mm.Page_meta.Stack ~perm:Hw.Page_table.perm_rw
-    else 0
-  in
-  let cub = { cub with stack_base } in
-  t.cubicles <- cub :: List.filter (fun c -> c.cid <> cid) t.cubicles;
-  if heap_pages > 0 then begin
-    let base = alloc_owned_pages t cid heap_pages ~kind:Mm.Page_meta.Heap ~perm:Hw.Page_table.perm_rw in
-    cub.heaps <- [ Mm.Suballoc.create ~base ~size:(heap_pages * Hw.Addr.page_size) ]
-  end;
-  cid
+  Hashtbl.replace t.cubs cid cub;
+  Hashtbl.replace t.by_name name cid;
+  (* Partial-setup rollback: heap (or stack) exhaustion mid-setup must
+     not leak the pages, key, cid or name already claimed — a spawn
+     either fully succeeds or leaves the monitor exactly as it was. *)
+  try
+    let stack_base =
+      if stack_pages > 0 then
+        alloc_owned_pages t cid stack_pages ~kind:Mm.Page_meta.Stack
+          ~perm:Hw.Page_table.perm_rw
+      else 0
+    in
+    let cub = { cub with stack_base } in
+    Hashtbl.replace t.cubs cid cub;
+    if heap_pages > 0 then begin
+      let base =
+        alloc_owned_pages t cid heap_pages ~kind:Mm.Page_meta.Heap ~perm:Hw.Page_table.perm_rw
+      in
+      cub.heaps <- [ Mm.Suballoc.create ~base ~size:(heap_pages * Hw.Addr.page_size) ]
+    end;
+    cid
+  with e ->
+    release_runs t cid;
+    Hashtbl.remove t.cubs cid;
+    Hashtbl.remove t.by_name name;
+    (match kind with
+    | Types.Isolated -> (
+        match t.keymux with
+        | Some km -> Hw.Keymux.free km key
+        | None -> t.free_keys <- key :: t.free_keys)
+    | Types.Trusted | Types.Shared -> ());
+    undo_cid ();
+    raise e
 
-let ncubicles t = List.length t.cubicles
+let ncubicles t = Hashtbl.length t.cubs
+
+let live_cids t =
+  List.sort compare (Hashtbl.fold (fun cid _ acc -> cid :: acc) t.cubs [])
+
+let free_page_count t = Mm.Page_alloc.free_pages t.palloc
+let keymux t = t.keymux
 let cubicle_name t cid = (get t cid).name
 let cubicle_kind t cid = (get t cid).kind
 let cubicle_key t cid = cub_key t cid
+let cubicle_raw_key t cid = (get t cid).key
 
 let cubicle_heap_bytes t cid =
   List.fold_left (fun acc h -> acc + Mm.Suballoc.size h) 0 (get t cid).heaps
@@ -408,11 +452,11 @@ let cubicle_heap_bytes t cid =
 let stack_base t cid = (get t cid).stack_base
 
 let lookup_cubicle t name =
-  match List.find_opt (fun c -> c.name = name) t.cubicles with
-  | Some c -> c.cid
+  match Hashtbl.find_opt t.by_name name with
+  | Some cid -> cid
   | None -> Types.error "no cubicle named %s" name
 
-let cubicle_exists t name = List.exists (fun c -> c.name = name) t.cubicles
+let cubicle_exists t name = Hashtbl.mem t.by_name name
 let windows_of t cid = (get t cid).windows
 let ctx_for t cid = { mon = t; self = cid; caller = cid; cpu = t.m_cpu }
 let ctx_call t cid caller = { mon = t; self = cid; caller; cpu = t.m_cpu }
@@ -879,20 +923,21 @@ let observe_access t ~addr ~len ~access =
         done
 
 let dedicated_keys_in_use t =
-  List.fold_left
-    (fun acc c ->
+  Hashtbl.fold
+    (fun _ c acc ->
       acc
       + List.length
           (List.filter
              (fun w -> w.Window.dedicated_key <> None)
              (Window.live_windows c.windows)))
-    0 t.cubicles
+    t.cubs 0
 
 
 (* Unload a cubicle (the loader's dlclose counterpart): its exports
    vanish from the symbol table (later calls are CFI errors), all its
    pages are scrubbed, unmapped and returned to the system allocator,
-   and its MPK key goes back to the pool for reuse. *)
+   and its MPK key — physical or virtual — and its cid go back to the
+   pools for reuse by a later spawn. *)
 let destroy_cubicle t cid =
   if cid = monitor_cid then Types.error "cannot destroy the monitor";
   if t.cur = cid then Types.error "cannot destroy the executing cubicle";
@@ -903,31 +948,22 @@ let destroy_cubicle t cid =
   in
   List.iter (Hashtbl.remove t.symbols) doomed;
   (* scrub and release every page run *)
-  (match Hashtbl.find_opt t.cubicle_runs cid with
-  | Some runs ->
-      List.iter
-        (fun (page, n) ->
-          for p = page to page + n - 1 do
-            (* scrub contents so the next owner cannot read stale data *)
-            Hw.Cpu.priv_write_bytes t.m_cpu (Hw.Addr.base_of_page p)
-              (Bytes.make Hw.Addr.page_size '\000');
-            Mm.Page_meta.release t.meta ~page:p;
-            Hw.Cpu.unmap_page t.m_cpu p
-          done;
-          t.page_allocs <- List.filter (fun (p, _) -> p <> page) t.page_allocs;
-          Mm.Page_alloc.free t.palloc page)
-        !runs;
-      Hashtbl.remove t.cubicle_runs cid
-  | None -> ());
-  (* recycle the key *)
+  release_runs t cid;
+  (* recycle the key: a virtual key's binding is dropped without the
+     eviction price (the pages were just scrubbed and unmapped) and
+     both the physical slot and the vkey number become reusable *)
   (match c.kind with
-  | Types.Isolated ->
-      if c.key < Hw.Pkru.nkeys then t.free_keys <- c.key :: t.free_keys
-      else Hashtbl.remove t.vphys c.key
+  | Types.Isolated -> (
+      match t.keymux with
+      | Some km -> Hw.Keymux.free km c.key
+      | None -> t.free_keys <- c.key :: t.free_keys)
   | Types.Shared | Types.Trusted -> ());
   c.heaps <- [];
-  t.cubicles <- List.filter (fun c' -> c'.cid <> cid) t.cubicles
+  Hashtbl.remove t.cubs cid;
+  Hashtbl.remove t.by_name c.name;
+  t.free_cids <- cid :: t.free_cids
 
-let tag_evictions t = t.tag_evictions
+let tag_evictions t =
+  match t.keymux with Some km -> (Hw.Keymux.stats km).Hw.Keymux.evictions | None -> 0
 let page_owner t page = Mm.Page_meta.owner t.meta page
 let retag_count t = Stats.retags t.stats

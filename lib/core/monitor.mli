@@ -82,11 +82,31 @@ val create_cubicle :
     cubicles receive virtual keys mapped to physical ones on demand. *)
 
 val ncubicles : t -> int
+(** Number of {e live} cubicles (monitor included). After a
+    {!destroy_cubicle} the cid space may have holes, so this is not an
+    iteration bound — use {!live_cids}. *)
+
+val live_cids : t -> Types.cid list
+(** All live cubicle ids, ascending (always starts with the monitor). *)
+
+val free_page_count : t -> int
+(** Free pages in the system allocator — the leak-regression probe:
+    spawn/teardown cycles (including failed spawns) must return it to
+    its starting value. *)
+
+val keymux : t -> Hw.Keymux.t option
+(** The key-virtualisation plane, present iff the monitor was created
+    with [~virtualise:true]. *)
+
 val cubicle_name : t -> Types.cid -> string
 val cubicle_kind : t -> Types.cid -> Types.kind
 val cubicle_key : t -> Types.cid -> int
 (** The cubicle's {e physical} MPK key (with [virtualise], resolving a
     virtual key to a physical one on demand, possibly evicting). *)
+
+val cubicle_raw_key : t -> Types.cid -> int
+(** The cubicle's stored key — virtual under [virtualise] — without
+    faulting it in or touching LRU state (contrast {!cubicle_key}). *)
 
 val cubicle_heap_bytes : t -> Types.cid -> int
 val stack_base : t -> Types.cid -> int
@@ -216,12 +236,14 @@ val page_owner : t -> int -> Types.cid option
 val retag_count : t -> int
 
 val tag_evictions : t -> int
-(** Physical-key evictions performed by tag virtualisation. *)
+(** Physical-key evictions performed by tag virtualisation
+    ([(Keymux.stats km).evictions]; 0 without [virtualise]). *)
 
 val destroy_cubicle : t -> Types.cid -> unit
 (** Unload a cubicle (the loader's [dlclose] counterpart): removes its
     exports from the symbol table, scrubs and releases all its pages,
-    and returns its MPK key to the pool. Raises {!Types.Error} for the
+    and returns its MPK key (virtual or physical) and its cid to the
+    pools for reuse by a later spawn. Raises {!Types.Error} for the
     monitor or the currently executing cubicle. *)
 
 (** {1 Window-specific tags (ablation; §5.6/§8)} *)

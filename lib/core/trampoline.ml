@@ -19,52 +19,82 @@ let guard_entry ~thunk_off =
   Bytes.blit body 0 padded 0 (Bytes.length body);
   padded
 
+(* Thunk pages: signed by the trusted builder, owned by the monitor's
+   cubicle, execute-only. Only syms without a thunk get one, so
+   respawning a torn-down component reuses its old thunks. *)
+let alloc_thunks t syms =
+  let fresh = List.filter (fun s -> not (Hashtbl.mem t.thunks s)) syms in
+  if fresh <> [] then begin
+    let nsyms = List.length fresh in
+    let thunk_bytes = Bytes.create (nsyms * thunk_size) in
+    List.iteri
+      (fun i _ -> Bytes.blit thunk_code 0 thunk_bytes (i * thunk_size) thunk_size)
+      fresh;
+    let cpu = Monitor.cpu t.mon in
+    let npages = Hw.Addr.pages_for (Bytes.length thunk_bytes) in
+    let thunk_base =
+      Monitor.alloc_owned_pages t.mon Monitor.monitor_cid npages ~kind:Mm.Page_meta.Code
+        ~perm:Hw.Page_table.perm_rw
+    in
+    Hw.Cpu.priv_write_bytes cpu thunk_base thunk_bytes;
+    let first = Hw.Addr.page_of thunk_base in
+    for p = first to first + npages - 1 do
+      Hw.Page_table.set_perm (Hw.Cpu.page_table cpu) p Hw.Page_table.perm_x
+    done;
+    List.iteri
+      (fun i sym -> Hashtbl.replace t.thunks sym (thunk_base + (i * thunk_size)))
+      fresh
+  end
+
+(* Guard pages: in the calling cubicle's own pages so it can fetch
+   them. Each batch of new entries gets its own page run; the run is
+   owned by the cubicle, so destroy_cubicle releases it with the rest
+   of its memory. *)
+let alloc_guards t cid syms =
+  let fresh = List.filter (fun s -> not (Hashtbl.mem t.guards (cid, s))) syms in
+  if fresh <> [] then begin
+    let cpu = Monitor.cpu t.mon in
+    let nsyms = List.length fresh in
+    let gpages = Hw.Addr.pages_for (nsyms * guard_entry_size) in
+    let gbase =
+      Monitor.alloc_owned_pages t.mon cid gpages ~kind:Mm.Page_meta.Code
+        ~perm:Hw.Page_table.perm_rw
+    in
+    List.iteri
+      (fun i sym ->
+        let thunk = Hashtbl.find t.thunks sym in
+        let entry_addr = gbase + (i * guard_entry_size) in
+        let entry = guard_entry ~thunk_off:(thunk - entry_addr) in
+        Hw.Cpu.priv_write_bytes cpu entry_addr entry;
+        Hashtbl.replace t.guards (cid, sym) entry_addr)
+      fresh;
+    let gfirst = Hw.Addr.page_of gbase in
+    for p = gfirst to gfirst + gpages - 1 do
+      Hw.Page_table.set_perm (Hw.Cpu.page_table cpu) p Hw.Page_table.perm_x
+    done
+  end
+
 let install mon ~syms =
-  let nsyms = List.length syms in
-  let thunk_bytes = Bytes.create (max 1 (nsyms * thunk_size)) in
-  List.iteri
-    (fun i _ -> Bytes.blit thunk_code 0 thunk_bytes (i * thunk_size) thunk_size)
-    syms;
-  (* Thunk pages: signed by the trusted builder, owned by the monitor's
-     cubicle, execute-only. *)
-  let cpu = Monitor.cpu mon in
-  let npages = Hw.Addr.pages_for (Bytes.length thunk_bytes) in
-  let thunk_base =
-    Monitor.alloc_owned_pages mon Monitor.monitor_cid npages ~kind:Mm.Page_meta.Code
-      ~perm:Hw.Page_table.perm_rw
+  let t = { mon; thunks = Hashtbl.create 16; guards = Hashtbl.create 16 } in
+  alloc_thunks t syms;
+  List.iter
+    (fun cid ->
+      if Monitor.cubicle_kind mon cid = Types.Isolated then alloc_guards t cid syms)
+    (Monitor.live_cids mon);
+  t
+
+let extend t ~syms ~cids =
+  alloc_thunks t syms;
+  List.iter
+    (fun cid ->
+      if Monitor.cubicle_kind t.mon cid = Types.Isolated then alloc_guards t cid syms)
+    cids
+
+let forget_cubicle t cid =
+  let dead =
+    Hashtbl.fold (fun ((c, _) as k) _ acc -> if c = cid then k :: acc else acc) t.guards []
   in
-  Hw.Cpu.priv_write_bytes cpu thunk_base thunk_bytes;
-  let first = Hw.Addr.page_of thunk_base in
-  for p = first to first + npages - 1 do
-    Hw.Page_table.set_perm (Hw.Cpu.page_table cpu) p Hw.Page_table.perm_x
-  done;
-  let thunks = Hashtbl.create 16 in
-  List.iteri (fun i sym -> Hashtbl.replace thunks sym (thunk_base + (i * thunk_size))) syms;
-  (* Guard pages: one per isolated cubicle, in that cubicle's own pages
-     so it can fetch them. *)
-  let guards = Hashtbl.create 16 in
-  for cid = 0 to Monitor.ncubicles mon - 1 do
-    if Monitor.cubicle_kind mon cid = Types.Isolated then begin
-      let gpages = Hw.Addr.pages_for (max 1 (nsyms * guard_entry_size)) in
-      let gbase =
-        Monitor.alloc_owned_pages mon cid gpages ~kind:Mm.Page_meta.Code
-          ~perm:Hw.Page_table.perm_rw
-      in
-      List.iteri
-        (fun i sym ->
-          let thunk = Hashtbl.find thunks sym in
-          let entry_addr = gbase + (i * guard_entry_size) in
-          let entry = guard_entry ~thunk_off:(thunk - entry_addr) in
-          Hw.Cpu.priv_write_bytes cpu entry_addr entry;
-          Hashtbl.replace guards (cid, sym) entry_addr)
-        syms;
-      let gfirst = Hw.Addr.page_of gbase in
-      for p = gfirst to gfirst + gpages - 1 do
-        Hw.Page_table.set_perm (Hw.Cpu.page_table cpu) p Hw.Page_table.perm_x
-      done
-    end
-  done;
-  { mon; thunks; guards }
+  List.iter (Hashtbl.remove t.guards) dead
 
 let thunk_addr t sym =
   match Hashtbl.find_opt t.thunks sym with

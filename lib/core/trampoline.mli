@@ -22,6 +22,19 @@ val install : Monitor.t -> syms:string list -> t
 (** Generate and load the (signed) thunk page(s) for the given exported
     symbols, plus one guard page per existing isolated cubicle. *)
 
+val extend : t -> syms:string list -> cids:Types.cid list -> unit
+(** Dynamic spawn support: install thunks for any of [syms] that lack
+    one (respawned symbols reuse their old thunk) and guard entries for
+    those symbols in each listed isolated cubicle — both freshly
+    spawned cubicles and live callers that will now reach the new
+    symbols. Non-isolated cids are ignored. *)
+
+val forget_cubicle : t -> Types.cid -> unit
+(** Drop all guard entries of a torn-down cubicle. The guard pages
+    themselves live in the cubicle's own memory, so
+    {!Monitor.destroy_cubicle} scrubs and releases them; this only
+    clears the address map so a recycled cid starts clean. *)
+
 val thunk_addr : t -> string -> int
 (** Address of the thunk for a symbol. Raises {!Types.Error} if the
     symbol has no thunk. *)

@@ -1,0 +1,147 @@
+open Cubicle
+
+(* Multi-tenant serving sets for the key-pressure bench: each tenant is
+   a private FS<i>+WEB<i> cubicle pair behind one shared gateway, so N
+   tenants put 2N+1 isolated cubicles on the machine — far past the 14
+   physical MPK tags once N grows, which is exactly the pressure the
+   key multiplexer exists to absorb.
+
+   The request path exercises every isolation mechanism per request:
+   the gateway opens a per-request window over its request page for
+   WEB<i> and calls [t<i>_get]; WEB<i> reads the request through that
+   window, calls [t<i>_read] so FS<i> fills WEB's chunk buffer through
+   a standing RW window, assembles an HTTP response in its response
+   page, and the gateway reads it back through a standing R window.
+   Every cross-cubicle entry resolves the callee's virtual key, so
+   round-robin traffic over enough tenants faults keys in and out on
+   nearly every call. *)
+
+let page = Hw.Addr.page_size
+
+let fs_name i = Printf.sprintf "TFS%d" i
+let web_name i = Printf.sprintf "TWEB%d" i
+let read_sym i = Printf.sprintf "t%d_read" i
+let get_sym i = Printf.sprintf "t%d_get" i
+let gw_name = "GW"
+
+(* Deterministic per-tenant file bytes, printable so responses diff
+   readably: the bench recomputes them host-side for the byte-identity
+   check. *)
+let content_byte ~tenant off = 32 + (((tenant * 37) + (off * 11)) mod 95)
+
+let header_for len = Printf.sprintf "HTTP/1.0 200 OK\r\nContent-Length: %d\r\n\r\n" len
+
+let expected ~tenant ~off ~len =
+  header_for len ^ String.init len (fun j -> Char.chr (content_byte ~tenant (off + j)))
+
+(* FS<i>: the tenant's file store. [t<i>_read dst off len] writes the
+   file bytes into the caller's buffer — WEB's chunk page, reached
+   through WEB's standing RW window. *)
+let fs_component tenant =
+  let fn ctx (args : int array) =
+    let dst = args.(0) and off = args.(1) and len = args.(2) in
+    for j = 0 to len - 1 do
+      Api.write_u8 ctx (dst + j) (content_byte ~tenant (off + j))
+    done;
+    len
+  in
+  Builder.component ~heap_pages:2 ~stack_pages:1
+    ~iface:[ Iface.fundecl ~derefs:[ 0 ] ~writes:[ 0 ] (read_sym tenant) [] ]
+    ~exports:[ { Monitor.sym = read_sym tenant; fn; stack_bytes = 0 } ]
+    (fs_name tenant)
+
+(* WEB<i>: the tenant's server. Owns a chunk page (standing RW window
+   for FS<i>) and a response page (standing R window for the gateway).
+   [t<i>_get req] reads (off, len) from the gateway's request page,
+   pulls the bytes from FS<i>, and leaves [u32 total][response bytes]
+   in the response page, returning its address. *)
+let web_component tenant =
+  let chunk = ref 0 in
+  let resp = ref 0 in
+  let init ctx =
+    chunk := Api.malloc_page_aligned ctx page;
+    resp := Api.malloc_page_aligned ctx page;
+    let wc = Api.window_init ctx ~klass:Mm.Page_meta.Heap in
+    Api.window_add ctx wc ~ptr:!chunk ~size:page;
+    Api.window_open ctx wc (Api.cid_of ctx (fs_name tenant));
+    let wr = Api.window_init ctx ~klass:Mm.Page_meta.Heap in
+    Api.window_add ctx ~perm:Window.R wr ~ptr:!resp ~size:page;
+    Api.window_open ctx wr (Api.cid_of ctx gw_name)
+  in
+  let fn ctx (args : int array) =
+    let req = args.(0) in
+    let off = Api.read_u32 ctx req in
+    let len = Api.read_u32 ctx (req + 4) in
+    ignore (Api.call ctx (read_sym tenant) [| !chunk; off; len |]);
+    let header = header_for len in
+    let hlen = String.length header in
+    Api.write_u32 ctx !resp (hlen + len);
+    Api.write_string ctx (!resp + 4) header;
+    Api.memcpy ctx ~dst:(!resp + 4 + hlen) ~src:!chunk ~len;
+    !resp
+  in
+  Builder.component ~heap_pages:4 ~stack_pages:2 ~init
+    ~iface:
+      [
+        Iface.fundecl ~derefs:[ 0 ] (get_sym tenant)
+          [ Iface.Call { sym = read_sym tenant; ptr_args = [] } ];
+      ]
+    ~exports:[ { Monitor.sym = get_sym tenant; fn; stack_bytes = 0 } ]
+    (web_name tenant)
+
+type t = {
+  mon : Monitor.t;
+  built : Builder.built;
+  gw : Types.cid;
+  gw_req : int;
+  gw_wid : Types.wid;
+  mutable live : int list;
+}
+
+let boot ?(protection = Types.Full) ?virtualise ?(mem_bytes = 512 * 1024 * 1024) () =
+  let mon = Monitor.create ~mem_bytes ?virtualise ~protection () in
+  let built =
+    Builder.build mon
+      [ (Builder.component ~heap_pages:4 ~stack_pages:2 gw_name, Types.Isolated) ]
+  in
+  let gw = Builder.cid built gw_name in
+  let ctx = Monitor.ctx_for mon gw in
+  let gw_req, gw_wid =
+    Monitor.run_as mon gw (fun () ->
+        (Api.malloc_page_aligned ctx page, Api.window_init ctx ~klass:Mm.Page_meta.Heap))
+  in
+  { mon; built; gw; gw_req; gw_wid; live = [] }
+
+let mon t = t.mon
+let built t = t.built
+let gateway_cid t = t.gw
+let live t = List.sort compare t.live
+
+let spawn t i =
+  if List.mem i t.live then Types.error "tenant %d is already live" i;
+  ignore
+    (Builder.spawn ~callers:[ t.gw ] t.built
+       [ (fs_component i, Types.Isolated); (web_component i, Types.Isolated) ]);
+  t.live <- i :: t.live
+
+let teardown t i =
+  if not (List.mem i t.live) then Types.error "tenant %d is not live" i;
+  Builder.unload t.built [ web_name i; fs_name i ];
+  t.live <- List.filter (fun j -> j <> i) t.live
+
+let request t ~tenant ~off ~len =
+  if not (List.mem tenant t.live) then Types.error "tenant %d is not live" tenant;
+  if len > page - 64 then Types.error "tenant request: %d bytes exceeds a response page" len;
+  let ctx = Monitor.ctx_for t.mon t.gw in
+  let web = Monitor.lookup_cubicle t.mon (web_name tenant) in
+  Monitor.run_as t.mon t.gw (fun () ->
+      Api.write_u32 ctx t.gw_req off;
+      Api.write_u32 ctx (t.gw_req + 4) len;
+      Api.window_add ctx t.gw_wid ~ptr:t.gw_req ~size:page;
+      Api.window_open ctx t.gw_wid web;
+      let resp = Api.call ctx (get_sym tenant) [| t.gw_req |] in
+      let total = Api.read_u32 ctx resp in
+      let body = Api.read_string ctx (resp + 4) total in
+      Api.window_close ctx t.gw_wid web;
+      Api.window_remove ctx t.gw_wid ~ptr:t.gw_req;
+      body)

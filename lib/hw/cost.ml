@@ -4,6 +4,7 @@ type model = {
   wrpkru : int;
   rdpkru : int;
   pkey_set : int;
+  key_reassign : int;
   fault_trap : int;
   acl_check : int;
   tramp_fixed : int;
@@ -21,6 +22,7 @@ let default_model =
     wrpkru = 20;
     rdpkru = 1;
     pkey_set = 1100;
+    key_reassign = 1100;
     fault_trap = 800;
     acl_check = 600;
     tramp_fixed = 40;

@@ -12,6 +12,11 @@ type model = {
   wrpkru : int;  (** writing the PKRU register (paper: ~20 cycles) *)
   rdpkru : int;  (** reading the PKRU register *)
   pkey_set : int;  (** assigning an MPK key to a page (paper: >1100 cycles) *)
+  key_reassign : int;
+      (** virtual-key fault-in: rebinding a cubicle's virtual key to a
+          physical MPK tag (libmpk's pkey_mprotect-based reassignment,
+          ≈1100 cycles per the figure the paper cites) — charged once
+          per fault-in on top of the per-page retag cost *)
   fault_trap : int;  (** delivering a protection fault to a user handler *)
   acl_check : int;
       (** walking the owner's window descriptor arrays and checking the

@@ -127,6 +127,29 @@ let wrpkru t v =
 let wrpkru_count t = t.wrpkru_count
 let fault_count t = t.fault_count
 
+let core_pkru t c =
+  if c < 0 || c >= Array.length t.cores then
+    invalid_arg (Printf.sprintf "Cpu.core_pkru: no core %d (machine has %d)" c (ncores t));
+  t.cores.(c).pkru
+
+(* Key-virtualisation shootdown: deny [key] in core [c]'s PKRU and drop
+   that core's cached decisions. Deliberately charge-free — the key
+   multiplexer prices the operation itself (a wrpkru under the Keymux
+   attribution category) so eviction cost is billed to the cubicle
+   whose fault-in triggered it, not to whoever happens to run on the
+   scrubbed core. Remote deliveries count as shootdowns (the IPI). *)
+let scrub_pkru_key t c ~key =
+  if c < 0 || c >= Array.length t.cores then
+    invalid_arg (Printf.sprintf "Cpu.scrub_pkru_key: no core %d (machine has %d)" c (ncores t));
+  let core = t.cores.(c) in
+  let v = Pkru.deny core.pkru key in
+  if v <> core.pkru then begin
+    core.pkru <- v;
+    Tlb.flush core.tlb;
+    if c <> t.cur_core then t.shootdowns <- t.shootdowns + 1;
+    emit_tlb_event t Telemetry.Event.Flush
+  end
+
 (* Permission check for one page; returns the fault if denied. *)
 let check_page t page (access : Fault.access) : Fault.t option =
   let key = Page_table.key t.pt page in

@@ -106,6 +106,20 @@ val wrpkru : t -> Pkru.t -> unit
 val wrpkru_count : t -> int
 val fault_count : t -> int
 
+val core_pkru : t -> int -> Pkru.t
+(** [core_pkru t c] reads core [c]'s PKRU register without switching to
+    it (test/monitor introspection; never charges cycles). Raises
+    [Invalid_argument] for an out-of-range core. *)
+
+val scrub_pkru_key : t -> int -> key:int -> unit
+(** [scrub_pkru_key t c ~key] denies [key] in core [c]'s PKRU and
+    flushes that core's TLB — the shootdown a key-virtualisation
+    eviction must deliver to every core still caching the evicted
+    physical tag. Charge-free: the key multiplexer prices the wrpkru
+    itself so the cost lands on the cubicle that triggered the
+    eviction. A remote delivery ([c] not the current core) bumps
+    {!shootdown_count}. No-op if the key is already denied there. *)
+
 (** {1 Checked accessors} — used by untrusted component code. *)
 
 val read_u8 : t -> int -> int

@@ -1,0 +1,186 @@
+(* Virtual protection keys multiplexed over the physical MPK tags.
+
+   MPK gives the machine 16 keys; CubicleOS reserves one for the
+   monitor (0) and one for shared cubicles (15), capping the system at
+   14 isolated cubicles. The multiplexer lifts the cap libmpk-style:
+   every isolated cubicle owns a *virtual* key (numbered from
+   [Pkru.nkeys] so the two namespaces never collide) and the physical
+   tags [lo..hi] become an LRU cache of key *bindings*. A cubicle's
+   first access after losing its binding faults, the monitor's
+   [pkru_for]/fault path calls {!phys_of}, and the binding is
+   re-established — evicting the least-recently-used resident if the
+   pool is full.
+
+   Pricing: every fault-in charges [model.key_reassign] (libmpk's
+   pkey_mprotect-based reassignment, the >=1100-cycle figure the paper
+   cites). An eviction additionally walks the victim's pages (the
+   monitor-installed hook retags them back to the monitor tag, charging
+   [pkey_set] per page) and scrubs the evicted tag from every core's
+   PKRU that still caches it — one [wrpkru] charge plus a TLB shootdown
+   per core. Everything lands under the [Keymux] attribution category,
+   billed to the cubicle whose fault-in triggered the eviction. *)
+
+type stats = {
+  mutable fault_ins : int;
+  mutable evictions : int;
+  mutable retag_pages : int;
+  mutable key_shootdowns : int;
+}
+
+type t = {
+  cpu : Cpu.t;
+  lo : int;
+  hi : int;
+  owner : int array;  (* phys tag -> resident vkey, or -1 *)
+  last_used : int array;  (* phys tag -> LRU tick (ticks are unique) *)
+  binding : (int, int) Hashtbl.t;  (* vkey -> phys, residents only *)
+  vkey_cid : (int, int) Hashtbl.t;  (* vkey -> owning cubicle *)
+  mutable next_vkey : int;
+  mutable free_vkeys : int list;
+  mutable tick : int;
+  mutable evict_hook : (cid:int -> vkey:int -> phys:int -> int) option;
+  stats : stats;
+}
+
+let is_virtual k = k >= Pkru.nkeys
+
+let create ?(lo = 1) ?(hi = Pkru.nkeys - 2) cpu =
+  if lo < 0 || hi >= Pkru.nkeys || lo > hi then invalid_arg "Keymux.create: bad tag range";
+  {
+    cpu;
+    lo;
+    hi;
+    owner = Array.make Pkru.nkeys (-1);
+    last_used = Array.make Pkru.nkeys 0;
+    binding = Hashtbl.create 64;
+    vkey_cid = Hashtbl.create 64;
+    next_vkey = Pkru.nkeys;
+    free_vkeys = [];
+    tick = 0;
+    evict_hook = None;
+    stats = { fault_ins = 0; evictions = 0; retag_pages = 0; key_shootdowns = 0 };
+  }
+
+let set_evict_hook t h = t.evict_hook <- h
+let stats t = t.stats
+let slots t = t.hi - t.lo + 1
+
+let alloc t ~cid =
+  let vkey =
+    match t.free_vkeys with
+    | v :: rest ->
+        t.free_vkeys <- rest;
+        v
+    | [] ->
+        let v = t.next_vkey in
+        t.next_vkey <- v + 1;
+        v
+  in
+  Hashtbl.replace t.vkey_cid vkey cid;
+  vkey
+
+let resident t vkey = Hashtbl.find_opt t.binding vkey
+let resident_vkey t phys = if t.owner.(phys) >= 0 then Some t.owner.(phys) else None
+let cid_of_vkey t vkey = Hashtbl.find_opt t.vkey_cid vkey
+
+let residents t =
+  let acc = ref [] in
+  for k = t.hi downto t.lo do
+    if t.owner.(k) >= 0 then acc := (k, t.owner.(k)) :: !acc
+  done;
+  !acc
+
+(* Drop a vkey's binding without the eviction price: the caller is
+   destroying the cubicle and scrubs/unmaps its pages itself, so there
+   is nothing left to retag. The physical slot becomes free and the
+   vkey number is recycled for the next [alloc]. *)
+let free t vkey =
+  (match Hashtbl.find_opt t.binding vkey with
+  | Some phys ->
+      t.owner.(phys) <- -1;
+      t.last_used.(phys) <- 0;
+      Hashtbl.remove t.binding vkey
+  | None -> ());
+  if Hashtbl.mem t.vkey_cid vkey then begin
+    Hashtbl.remove t.vkey_cid vkey;
+    t.free_vkeys <- vkey :: t.free_vkeys
+  end
+
+let[@inline] touch t phys =
+  t.tick <- t.tick + 1;
+  t.last_used.(phys) <- t.tick
+
+let emit t ev =
+  let bus = Cpu.bus t.cpu in
+  if Telemetry.Bus.tracing bus then Telemetry.Bus.emit bus ev
+
+(* Scrub an evicted tag from every core still caching it: real MPK
+   would deliver an IPI so each core rewrites its PKRU; we price one
+   wrpkru per affected core and flush its TLB. A fully-permissive
+   register is left alone — it belongs to trusted context (monitor
+   boot, host-side test drivers), which retains universal access by
+   definition; only narrowed registers hold a specific stale grant of
+   the evicted tag that must be revoked before the tag is rebound. *)
+let scrub_cores t ~phys =
+  let cost = Cpu.cost t.cpu in
+  for c = 0 to Cpu.ncores t.cpu - 1 do
+    let pkru = Cpu.core_pkru t.cpu c in
+    if pkru <> Pkru.all_allow && Pkru.can_read pkru phys then begin
+      Cost.charge_cat cost Telemetry.Attrib.Keymux cost.Cost.model.Cost.wrpkru;
+      Cpu.scrub_pkru_key t.cpu c ~key:phys;
+      t.stats.key_shootdowns <- t.stats.key_shootdowns + 1
+    end
+  done
+
+let evict t ~phys =
+  let vkey = t.owner.(phys) in
+  let cid = match cid_of_vkey t vkey with Some c -> c | None -> -1 in
+  Hashtbl.remove t.binding vkey;
+  t.owner.(phys) <- -1;
+  let pages = match t.evict_hook with Some h -> h ~cid ~vkey ~phys | None -> 0 in
+  t.stats.evictions <- t.stats.evictions + 1;
+  t.stats.retag_pages <- t.stats.retag_pages + pages;
+  scrub_cores t ~phys;
+  emit t (Telemetry.Event.Key_evict { cid; vkey; phys; pages })
+
+let free_slot t =
+  let found = ref (-1) in
+  for k = t.hi downto t.lo do
+    if t.owner.(k) = -1 then found := k
+  done;
+  !found
+
+let lru_slot t =
+  let best = ref t.lo in
+  for k = t.lo + 1 to t.hi do
+    if t.last_used.(k) < t.last_used.(!best) then best := k
+  done;
+  !best
+
+let phys_of t vkey =
+  if not (is_virtual vkey) then vkey
+  else
+    match Hashtbl.find_opt t.binding vkey with
+    | Some phys ->
+        touch t phys;
+        phys
+    | None ->
+        if not (Hashtbl.mem t.vkey_cid vkey) then
+          invalid_arg (Printf.sprintf "Keymux.phys_of: vkey %d not allocated" vkey);
+        let slot =
+          match free_slot t with
+          | -1 ->
+              let victim = lru_slot t in
+              evict t ~phys:victim;
+              victim
+          | k -> k
+        in
+        let cost = Cpu.cost t.cpu in
+        Cost.charge_cat cost Telemetry.Attrib.Keymux cost.Cost.model.Cost.key_reassign;
+        t.owner.(slot) <- vkey;
+        Hashtbl.replace t.binding vkey slot;
+        touch t slot;
+        t.stats.fault_ins <- t.stats.fault_ins + 1;
+        let cid = match cid_of_vkey t vkey with Some c -> c | None -> -1 in
+        emit t (Telemetry.Event.Key_fault_in { cid; vkey; phys = slot });
+        slot

@@ -38,6 +38,8 @@ type t = {
   fd : int;
   cache_pages : int;
   frames : (int, frame) Hashtbl.t;  (* pageno -> frame *)
+  lru_tick : (int, int) Hashtbl.t;  (* tick -> pageno touched at that tick *)
+  mutable lru_floor : int;  (* no live entry below this tick *)
   mutable free_frames : int list;  (* spare buffers *)
   mutable allocated_frames : int;
   mutable tick : int;
@@ -53,6 +55,7 @@ type t = {
 
 let stats t = t.st
 let page_count t = t.npages
+let cached_pages t = List.sort compare (Hashtbl.fold (fun p _ acc -> p :: acc) t.frames [])
 let in_txn t = t.txn
 let ctx t = t.os.Os_iface.ctx
 
@@ -102,6 +105,8 @@ let open_db ?(cache_pages = 64) ?(journal_mode = Rollback) (os : Os_iface.t) ~pa
     fd;
     cache_pages = max 4 cache_pages;
     frames = Hashtbl.create 128;
+    lru_tick = Hashtbl.create 128;
+    lru_floor = 1;
     free_frames = [];
     allocated_frames = 0;
     tick = 0;
@@ -151,6 +156,41 @@ let writeback t frame =
       emit_pager t Telemetry.Event.Wal_append);
   frame.dirty <- false
 
+(* LRU bookkeeping: [lru_tick] maps a tick to the page touched at that
+   tick, and a touch drops the frame's previous entry, so every cached
+   frame has exactly one live entry — at its [last_used] tick. Ticks
+   are unique and ascending, so the lowest live entry is the least
+   recently used frame: victim search walks up from [lru_floor] instead
+   of folding over the whole frame table. Entries left behind by frames
+   dropped on rollback go stale (no frame, or a frame touched since);
+   the walk deletes them as it passes. The floor only advances over
+   stale entries, never past a live-but-pinned one, so a frame skipped
+   while pinned is found again by the next search. *)
+let touch t frame =
+  Hashtbl.remove t.lru_tick frame.last_used;
+  t.tick <- t.tick + 1;
+  frame.last_used <- t.tick;
+  Hashtbl.replace t.lru_tick t.tick frame.pageno
+
+let lru_victim t =
+  let rec scan k contiguous =
+    if k > t.tick then None
+    else
+      match Hashtbl.find_opt t.lru_tick k with
+      | None ->
+          if contiguous then t.lru_floor <- k + 1;
+          scan (k + 1) contiguous
+      | Some pageno -> (
+          match Hashtbl.find_opt t.frames pageno with
+          | Some f when f.last_used = k ->
+              if f.pins = 0 then Some f else scan (k + 1) false
+          | _ ->
+              Hashtbl.remove t.lru_tick k;
+              if contiguous then t.lru_floor <- k + 1;
+              scan (k + 1) contiguous)
+  in
+  scan t.lru_floor true
+
 (* Find a buffer for a new frame: reuse a spare, allocate a fresh one
    while under capacity, or evict the least recently used unpinned
    frame (spilling it if dirty). *)
@@ -165,21 +205,12 @@ let acquire_buffer t =
         Api.malloc_page_aligned t.os.ctx page_size
       end
       else begin
-        let victim =
-          Hashtbl.fold
-            (fun _ f best ->
-              if f.pins > 0 then best
-              else
-                match best with
-                | Some b when b.last_used <= f.last_used -> best
-                | _ -> Some f)
-            t.frames None
-        in
-        match victim with
+        match lru_victim t with
         | None -> Types.error "pager: all %d cache frames pinned" t.cache_pages
         | Some f ->
             if f.dirty then writeback t f;
             Hashtbl.remove t.frames f.pageno;
+            Hashtbl.remove t.lru_tick f.last_used;
             t.st.evictions <- t.st.evictions + 1;
             emit_pager t Telemetry.Event.Evict;
             f.addr
@@ -190,8 +221,7 @@ let load_frame t pageno =
   | Some f ->
       t.st.hits <- t.st.hits + 1;
       emit_pager t Telemetry.Event.Cache_hit;
-      t.tick <- t.tick + 1;
-      f.last_used <- t.tick;
+      touch t f;
       f
   | None ->
       t.st.misses <- t.st.misses + 1;
@@ -208,9 +238,9 @@ let load_frame t pageno =
       in
       (* a fresh page at EOF reads short: zero-fill the tail *)
       if n < page_size then Api.memset t.os.ctx (addr + n) (page_size - n) '\000';
-      t.tick <- t.tick + 1;
-      let f = { addr; pageno; dirty = false; last_used = t.tick; pins = 0 } in
+      let f = { addr; pageno; dirty = false; last_used = 0; pins = 0 } in
       Hashtbl.replace t.frames pageno f;
+      touch t f;
       f
 
 let with_pinned t pageno f =
@@ -246,9 +276,9 @@ let allocate_page t =
   (* materialise a zeroed cached frame; the file grows on writeback *)
   let addr = acquire_buffer t in
   Api.memset t.os.ctx addr page_size '\000';
-  t.tick <- t.tick + 1;
-  let f = { addr; pageno; dirty = true; last_used = t.tick; pins = 0 } in
+  let f = { addr; pageno; dirty = true; last_used = 0; pins = 0 } in
   Hashtbl.replace t.frames pageno f;
+  touch t f;
   (if t.txn then Hashtbl.replace t.journaled pageno ());
   pageno
 

@@ -56,6 +56,10 @@ val close : t -> unit
 val page_count : t -> int
 val stats : t -> stats
 
+val cached_pages : t -> int list
+(** Page numbers currently held in cache frames, sorted — the
+    observable the LRU eviction-order tests pin down. *)
+
 val ctx : t -> Cubicle.Monitor.ctx
 (** The application context frames live in (for reading frame bytes). *)
 

@@ -1,6 +1,6 @@
-type category = Tramp | Mpk | Window | Memcpy | Fault | Ipc | Other
+type category = Tramp | Mpk | Window | Memcpy | Fault | Ipc | Keymux | Other
 
-let categories = [ Tramp; Mpk; Window; Memcpy; Fault; Ipc; Other ]
+let categories = [ Tramp; Mpk; Window; Memcpy; Fault; Ipc; Keymux; Other ]
 let ncat = List.length categories
 
 let cat_index = function
@@ -10,7 +10,8 @@ let cat_index = function
   | Memcpy -> 3
   | Fault -> 4
   | Ipc -> 5
-  | Other -> 6
+  | Keymux -> 6
+  | Other -> 7
 
 let cat_name = function
   | Tramp -> "tramp"
@@ -19,6 +20,7 @@ let cat_name = function
   | Memcpy -> "memcpy"
   | Fault -> "fault"
   | Ipc -> "ipc"
+  | Keymux -> "keymux"
   | Other -> "other"
 
 (* The table is keyed core x cubicle x category. The hot path still

@@ -20,6 +20,12 @@ type category =
       (** kernel IPC / framework dispatch of the microkernel baselines
           (Genode RPC round trips, signals, library-VFS dispatch) — the
           mechanism the paper's Fig. 10 compares trampolines against *)
+  | Keymux
+      (** protection-key virtualization: virtual-key fault-ins
+          (libmpk-style reassignment), eviction page retags and the
+          PKRU shootdowns that scrub an evicted key from remote cores.
+          Zero unless tag virtualisation is enabled, so existing
+          configurations attribute identically. *)
   | Other  (** everything else: OS work, syscalls, device models *)
 
 val categories : category list

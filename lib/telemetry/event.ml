@@ -31,6 +31,8 @@ type pager_op =
 type t =
   | Fault of { addr : int; access : access; key : int; reason : fault_reason; resolved : bool }
   | Retag of { page : int; to_key : int }
+  | Key_fault_in of { cid : int; vkey : int; phys : int }
+  | Key_evict of { cid : int; vkey : int; phys : int; pages : int }
   | Pkru_write of { value : int }
   | Call of { caller : int; callee : int; sym : string }
   | Return of { caller : int; callee : int; sym : string }
@@ -93,6 +95,8 @@ let pager_op_name = function
 let name = function
   | Fault _ -> "fault"
   | Retag _ -> "retag"
+  | Key_fault_in _ -> "key_fault_in"
+  | Key_evict _ -> "key_evict"
   | Pkru_write _ -> "wrpkru"
   | Call _ -> "call"
   | Return _ -> "return"
@@ -113,6 +117,11 @@ let pp ppf ev =
         (reason_name reason)
         (if resolved then " (resolved)" else "")
   | Retag { page; to_key } -> Format.fprintf ppf "retag page=%d -> key %d" page to_key
+  | Key_fault_in { cid; vkey; phys } ->
+      Format.fprintf ppf "key_fault_in cubicle=%d vkey=%d -> phys %d" cid vkey phys
+  | Key_evict { cid; vkey; phys; pages } ->
+      Format.fprintf ppf "key_evict cubicle=%d vkey=%d phys=%d (%d pages retagged)" cid vkey
+        phys pages
   | Pkru_write { value } -> Format.fprintf ppf "wrpkru 0x%08x" value
   | Call { caller; callee; sym } -> Format.fprintf ppf "call %s: %d -> %d" sym caller callee
   | Return { caller; callee; sym } ->

@@ -45,6 +45,15 @@ type t =
       (** A protection fault delivered by the machine; [resolved] is
           whether the handler fixed it (trap-and-map). *)
   | Retag of { page : int; to_key : int }  (** Trap-and-map key reassignment. *)
+  | Key_fault_in of { cid : int; vkey : int; phys : int }
+      (** Key virtualisation: [cid]'s virtual key [vkey] was bound to
+          physical MPK tag [phys] (libmpk-style reassignment). The
+          replay plane uses these to mirror the virtual→physical map so
+          a recycled physical tag never aliases two tenants. *)
+  | Key_evict of { cid : int; vkey : int; phys : int; pages : int }
+      (** Key virtualisation: [cid]'s binding to [phys] was evicted to
+          make room; [pages] of its pages were retagged back to the
+          monitor. *)
   | Pkru_write of { value : int }
   | Call of { caller : int; callee : int; sym : string }
       (** Cross-cubicle trampoline entry (paired with {!Return}). *)

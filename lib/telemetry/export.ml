@@ -128,6 +128,17 @@ module Stream = struct
           ]
     | Event.Retag { page; to_key } ->
         instant ~cat:"fault" "retag" [ ("page", jint page); ("to_key", jint to_key) ]
+    | Event.Key_fault_in { cid; vkey; phys } ->
+        instant ~cat:"mpk" "key_fault_in"
+          [ ("cubicle", jstr (names cid)); ("vkey", jint vkey); ("phys", jint phys) ]
+    | Event.Key_evict { cid; vkey; phys; pages } ->
+        instant ~cat:"mpk" "key_evict"
+          [
+            ("cubicle", jstr (names cid));
+            ("vkey", jint vkey);
+            ("phys", jint phys);
+            ("pages", jint pages);
+          ]
     | Event.Pkru_write { value } -> instant ~cat:"mpk" "wrpkru" [ ("pkru", jint value) ]
     | Event.Rejected { cid } -> instant ~cat:"fault" "rejected" [ ("cubicle", jstr (names cid)) ]
     | Event.Window { cid; op; wid; peer; ptr; size; rw } ->

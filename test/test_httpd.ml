@@ -241,6 +241,80 @@ let test_full_isolation_overhead_exists () =
   check_bool "full costs more" true (full > base);
   check_bool "under 10x" true (full < 10 * base)
 
+(* --- multi-tenant serving sets --------------------------------------------- *)
+
+let test_tenant_request_roundtrip () =
+  let sys = Httpd.Tenant.boot ~virtualise:true () in
+  List.iter (Httpd.Tenant.spawn sys) [ 1; 2; 3 ];
+  List.iter
+    (fun t ->
+      check_str
+        (Printf.sprintf "tenant %d" t)
+        (Httpd.Tenant.expected ~tenant:t ~off:5 ~len:40)
+        (Httpd.Tenant.request sys ~tenant:t ~off:5 ~len:40))
+    [ 1; 2; 3 ];
+  (* tenants are isolated components: 3 pairs + gateway + monitor *)
+  check_int "cubicle count" 8 (Monitor.ncubicles (Httpd.Tenant.mon sys))
+
+let test_tenant_lifecycle_recycles () =
+  let sys = Httpd.Tenant.boot ~virtualise:true () in
+  let mon = Httpd.Tenant.mon sys in
+  List.iter (Httpd.Tenant.spawn sys) [ 1; 2; 3 ];
+  ignore (Httpd.Tenant.request sys ~tenant:2 ~off:0 ~len:16);
+  let pages = Monitor.free_page_count mon in
+  let cubs = Monitor.ncubicles mon in
+  (* teardown + respawn must reuse the dead pair's cids, virtual keys
+     and page footprint exactly *)
+  Httpd.Tenant.teardown sys 2;
+  check_bool "pages released" true (Monitor.free_page_count mon > pages);
+  Httpd.Tenant.spawn sys 2;
+  check_int "cubicles recycled" cubs (Monitor.ncubicles mon);
+  check_int "page footprint identical" pages (Monitor.free_page_count mon);
+  check_bool "cid pool not grown" true (List.length (Monitor.live_cids mon) = cubs);
+  (* the respawned tenant and an untouched neighbour both serve *)
+  List.iter
+    (fun t ->
+      check_str
+        (Printf.sprintf "tenant %d after churn" t)
+        (Httpd.Tenant.expected ~tenant:t ~off:9 ~len:25)
+        (Httpd.Tenant.request sys ~tenant:t ~off:9 ~len:25))
+    [ 2; 3 ];
+  check_int "live tenants" 3 (List.length (Httpd.Tenant.live sys))
+
+let test_tenant_teardown_errors () =
+  let sys = Httpd.Tenant.boot ~virtualise:true () in
+  Httpd.Tenant.spawn sys 1;
+  check_bool "double spawn rejected" true
+    (match Httpd.Tenant.spawn sys 1 with
+    | _ -> false
+    | exception Types.Error _ -> true);
+  Httpd.Tenant.teardown sys 1;
+  check_bool "double teardown rejected" true
+    (match Httpd.Tenant.teardown sys 1 with
+    | _ -> false
+    | exception Types.Error _ -> true);
+  check_bool "request to dead tenant rejected" true
+    (match Httpd.Tenant.request sys ~tenant:1 ~off:0 ~len:8 with
+    | _ -> false
+    | exception Types.Error _ -> true)
+
+let test_tenant_pressure_past_16_keys () =
+  (* 12 tenants = 25 isolated cubicles over 14 physical tags: every
+     round-robin sweep evicts, yet every response stays byte-exact *)
+  let sys = Httpd.Tenant.boot ~virtualise:true () in
+  let mon = Httpd.Tenant.mon sys in
+  List.iter (Httpd.Tenant.spawn sys) (List.init 12 (fun i -> i + 1));
+  for round = 0 to 1 do
+    for t = 1 to 12 do
+      let off = (t * 3) + round and len = 32 + t in
+      check_str
+        (Printf.sprintf "tenant %d round %d" t round)
+        (Httpd.Tenant.expected ~tenant:t ~off ~len)
+        (Httpd.Tenant.request sys ~tenant:t ~off ~len)
+    done
+  done;
+  check_bool "evictions occurred" true (Monitor.tag_evictions mon > 0)
+
 let () =
   Alcotest.run "httpd"
     [
@@ -269,5 +343,12 @@ let () =
           Alcotest.test_case "grant-and-forward topology" `Quick test_zerocopy_topology;
           Alcotest.test_case "all protections" `Quick test_zerocopy_all_protections;
           Alcotest.test_case "keep-alive repeat" `Quick test_zerocopy_keep_alive_repeat;
+        ] );
+      ( "tenants",
+        [
+          Alcotest.test_case "request roundtrip" `Quick test_tenant_request_roundtrip;
+          Alcotest.test_case "lifecycle recycles" `Quick test_tenant_lifecycle_recycles;
+          Alcotest.test_case "spawn/teardown errors" `Quick test_tenant_teardown_errors;
+          Alcotest.test_case "pressure past 16 keys" `Quick test_tenant_pressure_past_16_keys;
         ] );
     ]

@@ -97,6 +97,47 @@ let test_pager_eviction () =
     pages;
   Minidb.Pager.close p
 
+(* Pin the exact victim sequence — not just "evictions happened". The
+   Hashtbl tick index must pick the same victims the old full-table
+   scan did: least recently used first, recency refreshed by hits, and
+   a pinned LRU frame skipped in favour of the next-oldest. *)
+let test_pager_lru_order () =
+  let os = mk_os () in
+  let p = Minidb.Pager.open_db ~cache_pages:4 os ~path:"/lru.db" in
+  let pages = List.init 8 (fun _ -> Minidb.Pager.allocate_page p) in
+  let pg i = List.nth pages i in
+  let read i = ignore (Minidb.Pager.read_page p (pg i) (fun _ -> 0)) in
+  let check_cache msg l =
+    Alcotest.(check (list int)) msg
+      (List.sort compare (List.map pg l))
+      (Minidb.Pager.cached_pages p)
+  in
+  (* allocating 8 pages through 4 frames evicts the first four *)
+  check_cache "after fill" [ 4; 5; 6; 7 ];
+  read 4;
+  (* LRU now 5 *)
+  read 0;
+  (* evicts 5; LRU now 6 *)
+  check_cache "5 evicted" [ 0; 4; 6; 7 ];
+  read 6;
+  (* LRU now 7 *)
+  read 1;
+  (* evicts 7; LRU order now 4, 0, 6, 1 *)
+  check_cache "7 evicted" [ 0; 1; 4; 6 ];
+  (* 4 becomes most recent on the pinning read itself, leaving 0 as
+     LRU; the nested miss must evict 0, never the pinned frame *)
+  Minidb.Pager.read_page p (pg 4) (fun _ -> read 2);
+  check_cache "0 evicted under pin" [ 1; 2; 4; 6 ];
+  (* remaining order 6, 1, 4, 2: drain it one miss at a time *)
+  read 3;
+  check_cache "6 evicted" [ 1; 2; 3; 4 ];
+  read 5;
+  check_cache "1 evicted" [ 2; 3; 4; 5 ];
+  read 7;
+  check_cache "4 evicted" [ 2; 3; 5; 7 ];
+  check_int "evictions" 10 (Minidb.Pager.stats p).evictions;
+  Minidb.Pager.close p
+
 let test_pager_commit () =
   let os = mk_os () in
   let p = Minidb.Pager.open_db os ~path:"/txn.db" in
@@ -555,6 +596,7 @@ let () =
           Alcotest.test_case "basic rw" `Quick test_pager_basic_rw;
           Alcotest.test_case "persistence" `Quick test_pager_persistence;
           Alcotest.test_case "eviction" `Quick test_pager_eviction;
+          Alcotest.test_case "lru order" `Quick test_pager_lru_order;
           Alcotest.test_case "commit" `Quick test_pager_commit;
           Alcotest.test_case "rollback" `Quick test_pager_rollback;
           Alcotest.test_case "rollback new pages" `Quick test_pager_rollback_drops_new_pages;

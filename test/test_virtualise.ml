@@ -151,6 +151,163 @@ let test_dedicated_tags_rejected_under_virtualise () =
     | _ -> false
     | exception Types.Error _ -> true)
 
+(* A failed spawn must leave the monitor exactly as it was: repeated
+   oversized creations (stack pages land, then the heap allocation
+   blows up) may not leak pages, cids, names or virtual keys. *)
+let test_failed_spawns_leak_nothing () =
+  let mon =
+    Monitor.create ~virtualise:true ~protection:Types.Full ~mem_bytes:(8 * 1024 * 1024) ()
+  in
+  ignore
+    (Monitor.create_cubicle mon ~name:"OK" ~kind:Types.Isolated ~heap_pages:2 ~stack_pages:1);
+  let free0 = Monitor.free_page_count mon in
+  let n0 = Monitor.ncubicles mon in
+  for _ = 1 to 10 do
+    match
+      Monitor.create_cubicle mon ~name:"BIG" ~kind:Types.Isolated ~heap_pages:1_000_000
+        ~stack_pages:2
+    with
+    | _ -> Alcotest.fail "oversized spawn unexpectedly succeeded"
+    | exception (Types.Error _ | Mm.Page_alloc.Out_of_memory) -> ()
+  done;
+  check_int "no pages leaked" free0 (Monitor.free_page_count mon);
+  check_int "no cubicles leaked" n0 (Monitor.ncubicles mon);
+  (* the name is free again and a sane footprint still fits *)
+  let cid =
+    Monitor.create_cubicle mon ~name:"BIG" ~kind:Types.Isolated ~heap_pages:2 ~stack_pages:1
+  in
+  let ctx = Monitor.ctx_for mon cid in
+  Monitor.run_as mon cid (fun () ->
+      let b = Api.malloc ctx 8 in
+      Api.write_u8 ctx b 42;
+      check_int "respawned cubicle works" 42 (Api.read_u8 ctx b))
+
+(* --- qcheck: mapping consistency under random lifecycles ------------------- *)
+
+type sched_op = Spawn of int | Teardown of int | Touch of int
+
+let gen_sched =
+  QCheck.Gen.(
+    list_size (int_range 30 120)
+      (oneof
+         [
+           map (fun i -> Spawn i) (int_bound 25);
+           map (fun i -> Teardown i) (int_bound 25);
+           map (fun i -> Touch i) (int_bound 25);
+         ]))
+
+let pp_sched ops =
+  String.concat ";"
+    (List.map
+       (function
+         | Spawn i -> Printf.sprintf "S%d" i
+         | Teardown i -> Printf.sprintf "T%d" i
+         | Touch i -> Printf.sprintf "C%d" i)
+       ops)
+
+(* Under any spawn/teardown/call schedule the virtual->physical mapping
+   must stay consistent with the page tables and every core's PKRU:
+   each physical tag is bound to at most one live cubicle, a page
+   carrying a pool tag belongs to exactly the cubicle whose virtual key
+   owns that tag (evicted cubicles keep no resident tags), and a
+   narrowed PKRU register never readmits a tag that is not the current
+   binding of some live cubicle. *)
+let prop_keymux_consistent =
+  QCheck.Test.make ~count:60 ~name:"keymux: mapping consistent under random lifecycle"
+    (QCheck.make ~print:pp_sched gen_sched)
+    (fun ops ->
+      let mon = Monitor.create ~virtualise:true ~ncores:2 ~protection:Types.Full () in
+      let km = Option.get (Monitor.keymux mon) in
+      let live = Hashtbl.create 16 in
+      let bufs = Hashtbl.create 16 in
+      List.iter
+        (fun op ->
+          match op with
+          | Spawn i when not (Hashtbl.mem live i) ->
+              let cid =
+                Monitor.create_cubicle mon ~name:(Printf.sprintf "S%d" i)
+                  ~kind:Types.Isolated ~heap_pages:2 ~stack_pages:1
+              in
+              Monitor.register_exports mon cid
+                [
+                  {
+                    Monitor.sym = Printf.sprintf "s%d_touch" i;
+                    fn =
+                      (fun ctx a ->
+                        Api.write_u8 ctx a.(0) (i land 0xFF);
+                        Api.read_u8 ctx a.(0));
+                    stack_bytes = 0;
+                  };
+                ];
+              Hashtbl.replace live i cid;
+              Hashtbl.replace bufs i (Monitor.malloc mon cid 8)
+          | Spawn _ -> ()
+          | Teardown i -> (
+              match Hashtbl.find_opt live i with
+              | Some cid ->
+                  Monitor.destroy_cubicle mon cid;
+                  Hashtbl.remove live i;
+                  Hashtbl.remove bufs i
+              | None -> ())
+          | Touch i -> (
+              match Hashtbl.find_opt live i with
+              | Some cid ->
+                  let got =
+                    Monitor.call mon ~caller:cid (Printf.sprintf "s%d_touch" i)
+                      [| Hashtbl.find bufs i |]
+                  in
+                  if got <> i land 0xFF then
+                    QCheck.Test.fail_reportf "touch %d read back %d" i got
+              | None -> ()))
+        ops;
+      let cpu = Monitor.cpu mon in
+      let pt = Hw.Cpu.page_table cpu in
+      let residents = Hw.Keymux.residents km in
+      let live_cids = Monitor.live_cids mon in
+      (* each pool tag bound at most once, to a live cubicle's own vkey *)
+      let phys_tags = List.map fst residents in
+      if List.length phys_tags <> List.length (List.sort_uniq compare phys_tags) then
+        QCheck.Test.fail_reportf "physical tag bound twice: %s"
+          (String.concat "," (List.map string_of_int phys_tags));
+      List.iter
+        (fun (phys, vkey) ->
+          match Hw.Keymux.cid_of_vkey km vkey with
+          | Some cid when List.mem cid live_cids ->
+              if Monitor.cubicle_raw_key mon cid <> vkey then
+                QCheck.Test.fail_reportf "tag %d bound to vkey %d, but cubicle %d owns %d"
+                  phys vkey cid
+                  (Monitor.cubicle_raw_key mon cid)
+          | Some cid -> QCheck.Test.fail_reportf "tag %d bound to dead cubicle %d" phys cid
+          | None -> QCheck.Test.fail_reportf "tag %d bound to unallocated vkey %d" phys vkey)
+        residents;
+      (* page tags never alias: a page carrying a pool tag belongs to
+         the cubicle resident at that tag; evicted cubicles' pages are
+         all back on the monitor tag *)
+      Hashtbl.iter
+        (fun _ cid ->
+          let vkey = Monitor.cubicle_raw_key mon cid in
+          let res = Hw.Keymux.resident km vkey in
+          List.iter
+            (fun page ->
+              let tag = Hw.Page_table.key pt page in
+              if tag <> 0 && Some tag <> res then
+                QCheck.Test.fail_reportf
+                  "cubicle %d (vkey %d, resident %s) owns page %d tagged %d" cid vkey
+                  (match res with Some p -> string_of_int p | None -> "no")
+                  page tag)
+            (Mm.Page_meta.owned_by (Monitor.meta mon) cid))
+        live;
+      (* a narrowed PKRU register only admits currently-bound tags *)
+      for core = 0 to Hw.Cpu.ncores cpu - 1 do
+        let pkru = Hw.Cpu.core_pkru cpu core in
+        if pkru <> Hw.Pkru.all_allow then
+          for p = 1 to Hw.Pkru.nkeys - 2 do
+            if Hw.Pkru.can_read pkru p && not (List.mem_assoc p residents) then
+              QCheck.Test.fail_reportf "core %d PKRU admits unbound tag %d" core p
+          done
+      done;
+      true)
+
 let () =
   Alcotest.run "virtualise"
     [
@@ -165,4 +322,10 @@ let () =
           Alcotest.test_case "full stack" `Quick test_virtualised_full_stack;
           Alcotest.test_case "no dedicated tags" `Quick test_dedicated_tags_rejected_under_virtualise;
         ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "failed spawns leak nothing" `Quick
+            test_failed_spawns_leak_nothing;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_keymux_consistent ]);
     ]
