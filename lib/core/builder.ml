@@ -118,7 +118,15 @@ let spawn ?(callers = []) built comps =
         | Types.Shared -> [])
       comps
   in
-  Trampoline.extend built.trampolines ~syms ~cids:(List.map snd fresh @ callers);
+  (* Live callers only need guard entries for the new symbols (they
+     already hold the rest); the freshly spawned cubicles must be able
+     to guard-call every live export, not just the ones introduced in
+     their own batch — mirror [build], which covers the full thunk
+     table for every isolated cubicle. *)
+  Trampoline.extend built.trampolines ~syms ~cids:callers;
+  Trampoline.extend built.trampolines
+    ~syms:(Trampoline.syms built.trampolines)
+    ~cids:(List.map snd fresh);
   built.cids <- built.cids @ fresh;
   built.ifaces <- built.ifaces @ List.map (fun (c, _) -> (c.name, c.iface)) comps;
   List.iter

@@ -70,11 +70,13 @@ val spawn :
   (string * Types.cid) list
 (** Load more components into a running system: the cubicle lifecycle's
     birth half. Checks exports, loads each component, extends the
-    trampoline table (thunks for the new symbols; guard entries for the
-    spawned isolated cubicles and for each cubicle in [callers]), runs
-    initialisers in declaration order, and returns the fresh
-    [(name, cid)] pairs. Component names must not collide with live
-    cubicles ({!Types.Error} from the monitor if they do). *)
+    trampoline table (thunks for the new symbols; guard entries in each
+    spawned isolated cubicle for {e every} live export, matching what
+    {!build} gives statically-built cubicles, and in each cubicle of
+    [callers] for the new symbols), runs initialisers in declaration
+    order, and returns the fresh [(name, cid)] pairs. Component names
+    must not collide with live cubicles ({!Types.Error} from the
+    monitor if they do). *)
 
 val unload : built -> string list -> unit
 (** Tear the named components down: drop their guard entries, then

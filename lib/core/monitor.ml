@@ -113,6 +113,29 @@ let pkru_for t cid =
   | Types.Isolated | Types.Shared ->
       Hw.Pkru.of_keys (phys_of t c :: shared_key :: c.extra_keys)
 
+(* Restoring a PKRU saved across a nested call/run is only sound when
+   the tags it grants still mean what they meant at save time. Under
+   tag virtualisation a physical tag in the saved value may have been
+   evicted and rebound to a *different* cubicle during the nested run;
+   [Keymux.scrub_cores] fixes live registers only, so writing the
+   saved value back would silently re-admit the recycled tag until the
+   context's next key fault. Recompute the register from the saved
+   cubicle instead (re-faulting its key in if it was evicted). A
+   fully-permissive register belongs to trusted context and is
+   restored verbatim, as is anything saved while a trusted cubicle was
+   current (host-side drivers may narrow PKRU without moving [cur]);
+   without virtualisation tags are never rebound and the raw restore
+   stays exact. *)
+let restore_pkru t ~saved_cur ~saved_pkru =
+  if
+    t.virtualise
+    && saved_pkru <> Hw.Pkru.all_allow
+    && (match Hashtbl.find_opt t.cubs saved_cur with
+       | Some c -> c.kind <> Types.Trusted
+       | None -> false)
+  then Hw.Cpu.wrpkru t.m_cpu (pkru_for t saved_cur)
+  else Hw.Cpu.wrpkru t.m_cpu saved_pkru
+
 (* --- trap-and-map fault handler (paper Fig. 4) ------------------------- *)
 
 let retag t page ~to_key =
@@ -531,10 +554,11 @@ let call t ~caller sym args =
             Hw.Cpu.priv_blit t.m_cpu ~src:caller_cub.stack_base ~dst:callee_cub.stack_base
               ~len:(min exp.e_stack_bytes (callee_cub.stack_pages * Hw.Addr.page_size));
           if mpk_on t then begin
+            let saved_cur = t.cur in
             let saved_pkru = Hw.Cpu.pkru t.m_cpu in
             Hw.Cpu.wrpkru t.m_cpu (pkru_for t exp.e_owner);
             Fun.protect
-              ~finally:(fun () -> Hw.Cpu.wrpkru t.m_cpu saved_pkru)
+              ~finally:(fun () -> restore_pkru t ~saved_cur ~saved_pkru)
               (fun () -> invoke_switched t exp ~caller args)
           end
           else invoke_switched t exp ~caller args)
@@ -548,7 +572,7 @@ let run_as t cid f =
     Fun.protect
       ~finally:(fun () ->
         set_cur t saved_cur;
-        Hw.Cpu.wrpkru t.m_cpu saved_pkru)
+        restore_pkru t ~saved_cur ~saved_pkru)
       f
   end
   else Fun.protect ~finally:(fun () -> set_cur t saved_cur) f
@@ -947,6 +971,43 @@ let destroy_cubicle t cid =
     Hashtbl.fold (fun sym e acc -> if e.e_owner = cid then sym :: acc else acc) t.symbols []
   in
   List.iter (Hashtbl.remove t.symbols) doomed;
+  (* Revoke every grant the dying cubicle holds on peers' windows. The
+     cid is about to be recycled, and a stale `opened` bit would hand
+     the unrelated successor every window the dead cubicle was ever
+     granted — the fault handler's is_open_for check cannot tell the
+     two apart. Close events keep the replay mirror's opened-sets in
+     step, so CubiCheck judges the recycled cid against the same clean
+     ACL state. *)
+  Hashtbl.iter
+    (fun ocid oc ->
+      if ocid <> cid then
+        List.iter
+          (fun w ->
+            if Window.is_open_for w cid then begin
+              Window.close_for w cid;
+              emit_window t ocid Telemetry.Event.Close ~wid:w.Window.wid ~peer:cid ()
+            end)
+          (Window.live_windows oc.windows))
+    t.cubs;
+  (* The dying cubicle's own windows: the live table dies with the
+     cubicle record, but the replay mirror only forgets a window on a
+     Destroy event — emit them, or a recycled cid that never re-inits
+     the wid would inherit the dead window's grants in the mirror. A
+     dedicated window tag is returned to the pool and stripped from
+     every grantee's extra-key set, so the recycled tag cannot alias a
+     future window's pages through a stale PKRU grant. *)
+  List.iter
+    (fun w ->
+      (match w.Window.dedicated_key with
+      | Some k ->
+          Hashtbl.iter
+            (fun _ oc -> oc.extra_keys <- List.filter (fun k' -> k' <> k) oc.extra_keys)
+            t.cubs;
+          Window.set_dedicated_key w None;
+          t.free_keys <- k :: t.free_keys
+      | None -> ());
+      emit_window t cid Telemetry.Event.Destroy ~wid:w.Window.wid ())
+    (Window.live_windows c.windows);
   (* scrub and release every page run *)
   release_runs t cid;
   (* recycle the key: a virtual key's binding is dropped without the

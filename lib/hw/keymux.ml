@@ -90,22 +90,6 @@ let residents t =
   done;
   !acc
 
-(* Drop a vkey's binding without the eviction price: the caller is
-   destroying the cubicle and scrubs/unmaps its pages itself, so there
-   is nothing left to retag. The physical slot becomes free and the
-   vkey number is recycled for the next [alloc]. *)
-let free t vkey =
-  (match Hashtbl.find_opt t.binding vkey with
-  | Some phys ->
-      t.owner.(phys) <- -1;
-      t.last_used.(phys) <- 0;
-      Hashtbl.remove t.binding vkey
-  | None -> ());
-  if Hashtbl.mem t.vkey_cid vkey then begin
-    Hashtbl.remove t.vkey_cid vkey;
-    t.free_vkeys <- vkey :: t.free_vkeys
-  end
-
 let[@inline] touch t phys =
   t.tick <- t.tick + 1;
   t.last_used.(phys) <- t.tick
@@ -131,6 +115,28 @@ let scrub_cores t ~phys =
       t.stats.key_shootdowns <- t.stats.key_shootdowns + 1
     end
   done
+
+(* Drop a vkey's binding without the page-walk part of the eviction
+   price: the caller is destroying the cubicle and scrubs/unmaps its
+   pages itself, so there is nothing left to retag. The per-core PKRU
+   scrub is NOT skippable, though — a core may still cache the tag
+   from an earlier run of the dead cubicle, and the freed slot is
+   about to be rebound; without the scrub that register would retain
+   access to whatever binds the slot next (the aliasing [scrub_cores]
+   exists to prevent). The physical slot becomes free and the vkey
+   number is recycled for the next [alloc]. *)
+let free t vkey =
+  (match Hashtbl.find_opt t.binding vkey with
+  | Some phys ->
+      t.owner.(phys) <- -1;
+      t.last_used.(phys) <- 0;
+      Hashtbl.remove t.binding vkey;
+      scrub_cores t ~phys
+  | None -> ());
+  if Hashtbl.mem t.vkey_cid vkey then begin
+    Hashtbl.remove t.vkey_cid vkey;
+    t.free_vkeys <- vkey :: t.free_vkeys
+  end
 
 let evict t ~phys =
   let vkey = t.owner.(phys) in

@@ -53,9 +53,11 @@ val alloc : t -> cid:int -> int
 
 val free : t -> int -> unit
 (** [free t vkey] releases a virtual key at cubicle teardown: drops its
-    binding (without the eviction price — the caller scrubs and unmaps
-    the dead cubicle's pages itself) and recycles the key number.
-    Idempotent. *)
+    binding (without the page-walk eviction price — the caller scrubs
+    and unmaps the dead cubicle's pages itself), scrubs the freed tag
+    from every core's PKRU still caching it (so the recycled slot's
+    next owner cannot be aliased by a stale register) and recycles the
+    key number. Idempotent. *)
 
 val phys_of : t -> int -> int
 (** [phys_of t vkey] — the fault-in. Physical keys pass through

@@ -745,6 +745,57 @@ let test_destroy_recycles_key () =
   let b = Api.malloc ctx 16 in
   Monitor.run_as mon baz (fun () -> check_int "scrubbed" 0 (Api.read_u8 ctx b))
 
+let test_destroy_revokes_peer_grants () =
+  (* Destroying a cubicle must close it out of every peer's windows: the
+     cid is recycled, and a stale `opened` bit would hand the unrelated
+     successor every window the dead cubicle was ever granted. *)
+  let mon, foo, bar = mk_system () in
+  let ctx = Monitor.ctx_for mon foo in
+  let buf = Api.malloc_page_aligned ctx 16 in
+  let wid = Api.window_init ctx ~klass:Mm.Page_meta.Heap in
+  Api.window_add ctx wid ~ptr:buf ~size:16;
+  Api.window_open ctx wid bar;
+  Monitor.destroy_cubicle mon bar;
+  (* the live ACL no longer lists the dead cid *)
+  List.iter
+    (fun w -> check_bool "grant revoked" false (Window.is_open_for w bar))
+    (Window.live_windows (Monitor.windows_of mon foo));
+  (* a successor reusing the cid starts with no access to FOO's buffer *)
+  let baz =
+    Monitor.create_cubicle mon ~name:"BAZ" ~kind:Types.Isolated ~heap_pages:4 ~stack_pages:1
+  in
+  check_int "cid recycled" bar baz;
+  Monitor.register_exports mon baz
+    [
+      {
+        Monitor.sym = "baz_poke";
+        fn = (fun ctx a -> Api.write_u8 ctx a.(0) 1; 0);
+        stack_bytes = 0;
+      };
+    ];
+  check_bool "successor denied" true
+    (is_violation (fun () -> Monitor.call mon ~caller:baz "baz_poke" [| buf |]));
+  (* FOO can re-grant to the successor explicitly, as for any peer *)
+  Api.window_open ctx wid baz;
+  check_int "explicit re-grant works" 0 (Monitor.call mon ~caller:baz "baz_poke" [| buf |])
+
+let test_spawn_guards_cover_existing_exports () =
+  (* A freshly spawned cubicle must be able to guard-call exports that
+     predate its own spawn batch, exactly like statically-built ones. *)
+  let built = mk_built () in
+  let gamma_comp =
+    Builder.component
+      ~exports:[ { Monitor.sym = "gamma_fn"; fn = (fun _ _ -> 3); stack_bytes = 0 } ]
+      "GAMMA"
+  in
+  let fresh = Builder.spawn built [ (gamma_comp, Types.Isolated) ] in
+  let gamma = List.assoc "GAMMA" fresh in
+  check_bool "guard entry for pre-existing export" true
+    (Trampoline.has_guard built.Builder.trampolines gamma "alpha_fn");
+  Trampoline.enter_via_guard built.Builder.trampolines ~caller:gamma "alpha_fn";
+  check_int "call to pre-existing export works" 1
+    (Monitor.call built.Builder.mon ~caller:gamma "alpha_fn" [||])
+
 let test_destroy_full_slot_reuse () =
   (* churn: create and destroy cubicles repeatedly without exhausting
      the 14 keys *)
@@ -936,6 +987,9 @@ let () =
           Alcotest.test_case "page ownership" `Quick test_alloc_pages_ownership;
           Alcotest.test_case "destroy cubicle" `Quick test_destroy_cubicle;
           Alcotest.test_case "destroy recycles key" `Quick test_destroy_recycles_key;
+          Alcotest.test_case "destroy revokes grants" `Quick test_destroy_revokes_peer_grants;
+          Alcotest.test_case "spawn guards old exports" `Quick
+            test_spawn_guards_cover_existing_exports;
           Alcotest.test_case "destroy churn" `Quick test_destroy_full_slot_reuse;
           Alcotest.test_case "destroy monitor rejected" `Quick test_destroy_monitor_rejected;
         ] );

@@ -182,6 +182,77 @@ let test_failed_spawns_leak_nothing () =
       Api.write_u8 ctx b 42;
       check_int "respawned cubicle works" 42 (Api.read_u8 ctx b))
 
+(* Keymux.free at teardown must scrub the freed tag from every core's
+   PKRU still caching it: a register narrowed on another core would
+   otherwise retain access to whatever cubicle next binds the slot. *)
+let test_teardown_scrubs_core_registers () =
+  let mon = Monitor.create ~virtualise:true ~ncores:2 ~protection:Types.Full () in
+  let a =
+    Monitor.create_cubicle mon ~name:"A" ~kind:Types.Isolated ~heap_pages:2 ~stack_pages:1
+  in
+  let phys_a = Monitor.cubicle_key mon a in
+  let cpu = Monitor.cpu mon in
+  (* core 1 caches A's physical tag in a narrowed register *)
+  Hw.Cpu.set_core cpu 1;
+  Hw.Cpu.wrpkru cpu (Hw.Pkru.of_keys [ phys_a; Monitor.shared_key ]);
+  Hw.Cpu.set_core cpu 0;
+  check_bool "core 1 caches the tag" true
+    (Hw.Pkru.can_read (Hw.Cpu.core_pkru cpu 1) phys_a);
+  Monitor.destroy_cubicle mon a;
+  check_bool "teardown scrubbed core 1" false
+    (Hw.Pkru.can_read (Hw.Cpu.core_pkru cpu 1) phys_a);
+  let km = Option.get (Monitor.keymux mon) in
+  check_bool "shootdown counted" true ((Hw.Keymux.stats km).Hw.Keymux.key_shootdowns > 0)
+
+(* Returning from a nested call must not re-admit a physical tag that
+   was evicted and rebound to a different cubicle while the call ran:
+   the restored register is recomputed from the caller's virtual key,
+   not written back verbatim. *)
+let test_return_does_not_readmit_recycled_tag () =
+  let mon, cids = mk_many 20 in
+  let km = Option.get (Monitor.keymux mon) in
+  let c0 = List.hd cids and c1 = List.nth cids 1 in
+  (* c1's churn export drags every other cubicle's key through the
+     14-slot pool, guaranteeing c0's binding is evicted and its old
+     physical tag rebound to someone else before the call returns *)
+  Monitor.register_exports mon c1
+    [
+      {
+        Monitor.sym = "c01_churn";
+        fn =
+          (fun ctx _ ->
+            List.iteri
+              (fun i cid ->
+                if i >= 2 then begin
+                  let b = Monitor.malloc mon cid 8 in
+                  ignore (Api.call ctx (Printf.sprintf "c%02d_poke" i) [| b; i |])
+                end)
+              cids;
+            0);
+        stack_bytes = 0;
+      };
+    ];
+  let ctx0 = Monitor.ctx_for mon c0 in
+  let cpu = Monitor.cpu mon in
+  Monitor.run_as mon c0 (fun () ->
+      ignore (Api.call ctx0 "c01_churn" [||]);
+      check_bool "churn evicted keys" true (Monitor.tag_evictions mon > 0);
+      (* back in c0: every pool tag the register admits must be c0's
+         own current binding — never a recycled tag now owned by one of
+         the churned cubicles *)
+      let pkru = Hw.Cpu.pkru cpu in
+      for p = 1 to Hw.Pkru.nkeys - 2 do
+        if Hw.Pkru.can_read pkru p then begin
+          match Hw.Keymux.resident_vkey km p with
+          | Some vkey ->
+              check_bool
+                (Printf.sprintf "tag %d admitted by c0's register belongs to c0" p)
+                true
+                (Hw.Keymux.cid_of_vkey km vkey = Some c0)
+          | None -> Alcotest.failf "c0's register admits unbound tag %d" p
+        end
+      done)
+
 (* --- qcheck: mapping consistency under random lifecycles ------------------- *)
 
 type sched_op = Spawn of int | Teardown of int | Touch of int
@@ -326,6 +397,10 @@ let () =
         [
           Alcotest.test_case "failed spawns leak nothing" `Quick
             test_failed_spawns_leak_nothing;
+          Alcotest.test_case "teardown scrubs cores" `Quick
+            test_teardown_scrubs_core_registers;
+          Alcotest.test_case "return recomputes pkru" `Quick
+            test_return_does_not_readmit_recycled_tag;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest [ prop_keymux_consistent ]);
     ]
